@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the progressive-filling flow model — the
+//! optimizer's inner loop (paper §2.3: "simple enough to run quickly").
+//!
+//! `full_he_matrix` is the headline number: one complete evaluation of
+//! the paper's 961-aggregate matrix on the 31-POP topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fubar_core::Allocation;
+use fubar_model::FlowModel;
+use fubar_topology::{generators, Bandwidth};
+use fubar_traffic::{workload, WorkloadConfig};
+
+fn bench_full_he_matrix(c: &mut Criterion) {
+    let topo = generators::he_core(Bandwidth::from_mbps(100.0));
+    let tm = workload::generate(&topo, &WorkloadConfig::default(), 1);
+    let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+    let bundles = alloc.bundles(&tm);
+    let model = FlowModel::with_defaults(&topo);
+
+    let mut g = c.benchmark_group("flow_model");
+    g.throughput(Throughput::Elements(bundles.len() as u64));
+    g.bench_function("full_he_matrix_961_aggregates", |b| {
+        b.iter(|| model.evaluate(std::hint::black_box(&bundles)))
+    });
+    g.finish();
+}
+
+fn bench_scaling_in_bundles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_model_scaling");
+    for n in [50usize, 200, 800, 3200] {
+        let topo = generators::waxman(30, 0.7, 0.4, Bandwidth::from_mbps(50.0), 9);
+        let cfg = WorkloadConfig {
+            include_intra_pop: false,
+            ..Default::default()
+        };
+        let tm = workload::generate(&topo, &cfg, 3);
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let mut bundles = alloc.bundles(&tm);
+        // Repeat/truncate to the requested size.
+        while bundles.len() < n {
+            bundles.extend_from_within(..bundles.len().min(n - bundles.len()));
+        }
+        bundles.truncate(n);
+        let model = FlowModel::with_defaults(&topo);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &bundles, |b, bundles| {
+            b.iter(|| model.evaluate(std::hint::black_box(bundles)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_congestion_regimes(c: &mut Criterion) {
+    // Event count (and therefore cost) depends on how congested the
+    // network is; compare a roomy, a provisioned, and a starved run.
+    let mut g = c.benchmark_group("flow_model_regimes");
+    for (name, mbps) in [
+        ("roomy_1000", 1000.0),
+        ("provisioned_100", 100.0),
+        ("starved_20", 20.0),
+    ] {
+        let topo = generators::he_core(Bandwidth::from_mbps(mbps));
+        let tm = workload::generate(&topo, &WorkloadConfig::default(), 1);
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let bundles = alloc.bundles(&tm);
+        let model = FlowModel::with_defaults(&topo);
+        g.bench_function(name, |b| {
+            b.iter(|| model.evaluate(std::hint::black_box(&bundles)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_utility_report(c: &mut Criterion) {
+    let topo = generators::he_core(Bandwidth::from_mbps(100.0));
+    let tm = workload::generate(&topo, &WorkloadConfig::default(), 1);
+    let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+    let bundles = alloc.bundles(&tm);
+    let outcome = FlowModel::with_defaults(&topo).evaluate(&bundles);
+    c.bench_function("utility_report_961_aggregates", |b| {
+        b.iter(|| {
+            fubar_model::utility_report(
+                std::hint::black_box(&tm),
+                std::hint::black_box(&bundles),
+                std::hint::black_box(&outcome),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_full_he_matrix,
+    bench_scaling_in_bundles,
+    bench_congestion_regimes,
+    bench_utility_report
+);
+criterion_main!(benches);

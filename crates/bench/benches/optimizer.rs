@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the optimizer (paper §2.5): end-to-end runs
+//! on small/medium instances and the per-commit cost on the full paper
+//! case (a complete provisioned run takes ~20 s, so the full case is
+//! benchmarked per-step via a commit budget).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fubar_core::{Optimizer, OptimizerConfig};
+use fubar_topology::{generators, Bandwidth, Delay};
+use fubar_traffic::{workload, TrafficMatrix, WorkloadConfig};
+
+fn small_instance() -> (fubar_topology::Topology, TrafficMatrix) {
+    let topo = generators::abilene(Bandwidth::from_mbps(4.0));
+    let tm = workload::generate(
+        &topo,
+        &WorkloadConfig {
+            include_intra_pop: false,
+            flow_count: (3, 8),
+            ..Default::default()
+        },
+        5,
+    );
+    (topo, tm)
+}
+
+fn bench_end_to_end_abilene(c: &mut Criterion) {
+    let (topo, tm) = small_instance();
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(10);
+    g.bench_function("end_to_end_abilene_110_aggregates", |b| {
+        b.iter(|| Optimizer::with_defaults(&topo, &tm).run())
+    });
+    g.finish();
+}
+
+fn bench_end_to_end_ring(c: &mut Criterion) {
+    let topo = generators::ring(8, Bandwidth::from_mbps(2.0), Delay::from_ms(2.0));
+    let tm = workload::generate(
+        &topo,
+        &WorkloadConfig {
+            include_intra_pop: false,
+            flow_count: (2, 6),
+            ..Default::default()
+        },
+        3,
+    );
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(10);
+    g.bench_function("end_to_end_ring8_56_aggregates", |b| {
+        b.iter(|| Optimizer::with_defaults(&topo, &tm).run())
+    });
+    g.finish();
+}
+
+fn bench_per_commit_he(c: &mut Criterion) {
+    // Cost of the first 5 commits on the full paper case — dominated by
+    // Listing 2's candidate evaluations over the hottest link.
+    let topo = generators::he_core(Bandwidth::from_mbps(100.0));
+    let tm = workload::generate(&topo, &WorkloadConfig::default(), 1);
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(10);
+    g.bench_function("first_5_commits_he_961_aggregates", |b| {
+        b.iter(|| {
+            let cfg = OptimizerConfig {
+                max_commits: 5,
+                ..Default::default()
+            };
+            Optimizer::new(&topo, &tm, cfg).run()
+        })
+    });
+    g.finish();
+}
+
+fn bench_initial_allocation(c: &mut Criterion) {
+    let topo = generators::he_core(Bandwidth::from_mbps(100.0));
+    let tm = workload::generate(&topo, &WorkloadConfig::default(), 1);
+    c.bench_function("initial_allocation_he_961", |b| {
+        b.iter(|| fubar_core::Allocation::all_on_shortest_paths(&topo, &tm))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end_abilene,
+    bench_end_to_end_ring,
+    bench_per_commit_he,
+    bench_initial_allocation
+);
+criterion_main!(benches);

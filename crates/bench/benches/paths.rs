@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the path machinery of §2.4: constrained
+//! Dijkstra (the global/local/link-local generator primitive) and Yen's
+//! K-shortest paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fubar_graph::{yen, LinkId, LinkSet};
+use fubar_topology::{generators, Bandwidth};
+
+fn he() -> fubar_topology::Topology {
+    generators::he_core(Bandwidth::from_mbps(100.0))
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let topo = he();
+    let g = topo.graph();
+    let src = topo.node("Fremont").unwrap();
+    let dst = topo.node("Warsaw").unwrap();
+    let empty = LinkSet::new();
+    c.bench_function("dijkstra_he_transatlantic", |b| {
+        b.iter(|| g.shortest_path(std::hint::black_box(src), dst, &empty))
+    });
+
+    // With a realistic congested-link exclusion set (8 links).
+    let excl: LinkSet = (0..16).step_by(2).map(LinkId).collect();
+    c.bench_function("dijkstra_he_with_exclusions", |b| {
+        b.iter(|| g.shortest_path(std::hint::black_box(src), dst, &excl))
+    });
+
+    c.bench_function("dijkstra_he_one_to_all", |b| {
+        b.iter(|| g.distances(std::hint::black_box(src), &empty))
+    });
+}
+
+fn bench_yen(c: &mut Criterion) {
+    let topo = he();
+    let g = topo.graph();
+    let src = topo.node("Seattle").unwrap();
+    let dst = topo.node("Miami").unwrap();
+    let empty = LinkSet::new();
+    let mut group = c.benchmark_group("yen_k_shortest_he");
+    for k in [3usize, 8, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| yen::k_shortest_paths(g, std::hint::black_box(src), dst, k, &empty))
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_pairs_shortest(c: &mut Criterion) {
+    // The initial allocation computes one shortest path per aggregate:
+    // 961 point-to-point queries, exactly as the allocation layer does.
+    let topo = he();
+    let g = topo.graph();
+    let empty = LinkSet::new();
+    c.bench_function("all_pairs_961_queries", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for s in topo.nodes() {
+                for d in topo.nodes() {
+                    if let Some(p) = g.shortest_path(s, d, &empty) {
+                        total += p.cost();
+                    }
+                }
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_dijkstra, bench_yen, bench_all_pairs_shortest);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the SDN substrate: per-epoch data-plane
+//! cost, measurement pipeline, and rule installation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fubar_core::Allocation;
+use fubar_sdn::{Estimator, Fabric, MeasurementConfig, RuleSet};
+use fubar_topology::{generators, Bandwidth, Delay};
+use fubar_traffic::{workload, WorkloadConfig};
+
+fn he_fabric() -> Fabric {
+    let topo = generators::he_core(Bandwidth::from_mbps(100.0));
+    let tm = workload::generate(&topo, &WorkloadConfig::default(), 1);
+    Fabric::new(topo, tm, Delay::from_secs(30.0))
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut fabric = he_fabric();
+    c.bench_function("fabric_epoch_he_961_aggregates", |b| {
+        b.iter(|| fabric.run_epoch())
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut fabric = he_fabric();
+    fabric.run_epoch();
+    let counters = fabric.counters().to_vec();
+    let mut estimator = Estimator::new(counters.len(), MeasurementConfig::default(), 1);
+    c.bench_function("estimator_observe_961_counters", |b| {
+        b.iter(|| estimator.observe(std::hint::black_box(&counters), Delay::from_secs(30.0)))
+    });
+    estimator.observe(&counters, Delay::from_secs(30.0));
+    let template = fabric.true_tm().clone();
+    c.bench_function("estimated_matrix_961", |b| {
+        b.iter(|| estimator.estimated_matrix(std::hint::black_box(&template)))
+    });
+}
+
+fn bench_rule_snapshot(c: &mut Criterion) {
+    let fabric = he_fabric();
+    let alloc = Allocation::all_on_shortest_paths(fabric.topology(), fabric.true_tm());
+    c.bench_function("ruleset_from_allocation_961", |b| {
+        b.iter(|| RuleSet::from_allocation(std::hint::black_box(&alloc), fabric.true_tm()))
+    });
+}
+
+criterion_group!(benches, bench_epoch, bench_estimator, bench_rule_snapshot);
+criterion_main!(benches);

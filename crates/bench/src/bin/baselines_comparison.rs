@@ -1,0 +1,68 @@
+//! Baseline comparison across both capacity regimes: shortest path,
+//! ECMP, CSPF, min-max-utilization search, FUBAR, and the isolation
+//! upper bound (paper §3 reference lines + §4 comparators).
+//!
+//! Usage: `baselines_comparison [seed]` (default 1).
+
+use fubar_core::baselines;
+use fubar_core::experiments::{paper_inputs, CaseOptions, Scenario};
+use fubar_core::{Optimizer, OptimizerConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    println!("# baseline comparison, seed {seed}");
+    println!("case,system,network_utility,large_utility,congested_links");
+    for (case, scenario) in [
+        ("provisioned", Scenario::Provisioned),
+        ("underprovisioned", Scenario::Underprovisioned),
+    ] {
+        let (topo, tm) = paper_inputs(scenario, seed, &CaseOptions::default());
+
+        let sp = baselines::shortest_path(&topo, &tm);
+        let ec = baselines::ecmp(&topo, &tm, 4, 1e-6);
+        let cs = baselines::cspf(&topo, &tm);
+        let mm = baselines::min_max_utilization(&topo, &tm);
+        let fu = Optimizer::new(&topo, &tm, OptimizerConfig::default()).run();
+        let ub = baselines::upper_bound(&topo, &tm);
+
+        let fmt_l = |l: Option<f64>| l.map_or_else(|| "".into(), |v| format!("{v:.6}"));
+        for (system, u, l, c) in [
+            (
+                "shortest-path",
+                sp.report.network_utility,
+                sp.report.large_average,
+                sp.outcome.congested.len(),
+            ),
+            (
+                "ecmp",
+                ec.report.network_utility,
+                ec.report.large_average,
+                ec.outcome.congested.len(),
+            ),
+            (
+                "cspf",
+                cs.report.network_utility,
+                cs.report.large_average,
+                cs.outcome.congested.len(),
+            ),
+            (
+                "min-max-util",
+                mm.report.network_utility,
+                mm.report.large_average,
+                mm.outcome.congested.len(),
+            ),
+            (
+                "fubar",
+                fu.report.network_utility,
+                fu.report.large_average,
+                fu.outcome.congested.len(),
+            ),
+            ("upper-bound", ub.mean, ub.large_mean, 0),
+        ] {
+            println!("{case},{system},{u:.6},{},{c}", fmt_l(l));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Figures 1 & 2: the real-time and bulk-transfer utility function
+//! components. Prints sampled curves (bandwidth component and delay
+//! component per class) as CSV.
+
+use fubar_topology::{Bandwidth, Delay};
+use fubar_utility::TrafficClass;
+
+fn main() {
+    println!("# fig1/fig2: utility function components");
+    println!("class,axis,x,utility");
+    for (name, class) in [
+        ("real-time", TrafficClass::RealTime),
+        ("bulk", TrafficClass::BulkTransfer),
+        ("large-file-1M", TrafficClass::LargeFile { peak_mbps: 1.0 }),
+    ] {
+        let u = class.utility();
+        // Bandwidth component, sampled to 250 kb/s (Figs 1-2 x-range) or
+        // 1.5x the peak for the large class.
+        let bw_max = (u.peak_demand().kbps() * 1.5).max(250.0);
+        for i in 0..=50 {
+            let kbps = bw_max * i as f64 / 50.0;
+            println!(
+                "{name},bandwidth_kbps,{kbps:.1},{:.4}",
+                u.eval(Bandwidth::from_kbps(kbps), Delay::ZERO)
+            );
+        }
+        // Delay component, sampled to 250 ms like the figures.
+        for i in 0..=50 {
+            let ms = 250.0 * i as f64 / 50.0;
+            println!(
+                "{name},delay_ms,{ms:.1},{:.4}",
+                u.max_at_delay(Delay::from_ms(ms))
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 3: a single FUBAR run in the provisioned case (uniform
+//! 100 Mb/s links). Prints the progress trace (utility / large-flow
+//! utility / utilization over time) plus the shortest-path and
+//! upper-bound reference lines.
+//!
+//! Usage: `fig3_provisioned [seed]` (default seed 1).
+
+use fubar_bench::{print_references, print_summary, print_trace};
+use fubar_core::experiments::{paper_inputs, run_case, CaseOptions, Scenario};
+use fubar_core::OptimizerConfig;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let (topo, tm) = paper_inputs(Scenario::Provisioned, seed, &CaseOptions::default());
+    eprintln!("# {}", topo.summary());
+    eprintln!(
+        "# {} aggregates, total demand {}, {} flows",
+        tm.len(),
+        tm.total_demand(),
+        tm.total_flows()
+    );
+    let report = run_case(&topo, &tm, OptimizerConfig::default());
+    print_trace("fig3 provisioned (100 Mb/s), seed per arg", &report.fubar.trace);
+    print_references(&report);
+    print_summary("3", &report);
+}

@@ -1,0 +1,28 @@
+//! Figure 4: a single FUBAR run in the underprovisioned case (uniform
+//! 75 Mb/s links). Same panels as Figure 3; congestion cannot be fully
+//! eliminated, large flows end below the global average.
+//!
+//! Usage: `fig4_underprovisioned [seed]` (default seed 1).
+
+use fubar_bench::{print_references, print_summary, print_trace};
+use fubar_core::experiments::{paper_inputs, run_case, CaseOptions, Scenario};
+use fubar_core::OptimizerConfig;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let (topo, tm) = paper_inputs(Scenario::Underprovisioned, seed, &CaseOptions::default());
+    eprintln!("# {}", topo.summary());
+    eprintln!(
+        "# {} aggregates, total demand {}, {} flows",
+        tm.len(),
+        tm.total_demand(),
+        tm.total_flows()
+    );
+    let report = run_case(&topo, &tm, OptimizerConfig::default());
+    print_trace("fig4 underprovisioned (75 Mb/s)", &report.fubar.trace);
+    print_references(&report);
+    print_summary("4", &report);
+}

@@ -1,0 +1,57 @@
+//! Figure 7: a CDF over many provisioned-case runs with different
+//! traffic-matrix seeds, comparing FUBAR's final utility against the
+//! shortest-path lower bound and the maximal (isolation) utility.
+//!
+//! The paper runs 100 passes; that takes a while even in Rust, so the
+//! run count is an argument. Usage: `fig7_repeatability [runs] [base_seed]`
+//! (defaults 100, 1).
+
+use fubar_core::experiments::{repeatability, weighted_cdf, Scenario};
+use fubar_core::OptimizerConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let base_seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let rows = repeatability(
+        Scenario::Provisioned,
+        runs,
+        base_seed,
+        OptimizerConfig::default(),
+    );
+
+    println!("# fig7: {runs} provisioned runs, seeds {base_seed}..{}", base_seed + runs as u64);
+    println!("seed,fubar,shortest_path,maximal");
+    for r in &rows {
+        println!(
+            "{},{:.6},{:.6},{:.6}",
+            r.seed, r.fubar, r.shortest_path, r.maximal
+        );
+    }
+
+    for (name, values) in [
+        ("fubar", rows.iter().map(|r| r.fubar).collect::<Vec<_>>()),
+        (
+            "shortest_path",
+            rows.iter().map(|r| r.shortest_path).collect(),
+        ),
+        ("maximal", rows.iter().map(|r| r.maximal).collect()),
+    ] {
+        let cdf = weighted_cdf(values.iter().map(|&v| (v, 1.0)).collect());
+        println!("# cdf {name}");
+        println!("utility,cum_fraction");
+        for (v, f) in cdf {
+            println!("{v:.6},{f:.6}");
+        }
+    }
+
+    // Headline check: in all runs FUBAR should closely approach maximal.
+    let worst_gap = rows
+        .iter()
+        .map(|r| r.maximal - r.fubar)
+        .fold(0.0_f64, f64::max);
+    let mean_gain: f64 =
+        rows.iter().map(|r| r.fubar - r.shortest_path).sum::<f64>() / rows.len().max(1) as f64;
+    println!("# fig7 worst gap to maximal {worst_gap:.4}; mean gain over shortest path {mean_gain:.4}");
+}

@@ -1,0 +1,36 @@
+//! T1: running times of the provisioned and underprovisioned cases.
+//!
+//! The paper (on a 1.3 GHz Core i5, single-threaded Java): provisioned
+//! finds a solution in under a minute, underprovisioned takes about five
+//! minutes, both "within the five minute limit for an offline system".
+//! This binary reports our wall-clock equivalents.
+//!
+//! Usage: `table1_running_time [seed]` (default 1).
+
+use fubar_core::experiments::{paper_inputs, CaseOptions, Scenario};
+use fubar_core::{Optimizer, OptimizerConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    println!("# T1: running time (paper's offline budget: five minutes)");
+    println!("case,elapsed_s,commits,final_utility,congested_links,termination");
+    for (name, scenario) in [
+        ("provisioned", Scenario::Provisioned),
+        ("underprovisioned", Scenario::Underprovisioned),
+    ] {
+        let (topo, tm) = paper_inputs(scenario, seed, &CaseOptions::default());
+        let result = Optimizer::new(&topo, &tm, OptimizerConfig::default()).run();
+        let last = result.trace.last().unwrap();
+        println!(
+            "{name},{:.3},{},{:.6},{},{:?}",
+            last.elapsed.as_secs_f64(),
+            result.commits,
+            last.network_utility,
+            last.congested_links,
+            result.termination
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! The allocation state the optimizer mutates: how many flows of each
+//! aggregate ride each path of its path set.
+
+use crate::pathset::PathSet;
+use fubar_graph::{LinkId, LinkSet, Path};
+use fubar_model::BundleSpec;
+use fubar_topology::Topology;
+use fubar_traffic::{AggregateId, TrafficMatrix};
+
+/// A complete flow-to-path assignment for every aggregate.
+///
+/// Invariant: for each aggregate, the flow counts across its path set sum
+/// to exactly the aggregate's `flow_count` ([`Allocation::validate`]).
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    path_sets: Vec<PathSet>,
+    /// `flows[agg][path_idx]` — parallel to `path_sets[agg]`.
+    flows: Vec<Vec<u32>>,
+}
+
+/// A single committed or candidate move: `count` flows of `aggregate`
+/// from path `from` to path `to` (indices into its path set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Move {
+    /// The aggregate whose flows move.
+    pub aggregate: AggregateId,
+    /// Source path index.
+    pub from: usize,
+    /// Destination path index.
+    pub to: usize,
+    /// Number of flows to move.
+    pub count: u32,
+}
+
+impl Allocation {
+    /// The paper's starting point: "move all flows to lowest-delay path
+    /// in aggregate" (Listing 1, line 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some aggregate's endpoints are disconnected in
+    /// `topology`.
+    pub fn all_on_shortest_paths(topology: &Topology, tm: &TrafficMatrix) -> Self {
+        Self::all_on_shortest_paths_avoiding(topology, tm, &LinkSet::new())
+    }
+
+    /// Like [`Allocation::all_on_shortest_paths`] but avoiding
+    /// `excluded` links (e.g. links the operator knows are down). An
+    /// aggregate whose endpoints are disconnected without the excluded
+    /// links falls back to the unconstrained shortest path — in a real
+    /// network that traffic black-holes either way, and keeping it in
+    /// the allocation preserves flow conservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some aggregate's endpoints are disconnected even on the
+    /// full topology.
+    pub fn all_on_shortest_paths_avoiding(
+        topology: &Topology,
+        tm: &TrafficMatrix,
+        excluded: &LinkSet,
+    ) -> Self {
+        let empty = LinkSet::new();
+        let mut path_sets = Vec::with_capacity(tm.len());
+        let mut flows = Vec::with_capacity(tm.len());
+        for a in tm.iter() {
+            let path = topology
+                .graph()
+                .shortest_path(a.ingress, a.egress, excluded)
+                .or_else(|| topology.graph().shortest_path(a.ingress, a.egress, &empty))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "aggregate {} endpoints {}->{} are disconnected",
+                        a.id,
+                        topology.node_name(a.ingress),
+                        topology.node_name(a.egress)
+                    )
+                });
+            path_sets.push(PathSet::with_default(path));
+            flows.push(vec![a.flow_count]);
+        }
+        Allocation { path_sets, flows }
+    }
+
+    /// The path set of one aggregate.
+    #[inline]
+    pub fn path_set(&self, agg: AggregateId) -> &PathSet {
+        &self.path_sets[agg.index()]
+    }
+
+    /// Flows of `agg` currently on path `path_idx`.
+    #[inline]
+    pub fn flows_on(&self, agg: AggregateId, path_idx: usize) -> u32 {
+        self.flows[agg.index()][path_idx]
+    }
+
+    /// Ensures `path` is in `agg`'s path set and returns its index.
+    pub fn add_path(&mut self, agg: AggregateId, path: Path) -> usize {
+        let idx = self.path_sets[agg.index()].insert(path);
+        if idx == self.flows[agg.index()].len() {
+            self.flows[agg.index()].push(0);
+        }
+        idx
+    }
+
+    /// Applies a move.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the source path lacks `count` flows or indices are out
+    /// of range.
+    pub fn apply(&mut self, m: Move) {
+        assert_ne!(m.from, m.to, "move must change paths");
+        let f = &mut self.flows[m.aggregate.index()];
+        assert!(
+            f[m.from] >= m.count,
+            "moving {} flows but only {} present",
+            m.count,
+            f[m.from]
+        );
+        f[m.from] -= m.count;
+        f[m.to] += m.count;
+    }
+
+    /// Reverses a previously applied move.
+    pub fn revert(&mut self, m: Move) {
+        self.apply(Move {
+            aggregate: m.aggregate,
+            from: m.to,
+            to: m.from,
+            count: m.count,
+        });
+    }
+
+    /// The non-empty bundles of this allocation, in deterministic
+    /// (aggregate, path index) order — the model's input.
+    pub fn bundles(&self, tm: &TrafficMatrix) -> Vec<BundleSpec> {
+        let mut out = Vec::new();
+        for a in tm.iter() {
+            let fs = &self.flows[a.id.index()];
+            let ps = &self.path_sets[a.id.index()];
+            for (idx, &n) in fs.iter().enumerate() {
+                if n > 0 {
+                    out.push(BundleSpec::new(a, ps.path(idx), n));
+                }
+            }
+        }
+        out
+    }
+
+    /// The (aggregate, path index, flows) triples whose path crosses
+    /// `link` — Listing 2's "all flow paths that go over link".
+    pub fn flow_paths_over(
+        &self,
+        tm: &TrafficMatrix,
+        link: LinkId,
+    ) -> Vec<(AggregateId, usize, u32)> {
+        let mut out = Vec::new();
+        for a in tm.iter() {
+            let fs = &self.flows[a.id.index()];
+            let ps = &self.path_sets[a.id.index()];
+            for (idx, &n) in fs.iter().enumerate() {
+                if n > 0 && ps.path(idx).uses_link(link) {
+                    out.push((a.id, idx, n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Links used by `agg`'s non-empty paths that are also in
+    /// `congested` — the exclusion set for the paper's *local* path.
+    pub fn congested_links_used_by(
+        &self,
+        agg: AggregateId,
+        congested: &LinkSet,
+    ) -> LinkSet {
+        let mut used = LinkSet::new();
+        let fs = &self.flows[agg.index()];
+        let ps = &self.path_sets[agg.index()];
+        for (idx, &n) in fs.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            for &l in ps.path(idx).links() {
+                if congested.contains(l) {
+                    used.insert(l);
+                }
+            }
+        }
+        used
+    }
+
+    /// Number of distinct paths carrying at least one flow, per
+    /// aggregate, summed.
+    pub fn active_path_count(&self) -> usize {
+        self.flows
+            .iter()
+            .map(|f| f.iter().filter(|&&n| n > 0).count())
+            .sum()
+    }
+
+    /// Largest path-set size across aggregates (the paper reports "ten
+    /// to fifteen" after convergence).
+    pub fn max_path_set_size(&self) -> usize {
+        self.path_sets.iter().map(PathSet::len).max().unwrap_or(0)
+    }
+
+    /// Checks the flow-conservation invariant against `tm`.
+    pub fn validate(&self, tm: &TrafficMatrix) -> Result<(), String> {
+        if self.flows.len() != tm.len() {
+            return Err(format!(
+                "allocation covers {} aggregates, matrix has {}",
+                self.flows.len(),
+                tm.len()
+            ));
+        }
+        for a in tm.iter() {
+            let total: u32 = self.flows[a.id.index()].iter().sum();
+            if total != a.flow_count {
+                return Err(format!(
+                    "aggregate {}: {} flows allocated, {} expected",
+                    a.id, total, a.flow_count
+                ));
+            }
+            if self.flows[a.id.index()].len() != self.path_sets[a.id.index()].len() {
+                return Err(format!("aggregate {}: flows/paths length mismatch", a.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Flow-weighted one-way path delays of every flow in the network,
+    /// for the Fig 6 delay CDF: returns `(delay, flow_count)` pairs.
+    pub fn flow_delays(&self, tm: &TrafficMatrix) -> Vec<(fubar_topology::Delay, u32)> {
+        let mut out = Vec::new();
+        for a in tm.iter() {
+            let fs = &self.flows[a.id.index()];
+            let ps = &self.path_sets[a.id.index()];
+            for (idx, &n) in fs.iter().enumerate() {
+                if n > 0 {
+                    out.push((fubar_topology::Delay::from_secs(ps.path(idx).cost()), n));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fubar_graph::NodeId;
+    use fubar_topology::{generators, Bandwidth, Delay};
+    use fubar_traffic::Aggregate;
+    use fubar_utility::TrafficClass;
+
+    fn fixture() -> (Topology, TrafficMatrix) {
+        let topo = generators::ring(4, Bandwidth::from_mbps(10.0), Delay::from_ms(1.0));
+        let tm = TrafficMatrix::new(vec![
+            Aggregate::new(
+                AggregateId(0),
+                NodeId(0),
+                NodeId(2),
+                TrafficClass::RealTime,
+                10,
+            ),
+            Aggregate::new(
+                AggregateId(0),
+                NodeId(1),
+                NodeId(3),
+                TrafficClass::BulkTransfer,
+                6,
+            ),
+        ]);
+        (topo, tm)
+    }
+
+    #[test]
+    fn initial_allocation_is_all_on_shortest() {
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        alloc.validate(&tm).unwrap();
+        assert_eq!(alloc.flows_on(AggregateId(0), 0), 10);
+        assert_eq!(alloc.path_set(AggregateId(0)).len(), 1);
+        let bundles = alloc.bundles(&tm);
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(alloc.active_path_count(), 2);
+    }
+
+    #[test]
+    fn apply_and_revert_round_trip() {
+        let (topo, tm) = fixture();
+        let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        // Add the other way around the ring for aggregate 0.
+        let g = topo.graph();
+        let used: LinkSet = alloc.path_set(AggregateId(0)).path(0).links().iter().copied().collect();
+        let alt = g.shortest_path(NodeId(0), NodeId(2), &used).unwrap();
+        let idx = alloc.add_path(AggregateId(0), alt);
+        assert_eq!(idx, 1);
+        let m = Move {
+            aggregate: AggregateId(0),
+            from: 0,
+            to: 1,
+            count: 4,
+        };
+        alloc.apply(m);
+        alloc.validate(&tm).unwrap();
+        assert_eq!(alloc.flows_on(AggregateId(0), 0), 6);
+        assert_eq!(alloc.flows_on(AggregateId(0), 1), 4);
+        assert_eq!(alloc.bundles(&tm).len(), 3);
+        alloc.revert(m);
+        assert_eq!(alloc.flows_on(AggregateId(0), 0), 10);
+        assert_eq!(alloc.bundles(&tm).len(), 2);
+    }
+
+    #[test]
+    fn add_path_is_idempotent() {
+        let (topo, tm) = fixture();
+        let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let p = alloc.path_set(AggregateId(0)).path(0).clone();
+        let idx = alloc.add_path(AggregateId(0), p);
+        assert_eq!(idx, 0, "existing path keeps its index");
+        assert_eq!(alloc.path_set(AggregateId(0)).len(), 1);
+        alloc.validate(&tm).unwrap();
+    }
+
+    #[test]
+    fn flow_paths_over_finds_crossers() {
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let p0 = alloc.path_set(AggregateId(0)).path(0).clone();
+        let link = p0.links()[0];
+        let crossers = alloc.flow_paths_over(&tm, link);
+        assert!(crossers.iter().any(|&(a, _, _)| a == AggregateId(0)));
+        for (agg, idx, n) in crossers {
+            assert!(alloc.path_set(agg).path(idx).uses_link(link));
+            assert_eq!(alloc.flows_on(agg, idx), n);
+        }
+    }
+
+    #[test]
+    fn congested_links_used_by_intersects() {
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let p0 = alloc.path_set(AggregateId(0)).path(0).clone();
+        let mut congested = LinkSet::new();
+        congested.insert(p0.links()[0]);
+        congested.insert(LinkId(9999)); // unrelated
+        let used = alloc.congested_links_used_by(AggregateId(0), &congested);
+        assert_eq!(used.len(), 1);
+        assert!(used.contains(p0.links()[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn overdraw_panics() {
+        let (topo, tm) = fixture();
+        let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let g = topo.graph();
+        let used: LinkSet = alloc.path_set(AggregateId(0)).path(0).links().iter().copied().collect();
+        let alt = g.shortest_path(NodeId(0), NodeId(2), &used).unwrap();
+        alloc.add_path(AggregateId(0), alt);
+        alloc.apply(Move {
+            aggregate: AggregateId(0),
+            from: 0,
+            to: 1,
+            count: 99,
+        });
+    }
+
+    #[test]
+    fn flow_delays_cover_all_flows() {
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let delays = alloc.flow_delays(&tm);
+        let total: u32 = delays.iter().map(|&(_, n)| n).sum();
+        assert_eq!(u64::from(total), tm.total_flows());
+    }
+}

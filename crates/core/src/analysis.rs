@@ -1,0 +1,233 @@
+//! Structural-congestion certificates.
+//!
+//! When the optimizer terminates `NoImprovement` with congestion left
+//! (the paper's underprovisioned case), operators want to know: is this
+//! a search artifact, or is the network *provably* under-provisioned?
+//!
+//! This module produces sound certificates of the latter. For a starved
+//! aggregate (s, d), compute the minimum s–d cut over link capacities
+//! (max-flow); every unit of traffic between the cut's two node sides
+//! must cross the cut's links, so if the total demand crossing the
+//! bipartition exceeds the cut capacity, **no routing system** can
+//! eliminate that congestion — only provisioning can. The paper's own
+//! definition of the provisioned case ("enough capacity to make it
+//! possible to alleviate congestion") is exactly the absence of such
+//! certificates.
+
+use fubar_graph::{max_flow, LinkId, LinkSet};
+use fubar_model::{BundleStatus, FlowModel, ModelOutcome};
+use fubar_topology::{Bandwidth, Topology};
+use fubar_traffic::TrafficMatrix;
+
+/// A proof that congestion across one node bipartition is unavoidable.
+#[derive(Clone, Debug)]
+pub struct CutCertificate {
+    /// The saturating cut: links from the source side to the sink side.
+    pub links: Vec<LinkId>,
+    /// Total capacity of those links.
+    pub capacity: Bandwidth,
+    /// Total demand of aggregates whose ingress is on the source side
+    /// and egress on the sink side (all of it must cross `links`).
+    pub crossing_demand: Bandwidth,
+    /// `crossing_demand / capacity` (> 1 by construction).
+    pub oversubscription: f64,
+    /// One starved aggregate that exhibits the cut, by index into the
+    /// matrix.
+    pub witness: fubar_traffic::AggregateId,
+}
+
+/// Finds structural-congestion certificates for the starved aggregates
+/// of `outcome` (which must correspond to `bundles` evaluated on
+/// `topology`). Certificates are deduplicated by node bipartition; the
+/// result is sorted by descending oversubscription.
+pub fn cut_certificates(
+    topology: &Topology,
+    tm: &TrafficMatrix,
+    bundles: &[fubar_model::BundleSpec],
+    outcome: &ModelOutcome,
+) -> Vec<CutCertificate> {
+    let mut seen: Vec<Vec<bool>> = Vec::new();
+    let mut out: Vec<CutCertificate> = Vec::new();
+    let empty = LinkSet::new();
+
+    for (i, b) in bundles.iter().enumerate() {
+        if !matches!(outcome.bundle_status[i], BundleStatus::Congested(_)) {
+            continue;
+        }
+        let a = tm.aggregate(b.aggregate);
+        if a.is_intra_pop() {
+            continue;
+        }
+        let r = max_flow(
+            topology.graph(),
+            a.ingress,
+            a.egress,
+            |l| topology.capacity(l).bps(),
+            &empty,
+        );
+        if seen.iter().any(|s| s == &r.source_side) {
+            continue;
+        }
+        seen.push(r.source_side.clone());
+
+        let crossing_demand: Bandwidth = tm
+            .iter()
+            .filter(|x| {
+                r.source_side[x.ingress.index()] && !r.source_side[x.egress.index()]
+            })
+            .map(|x| x.total_demand())
+            .sum();
+        let capacity = Bandwidth::from_bps(r.value);
+        if crossing_demand.bps() > r.value {
+            out.push(CutCertificate {
+                links: r.min_cut_links(topology.graph()),
+                capacity,
+                crossing_demand,
+                oversubscription: crossing_demand.bps() / r.value.max(1e-9),
+                witness: a.id,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.oversubscription
+            .total_cmp(&a.oversubscription)
+            .then(a.witness.cmp(&b.witness))
+    });
+    out
+}
+
+/// Convenience: evaluate `allocation`'s bundles and return certificates
+/// for whatever is starved.
+pub fn certify_allocation(
+    topology: &Topology,
+    tm: &TrafficMatrix,
+    allocation: &crate::Allocation,
+) -> Vec<CutCertificate> {
+    let bundles = allocation.bundles(tm);
+    let outcome = FlowModel::with_defaults(topology).evaluate(&bundles);
+    cut_certificates(topology, tm, &bundles, &outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Optimizer, OptimizerConfig};
+    use fubar_graph::NodeId;
+    use fubar_topology::{Delay, TopologyBuilder};
+    use fubar_traffic::{Aggregate, AggregateId};
+    use fubar_utility::TrafficClass;
+
+    fn kb(v: f64) -> Bandwidth {
+        Bandwidth::from_kbps(v)
+    }
+    fn ms(v: f64) -> Delay {
+        Delay::from_ms(v)
+    }
+
+    /// Two islands joined by a single thin bridge: a textbook cut.
+    fn bridged(bridge_kbps: f64) -> (Topology, TrafficMatrix) {
+        let mut b = TopologyBuilder::new("bridged");
+        for n in ["w1", "w2", "e1", "e2"] {
+            b.add_node(n).unwrap();
+        }
+        b.add_duplex_link("w1", "w2", kb(10_000.0), ms(1.0)).unwrap();
+        b.add_duplex_link("e1", "e2", kb(10_000.0), ms(1.0)).unwrap();
+        b.add_duplex_link("w2", "e1", kb(bridge_kbps), ms(5.0)).unwrap();
+        let topo = b.build();
+        // 10 bulk flows w1 -> e2 (1.2 Mb/s) plus 5 flows w2 -> e2
+        // (600 kb/s): 1.8 Mb/s must cross the bridge.
+        let tm = TrafficMatrix::new(vec![
+            Aggregate::new(
+                AggregateId(0),
+                NodeId(0),
+                NodeId(3),
+                TrafficClass::BulkTransfer,
+                10,
+            ),
+            Aggregate::new(
+                AggregateId(0),
+                NodeId(1),
+                NodeId(3),
+                TrafficClass::BulkTransfer,
+                5,
+            ),
+        ]);
+        (topo, tm)
+    }
+
+    #[test]
+    fn undersized_bridge_yields_a_certificate() {
+        let (topo, tm) = bridged(1_000.0); // 1 Mb/s < 1.8 Mb/s demand
+        let result = Optimizer::new(&topo, &tm, OptimizerConfig::default()).run();
+        assert!(result.outcome.is_congested());
+        let certs = certify_allocation(&topo, &tm, &result.allocation);
+        assert_eq!(certs.len(), 1, "one bipartition explains everything");
+        let c = &certs[0];
+        assert!((c.capacity.kbps() - 1_000.0).abs() < 1e-6);
+        assert!((c.crossing_demand.kbps() - 1_800.0).abs() < 1e-6);
+        assert!((c.oversubscription - 1.8).abs() < 1e-9);
+        // The certificate names the bridge.
+        assert_eq!(c.links.len(), 1);
+        assert_eq!(topo.link_label(c.links[0]), "w2->e1");
+    }
+
+    #[test]
+    fn generous_bridge_yields_none() {
+        let (topo, tm) = bridged(5_000.0); // 5 Mb/s > 1.8 Mb/s
+        let result = Optimizer::new(&topo, &tm, OptimizerConfig::default()).run();
+        let certs = certify_allocation(&topo, &tm, &result.allocation);
+        assert!(
+            certs.is_empty(),
+            "no structural excuse — and indeed the optimizer decongests: {:?}",
+            result.termination
+        );
+        assert!(!result.outcome.is_congested());
+    }
+
+    #[test]
+    fn paper_underprovisioned_case_is_cut_limited() {
+        use crate::experiments::{paper_inputs, CaseOptions, Scenario};
+        let (topo, tm) = paper_inputs(Scenario::Underprovisioned, 1, &CaseOptions::default());
+        let result = Optimizer::new(
+            &topo,
+            &tm,
+            OptimizerConfig {
+                max_commits: 0, // shortest-path state is enough to find cuts
+                ..Default::default()
+            },
+        )
+        .run();
+        let certs = certify_allocation(&topo, &tm, &result.allocation);
+        assert!(
+            !certs.is_empty(),
+            "the 75 Mb/s case must be provably under-provisioned"
+        );
+        // The transatlantic trunks are the canonical bottleneck.
+        let has_atlantic = certs.iter().any(|c| {
+            c.links
+                .iter()
+                .any(|&l| topo.link_label(l).contains("London") || topo.link_label(l).contains("NewYork") || topo.link_label(l).contains("Ashburn"))
+        });
+        assert!(has_atlantic, "expected a transatlantic certificate");
+    }
+
+    #[test]
+    fn paper_provisioned_case_is_not_cut_limited() {
+        use crate::experiments::{paper_inputs, CaseOptions, Scenario};
+        let (topo, tm) = paper_inputs(Scenario::Provisioned, 1, &CaseOptions::default());
+        let result = Optimizer::new(
+            &topo,
+            &tm,
+            OptimizerConfig {
+                max_commits: 0,
+                ..Default::default()
+            },
+        )
+        .run();
+        let certs = certify_allocation(&topo, &tm, &result.allocation);
+        assert!(
+            certs.is_empty(),
+            "the paper's provisioned definition = no structural certificates; got {certs:?}"
+        );
+    }
+}

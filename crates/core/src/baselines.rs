@@ -1,0 +1,394 @@
+//! Reference points the paper compares FUBAR against (§3, §4).
+//!
+//! * [`shortest_path`] — "the 'shortest path' line shows what utility
+//!   would be if all the traffic takes its shortest path" (the lower
+//!   bound of every figure);
+//! * [`upper_bound`] — "we isolate an aggregate by removing all other
+//!   aggregates from the network and determine what the single
+//!   aggregate's utility would be if there were no other traffic";
+//! * [`ecmp`] — equal-cost multipath (RFC 2992), the traditional
+//!   load-spreading answer §1 mentions;
+//! * [`cspf`] — constrained shortest-path-first admission in the style
+//!   of MPLS-TE auto-bandwidth (§4: CSPF "does not optimize global
+//!   utility across all flows");
+//! * [`min_max_utilization`] — FUBAR's own search machinery pointed at
+//!   the delay-blind B4/SWAN-style objective.
+
+use crate::allocation::{Allocation, Move};
+use crate::objective::Objective;
+use crate::optimizer::{Optimizer, OptimizerConfig, OptimizeResult};
+use fubar_graph::{yen, LinkSet};
+use fubar_model::{utility_report, FlowModel, ModelOutcome, UtilityReport};
+use fubar_topology::Topology;
+use fubar_traffic::TrafficMatrix;
+
+/// An evaluated static allocation (no optimization loop).
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The flow-to-path assignment.
+    pub allocation: Allocation,
+    /// Model equilibrium.
+    pub outcome: ModelOutcome,
+    /// Utilities.
+    pub report: UtilityReport,
+}
+
+fn evaluate(topology: &Topology, tm: &TrafficMatrix, allocation: Allocation) -> BaselineResult {
+    let bundles = allocation.bundles(tm);
+    let outcome = FlowModel::with_defaults(topology).evaluate(&bundles);
+    let report = utility_report(tm, &bundles, &outcome);
+    BaselineResult {
+        allocation,
+        outcome,
+        report,
+    }
+}
+
+/// Everything on its lowest-delay path — conventional shortest-path
+/// routing, FUBAR's starting point and lower bound.
+pub fn shortest_path(topology: &Topology, tm: &TrafficMatrix) -> BaselineResult {
+    evaluate(topology, tm, Allocation::all_on_shortest_paths(topology, tm))
+}
+
+/// The per-aggregate isolation upper bound.
+#[derive(Clone, Debug)]
+pub struct UpperBound {
+    /// Best-case utility of each aggregate alone in the network.
+    pub per_aggregate: Vec<f64>,
+    /// Flow-weighted mean (the figures' "Upper bound" line).
+    pub mean: f64,
+    /// Flow-weighted mean over large aggregates only.
+    pub large_mean: Option<f64>,
+}
+
+/// Computes the isolation upper bound.
+///
+/// The paper isolates each aggregate ("removing all other aggregates
+/// from the network") and records its utility alone. We use the
+/// equivalent closed form: an aggregate's utility can never exceed
+/// `U_delay(d_min)`, the delay component evaluated at its lowest-delay
+/// path — every flow's delay is at least `d_min` and the bandwidth
+/// component is at most 1. On any workload where a lone aggregate fits
+/// its shortest path (true of the paper's — per-aggregate demand is far
+/// below link capacity), the isolated utility *equals* this bound; on
+/// harsher workloads the closed form is a true upper bound where the
+/// pinned-to-shortest-path variant would not be (a lone aggregate may
+/// split across paths and beat it).
+pub fn upper_bound(topology: &Topology, tm: &TrafficMatrix) -> UpperBound {
+    let empty = LinkSet::new();
+    let mut per_aggregate = vec![0.0; tm.len()];
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut lnum = 0.0;
+    let mut lden = 0.0;
+    for a in tm.iter() {
+        let path = topology
+            .graph()
+            .shortest_path(a.ingress, a.egress, &empty)
+            .expect("matrix endpoints must be connected");
+        let d_min = fubar_topology::Delay::from_secs(path.cost());
+        let u = a.utility.max_at_delay(d_min);
+        per_aggregate[a.id.index()] = u;
+        let flows = f64::from(a.flow_count);
+        num += flows * u;
+        den += flows;
+        if a.is_large() {
+            lnum += flows * u;
+            lden += flows;
+        }
+    }
+    UpperBound {
+        per_aggregate,
+        mean: if den > 0.0 { num / den } else { 0.0 },
+        large_mean: (lden > 0.0).then(|| lnum / lden),
+    }
+}
+
+/// Equal-cost multipath: each aggregate's flows split as evenly as
+/// integers allow across its minimum-delay paths (up to `max_paths`,
+/// costs tied within `epsilon` seconds).
+pub fn ecmp(
+    topology: &Topology,
+    tm: &TrafficMatrix,
+    max_paths: usize,
+    epsilon: f64,
+) -> BaselineResult {
+    assert!(max_paths >= 1, "ecmp needs at least one path");
+    let mut alloc = Allocation::all_on_shortest_paths(topology, tm);
+    let empty = LinkSet::new();
+    for a in tm.iter() {
+        if a.is_intra_pop() {
+            continue;
+        }
+        let candidates = yen::k_shortest_paths(
+            topology.graph(),
+            a.ingress,
+            a.egress,
+            max_paths,
+            &empty,
+        );
+        let best = candidates[0].cost();
+        let equal: Vec<_> = candidates
+            .into_iter()
+            .filter(|p| p.cost() <= best + epsilon)
+            .collect();
+        if equal.len() <= 1 {
+            continue;
+        }
+        let k = equal.len() as u32;
+        let share = a.flow_count / k;
+        let mut extra = a.flow_count % k;
+        // Path 0 is the default (already carrying everything); move the
+        // other shares off it.
+        let mut indices = Vec::with_capacity(equal.len());
+        for p in equal {
+            indices.push(alloc.add_path(a.id, p));
+        }
+        let from = indices[0];
+        for &to in &indices[1..] {
+            let mut n = share;
+            if n == 0 && extra > 0 {
+                n = 1;
+                extra -= 1;
+            }
+            if n == 0 || to == from {
+                continue;
+            }
+            alloc.apply(Move {
+                aggregate: a.id,
+                from,
+                to,
+                count: n,
+            });
+        }
+    }
+    debug_assert!(alloc.validate(tm).is_ok());
+    evaluate(topology, tm, alloc)
+}
+
+/// CSPF-style greedy admission: aggregates are placed one at a time (in
+/// descending demand order, as MPLS-TE operators typically do) on the
+/// lowest-delay path whose links all still have `demand` of residual
+/// reservable capacity. When no such path exists the aggregate falls
+/// back to the plain shortest path (over-subscribing it, as a real
+/// network would).
+pub fn cspf(topology: &Topology, tm: &TrafficMatrix) -> BaselineResult {
+    let mut alloc = Allocation::all_on_shortest_paths(topology, tm);
+    let mut residual: Vec<f64> = topology
+        .links()
+        .map(|l| topology.capacity(l).bps())
+        .collect();
+
+    let mut order: Vec<_> = tm.iter().collect();
+    order.sort_by(|a, b| {
+        b.total_demand()
+            .bps()
+            .total_cmp(&a.total_demand().bps())
+            .then(a.id.cmp(&b.id))
+    });
+
+    for a in order {
+        if a.is_intra_pop() {
+            continue;
+        }
+        let demand = a.total_demand().bps();
+        // Exclude links that cannot fit the whole aggregate.
+        let excluded: LinkSet = topology
+            .links()
+            .filter(|l| residual[l.index()] < demand)
+            .collect();
+        let chosen = topology
+            .graph()
+            .shortest_path(a.ingress, a.egress, &excluded)
+            .or_else(|| {
+                topology
+                    .graph()
+                    .shortest_path(a.ingress, a.egress, &LinkSet::new())
+            })
+            .expect("matrix endpoints must be connected");
+        for &l in chosen.links() {
+            residual[l.index()] = (residual[l.index()] - demand).max(0.0);
+        }
+        let to = alloc.add_path(a.id, chosen);
+        if to != 0 {
+            alloc.apply(Move {
+                aggregate: a.id,
+                from: 0,
+                to,
+                count: a.flow_count,
+            });
+        }
+    }
+    debug_assert!(alloc.validate(tm).is_ok());
+    evaluate(topology, tm, alloc)
+}
+
+/// FUBAR's local search driven by the delay-blind min-max-utilization
+/// objective (the §4 strawman). Returns the full optimizer result so
+/// traces are comparable.
+pub fn min_max_utilization(topology: &Topology, tm: &TrafficMatrix) -> OptimizeResult {
+    let cfg = OptimizerConfig {
+        objective: Objective::MinMaxUtilization,
+        ..Default::default()
+    };
+    Optimizer::new(topology, tm, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fubar_graph::NodeId;
+    use fubar_topology::{Bandwidth, Delay, TopologyBuilder};
+    use fubar_traffic::{Aggregate, AggregateId};
+    use fubar_utility::TrafficClass;
+
+    fn kb(v: f64) -> Bandwidth {
+        Bandwidth::from_kbps(v)
+    }
+    fn ms(v: f64) -> Delay {
+        Delay::from_ms(v)
+    }
+
+    /// Two equal-cost parallel two-hop routes plus a slow direct one.
+    fn theta() -> (Topology, TrafficMatrix) {
+        let mut b = TopologyBuilder::new("theta");
+        for n in ["s", "x", "y", "t"] {
+            b.add_node(n).unwrap();
+        }
+        b.add_duplex_link("s", "x", kb(500.0), ms(2.0)).unwrap();
+        b.add_duplex_link("x", "t", kb(500.0), ms(2.0)).unwrap();
+        b.add_duplex_link("s", "y", kb(500.0), ms(2.0)).unwrap();
+        b.add_duplex_link("y", "t", kb(500.0), ms(2.0)).unwrap();
+        let topo = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(3),
+            TrafficClass::BulkTransfer,
+            6, // 720 kb/s demand > one 500k route
+        )]);
+        (topo, tm)
+    }
+
+    #[test]
+    fn shortest_path_congests_theta() {
+        let (topo, tm) = theta();
+        let r = shortest_path(&topo, &tm);
+        assert!(r.outcome.is_congested());
+        assert!(r.report.network_utility < 1.0);
+    }
+
+    #[test]
+    fn ecmp_decongests_theta() {
+        let (topo, tm) = theta();
+        let r = ecmp(&topo, &tm, 4, 1e-9);
+        assert!(!r.outcome.is_congested(), "equal split fits both routes");
+        assert!((r.report.network_utility - 1.0).abs() < 1e-9);
+        r.allocation.validate(&tm).unwrap();
+    }
+
+    #[test]
+    fn ecmp_on_unequal_costs_is_just_shortest_path() {
+        let mut b = TopologyBuilder::new("two");
+        for n in ["s", "t", "x"] {
+            b.add_node(n).unwrap();
+        }
+        b.add_duplex_link("s", "t", kb(100.0), ms(1.0)).unwrap();
+        b.add_duplex_link("s", "x", kb(1000.0), ms(5.0)).unwrap();
+        b.add_duplex_link("x", "t", kb(1000.0), ms(5.0)).unwrap();
+        let topo = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::RealTime,
+            4,
+        )]);
+        let e = ecmp(&topo, &tm, 4, 1e-9);
+        let s = shortest_path(&topo, &tm);
+        assert!((e.report.network_utility - s.report.network_utility).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_dominates_everything() {
+        let (topo, tm) = theta();
+        let ub = upper_bound(&topo, &tm);
+        let sp = shortest_path(&topo, &tm);
+        assert!(ub.mean >= sp.report.network_utility - 1e-12);
+        for (i, &u) in ub.per_aggregate.iter().enumerate() {
+            assert!(
+                u + 1e-12 >= sp.report.per_aggregate[i],
+                "isolation can only help"
+            );
+        }
+    }
+
+    #[test]
+    fn upper_bound_with_no_large_flows() {
+        let (topo, tm) = theta();
+        assert_eq!(upper_bound(&topo, &tm).large_mean, None);
+    }
+
+    #[test]
+    fn cspf_spreads_when_possible() {
+        // Two aggregates, each fits one of the theta routes.
+        let mut b = TopologyBuilder::new("theta2");
+        for n in ["s", "x", "y", "t"] {
+            b.add_node(n).unwrap();
+        }
+        b.add_duplex_link("s", "x", kb(500.0), ms(2.0)).unwrap();
+        b.add_duplex_link("x", "t", kb(500.0), ms(2.0)).unwrap();
+        b.add_duplex_link("s", "y", kb(500.0), ms(3.0)).unwrap();
+        b.add_duplex_link("y", "t", kb(500.0), ms(3.0)).unwrap();
+        let topo = b.build();
+        let tm = TrafficMatrix::new(vec![
+            Aggregate::new(
+                AggregateId(0),
+                NodeId(0),
+                NodeId(3),
+                TrafficClass::BulkTransfer,
+                3, // 360k
+            ),
+            Aggregate::new(
+                AggregateId(0),
+                NodeId(0),
+                NodeId(3),
+                TrafficClass::BulkTransfer,
+                3, // 360k
+            ),
+        ]);
+        let c = cspf(&topo, &tm);
+        assert!(
+            !c.outcome.is_congested(),
+            "CSPF should place the second aggregate on the y route"
+        );
+        let s = shortest_path(&topo, &tm);
+        assert!(s.outcome.is_congested(), "both on x route would congest");
+        assert!(c.report.network_utility > s.report.network_utility);
+    }
+
+    #[test]
+    fn cspf_falls_back_when_nothing_fits() {
+        let (topo, tm) = theta(); // single 720k aggregate, no 720k route
+        let c = cspf(&topo, &tm);
+        c.allocation.validate(&tm).unwrap();
+        // It still routes (over-subscribed), it does not drop traffic.
+        assert!(c.outcome.is_congested());
+    }
+
+    #[test]
+    fn minmax_reduces_peak_oversubscription() {
+        let (topo, tm) = theta();
+        let before = shortest_path(&topo, &tm);
+        let worst_before = topo
+            .links()
+            .map(|l| before.outcome.oversubscription(l))
+            .fold(0.0_f64, f64::max);
+        let after = min_max_utilization(&topo, &tm);
+        let worst_after = topo
+            .links()
+            .map(|l| after.outcome.oversubscription(l))
+            .fold(0.0_f64, f64::max);
+        assert!(worst_after <= worst_before + 1e-12);
+    }
+}

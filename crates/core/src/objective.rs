@@ -1,0 +1,111 @@
+//! Optimization objectives.
+//!
+//! FUBAR maximizes network utility; the same local-search machinery can
+//! instead chase the classic traffic-engineering objective of minimizing
+//! the maximum link utilization (the throughput-only goal of systems like
+//! B4/SWAN that §4 contrasts against). Having both behind one enum gives
+//! the ablation benches an apples-to-apples comparison of *objectives*
+//! with identical search dynamics.
+
+use fubar_model::{ModelOutcome, UtilityReport};
+
+/// What the optimizer's greedy steps try to improve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Maximize flow- and priority-weighted network utility (FUBAR).
+    #[default]
+    NetworkUtility,
+    /// Minimize the maximum link oversubscription (demand ÷ capacity) —
+    /// a delay-blind, throughput-only objective.
+    MinMaxUtilization,
+}
+
+impl Objective {
+    /// A scalar score where higher is better.
+    pub fn score(&self, report: &UtilityReport, outcome: &ModelOutcome) -> f64 {
+        match self {
+            Objective::NetworkUtility => report.network_utility,
+            Objective::MinMaxUtilization => {
+                let worst = (0..outcome.link_capacity.len())
+                    .map(|i| {
+                        let cap = outcome.link_capacity[i].bps();
+                        if cap > 0.0 {
+                            outcome.link_demand[i].bps() / cap
+                        } else {
+                            0.0
+                        }
+                    })
+                    .fold(0.0_f64, f64::max);
+                -worst
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fubar_graph::NodeId;
+    use fubar_model::{BundleSpec, FlowModel};
+    use fubar_topology::{Bandwidth, Delay, TopologyBuilder};
+    use fubar_traffic::{Aggregate, AggregateId, TrafficMatrix};
+    use fubar_utility::TrafficClass;
+
+    fn fixture(cap_kbps: f64) -> (f64, f64) {
+        let mut b = TopologyBuilder::new("pipe");
+        b.add_node("a").unwrap();
+        b.add_node("b").unwrap();
+        b.add_duplex_link(
+            "a",
+            "b",
+            Bandwidth::from_kbps(cap_kbps),
+            Delay::from_ms(2.0),
+        )
+        .unwrap();
+        let t = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::RealTime,
+            10, // 500 kb/s demand
+        )]);
+        let path = t
+            .graph()
+            .shortest_path(NodeId(0), NodeId(1), &fubar_graph::LinkSet::new())
+            .unwrap();
+        let bundles = vec![BundleSpec::new(tm.aggregate(AggregateId(0)), &path, 10)];
+        let out = FlowModel::with_defaults(&t).evaluate(&bundles);
+        let rep = fubar_model::utility_report(&tm, &bundles, &out);
+        (
+            Objective::NetworkUtility.score(&rep, &out),
+            Objective::MinMaxUtilization.score(&rep, &out),
+        )
+    }
+
+    #[test]
+    fn utility_objective_is_the_report_value() {
+        let (u, _) = fixture(1000.0);
+        assert!((u - 1.0).abs() < 1e-9);
+        let (u, _) = fixture(250.0);
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minmax_objective_tracks_oversubscription() {
+        // Demand 500k / capacity 250k -> oversub 2 -> score -2.
+        let (_, s) = fixture(250.0);
+        assert!((s + 2.0).abs() < 1e-9);
+        // Uncongested: 500k demand / 1000k -> score -0.5.
+        let (_, s) = fixture(1000.0);
+        assert!((s + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_objectives_improve_with_capacity() {
+        let (u1, m1) = fixture(200.0);
+        let (u2, m2) = fixture(400.0);
+        assert!(u2 > u1);
+        assert!(m2 > m1);
+    }
+}

@@ -1,0 +1,574 @@
+//! The FUBAR flow-allocation optimizer (paper §2.5, Listings 1–2).
+//!
+//! Greedy local search: start from everything on lowest-delay paths,
+//! then repeatedly pick the most oversubscribed congested link, try
+//! moving a chunk of each crossing flow path onto the three generated
+//! alternatives, and commit the single best utility-improving move. When
+//! stuck in a local optimum, progressively enlarge the moved chunk
+//! (the paper's cheap stand-in for simulated annealing) until even
+//! whole-aggregate moves cannot help.
+
+use crate::allocation::{Allocation, Move};
+use fubar_graph::Path;
+use crate::objective::Objective;
+use crate::pathgen::{alternatives, PathPolicy};
+use crate::recorder::{RunTrace, TracePoint};
+use fubar_graph::{LinkId, LinkSet};
+use fubar_model::{utility_report, FlowModel, ModelConfig, ModelOutcome, UtilityReport};
+use fubar_topology::{Bandwidth, Topology};
+use fubar_traffic::{Aggregate, TrafficMatrix};
+use std::time::{Duration, Instant};
+
+/// Why an optimization run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// No congested links remain; the allocation is optimal (every flow
+    /// satisfied on its lowest-delay available path).
+    NoCongestion,
+    /// No move — even whole-aggregate moves at maximum escape level —
+    /// improves the objective.
+    NoImprovement,
+    /// The configured commit budget was exhausted.
+    CommitLimit,
+    /// The configured wall-clock budget was exhausted.
+    TimeLimit,
+}
+
+/// Optimizer tunables. Defaults reproduce the paper's setup.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Fraction of an aggregate's flows moved per step for large
+    /// aggregates ("there is a tradeoff between speed and utility — the
+    /// more flows are moved at a time the faster the algorithm will
+    /// converge, but the lower the overall utility", §2.5).
+    pub move_fraction: f64,
+    /// Aggregates whose total demand is at or below this are "small" and
+    /// moved in their entirety. `None` (the default) means 2% of the
+    /// topology's mean link capacity — "small" is relative to the pipes
+    /// the aggregate might congest.
+    pub small_demand_threshold: Option<Bandwidth>,
+    /// Enable the local-optimum escape (progressively larger moves).
+    pub escape: bool,
+    /// Multiplier applied to the move fraction per escape level.
+    pub escape_growth: f64,
+    /// Hard cap on committed moves (safety valve; effectively unlimited
+    /// by default).
+    pub max_commits: usize,
+    /// Minimum objective improvement for a move to count as progress.
+    pub improvement_eps: f64,
+    /// Which alternative paths the generator offers.
+    pub path_policy: PathPolicy,
+    /// What the greedy steps maximize.
+    pub objective: Objective,
+    /// Flow-model configuration.
+    pub model: ModelConfig,
+    /// Optional wall-clock budget ("within the five minute limit for an
+    /// offline system", §3).
+    pub time_limit: Option<Duration>,
+    /// Links the optimizer must never route onto (e.g. links the
+    /// operator knows are down). The initial allocation avoids them and
+    /// the path generator never offers them.
+    pub excluded_links: LinkSet,
+    /// Worker threads for candidate evaluation inside a step. Results
+    /// are identical at any thread count; 1 disables threading. The
+    /// default uses the available parallelism, capped at 8.
+    pub threads: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            move_fraction: 0.25,
+            small_demand_threshold: None,
+            escape: true,
+            escape_growth: 2.0,
+            max_commits: usize::MAX,
+            improvement_eps: 1e-9,
+            path_policy: PathPolicy::ThreePaths,
+            objective: Objective::NetworkUtility,
+            model: ModelConfig::default(),
+            time_limit: None,
+            excluded_links: LinkSet::new(),
+            threads: std::thread::available_parallelism()
+                .map_or(1, |n| n.get().min(8)),
+        }
+    }
+}
+
+impl OptimizerConfig {
+    fn validate(&self) {
+        assert!(
+            self.move_fraction > 0.0 && self.move_fraction <= 1.0,
+            "move_fraction must be in (0, 1]"
+        );
+        assert!(self.escape_growth > 1.0, "escape growth must exceed 1");
+        assert!(self.improvement_eps >= 0.0);
+        assert!(self.threads >= 1, "at least one evaluation thread");
+    }
+}
+
+/// One tentative move under evaluation.
+struct Candidate {
+    aggregate: fubar_traffic::AggregateId,
+    from: usize,
+    count: u32,
+    alt: Path,
+}
+
+/// The result of one optimization run.
+#[derive(Clone, Debug)]
+pub struct OptimizeResult {
+    /// The final flow-to-path assignment.
+    pub allocation: Allocation,
+    /// The progress trace (one point per commit, plus initial/final).
+    pub trace: RunTrace,
+    /// Utility report of the final allocation.
+    pub report: UtilityReport,
+    /// Model outcome of the final allocation.
+    pub outcome: ModelOutcome,
+    /// Number of committed moves.
+    pub commits: usize,
+    /// Why the run stopped.
+    pub termination: Termination,
+}
+
+/// The optimizer, bound to one topology and one traffic matrix.
+pub struct Optimizer<'a> {
+    topology: &'a Topology,
+    tm: &'a TrafficMatrix,
+    config: OptimizerConfig,
+    model: FlowModel<'a>,
+    small_threshold: Bandwidth,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer.
+    pub fn new(topology: &'a Topology, tm: &'a TrafficMatrix, config: OptimizerConfig) -> Self {
+        config.validate();
+        let model = FlowModel::new(topology, config.model);
+        let small_threshold = config.small_demand_threshold.unwrap_or_else(|| {
+            let links = topology.link_count().max(1) as f64;
+            topology.total_capacity() / links * 0.02
+        });
+        Optimizer {
+            topology,
+            tm,
+            config,
+            model,
+            small_threshold,
+        }
+    }
+
+    /// Creates an optimizer with default configuration.
+    pub fn with_defaults(topology: &'a Topology, tm: &'a TrafficMatrix) -> Self {
+        Self::new(topology, tm, OptimizerConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    fn eval(&self, alloc: &Allocation) -> (ModelOutcome, UtilityReport) {
+        let bundles = alloc.bundles(self.tm);
+        let outcome = self.model.evaluate(&bundles);
+        let report = utility_report(self.tm, &bundles, &outcome);
+        (outcome, report)
+    }
+
+    fn trace_point(
+        &self,
+        started: Instant,
+        commits: usize,
+        outcome: &ModelOutcome,
+        report: &UtilityReport,
+    ) -> TracePoint {
+        let util = outcome.utilization_summary();
+        TracePoint {
+            elapsed: started.elapsed(),
+            commits,
+            network_utility: report.network_utility,
+            large_utility: report.large_average,
+            small_utility: report.small_average,
+            actual_utilization: util.actual,
+            demanded_utilization: util.demanded,
+            congested_links: outcome.congested.len(),
+            congested_bundles: outcome.congested_bundle_count(),
+        }
+    }
+
+    /// How many flows of `agg`'s flow path (currently `on_path` flows) to
+    /// move at escape level `level` (Listing 2 line 3, plus the escape
+    /// tweak). Small aggregates move whole.
+    fn flows_to_move(&self, agg: &Aggregate, on_path: u32, level: u32) -> u32 {
+        if agg.total_demand() <= self.small_threshold {
+            return on_path;
+        }
+        let fraction =
+            (self.config.move_fraction * self.config.escape_growth.powi(level as i32)).min(1.0);
+        let n = (fraction * f64::from(agg.flow_count)).round().max(1.0) as u32;
+        n.min(on_path)
+    }
+
+    /// Scores one candidate on a scratch allocation (applied, evaluated,
+    /// reverted — the scratch's path set may grow, which is harmless).
+    fn score_candidate(&self, scratch: &mut Allocation, c: &Candidate) -> f64 {
+        let to = scratch.add_path(c.aggregate, c.alt.clone());
+        let m = Move {
+            aggregate: c.aggregate,
+            from: c.from,
+            to,
+            count: c.count,
+        };
+        scratch.apply(m);
+        let (o2, r2) = self.eval(scratch);
+        let score = self.config.objective.score(&r2, &o2);
+        scratch.revert(m);
+        score
+    }
+
+    /// Listing 2: one step focused on `link`. Tries all (flow path ×
+    /// alternative) moves and commits the best improving one. Returns
+    /// `true` on progress.
+    ///
+    /// Candidate evaluations are independent, so with `threads > 1` they
+    /// run on scoped worker threads, each over its own scratch clone of
+    /// the allocation. The reduction (max score, earliest candidate on
+    /// ties) makes the result identical to the sequential order.
+    fn step(
+        &self,
+        alloc: &mut Allocation,
+        link: LinkId,
+        outcome: &ModelOutcome,
+        report: &UtilityReport,
+        escape_level: u32,
+    ) -> bool {
+        let initial_score = self.config.objective.score(report, outcome);
+
+        // Gather candidates without mutating the allocation.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (agg_id, path_idx, on_path) in alloc.flow_paths_over(self.tm, link) {
+            let agg = self.tm.aggregate(agg_id);
+            let count = self.flows_to_move(agg, on_path, escape_level);
+            if count == 0 {
+                continue;
+            }
+            let alts = alternatives(
+                self.topology,
+                agg,
+                alloc,
+                outcome,
+                self.config.path_policy,
+                &self.config.excluded_links,
+            );
+            for alt in alts {
+                // The alternate path must exclude the congested link and
+                // differ from the source path.
+                if alt.uses_link(link) || &alt == alloc.path_set(agg_id).path(path_idx) {
+                    continue;
+                }
+                candidates.push(Candidate {
+                    aggregate: agg_id,
+                    from: path_idx,
+                    count,
+                    alt,
+                });
+            }
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+
+        let threads = self.config.threads.max(1).min(candidates.len());
+        let mut scores = vec![f64::NEG_INFINITY; candidates.len()];
+        if threads <= 1 {
+            let mut scratch = alloc.clone();
+            for (i, c) in candidates.iter().enumerate() {
+                scores[i] = self.score_candidate(&mut scratch, c);
+            }
+        } else {
+            let chunk = candidates.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (slot, cands) in scores
+                    .chunks_mut(chunk)
+                    .zip(candidates.chunks(chunk))
+                {
+                    let mut scratch = alloc.clone();
+                    scope.spawn(move || {
+                        for (s, c) in slot.iter_mut().zip(cands) {
+                            *s = self.score_candidate(&mut scratch, c);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Max score; ties keep the earliest candidate (the sequential
+        // loop's strict-improvement rule).
+        let (best_idx, &best_score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
+            .expect("candidates is non-empty");
+
+        if best_score > initial_score + self.config.improvement_eps {
+            let c = &candidates[best_idx];
+            let to = alloc.add_path(c.aggregate, c.alt.clone());
+            alloc.apply(Move {
+                aggregate: c.aggregate,
+                from: c.from,
+                to,
+                count: c.count,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Listing 1: the main loop. Runs to termination and returns the
+    /// final allocation with its full progress trace.
+    pub fn run(&self) -> OptimizeResult {
+        let started = Instant::now();
+        let mut alloc = Allocation::all_on_shortest_paths_avoiding(
+            self.topology,
+            self.tm,
+            &self.config.excluded_links,
+        );
+        let (mut outcome, mut report) = self.eval(&alloc);
+        let mut trace = RunTrace::new();
+        let mut commits = 0usize;
+        trace.push(self.trace_point(started, commits, &outcome, &report));
+
+        let mut escape_level: u32 = 0;
+        let termination = loop {
+            if !outcome.is_congested() {
+                break Termination::NoCongestion;
+            }
+            if commits >= self.config.max_commits {
+                break Termination::CommitLimit;
+            }
+            if let Some(limit) = self.config.time_limit {
+                if started.elapsed() >= limit {
+                    break Termination::TimeLimit;
+                }
+            }
+
+            // Visit congested links from most to least oversubscribed;
+            // stop at the first link where progress is made (Listing 1
+            // lines 6-9).
+            let congested = outcome.congested.clone();
+            let mut progressed = false;
+            for link in congested {
+                if self.step(&mut alloc, link, &outcome, &report, escape_level) {
+                    progressed = true;
+                    break;
+                }
+            }
+
+            if progressed {
+                commits += 1;
+                let (o, r) = self.eval(&alloc);
+                outcome = o;
+                report = r;
+                trace.push(self.trace_point(started, commits, &outcome, &report));
+                escape_level = 0;
+                continue;
+            }
+
+            // Local optimum: escalate or give up (§2.5 "Escaping local
+            // optima").
+            let fraction_maxed = (self.config.move_fraction
+                * self.config.escape_growth.powi(escape_level as i32))
+                >= 1.0;
+            if !self.config.escape || fraction_maxed {
+                break Termination::NoImprovement;
+            }
+            escape_level += 1;
+        };
+
+        debug_assert!(alloc.validate(self.tm).is_ok());
+        OptimizeResult {
+            allocation: alloc,
+            trace,
+            report,
+            outcome,
+            commits,
+            termination,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fubar_graph::NodeId;
+    use fubar_topology::{Delay, TopologyBuilder};
+    use fubar_traffic::{Aggregate, AggregateId};
+    use fubar_utility::TrafficClass;
+
+    fn kb(v: f64) -> Bandwidth {
+        Bandwidth::from_kbps(v)
+    }
+    fn ms(v: f64) -> Delay {
+        Delay::from_ms(v)
+    }
+
+    /// Tight direct link, roomy detour: the optimizer must offload.
+    fn diamond(direct_kbps: f64) -> (Topology, TrafficMatrix) {
+        let mut b = TopologyBuilder::new("diamond");
+        for n in ["s", "x", "t"] {
+            b.add_node(n).unwrap();
+        }
+        b.add_duplex_link("s", "t", kb(direct_kbps), ms(1.0)).unwrap();
+        b.add_duplex_link("s", "x", kb(100_000.0), ms(3.0)).unwrap();
+        b.add_duplex_link("x", "t", kb(100_000.0), ms(3.0)).unwrap();
+        let topo = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(2),
+            TrafficClass::BulkTransfer,
+            20, // 2.4 Mb/s demand
+        )]);
+        (topo, tm)
+    }
+
+    #[test]
+    fn uncongested_network_terminates_immediately() {
+        let (topo, tm) = diamond(100_000.0);
+        let result = Optimizer::with_defaults(&topo, &tm).run();
+        assert_eq!(result.termination, Termination::NoCongestion);
+        assert_eq!(result.commits, 0);
+        assert!((result.report.network_utility - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congested_aggregate_gets_offloaded() {
+        let (topo, tm) = diamond(600.0);
+        let result = Optimizer::with_defaults(&topo, &tm).run();
+        let initial = result.trace.initial().unwrap().network_utility;
+        assert!(
+            result.report.network_utility > initial + 0.05,
+            "utility {initial} -> {} should improve",
+            result.report.network_utility
+        );
+        // The aggregate is bulky (2.4M > 1.5M threshold): moved in
+        // chunks; flows should now ride both paths.
+        assert!(result.allocation.active_path_count() >= 2);
+        assert!(result.trace.is_monotone());
+        result.allocation.validate(&tm).unwrap();
+    }
+
+    #[test]
+    fn small_aggregates_move_whole() {
+        // One small aggregate (demand 240k <= threshold), tight direct
+        // pipe: a single commit moves all of it.
+        let mut b = TopologyBuilder::new("diamond");
+        for n in ["s", "x", "t"] {
+            b.add_node(n).unwrap();
+        }
+        b.add_duplex_link("s", "t", kb(100.0), ms(1.0)).unwrap();
+        b.add_duplex_link("s", "x", kb(100_000.0), ms(2.0)).unwrap();
+        b.add_duplex_link("x", "t", kb(100_000.0), ms(2.0)).unwrap();
+        let topo = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(2),
+            TrafficClass::BulkTransfer,
+            2,
+        )]);
+        let result = Optimizer::with_defaults(&topo, &tm).run();
+        assert_eq!(result.termination, Termination::NoCongestion);
+        assert_eq!(result.commits, 1, "small aggregate moves in one commit");
+        assert!((result.report.network_utility - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn utility_never_decreases_along_the_trace() {
+        let (topo, tm) = diamond(500.0);
+        let result = Optimizer::with_defaults(&topo, &tm).run();
+        assert!(result.trace.is_monotone());
+        // Shortest-path is the lower bound (paper §3 "Solution quality").
+        let sp = result.trace.initial().unwrap().network_utility;
+        assert!(result.report.network_utility >= sp - 1e-12);
+    }
+
+    #[test]
+    fn commit_limit_respected() {
+        let (topo, tm) = diamond(300.0);
+        let cfg = OptimizerConfig {
+            max_commits: 1,
+            ..Default::default()
+        };
+        let result = Optimizer::new(&topo, &tm, cfg).run();
+        assert!(result.commits <= 1);
+        if result.commits == 1 && result.outcome.is_congested() {
+            assert_eq!(result.termination, Termination::CommitLimit);
+        }
+    }
+
+    #[test]
+    fn time_limit_respected() {
+        let (topo, tm) = diamond(300.0);
+        let cfg = OptimizerConfig {
+            time_limit: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let result = Optimizer::new(&topo, &tm, cfg).run();
+        assert_eq!(result.termination, Termination::TimeLimit);
+        assert_eq!(result.commits, 0);
+    }
+
+    #[test]
+    fn no_escape_gives_up_earlier_or_equal() {
+        let (topo, tm) = diamond(500.0);
+        let with = Optimizer::new(
+            &topo,
+            &tm,
+            OptimizerConfig {
+                move_fraction: 0.05,
+                small_demand_threshold: Some(kb(1.0)), // force fractional moves
+                ..Default::default()
+            },
+        )
+        .run();
+        let without = Optimizer::new(
+            &topo,
+            &tm,
+            OptimizerConfig {
+                move_fraction: 0.05,
+                small_demand_threshold: Some(kb(1.0)),
+                escape: false,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(with.report.network_utility >= without.report.network_utility - 1e-9);
+    }
+
+    #[test]
+    fn minmax_objective_also_decongests() {
+        let (topo, tm) = diamond(600.0);
+        let cfg = OptimizerConfig {
+            objective: Objective::MinMaxUtilization,
+            ..Default::default()
+        };
+        let result = Optimizer::new(&topo, &tm, cfg).run();
+        let before = result.trace.initial().unwrap().congested_links;
+        let after = result.outcome.congested.len();
+        assert!(after <= before);
+    }
+
+    #[test]
+    #[should_panic(expected = "move_fraction")]
+    fn bad_config_rejected() {
+        let (topo, tm) = diamond(600.0);
+        let cfg = OptimizerConfig {
+            move_fraction: 0.0,
+            ..Default::default()
+        };
+        let _ = Optimizer::new(&topo, &tm, cfg);
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-aggregate path sets (paper §2.4).
+//!
+//! "We start with only the lowest delay path in the path set for an
+//! aggregate ... If not, we add new paths to the path set for any
+//! aggregate that experiences congestion." Paths are kept in the
+//! deterministic delay order of [`Path::order`]; in the paper's
+//! experiments a set typically ends up with "approximately ten to fifteen
+//! paths".
+
+use fubar_graph::Path;
+
+/// An ordered, duplicate-free set of candidate paths for one aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct PathSet {
+    paths: Vec<Path>,
+}
+
+impl PathSet {
+    /// A set seeded with the aggregate's default (lowest-delay) path.
+    pub fn with_default(path: Path) -> Self {
+        PathSet { paths: vec![path] }
+    }
+
+    /// Number of paths in the set.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if the set holds no paths (only before seeding).
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The path at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn path(&self, idx: usize) -> &Path {
+        &self.paths[idx]
+    }
+
+    /// All paths, in insertion order (index-stable: indices held by the
+    /// allocation never shift).
+    pub fn iter(&self) -> impl Iterator<Item = &Path> {
+        self.paths.iter()
+    }
+
+    /// Index of `path` if it is already present.
+    pub fn position(&self, path: &Path) -> Option<usize> {
+        self.paths.iter().position(|p| p == path)
+    }
+
+    /// True if `path` is already present.
+    pub fn contains(&self, path: &Path) -> bool {
+        self.position(path).is_some()
+    }
+
+    /// Inserts `path` if absent; returns its (existing or new) index.
+    /// Insertion order is preserved so that flow-count vectors indexed by
+    /// path position remain valid as the set grows.
+    pub fn insert(&mut self, path: Path) -> usize {
+        match self.position(&path) {
+            Some(i) => i,
+            None => {
+                self.paths.push(path);
+                self.paths.len() - 1
+            }
+        }
+    }
+
+    /// Index of the lowest-delay path (the "default path").
+    pub fn default_path_index(&self) -> usize {
+        self.paths
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.order(b))
+            .map(|(i, _)| i)
+            .expect("path set is never empty after seeding")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fubar_graph::DiGraph;
+
+    fn fixture() -> (DiGraph, Vec<Path>) {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let ab = g.add_link(a, b, 1.0);
+        let bc = g.add_link(b, c, 1.0);
+        let ac = g.add_link(a, c, 5.0);
+        let p_short = Path::new(&g, a, vec![ab, bc]).unwrap(); // cost 2
+        let p_long = Path::new(&g, a, vec![ac]).unwrap(); // cost 5
+        (g, vec![p_short, p_long])
+    }
+
+    #[test]
+    fn insert_dedupes_and_keeps_order() {
+        let (_, paths) = fixture();
+        let mut s = PathSet::with_default(paths[0].clone());
+        assert_eq!(s.len(), 1);
+        let i1 = s.insert(paths[1].clone());
+        assert_eq!(i1, 1);
+        let again = s.insert(paths[1].clone());
+        assert_eq!(again, 1, "duplicate insert returns existing index");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.position(&paths[0]), Some(0));
+    }
+
+    #[test]
+    fn default_path_is_lowest_delay() {
+        let (_, paths) = fixture();
+        // Insert the long one first: default index must still find short.
+        let mut s = PathSet::with_default(paths[1].clone());
+        s.insert(paths[0].clone());
+        assert_eq!(s.default_path_index(), 1);
+        assert_eq!(s.path(s.default_path_index()).cost(), 2.0);
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let (_, paths) = fixture();
+        let mut s = PathSet::with_default(paths[0].clone());
+        s.insert(paths[1].clone());
+        assert!(s.contains(&paths[1]));
+        assert_eq!(s.iter().count(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Run tracing: the time series behind the paper's Figures 3–5.
+//!
+//! The optimizer snapshots the network state after the initial allocation
+//! and after every committed move; each snapshot carries everything the
+//! paper plots (wall-clock time, total average utility, large-flow
+//! utility, actual and demanded utilization, congestion counters).
+
+use std::fmt;
+use std::time::Duration;
+
+/// One snapshot of optimizer progress.
+#[derive(Clone, Copy, Debug)]
+pub struct TracePoint {
+    /// Wall-clock time since the optimization started.
+    pub elapsed: Duration,
+    /// Number of committed moves so far (0 for the initial state).
+    pub commits: usize,
+    /// The objective's utility ("total average" in the figures).
+    pub network_utility: f64,
+    /// Flow-weighted average utility of large aggregates, if any exist.
+    pub large_utility: Option<f64>,
+    /// Flow-weighted average utility of the non-large aggregates.
+    pub small_utility: Option<f64>,
+    /// Carried load ÷ capacity over used links ("Actual").
+    pub actual_utilization: f64,
+    /// Offered demand ÷ capacity over used links ("Demanded").
+    pub demanded_utilization: f64,
+    /// Number of congested links at this point.
+    pub congested_links: usize,
+    /// Number of bundles frozen below their demand.
+    pub congested_bundles: usize,
+}
+
+/// The full progress trace of one optimization run.
+#[derive(Clone, Debug, Default)]
+pub struct RunTrace {
+    points: Vec<TracePoint>,
+}
+
+impl RunTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a snapshot.
+    pub fn push(&mut self, point: TracePoint) {
+        self.points.push(point);
+    }
+
+    /// All snapshots in order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// The initial (pre-optimization) snapshot, i.e. shortest-path state.
+    pub fn initial(&self) -> Option<&TracePoint> {
+        self.points.first()
+    }
+
+    /// The final snapshot.
+    pub fn last(&self) -> Option<&TracePoint> {
+        self.points.last()
+    }
+
+    /// Total improvement in network utility across the run.
+    pub fn utility_gain(&self) -> f64 {
+        match (self.initial(), self.last()) {
+            (Some(a), Some(b)) => b.network_utility - a.network_utility,
+            _ => 0.0,
+        }
+    }
+
+    /// True if the recorded utility never decreases — the greedy
+    /// optimizer "increas\[es\] utility at each step" (§2.5), so this must
+    /// hold for the utility objective.
+    pub fn is_monotone(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].network_utility >= w[0].network_utility - 1e-9)
+    }
+
+    /// Renders the trace as CSV (header + one row per point), the format
+    /// the figure harnesses print.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "elapsed_s,commits,network_utility,large_utility,small_utility,\
+             actual_utilization,demanded_utilization,congested_links,congested_bundles\n",
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{:.6},{},{:.6},{},{},{:.6},{:.6},{},{}\n",
+                p.elapsed.as_secs_f64(),
+                p.commits,
+                p.network_utility,
+                p.large_utility
+                    .map_or_else(|| "".into(), |v| format!("{v:.6}")),
+                p.small_utility
+                    .map_or_else(|| "".into(), |v| format!("{v:.6}")),
+                p.actual_utilization,
+                p.demanded_utilization,
+                p.congested_links,
+                p.congested_bundles,
+            ));
+        }
+        s
+    }
+}
+
+impl fmt::Display for RunTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.initial(), self.last()) {
+            (Some(a), Some(b)) => write!(
+                f,
+                "{} commits in {:.2?}: utility {:.4} -> {:.4}, congested links {} -> {}",
+                b.commits, b.elapsed, a.network_utility, b.network_utility,
+                a.congested_links, b.congested_links
+            ),
+            _ => write!(f, "(empty trace)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(elapsed_ms: u64, commits: usize, u: f64, links: usize) -> TracePoint {
+        TracePoint {
+            elapsed: Duration::from_millis(elapsed_ms),
+            commits,
+            network_utility: u,
+            large_utility: Some(u * 0.9),
+            small_utility: Some(u),
+            actual_utilization: 0.5,
+            demanded_utilization: 0.6,
+            congested_links: links,
+            congested_bundles: links * 2,
+        }
+    }
+
+    #[test]
+    fn gain_and_monotonicity() {
+        let mut t = RunTrace::new();
+        t.push(pt(0, 0, 0.70, 8));
+        t.push(pt(10, 1, 0.75, 5));
+        t.push(pt(20, 2, 0.80, 0));
+        assert!((t.utility_gain() - 0.10).abs() < 1e-12);
+        assert!(t.is_monotone());
+        assert_eq!(t.initial().unwrap().congested_links, 8);
+        assert_eq!(t.last().unwrap().congested_links, 0);
+    }
+
+    #[test]
+    fn non_monotone_detected() {
+        let mut t = RunTrace::new();
+        t.push(pt(0, 0, 0.8, 1));
+        t.push(pt(5, 1, 0.7, 1));
+        assert!(!t.is_monotone());
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = RunTrace::new();
+        t.push(pt(0, 0, 0.5, 2));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("elapsed_s,"));
+        assert_eq!(lines[1].split(',').count(), 9);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let t = RunTrace::new();
+        assert_eq!(t.utility_gain(), 0.0);
+        assert!(t.is_monotone());
+        assert!(t.initial().is_none());
+        assert_eq!(format!("{t}"), "(empty trace)");
+    }
+}

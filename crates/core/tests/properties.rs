@@ -1,0 +1,149 @@
+//! Property-based tests for the optimizer on random topologies and
+//! workloads: the invariants of §2.5 must hold on *every* instance, not
+//! just the paper's.
+
+use fubar_core::{Optimizer, OptimizerConfig, Termination};
+use fubar_topology::{generators, Bandwidth, Topology};
+use fubar_traffic::{workload, TrafficMatrix, WorkloadConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    nodes: usize,
+    topo_seed: u64,
+    tm_seed: u64,
+    capacity_kbps: f64,
+    flows: (u32, u32),
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (
+        4usize..10,
+        any::<u64>(),
+        any::<u64>(),
+        200.0f64..3_000.0,
+        (1u32..4, 4u32..9),
+    )
+        .prop_map(|(nodes, topo_seed, tm_seed, capacity_kbps, flows)| Instance {
+            nodes,
+            topo_seed,
+            tm_seed,
+            capacity_kbps,
+            flows,
+        })
+}
+
+fn build(i: &Instance) -> (Topology, TrafficMatrix) {
+    let topo = generators::waxman(
+        i.nodes,
+        0.7,
+        0.4,
+        Bandwidth::from_kbps(i.capacity_kbps),
+        i.topo_seed,
+    );
+    let tm = workload::generate(
+        &topo,
+        &WorkloadConfig {
+            include_intra_pop: false,
+            flow_count: i.flows,
+            ..Default::default()
+        },
+        i.tm_seed,
+    );
+    (topo, tm)
+}
+
+fn bounded_config() -> OptimizerConfig {
+    OptimizerConfig {
+        max_commits: 40, // keep each case fast
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The final utility never drops below the shortest-path initial
+    /// state, the trace is monotone, and flow conservation holds.
+    #[test]
+    fn never_worse_than_start_and_conserving(i in instance()) {
+        let (topo, tm) = build(&i);
+        let result = Optimizer::new(&topo, &tm, bounded_config()).run();
+        let initial = result.trace.initial().unwrap().network_utility;
+        prop_assert!(result.report.network_utility >= initial - 1e-12);
+        prop_assert!(result.trace.is_monotone());
+        prop_assert!(result.allocation.validate(&tm).is_ok());
+        prop_assert!((0.0..=1.0).contains(&result.report.network_utility));
+    }
+
+    /// NoCongestion termination really means no congested links, and
+    /// utilization curves meet.
+    #[test]
+    fn termination_reasons_are_honest(i in instance()) {
+        let (topo, tm) = build(&i);
+        let result = Optimizer::new(&topo, &tm, bounded_config()).run();
+        match result.termination {
+            Termination::NoCongestion => {
+                prop_assert!(result.outcome.congested.is_empty());
+                let last = result.trace.last().unwrap();
+                prop_assert!((last.actual_utilization - last.demanded_utilization).abs() < 1e-6);
+            }
+            Termination::CommitLimit => {
+                prop_assert!(result.commits >= 40);
+            }
+            Termination::NoImprovement | Termination::TimeLimit => {}
+        }
+    }
+
+    /// Parallel candidate evaluation is bit-identical to sequential.
+    #[test]
+    fn parallel_equals_sequential(i in instance()) {
+        let (topo, tm) = build(&i);
+        let seq = Optimizer::new(&topo, &tm, OptimizerConfig {
+            threads: 1,
+            ..bounded_config()
+        }).run();
+        let par = Optimizer::new(&topo, &tm, OptimizerConfig {
+            threads: 6,
+            ..bounded_config()
+        }).run();
+        prop_assert_eq!(seq.commits, par.commits);
+        prop_assert_eq!(seq.termination, par.termination);
+        prop_assert!((seq.report.network_utility - par.report.network_utility).abs() < 1e-15);
+        prop_assert_eq!(seq.outcome.congested, par.outcome.congested);
+    }
+
+    /// The upper bound dominates whatever the optimizer achieves.
+    #[test]
+    fn upper_bound_dominates(i in instance()) {
+        let (topo, tm) = build(&i);
+        let ub = fubar_core::baselines::upper_bound(&topo, &tm);
+        let result = Optimizer::new(&topo, &tm, bounded_config()).run();
+        prop_assert!(result.report.network_utility <= ub.mean + 1e-9);
+    }
+
+    /// Raising every link's capacity never *substantially* lowers the
+    /// achieved utility. Strict monotonicity holds for the optimum but
+    /// NOT for the greedy search: extra capacity reorders which links
+    /// congest first, which can steer Listing 1 into a marginally
+    /// different local optimum (proptest found a −0.1% case). We assert
+    /// the practical version: any regression stays within 2%.
+    #[test]
+    fn more_capacity_never_hurts_much(i in instance(), scale in 1.2f64..3.0) {
+        let (topo, tm) = build(&i);
+        let small = Optimizer::new(&topo, &tm, bounded_config()).run();
+        let mut big_topo = topo.clone();
+        big_topo.set_uniform_capacity(Bandwidth::from_kbps(i.capacity_kbps * scale));
+        let big = Optimizer::new(&big_topo, &tm, bounded_config()).run();
+        prop_assert!(
+            big.report.network_utility >= small.report.network_utility - 0.02,
+            "capacity {} -> x{scale}: utility {} -> {}",
+            i.capacity_kbps, small.report.network_utility, big.report.network_utility
+        );
+        // The *initial* (shortest-path) utility, before any greedy
+        // decisions, IS monotone: same paths, weakly better rates.
+        let small0 = small.trace.initial().unwrap().network_utility;
+        let big0 = big.trace.initial().unwrap().network_utility;
+        prop_assert!(big0 >= small0 - 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Bellman–Ford one-to-all distances.
+//!
+//! Kept as a second, independently-written shortest-path implementation so
+//! the property-test suite can cross-check Dijkstra against it (the two
+//! share no code). It is also occasionally handy for debugging exotic
+//! topologies. Costs must be non-negative — [`crate::DiGraph`] enforces
+//! that at construction — so no negative-cycle handling is needed, but the
+//! implementation still detects them defensively.
+
+use crate::bitset::LinkSet;
+use crate::graph::{DiGraph, NodeId};
+
+/// One-to-all lowest costs from `src`, avoiding `excluded_links`, computed
+/// by plain Bellman–Ford relaxation. Unreachable nodes get
+/// `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if a negative cycle is reachable from `src` (impossible for
+/// graphs built through [`DiGraph::add_link`], which rejects negative
+/// costs).
+pub fn distances(graph: &DiGraph, src: NodeId, excluded_links: &LinkSet) -> Vec<f64> {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src.index()] = 0.0;
+    for round in 0..n {
+        let mut changed = false;
+        for (lid, link) in graph.links() {
+            if excluded_links.contains(lid) {
+                continue;
+            }
+            let base = dist[link.src.index()];
+            if base.is_finite() && base + link.cost < dist[link.dst.index()] {
+                dist[link.dst.index()] = base + link.cost;
+                changed = true;
+            }
+        }
+        if !changed {
+            return dist;
+        }
+        assert!(
+            round + 1 < n || !changed,
+            "negative cycle reachable from {src}"
+        );
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DiGraph;
+
+    #[test]
+    fn matches_hand_computed() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_link(a, b, 1.0);
+        g.add_link(b, c, 2.0);
+        g.add_link(a, c, 4.0);
+        g.add_link(c, d, 1.0);
+        let dist = distances(&g, a, &LinkSet::new());
+        assert_eq!(dist, vec![0.0, 1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn respects_exclusions() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let ab0 = g.add_link(a, b, 1.0);
+        g.add_link(a, b, 5.0);
+        let mut excl = LinkSet::new();
+        excl.insert(ab0);
+        let dist = distances(&g, a, &excl);
+        assert_eq!(dist[b.index()], 5.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinity() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        g.add_node();
+        let dist = distances(&g, a, &LinkSet::new());
+        assert_eq!(dist[1], f64::INFINITY);
+    }
+}

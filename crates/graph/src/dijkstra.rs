@@ -1,0 +1,386 @@
+//! Dijkstra shortest paths with link/node exclusion.
+//!
+//! This is the workhorse behind FUBAR's path generator (paper §2.4): the
+//! *global*, *local* and *link-local* alternative paths are all "lowest
+//! delay path avoiding set X of links", which is exactly
+//! [`DiGraph::shortest_path_constrained`] with a different `X`.
+//!
+//! Determinism: when two tentative paths to a node tie on cost, the one
+//! with fewer hops wins; a remaining tie is broken by the incoming link id.
+//! This makes every experiment in the repository reproducible across runs
+//! and platforms.
+
+use crate::bitset::{LinkSet, NodeSet};
+use crate::graph::{DiGraph, LinkId, NodeId};
+use crate::path::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Priority-queue entry. Ordered as a *min*-heap by (cost, hops, link id)
+/// through the reversed `Ord` implementation below.
+#[derive(Clone, Copy, Debug)]
+struct QueueEntry {
+    cost: f64,
+    hops: u32,
+    node: NodeId,
+    /// Link we arrived through; `None` only for the source entry.
+    via: Option<LinkId>,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so that BinaryHeap (a max-heap) pops the smallest.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then(other.hops.cmp(&self.hops))
+            .then_with(|| {
+                let a = self.via.map_or(u32::MAX, |l| l.0);
+                let b = other.via.map_or(u32::MAX, |l| l.0);
+                b.cmp(&a)
+            })
+    }
+}
+
+/// Per-node label state during a run.
+#[derive(Clone, Copy)]
+struct Label {
+    cost: f64,
+    hops: u32,
+    pred: Option<LinkId>,
+    settled: bool,
+}
+
+const UNREACHED: Label = Label {
+    cost: f64::INFINITY,
+    hops: u32::MAX,
+    pred: None,
+    settled: false,
+};
+
+fn better(cand_cost: f64, cand_hops: u32, cand_via: Option<LinkId>, cur: &Label) -> bool {
+    match cand_cost.total_cmp(&cur.cost) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => match cand_hops.cmp(&cur.hops) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => {
+                cand_via.map_or(u32::MAX, |l| l.0) < cur.pred.map_or(u32::MAX, |l| l.0)
+            }
+        },
+    }
+}
+
+impl DiGraph {
+    /// Lowest-cost path from `src` to `dst` that avoids every link in
+    /// `excluded_links`. Returns `None` when no such path exists.
+    ///
+    /// `src == dst` yields the trivial empty path (even if links are
+    /// excluded): an aggregate whose endpoints coincide never needs the
+    /// backbone.
+    pub fn shortest_path(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        excluded_links: &LinkSet,
+    ) -> Option<Path> {
+        self.shortest_path_constrained(src, dst, excluded_links, &NodeSet::new())
+    }
+
+    /// Like [`DiGraph::shortest_path`] but additionally avoiding the nodes
+    /// in `excluded_nodes` (needed by Yen's spur computation). The source
+    /// and destination themselves must not be excluded.
+    pub fn shortest_path_constrained(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        excluded_links: &LinkSet,
+        excluded_nodes: &NodeSet,
+    ) -> Option<Path> {
+        if excluded_nodes.contains(src) || excluded_nodes.contains(dst) {
+            return None;
+        }
+        if src == dst {
+            return Some(Path::trivial(src));
+        }
+        let mut labels = vec![UNREACHED; self.node_count()];
+        let mut heap = BinaryHeap::new();
+        labels[src.index()] = Label {
+            cost: 0.0,
+            hops: 0,
+            pred: None,
+            settled: false,
+        };
+        heap.push(QueueEntry {
+            cost: 0.0,
+            hops: 0,
+            node: src,
+            via: None,
+        });
+        while let Some(entry) = heap.pop() {
+            let label = &mut labels[entry.node.index()];
+            if label.settled {
+                continue;
+            }
+            // Stale heap entry (a better label was pushed later).
+            if entry.cost.total_cmp(&label.cost) == Ordering::Greater
+                || (entry.cost == label.cost && entry.hops > label.hops)
+            {
+                continue;
+            }
+            label.settled = true;
+            if entry.node == dst {
+                break;
+            }
+            let (cost_here, hops_here) = (label.cost, label.hops);
+            for &lid in self.out_links(entry.node) {
+                if excluded_links.contains(lid) {
+                    continue;
+                }
+                let link = self.link(lid);
+                if excluded_nodes.contains(link.dst) {
+                    continue;
+                }
+                let next = &mut labels[link.dst.index()];
+                if next.settled {
+                    continue;
+                }
+                let cand_cost = cost_here + link.cost;
+                let cand_hops = hops_here + 1;
+                if better(cand_cost, cand_hops, Some(lid), next) {
+                    next.cost = cand_cost;
+                    next.hops = cand_hops;
+                    next.pred = Some(lid);
+                    heap.push(QueueEntry {
+                        cost: cand_cost,
+                        hops: cand_hops,
+                        node: link.dst,
+                        via: Some(lid),
+                    });
+                }
+            }
+        }
+        if !labels[dst.index()].settled {
+            return None;
+        }
+        // Reconstruct.
+        let mut links = Vec::new();
+        let mut at = dst;
+        while at != src {
+            let lid = labels[at.index()].pred.expect("settled non-source has pred");
+            links.push(lid);
+            at = self.link(lid).src;
+        }
+        links.reverse();
+        let mut nodes = Vec::with_capacity(links.len() + 1);
+        nodes.push(src);
+        for &l in &links {
+            nodes.push(self.link(l).dst);
+        }
+        Some(Path::from_parts_unchecked(
+            links,
+            nodes,
+            labels[dst.index()].cost,
+        ))
+    }
+
+    /// One-to-all lowest costs from `src`, avoiding `excluded_links`.
+    /// Unreachable nodes get `f64::INFINITY`.
+    pub fn distances(&self, src: NodeId, excluded_links: &LinkSet) -> Vec<f64> {
+        let mut labels = vec![UNREACHED; self.node_count()];
+        let mut heap = BinaryHeap::new();
+        labels[src.index()].cost = 0.0;
+        labels[src.index()].hops = 0;
+        heap.push(QueueEntry {
+            cost: 0.0,
+            hops: 0,
+            node: src,
+            via: None,
+        });
+        while let Some(entry) = heap.pop() {
+            let label = &mut labels[entry.node.index()];
+            if label.settled {
+                continue;
+            }
+            label.settled = true;
+            let (cost_here, hops_here) = (label.cost, label.hops);
+            for &lid in self.out_links(entry.node) {
+                if excluded_links.contains(lid) {
+                    continue;
+                }
+                let link = self.link(lid);
+                let next = &mut labels[link.dst.index()];
+                if next.settled {
+                    continue;
+                }
+                let cand = cost_here + link.cost;
+                if better(cand, hops_here + 1, Some(lid), next) {
+                    next.cost = cand;
+                    next.hops = hops_here + 1;
+                    next.pred = Some(lid);
+                    heap.push(QueueEntry {
+                        cost: cand,
+                        hops: hops_here + 1,
+                        node: link.dst,
+                        via: Some(lid),
+                    });
+                }
+            }
+        }
+        labels.into_iter().map(|l| l.cost).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic diamond: a->b->d is cheap, a->c->d is pricey, plus a
+    /// direct a->d link in the middle.
+    fn diamond() -> (DiGraph, [NodeId; 4], [LinkId; 5]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        let ab = g.add_link(a, b, 1.0);
+        let bd = g.add_link(b, d, 1.0);
+        let ac = g.add_link(a, c, 2.0);
+        let cd = g.add_link(c, d, 2.0);
+        let ad = g.add_link(a, d, 3.0);
+        (g, [a, b, c, d], [ab, bd, ac, cd, ad])
+    }
+
+    #[test]
+    fn picks_cheapest() {
+        let (g, [a, _, _, d], [ab, bd, ..]) = diamond();
+        let p = g.shortest_path(a, d, &LinkSet::new()).unwrap();
+        assert_eq!(p.links(), &[ab, bd]);
+        assert_eq!(p.cost(), 2.0);
+    }
+
+    #[test]
+    fn exclusion_reroutes() {
+        let (g, [a, _, _, d], [ab, _, _, _, ad]) = diamond();
+        let mut excl = LinkSet::new();
+        excl.insert(ab);
+        let p = g.shortest_path(a, d, &excl).unwrap();
+        assert_eq!(p.links(), &[ad]);
+        assert_eq!(p.cost(), 3.0);
+    }
+
+    #[test]
+    fn full_exclusion_gives_none() {
+        let (g, [a, _, _, d], links) = diamond();
+        let excl: LinkSet = links.into_iter().collect();
+        assert!(g.shortest_path(a, d, &excl).is_none());
+    }
+
+    #[test]
+    fn node_exclusion() {
+        let (g, [a, b, c, d], _) = diamond();
+        let mut nodes = NodeSet::new();
+        nodes.insert(b);
+        let p = g
+            .shortest_path_constrained(a, d, &LinkSet::new(), &nodes)
+            .unwrap();
+        // With b banned, a->d direct (3.0) beats a->c->d (4.0).
+        assert_eq!(p.nodes(), &[a, d]);
+        nodes.insert(c);
+        let p = g
+            .shortest_path_constrained(a, d, &LinkSet::new(), &nodes)
+            .unwrap();
+        assert_eq!(p.cost(), 3.0);
+    }
+
+    #[test]
+    fn excluded_endpoint_is_unreachable() {
+        let (g, [a, _, _, d], _) = diamond();
+        let mut nodes = NodeSet::new();
+        nodes.insert(d);
+        assert!(g
+            .shortest_path_constrained(a, d, &LinkSet::new(), &nodes)
+            .is_none());
+    }
+
+    #[test]
+    fn self_path_is_trivial() {
+        let (g, [a, ..], _) = diamond();
+        let p = g.shortest_path(a, a, &LinkSet::new()).unwrap();
+        assert!(p.is_trivial());
+    }
+
+    #[test]
+    fn tie_break_prefers_fewer_hops() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_link(a, b, 1.0);
+        g.add_link(b, c, 1.0);
+        let ac = g.add_link(a, c, 2.0); // same cost, one hop
+        let p = g.shortest_path(a, c, &LinkSet::new()).unwrap();
+        assert_eq!(p.links(), &[ac]);
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_link_id() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let l0 = g.add_link(a, b, 1.0);
+        let _l1 = g.add_link(a, b, 1.0); // parallel, same cost
+        let p = g.shortest_path(a, b, &LinkSet::new()).unwrap();
+        assert_eq!(p.links(), &[l0]);
+    }
+
+    #[test]
+    fn distances_match_individual_queries() {
+        let (g, [a, b, c, d], _) = diamond();
+        let dist = g.distances(a, &LinkSet::new());
+        for &n in &[a, b, c, d] {
+            let via_query = g
+                .shortest_path(a, n, &LinkSet::new())
+                .map_or(f64::INFINITY, |p| p.cost());
+            assert_eq!(dist[n.index()], via_query);
+        }
+    }
+
+    #[test]
+    fn unreachable_distance_is_infinite() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let _ = b;
+        let dist = g.distances(a, &LinkSet::new());
+        assert_eq!(dist[1], f64::INFINITY);
+        assert!(g.shortest_path(a, NodeId(1), &LinkSet::new()).is_none());
+    }
+
+    #[test]
+    fn zero_cost_links_are_fine() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_link(a, b, 0.0);
+        g.add_link(b, c, 0.0);
+        let p = g.shortest_path(a, c, &LinkSet::new()).unwrap();
+        assert_eq!(p.cost(), 0.0);
+        assert_eq!(p.hop_count(), 2);
+    }
+}

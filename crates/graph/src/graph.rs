@@ -1,0 +1,379 @@
+//! The core directed graph type and its identifiers.
+
+use std::fmt;
+
+/// Dense identifier of a node in a [`DiGraph`].
+///
+/// Node ids are assigned sequentially by [`DiGraph::add_node`] starting at
+/// zero, so they can be used directly as indices into per-node vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Dense identifier of a directed link in a [`DiGraph`].
+///
+/// Link ids are assigned sequentially by [`DiGraph::add_link`] starting at
+/// zero, so they can be used directly as indices into per-link vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl NodeId {
+    /// The id as a usable array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The id as a usable array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A directed link with a non-negative cost.
+///
+/// In FUBAR the cost is the one-way propagation delay of the link in
+/// seconds, but the graph layer is agnostic: any non-negative additive
+/// metric works.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Tail (source) node.
+    pub src: NodeId,
+    /// Head (destination) node.
+    pub dst: NodeId,
+    /// Non-negative additive cost (delay, in FUBAR's use).
+    pub cost: f64,
+}
+
+/// A directed graph with non-negative link costs and dense ids.
+///
+/// The representation is a forward-star adjacency list: for every node we
+/// keep the list of outgoing [`LinkId`]s, and links themselves live in a
+/// flat vector indexed by [`LinkId`]. Parallel links and self-loops are
+/// permitted at this layer (the topology layer above forbids self-loops).
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    links: Vec<Link>,
+    out: Vec<Vec<LinkId>>,
+    r#in: Vec<Vec<LinkId>>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with capacity reserved for `nodes` nodes and
+    /// `links` links.
+    pub fn with_capacity(nodes: usize, links: usize) -> Self {
+        Self {
+            links: Vec::with_capacity(links),
+            out: Vec::with_capacity(nodes),
+            r#in: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.out.len() as u32);
+        self.out.push(Vec::new());
+        self.r#in.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` nodes at once, returning the id of the first.
+    pub fn add_nodes(&mut self, n: usize) -> NodeId {
+        let first = NodeId(self.out.len() as u32);
+        for _ in 0..n {
+            self.add_node();
+        }
+        first
+    }
+
+    /// Adds a directed link and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph, or if `cost`
+    /// is negative or NaN. Dijkstra requires non-negative costs; rejecting
+    /// them at construction keeps every query correct by construction.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, cost: f64) -> LinkId {
+        assert!(
+            src.index() < self.out.len(),
+            "source node {src} out of range"
+        );
+        assert!(
+            dst.index() < self.out.len(),
+            "destination node {dst} out of range"
+        );
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "link cost must be finite and non-negative, got {cost}"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { src, dst, cost });
+        self.out[src.index()].push(id);
+        self.r#in[dst.index()].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed links.
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a link of this graph.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Iterator over `(LinkId, &Link)` in id order.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
+    }
+
+    /// Iterator over all node ids in order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Outgoing links of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this graph.
+    #[inline]
+    pub fn out_links(&self, node: NodeId) -> &[LinkId] {
+        &self.out[node.index()]
+    }
+
+    /// Incoming links of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of this graph.
+    #[inline]
+    pub fn in_links(&self, node: NodeId) -> &[LinkId] {
+        &self.r#in[node.index()]
+    }
+
+    /// Updates the cost of an existing link.
+    ///
+    /// Used by what-if analyses (e.g. latency inflation experiments) that
+    /// re-weigh a topology without rebuilding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown link or a negative/NaN cost.
+    pub fn set_cost(&mut self, id: LinkId, cost: f64) {
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "link cost must be finite and non-negative, got {cost}"
+        );
+        self.links[id.index()].cost = cost;
+    }
+
+    /// Looks up a link by endpoints. If several parallel links exist, the
+    /// one with the lowest id is returned.
+    pub fn find_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.out
+            .get(src.index())?
+            .iter()
+            .copied()
+            .find(|&l| self.links[l.index()].dst == dst)
+    }
+
+    /// True if every node can reach every other node (strong connectivity),
+    /// checked with two breadth-first sweeps (forward from node 0 and
+    /// backward from node 0). An empty graph is vacuously connected.
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let reach =
+            |start: NodeId, adj: &dyn Fn(NodeId) -> Vec<NodeId>| -> usize {
+                let mut seen = vec![false; n];
+                let mut stack = vec![start];
+                seen[start.index()] = true;
+                let mut count = 1;
+                while let Some(u) = stack.pop() {
+                    for v in adj(u) {
+                        if !seen[v.index()] {
+                            seen[v.index()] = true;
+                            count += 1;
+                            stack.push(v);
+                        }
+                    }
+                }
+                count
+            };
+        let fwd = |u: NodeId| {
+            self.out[u.index()]
+                .iter()
+                .map(|&l| self.links[l.index()].dst)
+                .collect::<Vec<_>>()
+        };
+        let bwd = |u: NodeId| {
+            self.r#in[u.index()]
+                .iter()
+                .map(|&l| self.links[l.index()].src)
+                .collect::<Vec<_>>()
+        };
+        reach(NodeId(0), &fwd) == n && reach(NodeId(0), &bwd) == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!(a, NodeId(0));
+        assert_eq!(b, NodeId(1));
+        let l0 = g.add_link(a, b, 1.0);
+        let l1 = g.add_link(b, a, 2.0);
+        assert_eq!(l0, LinkId(0));
+        assert_eq!(l1, LinkId(1));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.link_count(), 2);
+    }
+
+    #[test]
+    fn adjacency_is_recorded_both_ways() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let ab = g.add_link(a, b, 1.0);
+        let cb = g.add_link(c, b, 1.0);
+        assert_eq!(g.out_links(a), &[ab]);
+        assert_eq!(g.in_links(b), &[ab, cb]);
+        assert!(g.out_links(b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_link(a, b, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nan_cost_rejected() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_link(a, b, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_endpoint_rejected() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        g.add_link(a, NodeId(7), 1.0);
+    }
+
+    #[test]
+    fn find_link_prefers_lowest_id_parallel() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let l0 = g.add_link(a, b, 5.0);
+        let _l1 = g.add_link(a, b, 1.0);
+        assert_eq!(g.find_link(a, b), Some(l0));
+        assert_eq!(g.find_link(b, a), None);
+    }
+
+    #[test]
+    fn set_cost_updates() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let l = g.add_link(a, b, 5.0);
+        g.set_cost(l, 2.5);
+        assert_eq!(g.link(l).cost, 2.5);
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_link(a, b, 1.0);
+        g.add_link(b, c, 1.0);
+        assert!(!g.is_strongly_connected());
+        g.add_link(c, a, 1.0);
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs_are_connected() {
+        assert!(DiGraph::new().is_strongly_connected());
+        let mut g = DiGraph::new();
+        g.add_node();
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut g = DiGraph::new();
+        let first = g.add_nodes(5);
+        assert_eq!(first, NodeId(0));
+        assert_eq!(g.node_count(), 5);
+        let next = g.add_nodes(3);
+        assert_eq!(next, NodeId(5));
+        assert_eq!(g.node_count(), 8);
+    }
+}

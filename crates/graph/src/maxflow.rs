@@ -1,0 +1,275 @@
+//! Max-flow / min-cut on link capacities (Edmonds–Karp).
+//!
+//! FUBAR terminates with `NoImprovement` when no move can raise utility.
+//! Sometimes that is a search artifact; often it is *structural*: the
+//! demand crossing some source/destination cut exceeds the cut's
+//! capacity, so **no** routing system could decongest it. This module
+//! provides the certificate: [`max_flow`] computes the s–t max flow over
+//! arbitrary per-link capacities, and [`MaxFlowResult::min_cut_links`]
+//! returns the saturated cut. The `diagnose` tool uses it to label
+//! residual congestion as cut-limited (provisioning problem) or not
+//! (search problem).
+
+use crate::bitset::LinkSet;
+use crate::graph::{DiGraph, LinkId, NodeId};
+use std::collections::VecDeque;
+
+/// The result of a max-flow computation.
+#[derive(Clone, Debug)]
+pub struct MaxFlowResult {
+    /// The maximum s→t flow value, in capacity units.
+    pub value: f64,
+    /// Flow carried by each directed link (same order as the graph's
+    /// links; reverse "virtual" arcs are netted out).
+    pub link_flow: Vec<f64>,
+    /// Nodes on the source side of the minimum cut.
+    pub source_side: Vec<bool>,
+}
+
+impl MaxFlowResult {
+    /// The links crossing the minimum cut (from the source side to the
+    /// sink side). Their capacities sum to [`MaxFlowResult::value`].
+    pub fn min_cut_links(&self, graph: &DiGraph) -> Vec<LinkId> {
+        graph
+            .links()
+            .filter(|(_, l)| {
+                self.source_side[l.src.index()] && !self.source_side[l.dst.index()]
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Computes the maximum flow from `src` to `dst` where each link `l` has
+/// capacity `capacity(l)` (must be non-negative and finite). Links in
+/// `excluded` carry nothing.
+///
+/// Edmonds–Karp: BFS augmenting paths over a residual graph;
+/// `O(V · E²)` worst case, trivial for backbone-scale graphs.
+///
+/// # Panics
+///
+/// Panics when a capacity is negative or non-finite.
+pub fn max_flow(
+    graph: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    capacity: impl Fn(LinkId) -> f64,
+    excluded: &LinkSet,
+) -> MaxFlowResult {
+    let n = graph.node_count();
+    let m = graph.link_count();
+    if src == dst || n == 0 {
+        return MaxFlowResult {
+            value: 0.0,
+            link_flow: vec![0.0; m],
+            source_side: vec![false; n],
+        };
+    }
+
+    // Residual arcs: forward arc 2i (capacity c_i), backward arc 2i+1
+    // (capacity 0). Arc j's reverse is j ^ 1.
+    let mut residual = Vec::with_capacity(2 * m);
+    let mut heads = Vec::with_capacity(2 * m);
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (id, link) in graph.links() {
+        let c = if excluded.contains(id) {
+            0.0
+        } else {
+            let c = capacity(id);
+            assert!(
+                c >= 0.0 && c.is_finite(),
+                "capacity of {id} must be finite and non-negative"
+            );
+            c
+        };
+        let fwd = residual.len() as u32;
+        residual.push(c);
+        heads.push(link.dst);
+        out[link.src.index()].push(fwd);
+        residual.push(0.0);
+        heads.push(link.src);
+        out[link.dst.index()].push(fwd + 1);
+    }
+
+    let scale: f64 = residual.iter().copied().fold(0.0, f64::max);
+    let eps = (scale * 1e-12).max(1e-12);
+    let mut value = 0.0;
+    let mut pred: Vec<Option<u32>> = vec![None; n];
+    loop {
+        // BFS for the shortest augmenting path.
+        pred.fill(None);
+        let mut q = VecDeque::new();
+        q.push_back(src);
+        let mut reached = false;
+        'bfs: while let Some(u) = q.pop_front() {
+            for &arc in &out[u.index()] {
+                if residual[arc as usize] <= eps {
+                    continue;
+                }
+                let v = heads[arc as usize];
+                if v == src || pred[v.index()].is_some() {
+                    continue;
+                }
+                pred[v.index()] = Some(arc);
+                if v == dst {
+                    reached = true;
+                    break 'bfs;
+                }
+                q.push_back(v);
+            }
+        }
+        if !reached {
+            break;
+        }
+        // Find the bottleneck and augment.
+        let mut bottleneck = f64::INFINITY;
+        let mut at = dst;
+        while at != src {
+            let arc = pred[at.index()].expect("path reconstructed");
+            bottleneck = bottleneck.min(residual[arc as usize]);
+            at = heads[(arc ^ 1) as usize];
+        }
+        let mut at = dst;
+        while at != src {
+            let arc = pred[at.index()].expect("path reconstructed");
+            residual[arc as usize] -= bottleneck;
+            residual[(arc ^ 1) as usize] += bottleneck;
+            at = heads[(arc ^ 1) as usize];
+        }
+        value += bottleneck;
+    }
+
+    // Source side of the min cut: nodes reachable in the residual graph.
+    let mut source_side = vec![false; n];
+    source_side[src.index()] = true;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for &arc in &out[u.index()] {
+            if residual[arc as usize] <= eps {
+                continue;
+            }
+            let v = heads[arc as usize];
+            if !source_side[v.index()] {
+                source_side[v.index()] = true;
+                q.push_back(v);
+            }
+        }
+    }
+
+    // Net flow per original link = capacity − forward residual.
+    let mut link_flow = Vec::with_capacity(m);
+    for (id, _) in graph.links() {
+        let c = if excluded.contains(id) {
+            0.0
+        } else {
+            capacity(id)
+        };
+        link_flow.push((c - residual[2 * id.index()]).max(0.0));
+    }
+
+    MaxFlowResult {
+        value,
+        link_flow,
+        source_side,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// s -> a -> t and s -> b -> t, capacities 3/2 and 2/4: max flow 4.
+    fn two_routes() -> (DiGraph, NodeId, NodeId, [LinkId; 4]) {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        let sa = g.add_link(s, a, 1.0);
+        let at = g.add_link(a, t, 1.0);
+        let sb = g.add_link(s, b, 1.0);
+        let bt = g.add_link(b, t, 1.0);
+        (g, s, t, [sa, at, sb, bt])
+    }
+
+    #[test]
+    fn classic_two_route_instance() {
+        let (g, s, t, [sa, at, sb, bt]) = two_routes();
+        let caps = move |l: LinkId| match l {
+            x if x == sa => 3.0,
+            x if x == at => 2.0,
+            x if x == sb => 2.0,
+            x if x == bt => 4.0,
+            _ => 0.0,
+        };
+        let r = max_flow(&g, s, t, caps, &LinkSet::new());
+        assert!((r.value - 4.0).abs() < 1e-9);
+        // Min cut = {a->t (2), s->b (2)}.
+        let cut = r.min_cut_links(&g);
+        let cut_cap: f64 = cut.iter().map(|&l| caps(l)).sum();
+        assert!((cut_cap - r.value).abs() < 1e-9, "cut capacity equals flow");
+        // Flow conservation at interior nodes.
+        assert!((r.link_flow[sa.index()] - r.link_flow[at.index()]).abs() < 1e-9);
+        assert!((r.link_flow[sb.index()] - r.link_flow[bt.index()]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exclusions_remove_capacity() {
+        let (g, s, t, [sa, ..]) = two_routes();
+        let mut excl = LinkSet::new();
+        excl.insert(sa);
+        let r = max_flow(&g, s, t, |_| 1.0, &excl);
+        assert!((r.value - 1.0).abs() < 1e-9, "only the b route remains");
+    }
+
+    #[test]
+    fn disconnected_flow_is_zero() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let r = max_flow(&g, s, t, |_| 1.0, &LinkSet::new());
+        assert_eq!(r.value, 0.0);
+        assert!(r.min_cut_links(&g).is_empty());
+    }
+
+    #[test]
+    fn self_flow_is_zero() {
+        let (g, s, _, _) = two_routes();
+        let r = max_flow(&g, s, s, |_| 1.0, &LinkSet::new());
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn flow_respects_capacities() {
+        let (g, s, t, links) = two_routes();
+        let r = max_flow(&g, s, t, |l| 1.5 + l.0 as f64, &LinkSet::new());
+        for &l in &links {
+            assert!(r.link_flow[l.index()] <= 1.5 + l.0 as f64 + 1e-9);
+        }
+        // Value equals net out-flow of the source.
+        let out_flow = r.link_flow[links[0].index()] + r.link_flow[links[2].index()];
+        assert!((r.value - out_flow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antiparallel_links_handled() {
+        // s <-> t both directions plus a relay; the reverse link must
+        // not leak capacity into the forward direction.
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_link(s, t, 1.0);
+        g.add_link(t, s, 1.0);
+        let r = max_flow(&g, s, t, |_| 5.0, &LinkSet::new());
+        assert!((r.value - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        let (g, s, t, _) = two_routes();
+        max_flow(&g, s, t, |_| -1.0, &LinkSet::new());
+    }
+}

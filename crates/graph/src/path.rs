@@ -1,0 +1,270 @@
+//! Paths through a [`DiGraph`].
+
+use crate::graph::{DiGraph, LinkId, NodeId};
+use std::fmt;
+
+/// Why a link sequence failed to validate as a [`Path`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// A link id was not part of the graph.
+    UnknownLink(LinkId),
+    /// Consecutive links do not share an endpoint.
+    Disconnected {
+        /// Index (into the link sequence) of the second link of the broken
+        /// pair.
+        at: usize,
+    },
+    /// The path visits a node twice; FUBAR only routes over simple paths.
+    NotSimple(NodeId),
+    /// The declared source does not match the first link.
+    WrongSource,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            PathError::Disconnected { at } => {
+                write!(f, "links at positions {} and {} do not connect", at - 1, at)
+            }
+            PathError::NotSimple(n) => write!(f, "node {n} visited twice"),
+            PathError::WrongSource => write!(f, "first link does not start at source"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A simple (loop-free) directed path, stored as a link sequence plus the
+/// derived node sequence and total cost.
+///
+/// The empty path from a node to itself is legal (`links` empty, one node,
+/// zero cost); FUBAR uses it for intra-POP aggregates, which are always
+/// satisfied and never traverse a backbone link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Path {
+    links: Vec<LinkId>,
+    nodes: Vec<NodeId>,
+    cost: f64,
+}
+
+impl Path {
+    /// Builds and validates a path from a link sequence.
+    ///
+    /// `src` disambiguates the empty path (no links). Validation checks
+    /// that links exist, chain head-to-tail, start at `src`, and never
+    /// revisit a node.
+    pub fn new(graph: &DiGraph, src: NodeId, links: Vec<LinkId>) -> Result<Self, PathError> {
+        let mut nodes = Vec::with_capacity(links.len() + 1);
+        nodes.push(src);
+        let mut cost = 0.0;
+        for (i, &lid) in links.iter().enumerate() {
+            if lid.index() >= graph.link_count() {
+                return Err(PathError::UnknownLink(lid));
+            }
+            let link = graph.link(lid);
+            let expected_src = *nodes.last().expect("nodes never empty");
+            if link.src != expected_src {
+                return Err(if i == 0 {
+                    PathError::WrongSource
+                } else {
+                    PathError::Disconnected { at: i }
+                });
+            }
+            nodes.push(link.dst);
+            cost += link.cost;
+        }
+        // Simplicity: O(n^2) is fine; backbone paths are short.
+        for (i, a) in nodes.iter().enumerate() {
+            if nodes[i + 1..].contains(a) {
+                return Err(PathError::NotSimple(*a));
+            }
+        }
+        Ok(Self { links, nodes, cost })
+    }
+
+    /// Builds a path without validation. Used by the shortest-path
+    /// algorithms, whose outputs are simple and connected by construction.
+    pub(crate) fn from_parts_unchecked(links: Vec<LinkId>, nodes: Vec<NodeId>, cost: f64) -> Self {
+        debug_assert_eq!(nodes.len(), links.len() + 1);
+        Self { links, nodes, cost }
+    }
+
+    /// The empty (zero-cost, zero-hop) path rooted at `node`.
+    pub fn trivial(node: NodeId) -> Self {
+        Self {
+            links: Vec::new(),
+            nodes: vec![node],
+            cost: 0.0,
+        }
+    }
+
+    /// Link sequence, in travel order.
+    #[inline]
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Node sequence, in travel order (always one longer than `links`).
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// First node of the path.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the path.
+    #[inline]
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("nodes never empty")
+    }
+
+    /// Total cost (one-way propagation delay for FUBAR).
+    #[inline]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Number of links traversed.
+    #[inline]
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True for the zero-hop path.
+    #[inline]
+    pub fn is_trivial(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Whether the path traverses `link`.
+    #[inline]
+    pub fn uses_link(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// Deterministic ordering used throughout FUBAR: by cost, then by hop
+    /// count, then lexicographically by link ids. Total despite `f64`
+    /// because costs are always finite.
+    pub fn order(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost
+            .total_cmp(&other.cost)
+            .then(self.links.len().cmp(&other.links.len()))
+            .then_with(|| self.links.cmp(&other.links))
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for n in &self.nodes {
+            if !first {
+                write!(f, "->")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        write!(f, " (cost {:.6})", self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (DiGraph, [NodeId; 3], [LinkId; 2]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let ab = g.add_link(a, b, 1.5);
+        let bc = g.add_link(b, c, 2.5);
+        (g, [a, b, c], [ab, bc])
+    }
+
+    #[test]
+    fn valid_path_builds() {
+        let (g, [a, b, c], [ab, bc]) = line3();
+        let p = Path::new(&g, a, vec![ab, bc]).unwrap();
+        assert_eq!(p.source(), a);
+        assert_eq!(p.destination(), c);
+        assert_eq!(p.nodes(), &[a, b, c]);
+        assert_eq!(p.cost(), 4.0);
+        assert_eq!(p.hop_count(), 2);
+        assert!(p.uses_link(ab));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let (_, [a, ..], _) = line3();
+        let p = Path::trivial(a);
+        assert!(p.is_trivial());
+        assert_eq!(p.source(), a);
+        assert_eq!(p.destination(), a);
+        assert_eq!(p.cost(), 0.0);
+    }
+
+    #[test]
+    fn wrong_source_detected() {
+        let (g, [_, b, _], [ab, _]) = line3();
+        assert_eq!(Path::new(&g, b, vec![ab]), Err(PathError::WrongSource));
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        let (mut g, [a, _, c], [ab, _]) = line3();
+        let d = g.add_node();
+        let cd = g.add_link(c, d, 1.0);
+        assert_eq!(
+            Path::new(&g, a, vec![ab, cd]),
+            Err(PathError::Disconnected { at: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_link_detected() {
+        let (g, [a, ..], _) = line3();
+        assert_eq!(
+            Path::new(&g, a, vec![LinkId(99)]),
+            Err(PathError::UnknownLink(LinkId(99)))
+        );
+    }
+
+    #[test]
+    fn loop_detected() {
+        let (mut g, [a, b, _], [ab, _]) = line3();
+        let ba = g.add_link(b, a, 1.0);
+        assert_eq!(
+            Path::new(&g, a, vec![ab, ba]),
+            Err(PathError::NotSimple(a))
+        );
+    }
+
+    #[test]
+    fn ordering_is_cost_then_hops_then_links() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let ab = g.add_link(a, b, 1.0);
+        let bc = g.add_link(b, c, 1.0);
+        let ac = g.add_link(a, c, 2.0);
+        let two_hop = Path::new(&g, a, vec![ab, bc]).unwrap();
+        let one_hop = Path::new(&g, a, vec![ac]).unwrap();
+        // Same cost: fewer hops wins.
+        assert_eq!(one_hop.order(&two_hop), std::cmp::Ordering::Less);
+        let cheap = Path::new(&g, a, vec![ab]).unwrap();
+        assert_eq!(cheap.order(&one_hop), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let (g, [a, ..], [ab, bc]) = line3();
+        let p = Path::new(&g, a, vec![ab, bc]).unwrap();
+        assert_eq!(format!("{p}"), "N0->N1->N2 (cost 4.000000)");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Random graphs are generated from a seed; Dijkstra is cross-checked
+//! against the independent Bellman–Ford implementation, and Yen's output
+//! is checked for the defining K-shortest-simple-path invariants.
+
+use fubar_graph::{bellman_ford, yen, DiGraph, LinkId, LinkSet, NodeId, Path};
+use proptest::prelude::*;
+
+/// A reproducible random digraph described by value-level data so proptest
+/// can shrink it.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    nodes: usize,
+    /// (src, dst, cost) triples; indices taken modulo `nodes`.
+    edges: Vec<(usize, usize, f64)>,
+}
+
+fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    (2usize..12).prop_flat_map(|nodes| {
+        let edge = (0..nodes, 0..nodes, 0.0f64..100.0);
+        proptest::collection::vec(edge, 1..60)
+            .prop_map(move |edges| RandomGraph { nodes, edges })
+    })
+}
+
+fn build(rg: &RandomGraph) -> DiGraph {
+    let mut g = DiGraph::new();
+    g.add_nodes(rg.nodes);
+    for &(s, d, c) in &rg.edges {
+        g.add_link(NodeId(s as u32), NodeId(d as u32), c);
+    }
+    g
+}
+
+proptest! {
+    /// Dijkstra's one-to-all distances equal Bellman–Ford's on every graph
+    /// and from every source.
+    #[test]
+    fn dijkstra_matches_bellman_ford(rg in random_graph(), src_raw in 0usize..12) {
+        let g = build(&rg);
+        let src = NodeId((src_raw % rg.nodes) as u32);
+        let d1 = g.distances(src, &LinkSet::new());
+        let d2 = bellman_ford::distances(&g, src, &LinkSet::new());
+        for (a, b) in d1.iter().zip(&d2) {
+            if a.is_finite() || b.is_finite() {
+                prop_assert!((a - b).abs() < 1e-9, "dijkstra {a} vs bellman-ford {b}");
+            }
+        }
+    }
+
+    /// Distances agree under random link exclusions too.
+    #[test]
+    fn dijkstra_matches_bellman_ford_with_exclusions(
+        rg in random_graph(),
+        src_raw in 0usize..12,
+        excl_bits in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let g = build(&rg);
+        let src = NodeId((src_raw % rg.nodes) as u32);
+        let excl: LinkSet = (0..g.link_count())
+            .filter(|&i| excl_bits.get(i).copied().unwrap_or(false))
+            .map(|i| LinkId(i as u32))
+            .collect();
+        let d1 = g.distances(src, &excl);
+        let d2 = bellman_ford::distances(&g, src, &excl);
+        for (a, b) in d1.iter().zip(&d2) {
+            if a.is_finite() || b.is_finite() {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// A reconstructed shortest path re-validates, has the claimed cost,
+    /// and its cost matches the one-to-all distance.
+    #[test]
+    fn shortest_path_is_valid_and_optimal(rg in random_graph(), s in 0usize..12, t in 0usize..12) {
+        let g = build(&rg);
+        let src = NodeId((s % rg.nodes) as u32);
+        let dst = NodeId((t % rg.nodes) as u32);
+        let dist = g.distances(src, &LinkSet::new());
+        match g.shortest_path(src, dst, &LinkSet::new()) {
+            Some(p) => {
+                let validated = Path::new(&g, src, p.links().to_vec()).unwrap();
+                prop_assert!((validated.cost() - p.cost()).abs() < 1e-9);
+                prop_assert!((p.cost() - dist[dst.index()]).abs() < 1e-9);
+                prop_assert_eq!(p.source(), src);
+                prop_assert_eq!(p.destination(), dst);
+            }
+            None => prop_assert!(dist[dst.index()].is_infinite()),
+        }
+    }
+
+    /// Yen invariants: non-decreasing costs, all simple, all distinct, the
+    /// first equals Dijkstra's path cost, and no returned path uses an
+    /// excluded link.
+    #[test]
+    fn yen_invariants(rg in random_graph(), s in 0usize..12, t in 0usize..12, k in 1usize..6) {
+        let g = build(&rg);
+        let src = NodeId((s % rg.nodes) as u32);
+        let dst = NodeId((t % rg.nodes) as u32);
+        let paths = yen::k_shortest_paths(&g, src, dst, k, &LinkSet::new());
+        prop_assert!(paths.len() <= k);
+        if let Some(best) = g.shortest_path(src, dst, &LinkSet::new()) {
+            prop_assert!(!paths.is_empty());
+            prop_assert!((paths[0].cost() - best.cost()).abs() < 1e-9);
+        } else {
+            prop_assert!(paths.is_empty());
+        }
+        for w in paths.windows(2) {
+            prop_assert!(w[0].cost() <= w[1].cost() + 1e-9);
+            prop_assert_ne!(&w[0], &w[1]);
+        }
+        for p in &paths {
+            if src != dst {
+                Path::new(&g, src, p.links().to_vec()).expect("yen path must be simple & connected");
+            }
+        }
+    }
+
+    /// Excluding the links of the best path forces a strictly different
+    /// (or no) path, never a cheaper one.
+    #[test]
+    fn exclusion_never_improves(rg in random_graph(), s in 0usize..12, t in 0usize..12) {
+        let g = build(&rg);
+        let src = NodeId((s % rg.nodes) as u32);
+        let dst = NodeId((t % rg.nodes) as u32);
+        if src == dst {
+            return Ok(());
+        }
+        if let Some(best) = g.shortest_path(src, dst, &LinkSet::new()) {
+            if best.links().is_empty() {
+                return Ok(());
+            }
+            let excl: LinkSet = best.links().iter().copied().collect();
+            if let Some(alt) = g.shortest_path(src, dst, &excl) {
+                prop_assert!(alt.cost() + 1e-9 >= best.cost());
+                for l in alt.links() {
+                    prop_assert!(!excl.contains(*l));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # fubar-model
+//!
+//! FUBAR's TCP-like traffic model (paper §2.3): a fast, deterministic
+//! progressive-filling procedure that predicts how flow bundles share a
+//! capacitated network, assuming congestion-controlled flows whose
+//! throughput is inversely proportional to RTT.
+//!
+//! This model is "the building block of \[the\] optimization algorithm":
+//! every candidate move the optimizer considers is scored by re-running
+//! it. The implementation is event-driven (`O((B + Σ|path|) log B)`) so a
+//! full 961-aggregate evaluation takes well under a millisecond.
+//!
+//! * [`BundleSpec`] — flows of one aggregate pinned to one path;
+//! * [`FlowModel::evaluate`] — run progressive filling, yielding a
+//!   [`ModelOutcome`] (rates, loads, congestion report);
+//! * [`utility_report`] — fold an outcome into per-aggregate and
+//!   network-wide utilities (paper §3's "total average").
+
+mod engine;
+mod outcome;
+pub mod queueing;
+mod report;
+mod spec;
+
+pub use engine::{FlowModel, ModelConfig};
+pub use outcome::{ModelOutcome, UtilizationSummary};
+pub use report::{utility_report, UtilityReport};
+pub use queueing::{queueing_report, QueueingConfig, QueueingReport};
+pub use spec::{BundleSpec, BundleStatus};

@@ -1,0 +1,259 @@
+//! Turning model equilibria into utilities (paper §2.2 + §3).
+//!
+//! "The 'total average' is the overall utility of the network — the
+//! average of utilities of all aggregates, weighted by number of flows
+//! in the aggregate" (§3); prioritization (Fig 5) additionally scales an
+//! aggregate's weight by its priority factor.
+
+use crate::outcome::ModelOutcome;
+use crate::spec::BundleSpec;
+use fubar_traffic::TrafficMatrix;
+
+/// Utilities computed from one model evaluation.
+#[derive(Clone, Debug)]
+pub struct UtilityReport {
+    /// The optimization objective: priority-and-flow-weighted average
+    /// utility across all aggregates.
+    pub network_utility: f64,
+    /// Utility of each aggregate (flow-weighted mean over its bundles),
+    /// indexed by `AggregateId`.
+    pub per_aggregate: Vec<f64>,
+    /// Flow-weighted average utility of the large (heavy file-transfer)
+    /// aggregates; `None` when the matrix has none. The middle panels of
+    /// Figs 3–5.
+    pub large_average: Option<f64>,
+    /// Flow-weighted average utility of everything that is not large.
+    pub small_average: Option<f64>,
+}
+
+/// Computes utilities for `outcome`, which must have been produced by
+/// evaluating exactly `bundles` (same order) against a topology.
+///
+/// Flows of an aggregate not covered by any bundle (e.g. black-holed by
+/// a network partition) count as zero-utility: an aggregate's utility is
+/// its flow-weighted bundle utility divided by its *full* flow count.
+/// Covering more flows than the aggregate has is a caller bug and is
+/// rejected in debug builds.
+pub fn utility_report(
+    tm: &TrafficMatrix,
+    bundles: &[BundleSpec],
+    outcome: &ModelOutcome,
+) -> UtilityReport {
+    assert_eq!(
+        bundles.len(),
+        outcome.bundle_rates.len(),
+        "outcome does not match bundle list"
+    );
+    let n = tm.len();
+    let mut weighted = vec![0.0_f64; n]; // Σ flows_b · U_b
+    let mut covered = vec![0u64; n]; // Σ flows_b
+
+    for (i, b) in bundles.iter().enumerate() {
+        let a = tm.aggregate(b.aggregate);
+        let per_flow = outcome.bundle_rates[i] / f64::from(b.flow_count);
+        let u = a.utility.eval(per_flow, b.path_delay);
+        weighted[b.aggregate.index()] += f64::from(b.flow_count) * u;
+        covered[b.aggregate.index()] += u64::from(b.flow_count);
+    }
+
+    let mut per_aggregate = vec![0.0_f64; n];
+    for a in tm.iter() {
+        debug_assert!(
+            covered[a.id.index()] <= u64::from(a.flow_count),
+            "aggregate {} has {} flows covered but only {} exist",
+            a.id,
+            covered[a.id.index()],
+            a.flow_count
+        );
+        // Uncovered (black-holed) flows contribute zero utility.
+        per_aggregate[a.id.index()] = weighted[a.id.index()] / f64::from(a.flow_count);
+    }
+
+    let mut obj_num = 0.0;
+    let mut obj_den = 0.0;
+    let mut large_num = 0.0;
+    let mut large_den = 0.0;
+    let mut small_num = 0.0;
+    let mut small_den = 0.0;
+    for a in tm.iter() {
+        let u = per_aggregate[a.id.index()];
+        let w = a.objective_weight();
+        obj_num += w * u;
+        obj_den += w;
+        let flows = f64::from(a.flow_count);
+        if a.is_large() {
+            large_num += flows * u;
+            large_den += flows;
+        } else {
+            small_num += flows * u;
+            small_den += flows;
+        }
+    }
+
+    UtilityReport {
+        network_utility: if obj_den > 0.0 { obj_num / obj_den } else { 0.0 },
+        per_aggregate,
+        large_average: (large_den > 0.0).then(|| large_num / large_den),
+        small_average: (small_den > 0.0).then(|| small_num / small_den),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FlowModel;
+    use fubar_graph::NodeId;
+    use fubar_topology::{Bandwidth, Delay, TopologyBuilder};
+    use fubar_traffic::{Aggregate, AggregateId};
+    use fubar_utility::TrafficClass;
+
+    fn kb(v: f64) -> Bandwidth {
+        Bandwidth::from_kbps(v)
+    }
+    fn ms(v: f64) -> Delay {
+        Delay::from_ms(v)
+    }
+
+    /// One pipe, one real-time aggregate fully satisfied at low delay.
+    #[test]
+    fn satisfied_low_delay_aggregate_scores_one() {
+        let mut b = TopologyBuilder::new("pipe");
+        b.add_node("a").unwrap();
+        b.add_node("b").unwrap();
+        b.add_duplex_link("a", "b", kb(1000.0), ms(2.0)).unwrap();
+        let t = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::RealTime,
+            10,
+        )]);
+        let path = t
+            .graph()
+            .shortest_path(NodeId(0), NodeId(1), &fubar_graph::LinkSet::new())
+            .unwrap();
+        let bundles = vec![BundleSpec::new(tm.aggregate(AggregateId(0)), &path, 10)];
+        let out = FlowModel::with_defaults(&t).evaluate(&bundles);
+        let rep = utility_report(&tm, &bundles, &out);
+        assert!((rep.network_utility - 1.0).abs() < 1e-9);
+        assert_eq!(rep.large_average, None);
+        assert!((rep.small_average.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// Starved to half demand: utility = 0.5 for the linear ramp.
+    #[test]
+    fn half_starved_scores_half() {
+        let mut b = TopologyBuilder::new("pipe");
+        b.add_node("a").unwrap();
+        b.add_node("b").unwrap();
+        // 10 flows * 50k = 500k demanded; capacity 250k.
+        b.add_duplex_link("a", "b", kb(250.0), ms(2.0)).unwrap();
+        let t = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::RealTime,
+            10,
+        )]);
+        let path = t
+            .graph()
+            .shortest_path(NodeId(0), NodeId(1), &fubar_graph::LinkSet::new())
+            .unwrap();
+        let bundles = vec![BundleSpec::new(tm.aggregate(AggregateId(0)), &path, 10)];
+        let out = FlowModel::with_defaults(&t).evaluate(&bundles);
+        let rep = utility_report(&tm, &bundles, &out);
+        assert!((rep.network_utility - 0.5).abs() < 1e-9);
+    }
+
+    /// Network utility weights by flows x priority; large average only by
+    /// flows.
+    #[test]
+    fn weighting_rules() {
+        let mut b = TopologyBuilder::new("pipes");
+        for n in ["a", "b", "c", "d"] {
+            b.add_node(n).unwrap();
+        }
+        // Two disjoint generous pipes.
+        b.add_duplex_link("a", "b", Bandwidth::from_mbps(100.0), ms(2.0))
+            .unwrap();
+        b.add_duplex_link("c", "d", Bandwidth::from_mbps(100.0), ms(2.0))
+            .unwrap();
+        let t = b.build();
+        // Small RT aggregate satisfied (u=1); large aggregate starved by
+        // demand? No — give it a generous pipe too, then degrade via
+        // delay: impossible for bulk curve at 2ms. Instead use priority
+        // to check weighting math with u values (1.0 and 1.0) — so make
+        // the large one unsatisfied by giving it 300 flows * 1Mbps =
+        // 300M > 100M pipe => per-flow 1/3 of demand => u = 1/3.
+        let tm = TrafficMatrix::new(vec![
+            Aggregate::new(
+                AggregateId(0),
+                NodeId(0),
+                NodeId(1),
+                TrafficClass::RealTime,
+                10,
+            ),
+            Aggregate::new(
+                AggregateId(0),
+                NodeId(2),
+                NodeId(3),
+                TrafficClass::LargeFile { peak_mbps: 1.0 },
+                300,
+            ),
+        ])
+        .with_large_priority(3.0);
+        let excl = fubar_graph::LinkSet::new();
+        let p0 = t.graph().shortest_path(NodeId(0), NodeId(1), &excl).unwrap();
+        let p1 = t.graph().shortest_path(NodeId(2), NodeId(3), &excl).unwrap();
+        let bundles = vec![
+            BundleSpec::new(tm.aggregate(AggregateId(0)), &p0, 10),
+            BundleSpec::new(tm.aggregate(AggregateId(1)), &p1, 300),
+        ];
+        let out = FlowModel::with_defaults(&t).evaluate(&bundles);
+        let rep = utility_report(&tm, &bundles, &out);
+        let u_large = rep.per_aggregate[1];
+        assert!((u_large - 1.0 / 3.0).abs() < 1e-6);
+        // network = (10*1*1 + 300*3*u) / (10 + 900)
+        let expect = (10.0 + 900.0 * u_large) / 910.0;
+        assert!((rep.network_utility - expect).abs() < 1e-9);
+        // large average ignores priority: just u_large.
+        assert!((rep.large_average.unwrap() - u_large).abs() < 1e-12);
+        assert!((rep.small_average.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    /// Splitting an aggregate across two bundles averages flow-weighted.
+    #[test]
+    fn split_aggregate_averages() {
+        let mut b = TopologyBuilder::new("two");
+        b.add_node("a").unwrap();
+        b.add_node("b").unwrap();
+        // Two parallel duplex links with different delays.
+        b.add_duplex_link("a", "b", kb(10_000.0), ms(2.0)).unwrap();
+        b.add_duplex_link("a", "b", kb(10_000.0), ms(60.0)).unwrap();
+        let t = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::RealTime,
+            10,
+        )]);
+        let a = tm.aggregate(AggregateId(0));
+        let g = t.graph();
+        let fast = fubar_graph::Path::new(g, NodeId(0), vec![fubar_graph::LinkId(0)]).unwrap();
+        let slow = fubar_graph::Path::new(g, NodeId(0), vec![fubar_graph::LinkId(2)]).unwrap();
+        let bundles = vec![BundleSpec::new(a, &fast, 5), BundleSpec::new(a, &slow, 5)];
+        let out = FlowModel::with_defaults(&t).evaluate(&bundles);
+        let rep = utility_report(&tm, &bundles, &out);
+        // Fast path: u = 1. Slow path: 60ms -> delay factor (100-60)/90.
+        let slow_factor = (100.0 - 60.0) / 90.0;
+        let expect = (5.0 * 1.0 + 5.0 * slow_factor) / 10.0;
+        assert!(
+            (rep.per_aggregate[0] - expect).abs() < 1e-9,
+            "got {} want {expect}",
+            rep.per_aggregate[0]
+        );
+    }
+}

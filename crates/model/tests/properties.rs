@@ -1,0 +1,166 @@
+//! Property-based tests for the progressive-filling engine.
+//!
+//! Invariants checked on random topologies and random bundle sets:
+//! capacity conservation, demand capping, status consistency, and
+//! monotonicity of total carried load in capacity.
+
+use fubar_graph::{LinkSet, NodeId};
+use fubar_model::{BundleSpec, FlowModel};
+use fubar_topology::{generators, Bandwidth, Delay, Topology};
+use fubar_traffic::AggregateId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomWorkload {
+    topo_seed: u64,
+    nodes: usize,
+    /// (src, dst, flows, demand_kbps) — indices mod node count.
+    entries: Vec<(usize, usize, u32, f64)>,
+    capacity_kbps: f64,
+}
+
+fn workload() -> impl Strategy<Value = RandomWorkload> {
+    (
+        any::<u64>(),
+        4usize..12,
+        proptest::collection::vec((0usize..12, 0usize..12, 1u32..30, 1.0f64..500.0), 1..40),
+        100.0f64..5_000.0,
+    )
+        .prop_map(|(topo_seed, nodes, entries, capacity_kbps)| RandomWorkload {
+            topo_seed,
+            nodes,
+            entries,
+            capacity_kbps,
+        })
+}
+
+fn build(w: &RandomWorkload, capacity: Bandwidth) -> (Topology, Vec<BundleSpec>) {
+    let topo = generators::waxman(w.nodes, 0.7, 0.4, capacity, w.topo_seed);
+    let mut bundles = Vec::new();
+    for (i, &(s, d, flows, demand)) in w.entries.iter().enumerate() {
+        let src = NodeId((s % w.nodes) as u32);
+        let dst = NodeId((d % w.nodes) as u32);
+        let path = topo
+            .graph()
+            .shortest_path(src, dst, &LinkSet::new())
+            .expect("waxman graphs are connected");
+        bundles.push(BundleSpec {
+            aggregate: AggregateId(i as u32),
+            flow_count: flows,
+            links: path.links().to_vec(),
+            path_delay: Delay::from_secs(path.cost()),
+            per_flow_demand: Bandwidth::from_kbps(demand),
+        });
+    }
+    (topo, bundles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No link ever carries more than its capacity, and no bundle gets
+    /// more than its demand.
+    #[test]
+    fn conservation(w in workload()) {
+        let cap = Bandwidth::from_kbps(w.capacity_kbps);
+        let (topo, bundles) = build(&w, cap);
+        let out = FlowModel::with_defaults(&topo).evaluate(&bundles);
+        for l in topo.links() {
+            prop_assert!(
+                out.link_load[l.index()].bps() <= topo.capacity(l).bps() * (1.0 + 1e-9) + 1e-3,
+                "link {} carries {} of {}",
+                topo.link_label(l), out.link_load[l.index()], topo.capacity(l)
+            );
+        }
+        for (i, b) in bundles.iter().enumerate() {
+            prop_assert!(out.bundle_rates[i].bps() <= b.demand().bps() * (1.0 + 1e-9) + 1e-3);
+            prop_assert!(out.bundle_rates[i].bps() >= 0.0);
+        }
+    }
+
+    /// Status is consistent: satisfied bundles sit at their demand;
+    /// congested bundles are strictly below and their bottleneck is
+    /// saturated (fully loaded).
+    #[test]
+    fn status_consistency(w in workload()) {
+        let cap = Bandwidth::from_kbps(w.capacity_kbps);
+        let (topo, bundles) = build(&w, cap);
+        let out = FlowModel::with_defaults(&topo).evaluate(&bundles);
+        for (i, b) in bundles.iter().enumerate() {
+            match out.bundle_status[i] {
+                fubar_model::BundleStatus::Satisfied => {
+                    prop_assert!((out.bundle_rates[i].bps() - b.demand().bps()).abs() < 1.0);
+                }
+                fubar_model::BundleStatus::Congested(l) => {
+                    prop_assert!(out.bundle_rates[i].bps() < b.demand().bps());
+                    prop_assert!(b.links.contains(&l), "bottleneck must be on the path");
+                    let load = out.link_load[l.index()].bps();
+                    let capl = topo.capacity(l).bps();
+                    prop_assert!(
+                        load >= capl * (1.0 - 1e-6),
+                        "bottleneck {} only {:.1}% full",
+                        topo.link_label(l), 100.0 * load / capl
+                    );
+                }
+            }
+        }
+    }
+
+    /// The congestion report agrees with bundle statuses.
+    #[test]
+    fn congestion_report_consistency(w in workload()) {
+        let cap = Bandwidth::from_kbps(w.capacity_kbps);
+        let (topo, bundles) = build(&w, cap);
+        let out = FlowModel::with_defaults(&topo).evaluate(&bundles);
+        let any_congested_bundle = out.bundle_status.iter().any(|s| s.is_congested());
+        prop_assert_eq!(out.is_congested(), any_congested_bundle);
+        for &l in &out.congested {
+            // Every congested link starved someone.
+            let starved = bundles.iter().zip(&out.bundle_status).any(|(b, s)| {
+                matches!(s, fubar_model::BundleStatus::Congested(_)) && b.links.contains(&l)
+            });
+            prop_assert!(starved, "congested link {} starved nobody", topo.link_label(l));
+        }
+        // Sorted by descending oversubscription.
+        for pair in out.congested.windows(2) {
+            prop_assert!(
+                out.oversubscription(pair[0]) >= out.oversubscription(pair[1]) - 1e-12
+            );
+        }
+    }
+
+    /// Scaling every capacity up never reduces any bundle's rate in a
+    /// single-bottleneck-free comparison of totals: total carried load is
+    /// monotone in uniform capacity scaling.
+    #[test]
+    fn total_load_monotone_in_capacity(w in workload(), scale in 1.1f64..4.0) {
+        let cap = Bandwidth::from_kbps(w.capacity_kbps);
+        let (topo, bundles) = build(&w, cap);
+        let out_small = FlowModel::with_defaults(&topo).evaluate(&bundles);
+
+        let mut topo_big = topo.clone();
+        topo_big.set_uniform_capacity(cap * scale);
+        let out_big = FlowModel::with_defaults(&topo_big).evaluate(&bundles);
+
+        let total_small: f64 = out_small.bundle_rates.iter().map(|r| r.bps()).sum();
+        let total_big: f64 = out_big.bundle_rates.iter().map(|r| r.bps()).sum();
+        prop_assert!(
+            total_big >= total_small * (1.0 - 1e-9),
+            "more capacity lowered total carried load: {total_small} -> {total_big}"
+        );
+        // And congestion can only shrink (as a count of starved bundles).
+        prop_assert!(out_big.congested_bundle_count() <= out_small.congested_bundle_count());
+    }
+
+    /// Determinism: evaluating twice yields identical results.
+    #[test]
+    fn deterministic(w in workload()) {
+        let cap = Bandwidth::from_kbps(w.capacity_kbps);
+        let (topo, bundles) = build(&w, cap);
+        let m = FlowModel::with_defaults(&topo);
+        let a = m.evaluate(&bundles);
+        let b = m.evaluate(&bundles);
+        prop_assert_eq!(a.bundle_rates, b.bundle_rates);
+        prop_assert_eq!(a.congested, b.congested);
+    }
+}

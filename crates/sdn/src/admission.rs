@@ -1,0 +1,244 @@
+//! The online admission controller (paper §5).
+//!
+//! FUBAR "is intended to be used as an offline controller … in
+//! conjunction with an online controller to actually admit flows to the
+//! paths that have been computed". This module is that online component:
+//! given the installed [`RuleSet`], it assigns each *individual arriving
+//! flow* of an aggregate to one of the aggregate's weighted paths, using
+//! deficit-weighted round robin so that the running per-path counts track
+//! the installed weights as closely as integer assignments allow — even
+//! as flows arrive and depart in any order.
+
+use crate::rules::RuleSet;
+use fubar_graph::Path;
+use fubar_traffic::AggregateId;
+
+/// A flow's assignment: which bucket (path) of its aggregate it rides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowAssignment {
+    /// The aggregate the flow belongs to.
+    pub aggregate: AggregateId,
+    /// Index into the aggregate's installed bucket list.
+    pub bucket: usize,
+}
+
+/// Per-aggregate admission state.
+#[derive(Clone, Debug, Default)]
+struct GroupState {
+    /// Live flows currently assigned to each bucket.
+    assigned: Vec<u64>,
+    /// Total live flows.
+    total: u64,
+}
+
+/// The online admission controller: assigns arriving flows to installed
+/// paths, tracking the offline optimizer's weights.
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    groups: Vec<GroupState>,
+    weights: Vec<Vec<u64>>,
+}
+
+impl AdmissionController {
+    /// Builds a controller for the installed `rules`.
+    pub fn new(rules: &RuleSet) -> Self {
+        let mut groups = Vec::with_capacity(rules.len());
+        let mut weights = Vec::with_capacity(rules.len());
+        for i in 0..rules.len() {
+            let g = rules
+                .group(AggregateId(i as u32))
+                .expect("indices are dense");
+            groups.push(GroupState {
+                assigned: vec![0; g.buckets.len()],
+                total: 0,
+            });
+            weights.push(g.buckets.iter().map(|&(_, w)| u64::from(w)).collect());
+        }
+        AdmissionController { groups, weights }
+    }
+
+    /// Admits one new flow of `aggregate`, returning its assignment, or
+    /// `None` if the aggregate has no installed paths.
+    ///
+    /// Deficit rule: pick the bucket whose `assigned/weight` ratio is
+    /// smallest (ties to the lower index), i.e. the path furthest below
+    /// its target share.
+    pub fn admit(&mut self, aggregate: AggregateId) -> Option<FlowAssignment> {
+        let g = self.groups.get_mut(aggregate.index())?;
+        let w = &self.weights[aggregate.index()];
+        if w.is_empty() {
+            return None;
+        }
+        let bucket = (0..w.len())
+            .filter(|&i| w[i] > 0)
+            .min_by(|&a, &b| {
+                // assigned/weight compared as cross products to stay in
+                // integers: a_i * w_j vs a_j * w_i.
+                let lhs = g.assigned[a] * w[b];
+                let rhs = g.assigned[b] * w[a];
+                lhs.cmp(&rhs).then(a.cmp(&b))
+            })?;
+        g.assigned[bucket] += 1;
+        g.total += 1;
+        Some(FlowAssignment { aggregate, bucket })
+    }
+
+    /// Records the departure of a previously admitted flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment was never admitted (bucket underflow).
+    pub fn depart(&mut self, assignment: FlowAssignment) {
+        let g = &mut self.groups[assignment.aggregate.index()];
+        assert!(
+            g.assigned[assignment.bucket] > 0,
+            "departure without matching admission"
+        );
+        g.assigned[assignment.bucket] -= 1;
+        g.total -= 1;
+    }
+
+    /// Live flows per bucket for one aggregate.
+    pub fn assigned(&self, aggregate: AggregateId) -> &[u64] {
+        &self.groups[aggregate.index()].assigned
+    }
+
+    /// Total live flows for one aggregate.
+    pub fn live_flows(&self, aggregate: AggregateId) -> u64 {
+        self.groups[aggregate.index()].total
+    }
+
+    /// The largest deviation (in flows) of any bucket from its exact
+    /// weighted share, for one aggregate — the admission error the
+    /// deficit rule keeps bounded.
+    pub fn imbalance(&self, aggregate: AggregateId) -> f64 {
+        let g = &self.groups[aggregate.index()];
+        let w = &self.weights[aggregate.index()];
+        let total_w: u64 = w.iter().sum();
+        if total_w == 0 || g.total == 0 {
+            return 0.0;
+        }
+        (0..w.len())
+            .map(|i| {
+                let target = g.total as f64 * w[i] as f64 / total_w as f64;
+                (g.assigned[i] as f64 - target).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Resolves an assignment to its concrete path in `rules` (which
+    /// must be the rule set this controller was built from).
+    pub fn path_of<'r>(&self, rules: &'r RuleSet, a: FlowAssignment) -> &'r Path {
+        &rules
+            .group(a.aggregate)
+            .expect("assignment references an installed aggregate")
+            .buckets[a.bucket]
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fubar_core::Allocation;
+    use fubar_graph::NodeId;
+    use fubar_topology::{generators, Bandwidth, Delay};
+    use fubar_traffic::{Aggregate, TrafficMatrix};
+    use fubar_utility::TrafficClass;
+
+    /// Rules with a 3:1 split for one aggregate across the two sides of
+    /// a 4-ring.
+    fn split_rules() -> (RuleSet, TrafficMatrix) {
+        let topo = generators::ring(4, Bandwidth::from_mbps(1.0), Delay::from_ms(1.0));
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(2),
+            TrafficClass::BulkTransfer,
+            8,
+        )]);
+        let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let used: fubar_graph::LinkSet = alloc
+            .path_set(AggregateId(0))
+            .path(0)
+            .links()
+            .iter()
+            .copied()
+            .collect();
+        let alt = topo
+            .graph()
+            .shortest_path(NodeId(0), NodeId(2), &used)
+            .unwrap();
+        let idx = alloc.add_path(AggregateId(0), alt);
+        alloc.apply(fubar_core::Move {
+            aggregate: AggregateId(0),
+            from: 0,
+            to: idx,
+            count: 2, // 6:2 = 3:1
+        });
+        (RuleSet::from_allocation(&alloc, &tm), tm)
+    }
+
+    #[test]
+    fn admissions_track_weights() {
+        let (rules, _) = split_rules();
+        let mut ac = AdmissionController::new(&rules);
+        for _ in 0..40 {
+            ac.admit(AggregateId(0)).unwrap();
+        }
+        let assigned = ac.assigned(AggregateId(0));
+        assert_eq!(assigned.iter().sum::<u64>(), 40);
+        // 3:1 split of 40 = 30:10, exactly.
+        assert_eq!(assigned, &[30, 10]);
+        assert!(ac.imbalance(AggregateId(0)) < 1.0);
+    }
+
+    #[test]
+    fn imbalance_stays_bounded_under_churn() {
+        let (rules, _) = split_rules();
+        let mut ac = AdmissionController::new(&rules);
+        let mut live = Vec::new();
+        // Interleave arrivals and departures deterministically.
+        for round in 0..200u64 {
+            let a = ac.admit(AggregateId(0)).unwrap();
+            live.push(a);
+            if round % 3 == 0 && live.len() > 4 {
+                // Depart the oldest flow.
+                let gone = live.remove(0);
+                ac.depart(gone);
+            }
+            assert!(
+                ac.imbalance(AggregateId(0)) <= 1.0 + 1e-9,
+                "deficit rule keeps per-bucket error within one flow"
+            );
+        }
+        assert_eq!(ac.live_flows(AggregateId(0)) as usize, live.len());
+    }
+
+    #[test]
+    fn path_resolution() {
+        let (rules, _) = split_rules();
+        let mut ac = AdmissionController::new(&rules);
+        let a = ac.admit(AggregateId(0)).unwrap();
+        let p = ac.path_of(&rules, a);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.destination(), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "departure without matching admission")]
+    fn double_departure_panics() {
+        let (rules, _) = split_rules();
+        let mut ac = AdmissionController::new(&rules);
+        let a = ac.admit(AggregateId(0)).unwrap();
+        ac.depart(a);
+        ac.depart(a);
+    }
+
+    #[test]
+    fn unknown_aggregate_is_none() {
+        let (rules, _) = split_rules();
+        let mut ac = AdmissionController::new(&rules);
+        assert_eq!(ac.admit(AggregateId(99)), None);
+    }
+}

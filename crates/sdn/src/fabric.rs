@@ -1,0 +1,386 @@
+//! The simulated data plane.
+//!
+//! [`Fabric`] owns the ground-truth topology and traffic, the installed
+//! [`RuleSet`], the set of failed links, and per-aggregate/per-link
+//! counters. Each call to [`Fabric::run_epoch`] maps the *true* traffic
+//! matrix onto the installed weighted paths (falling back to live
+//! shortest paths when a rule's path has failed — the data plane's
+//! IGP-style protection), evaluates the flow model, and accumulates
+//! counters exactly as switch hardware would.
+
+use crate::rules::RuleSet;
+use fubar_graph::{LinkSet, Path};
+use fubar_model::{BundleSpec, FlowModel, ModelConfig, ModelOutcome, UtilityReport};
+use fubar_topology::{Bandwidth, Delay, Topology};
+use fubar_traffic::TrafficMatrix;
+
+/// Per-aggregate counters, as an SDN controller would read from
+/// ingress-switch flow rules.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AggregateCounter {
+    /// Bytes forwarded in the last epoch.
+    pub bytes_last_epoch: f64,
+    /// Cumulative bytes since the fabric started.
+    pub bytes_total: f64,
+    /// Flow count observed in the last epoch (ground truth; the
+    /// estimator adds measurement noise on top).
+    pub flows_last_epoch: u32,
+    /// Whether any of the aggregate's bundles was congested last epoch.
+    pub congested_last_epoch: bool,
+}
+
+/// What one epoch of the data plane produced.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// The model equilibrium of the installed routing under true load.
+    pub outcome: ModelOutcome,
+    /// True utilities achieved (computed against the true matrix).
+    pub report: UtilityReport,
+    /// Number of aggregates whose installed rules had to fall back to a
+    /// live shortest path because every bucket crossed a failed link.
+    pub fallback_count: usize,
+    /// Flows that could not be routed at all (network partition); they
+    /// score zero utility.
+    pub blackholed_flows: u64,
+}
+
+/// The simulated SDN data plane.
+pub struct Fabric {
+    topology: Topology,
+    true_tm: TrafficMatrix,
+    rules: RuleSet,
+    down: LinkSet,
+    counters: Vec<AggregateCounter>,
+    epoch: usize,
+    epoch_duration: Delay,
+    model: ModelConfig,
+}
+
+impl Fabric {
+    /// Builds a fabric with shortest-path rules installed (the state of
+    /// a freshly booted network before FUBAR has run).
+    pub fn new(topology: Topology, true_tm: TrafficMatrix, epoch_duration: Delay) -> Self {
+        assert!(
+            epoch_duration > Delay::ZERO,
+            "epoch duration must be positive"
+        );
+        let alloc = fubar_core::Allocation::all_on_shortest_paths(&topology, &true_tm);
+        let rules = RuleSet::from_allocation(&alloc, &true_tm);
+        let n = true_tm.len();
+        Fabric {
+            topology,
+            true_tm,
+            rules,
+            down: LinkSet::new(),
+            counters: vec![AggregateCounter::default(); n],
+            epoch: 0,
+            epoch_duration,
+            model: ModelConfig::default(),
+        }
+    }
+
+    /// The ground-truth topology (without failure annotations).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The ground-truth traffic matrix.
+    pub fn true_tm(&self) -> &TrafficMatrix {
+        &self.true_tm
+    }
+
+    /// Replaces the ground-truth traffic matrix (demand drift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new matrix has a different aggregate count — the
+    /// fabric's counters and rules are indexed by aggregate id.
+    pub fn set_true_tm(&mut self, tm: TrafficMatrix) {
+        assert_eq!(
+            tm.len(),
+            self.true_tm.len(),
+            "aggregate population must be stable across drift"
+        );
+        self.true_tm = tm;
+    }
+
+    /// Installs a new rule set (the controller's output).
+    pub fn install(&mut self, rules: RuleSet) {
+        assert_eq!(
+            rules.len(),
+            self.true_tm.len(),
+            "rules must cover every aggregate"
+        );
+        self.rules = rules;
+    }
+
+    /// Currently installed rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Marks a link (and its reverse, for duplex links) as failed.
+    pub fn fail_link(&mut self, link: fubar_graph::LinkId) {
+        self.down.insert(link);
+        if let Some(r) = self.topology.reverse_of(link) {
+            self.down.insert(r);
+        }
+    }
+
+    /// Repairs a previously failed link (and its reverse).
+    pub fn repair_link(&mut self, link: fubar_graph::LinkId) {
+        self.down.remove(link);
+        if let Some(r) = self.topology.reverse_of(link) {
+            self.down.remove(r);
+        }
+    }
+
+    /// The currently failed links.
+    pub fn failed_links(&self) -> &LinkSet {
+        &self.down
+    }
+
+    /// The topology as the controller should see it: failed links are
+    /// costed out (huge delay, 1 b/s capacity) so any optimizer run on
+    /// this view routes around them.
+    pub fn topology_view(&self) -> Topology {
+        let mut view = self.topology.clone();
+        if self.down.is_empty() {
+            return view;
+        }
+        // Keep link ids stable: cost failed links out of the routing
+        // graph (hour-scale delay keeps every path cost finite while
+        // making any route across them both unattractive and worthless —
+        // every delay curve is long dead by then) and starve them of
+        // capacity (Topology requires strictly positive values). The
+        // data plane additionally reroutes around failures in
+        // `bundles()`, so this is belt and braces.
+        for l in self.down.iter() {
+            view.set_capacity(l, Bandwidth::from_bps(1.0));
+            view.set_delay(l, Delay::from_secs(3600.0));
+        }
+        view
+    }
+
+    /// Per-aggregate counters.
+    pub fn counters(&self) -> &[AggregateCounter] {
+        &self.counters
+    }
+
+    /// Maps the true traffic onto installed rules, honouring failures.
+    /// Returns the bundles plus how many aggregates needed fallback.
+    fn bundles(&self) -> (Vec<BundleSpec>, usize, u64) {
+        let mut bundles = Vec::new();
+        let mut fallbacks = 0usize;
+        let mut blackholed = 0u64;
+        for a in self.true_tm.iter() {
+            let group = self
+                .rules
+                .group(a.id)
+                .expect("rules cover every aggregate");
+            let alive = group.alive_buckets(&self.down);
+            if alive.is_empty() {
+                // Data-plane protection: fall back to the live shortest
+                // path (what an IGP underlay would do). If the network is
+                // partitioned the traffic black-holes: no bundle, zero
+                // utility.
+                if !group.buckets.is_empty() {
+                    fallbacks += 1;
+                }
+                match self
+                    .topology
+                    .graph()
+                    .shortest_path(a.ingress, a.egress, &self.down)
+                {
+                    Some(p) => bundles.push(BundleSpec::new(a, &p, a.flow_count)),
+                    None => blackholed += u64::from(a.flow_count),
+                }
+                continue;
+            }
+            let refs: Vec<(&Path, u32)> = alive.iter().map(|(p, w)| (p, *w)).collect();
+            let split = RuleSet::split_flows(&refs, a.flow_count);
+            for (i, &n) in split.iter().enumerate() {
+                if n > 0 {
+                    bundles.push(BundleSpec::new(a, refs[i].0, n));
+                }
+            }
+        }
+        (bundles, fallbacks, blackholed)
+    }
+
+    /// Runs one epoch: route true traffic over installed rules, update
+    /// counters, return the epoch report.
+    pub fn run_epoch(&mut self) -> EpochReport {
+        let (bundles, fallback_count, blackholed_flows) = self.bundles();
+        // Failed links carry nothing: bundles never cross them by
+        // construction, so evaluating on the true topology is exact.
+        let model = FlowModel::new(&self.topology, self.model);
+        let outcome = model.evaluate(&bundles);
+        let report = fubar_model::utility_report(&self.true_tm, &bundles, &outcome);
+
+        // Refresh counters.
+        let dt = self.epoch_duration.secs();
+        for c in &mut self.counters {
+            c.bytes_last_epoch = 0.0;
+            c.flows_last_epoch = 0;
+            c.congested_last_epoch = false;
+        }
+        for (i, b) in bundles.iter().enumerate() {
+            let c = &mut self.counters[b.aggregate.index()];
+            let bytes = outcome.bundle_rates[i].bps() * dt / 8.0;
+            c.bytes_last_epoch += bytes;
+            c.bytes_total += bytes;
+            c.flows_last_epoch += b.flow_count;
+            c.congested_last_epoch |= outcome.bundle_status[i].is_congested();
+        }
+
+        let epoch = self.epoch;
+        self.epoch += 1;
+        EpochReport {
+            epoch,
+            outcome,
+            report,
+            fallback_count,
+            blackholed_flows,
+        }
+    }
+
+    /// The duration the counters integrate over.
+    pub fn epoch_duration(&self) -> Delay {
+        self.epoch_duration
+    }
+
+    /// Number of epochs run so far.
+    pub fn epochs_run(&self) -> usize {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fubar_graph::NodeId;
+    use fubar_topology::{generators, Bandwidth, Delay};
+    use fubar_traffic::{Aggregate, AggregateId};
+    use fubar_utility::TrafficClass;
+
+    fn fixture() -> Fabric {
+        let topo = generators::ring(4, Bandwidth::from_kbps(500.0), Delay::from_ms(1.0));
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(2),
+            TrafficClass::LargeFile { peak_mbps: 1.0 },
+            2, // 2 Mb/s demand vs 500 kb/s links: splittable across the ring
+        )]);
+        Fabric::new(topo, tm, Delay::from_secs(10.0))
+    }
+
+    #[test]
+    fn boot_state_is_shortest_path_and_congested() {
+        let mut f = fixture();
+        let r = f.run_epoch();
+        assert_eq!(r.epoch, 0);
+        assert!(r.outcome.is_congested());
+        assert_eq!(r.fallback_count, 0);
+        assert_eq!(f.epochs_run(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut f = fixture();
+        f.run_epoch();
+        let after_one = f.counters()[0].bytes_total;
+        assert!(after_one > 0.0);
+        // 500 kb/s for 10 s = 625_000 bytes.
+        assert!((after_one - 625_000.0).abs() < 1.0, "got {after_one}");
+        f.run_epoch();
+        let after_two = f.counters()[0].bytes_total;
+        assert!((after_two - 2.0 * after_one).abs() < 1.0);
+        assert!(f.counters()[0].congested_last_epoch);
+        assert_eq!(f.counters()[0].flows_last_epoch, 2);
+    }
+
+    #[test]
+    fn installing_optimized_rules_improves_true_utility() {
+        let mut f = fixture();
+        let before = f.run_epoch();
+        // Run FUBAR against ground truth and install.
+        let result =
+            fubar_core::Optimizer::with_defaults(f.topology(), f.true_tm()).run();
+        let rules = RuleSet::from_allocation(&result.allocation, f.true_tm());
+        f.install(rules);
+        let after = f.run_epoch();
+        assert!(
+            after.report.network_utility > before.report.network_utility,
+            "{} -> {}",
+            before.report.network_utility,
+            after.report.network_utility
+        );
+    }
+
+    #[test]
+    fn failed_path_falls_back_to_live_shortest() {
+        let mut f = fixture();
+        let first = f.run_epoch();
+        assert_eq!(first.fallback_count, 0);
+        // Fail the first link of the installed path.
+        let g = f.rules().group(AggregateId(0)).unwrap();
+        let link = g.buckets[0].0.links()[0];
+        f.fail_link(link);
+        let r = f.run_epoch();
+        assert_eq!(r.fallback_count, 1, "aggregate must fall back");
+        // Traffic still flows (the other way around the ring).
+        assert!(r.report.network_utility > 0.0);
+        // Nothing crosses the failed link.
+        assert_eq!(r.outcome.link_load[link.index()], Bandwidth::ZERO);
+        // Repair restores the original path.
+        f.repair_link(link);
+        let r = f.run_epoch();
+        assert_eq!(r.fallback_count, 0);
+    }
+
+    #[test]
+    fn topology_view_costs_out_failed_links() {
+        let mut f = fixture();
+        let link = fubar_graph::LinkId(0);
+        f.fail_link(link);
+        let view = f.topology_view();
+        assert_eq!(view.capacity(link), Bandwidth::from_bps(1.0));
+        assert_eq!(view.delay(link), Delay::from_secs(3600.0));
+        let rev = f.topology().reverse_of(link).unwrap();
+        assert_eq!(view.capacity(rev), Bandwidth::from_bps(1.0));
+        // Shortest paths on the view route around the failure.
+        let l = view.graph().link(link);
+        let p = view
+            .graph()
+            .shortest_path(l.src, l.dst, &LinkSet::new())
+            .unwrap();
+        assert!(!p.uses_link(link));
+    }
+
+    #[test]
+    fn drift_requires_stable_population() {
+        let mut f = fixture();
+        let tm2 = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(2),
+            TrafficClass::BulkTransfer,
+            20,
+        )]);
+        f.set_true_tm(tm2);
+        let r = f.run_epoch();
+        assert_eq!(f.counters()[0].flows_last_epoch, 20);
+        let _ = r;
+    }
+
+    #[test]
+    #[should_panic(expected = "stable")]
+    fn population_change_rejected() {
+        let mut f = fixture();
+        f.set_true_tm(TrafficMatrix::new(vec![]));
+    }
+}

@@ -1,0 +1,52 @@
+//! # fubar-sdn
+//!
+//! The deployment substrate the paper describes but defers (§2.1, §5):
+//! FUBAR "will be separate from the SDN controller", working "offline to
+//! periodically adjust the distribution of traffic on paths", with an
+//! online component admitting flows to the computed paths.
+//!
+//! This crate simulates that environment end to end so the closed loop
+//! can be exercised and failure-injected without hardware:
+//!
+//! * [`RuleSet`] — installed forwarding state: weighted path buckets per
+//!   aggregate (OpenFlow group-table style);
+//! * [`Fabric`] — the data plane: maps *true* (possibly drifted) traffic
+//!   onto installed rules, enforces link failures with IGP-style
+//!   fallback, evaluates the shared flow model, accumulates counters;
+//! * [`Estimator`] — the measurement pipeline: noisy counters, EWMA
+//!   smoothing, and demand-peak inference (paper §2.2);
+//! * [`FubarController`] / [`ClosedLoop`] — periodic re-optimization
+//!   with drift and scheduled failures.
+//!
+//! ```
+//! use fubar_sdn::{ClosedLoop, ClosedLoopConfig, Fabric};
+//! use fubar_topology::{generators, Bandwidth, Delay};
+//! use fubar_traffic::{workload, WorkloadConfig};
+//!
+//! let topo = generators::abilene(Bandwidth::from_mbps(2.0));
+//! let tm = workload::generate(&topo, &WorkloadConfig {
+//!     include_intra_pop: false,
+//!     flow_count: (2, 6),
+//!     ..Default::default()
+//! }, 7);
+//! let fabric = Fabric::new(topo, tm, Delay::from_secs(30.0));
+//! let mut sim = ClosedLoop::new(fabric, ClosedLoopConfig::default());
+//! let log = sim.run(4);
+//! assert_eq!(log.len(), 4);
+//! ```
+
+pub mod admission;
+pub mod arrivals;
+mod controller;
+mod fabric;
+mod measurement;
+mod rules;
+
+pub use admission::{AdmissionController, FlowAssignment};
+pub use arrivals::{ChurnConfig, ChurnRecord, ChurnSimulation};
+pub use controller::{
+    ClosedLoop, ClosedLoopConfig, DriftConfig, FailureEvent, FubarController, LoopRecord,
+};
+pub use fabric::{AggregateCounter, EpochReport, Fabric};
+pub use measurement::{AggregateEstimate, Estimator, MeasurementConfig};
+pub use rules::{GroupEntry, RuleSet};

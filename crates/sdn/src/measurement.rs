@@ -1,0 +1,291 @@
+//! The measurement pipeline (paper §2.1).
+//!
+//! "FUBAR needs periodic per-aggregate bandwidth measurements and
+//! approximate flow counts for each aggregate." Real controllers read
+//! sampled counters, so estimates are noisy; the estimator applies
+//! multiplicative Gaussian noise, EWMA-smooths rates, and feeds
+//! per-flow rate observations into the utility crate's
+//! [`InflectionEstimator`] so bandwidth demand peaks are *learned*, not
+//! assumed (paper §2.2).
+
+use crate::fabric::AggregateCounter;
+use fubar_topology::{Bandwidth, Delay};
+use fubar_traffic::TrafficMatrix;
+use fubar_utility::InflectionEstimator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the measurement pipeline.
+#[derive(Clone, Debug)]
+pub struct MeasurementConfig {
+    /// Relative standard deviation of counter noise (0 = perfect
+    /// counters).
+    pub noise_rel_std: f64,
+    /// EWMA gain for rate smoothing, in (0, 1].
+    pub ewma_gain: f64,
+    /// Headroom the inflection estimator adds to learned peaks.
+    pub inference_headroom: f64,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        MeasurementConfig {
+            noise_rel_std: 0.05,
+            ewma_gain: 0.4,
+            inference_headroom: 1.1,
+        }
+    }
+}
+
+/// One aggregate's current estimate.
+#[derive(Clone, Debug, Default)]
+pub struct AggregateEstimate {
+    /// Smoothed aggregate rate, bits/s.
+    pub rate_bps: f64,
+    /// Estimated flow count (noisy, at least 1 once traffic is seen).
+    pub flow_count: u32,
+    /// Learned per-flow demand peak, if inference has converged.
+    pub demand_peak: Option<Bandwidth>,
+}
+
+/// Turns raw fabric counters into a traffic-matrix estimate.
+pub struct Estimator {
+    config: MeasurementConfig,
+    rng: StdRng,
+    smoothed_rate: Vec<f64>,
+    inference: Vec<InflectionEstimator>,
+    flow_estimate: Vec<u32>,
+    epochs_seen: usize,
+}
+
+impl Estimator {
+    /// Creates an estimator for `n_aggregates`, deterministic in `seed`.
+    pub fn new(n_aggregates: usize, config: MeasurementConfig, seed: u64) -> Self {
+        assert!(
+            config.noise_rel_std >= 0.0,
+            "noise std must be non-negative"
+        );
+        assert!(
+            config.ewma_gain > 0.0 && config.ewma_gain <= 1.0,
+            "ewma gain must be in (0,1]"
+        );
+        Estimator {
+            rng: StdRng::seed_from_u64(seed),
+            smoothed_rate: vec![0.0; n_aggregates],
+            inference: vec![
+                InflectionEstimator::new(config.ewma_gain, config.inference_headroom);
+                n_aggregates
+            ],
+            flow_estimate: vec![0; n_aggregates],
+            config,
+            epochs_seen: 0,
+        }
+    }
+
+    /// Applies multiplicative noise to a non-negative measurement.
+    fn noisy(&mut self, value: f64) -> f64 {
+        if self.config.noise_rel_std == 0.0 || value == 0.0 {
+            return value;
+        }
+        // Box-Muller Gaussian from two uniforms; rand's StdRng is enough.
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (value * (1.0 + self.config.noise_rel_std * z)).max(0.0)
+    }
+
+    /// Consumes one epoch of fabric counters.
+    pub fn observe(&mut self, counters: &[AggregateCounter], epoch_duration: Delay) {
+        assert_eq!(
+            counters.len(),
+            self.smoothed_rate.len(),
+            "counter population changed"
+        );
+        let dt = epoch_duration.secs();
+        for (i, c) in counters.iter().enumerate() {
+            let rate = self.noisy(c.bytes_last_epoch * 8.0 / dt);
+            let s = &mut self.smoothed_rate[i];
+            *s += self.config.ewma_gain * (rate - *s);
+
+            let flows = self.noisy(f64::from(c.flows_last_epoch)).round() as u32;
+            self.flow_estimate[i] = flows.max(u32::from(c.flows_last_epoch > 0));
+
+            if c.flows_last_epoch > 0 {
+                let per_flow = rate / f64::from(c.flows_last_epoch);
+                self.inference[i].observe(
+                    Bandwidth::from_bps(per_flow.max(0.0)),
+                    c.congested_last_epoch,
+                );
+            }
+        }
+        self.epochs_seen += 1;
+    }
+
+    /// The current estimate for one aggregate.
+    pub fn estimate(&self, idx: usize) -> AggregateEstimate {
+        AggregateEstimate {
+            rate_bps: self.smoothed_rate[idx],
+            flow_count: self.flow_estimate[idx],
+            demand_peak: self.inference[idx].estimate(),
+        }
+    }
+
+    /// Builds the traffic matrix the controller optimizes: the true
+    /// aggregate population (ingress/egress/class are long-lived state
+    /// the controller knows) with *measured* flow counts and, where
+    /// inference has evidence, *learned* demand peaks.
+    pub fn estimated_matrix(&self, template: &TrafficMatrix) -> TrafficMatrix {
+        assert_eq!(template.len(), self.smoothed_rate.len());
+        let mut aggregates = Vec::with_capacity(template.len());
+        for a in template.iter() {
+            let mut est = a.clone();
+            let measured = self.flow_estimate[a.id.index()];
+            if measured > 0 {
+                est.flow_count = measured;
+            }
+            if let Some(peak) = self.inference[a.id.index()].estimate() {
+                // Only shrink toward measured reality; never inflate the
+                // configured class peak (congested samples already raise
+                // the estimate inside the inference module).
+                if peak < est.utility.peak_demand() {
+                    est.utility = est.utility.with_peak_demand(peak);
+                }
+            }
+            aggregates.push(est);
+        }
+        TrafficMatrix::new(aggregates)
+    }
+
+    /// Epochs observed so far.
+    pub fn epochs_seen(&self) -> usize {
+        self.epochs_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(rate_bps: f64, flows: u32, congested: bool, dt: f64) -> Vec<AggregateCounter> {
+        vec![AggregateCounter {
+            bytes_last_epoch: rate_bps * dt / 8.0,
+            bytes_total: 0.0,
+            flows_last_epoch: flows,
+            congested_last_epoch: congested,
+        }]
+    }
+
+    #[test]
+    fn noiseless_estimator_converges_exactly() {
+        let cfg = MeasurementConfig {
+            noise_rel_std: 0.0,
+            ewma_gain: 1.0,
+            inference_headroom: 1.0,
+        };
+        let mut e = Estimator::new(1, cfg, 7);
+        e.observe(&counters(500_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+        let est = e.estimate(0);
+        assert!((est.rate_bps - 500_000.0).abs() < 1e-6);
+        assert_eq!(est.flow_count, 10);
+        // Per-flow 50 kb/s observed uncongested -> learned peak 50 kb/s.
+        assert!((est.demand_peak.unwrap().kbps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_estimates_stay_close_on_average() {
+        let cfg = MeasurementConfig {
+            noise_rel_std: 0.1,
+            ewma_gain: 0.3,
+            inference_headroom: 1.0,
+        };
+        let mut e = Estimator::new(1, cfg, 42);
+        for _ in 0..200 {
+            e.observe(&counters(1_000_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+        }
+        let est = e.estimate(0);
+        let rel_err = (est.rate_bps - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(rel_err < 0.1, "smoothed relative error {rel_err}");
+        assert!(e.epochs_seen() == 200);
+    }
+
+    #[test]
+    fn congested_epochs_do_not_teach_low_peaks() {
+        let cfg = MeasurementConfig {
+            noise_rel_std: 0.0,
+            ewma_gain: 1.0,
+            inference_headroom: 1.0,
+        };
+        let mut e = Estimator::new(1, cfg, 7);
+        // Congested epochs with per-flow 20 kb/s: no peak learned.
+        e.observe(&counters(200_000.0, 10, true, 10.0), Delay::from_secs(10.0));
+        assert_eq!(e.estimate(0).demand_peak, None);
+        // One uncongested epoch at 80 kb/s per flow teaches the peak.
+        e.observe(&counters(800_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+        assert!((e.estimate(0).demand_peak.unwrap().kbps() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimated_matrix_shrinks_overconfigured_peaks() {
+        use fubar_graph::NodeId;
+        use fubar_traffic::{Aggregate, AggregateId};
+        use fubar_utility::TrafficClass;
+        let template = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::BulkTransfer, // configured peak 120 kb/s
+            10,
+        )]);
+        let cfg = MeasurementConfig {
+            noise_rel_std: 0.0,
+            ewma_gain: 1.0,
+            inference_headroom: 1.0,
+        };
+        let mut e = Estimator::new(1, cfg, 7);
+        // Uncongested but only using 40 kb/s per flow: the app is the
+        // limit, so the demand peak should shrink.
+        e.observe(&counters(400_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+        let est_tm = e.estimated_matrix(&template);
+        let peak = est_tm.aggregate(AggregateId(0)).per_flow_demand();
+        assert!((peak.kbps() - 40.0).abs() < 1e-9, "got {peak}");
+    }
+
+    #[test]
+    fn estimated_matrix_never_inflates_peaks() {
+        use fubar_graph::NodeId;
+        use fubar_traffic::{Aggregate, AggregateId};
+        use fubar_utility::TrafficClass;
+        let template = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::RealTime, // configured peak 50 kb/s
+            10,
+        )]);
+        let cfg = MeasurementConfig {
+            noise_rel_std: 0.0,
+            ewma_gain: 1.0,
+            inference_headroom: 2.0, // aggressive headroom
+        };
+        let mut e = Estimator::new(1, cfg, 7);
+        e.observe(&counters(500_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+        // Learned peak would be 100 kb/s (headroom 2.0) > configured 50.
+        let est_tm = e.estimated_matrix(&template);
+        let peak = est_tm.aggregate(AggregateId(0)).per_flow_demand();
+        assert!((peak.kbps() - 50.0).abs() < 1e-9, "configured peak kept, got {peak}");
+    }
+
+    #[test]
+    fn zero_epoch_estimates_are_empty() {
+        let e = Estimator::new(2, MeasurementConfig::default(), 1);
+        assert_eq!(e.estimate(0).flow_count, 0);
+        assert_eq!(e.estimate(1).demand_peak, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "population changed")]
+    fn population_change_rejected() {
+        let mut e = Estimator::new(1, MeasurementConfig::default(), 1);
+        e.observe(&[], Delay::from_secs(1.0));
+    }
+}

@@ -1,0 +1,193 @@
+//! Installed forwarding state: weighted path groups per aggregate.
+//!
+//! In a real deployment FUBAR's output becomes OpenFlow group-table
+//! buckets or MPLS-TE tunnels with load-share weights (paper §1, §5:
+//! "intended to be used as an offline controller in SDN or MPLS
+//! networks"). Here the installed state is a [`RuleSet`]: for every
+//! aggregate, the list of paths with integer weights (the flow counts
+//! the optimizer assigned). The fabric maps whatever traffic *actually*
+//! arrives onto these weights.
+
+use fubar_core::Allocation;
+use fubar_graph::{LinkSet, Path};
+use fubar_traffic::{AggregateId, TrafficMatrix};
+
+/// One aggregate's installed weighted paths.
+#[derive(Clone, Debug, Default)]
+pub struct GroupEntry {
+    /// `(path, weight)` buckets; weights are relative shares.
+    pub buckets: Vec<(Path, u32)>,
+}
+
+impl GroupEntry {
+    /// Total weight across buckets.
+    pub fn total_weight(&self) -> u64 {
+        self.buckets.iter().map(|&(_, w)| u64::from(w)).sum()
+    }
+
+    /// Buckets whose paths avoid every link in `down`, preserving order.
+    pub fn alive_buckets(&self, down: &LinkSet) -> Vec<&(Path, u32)> {
+        self.buckets
+            .iter()
+            .filter(|(p, _)| p.links().iter().all(|l| !down.contains(*l)))
+            .collect()
+    }
+}
+
+/// The complete installed forwarding state, indexed by [`AggregateId`].
+#[derive(Clone, Debug, Default)]
+pub struct RuleSet {
+    groups: Vec<GroupEntry>,
+}
+
+impl RuleSet {
+    /// Snapshots an optimizer [`Allocation`] into installable rules
+    /// (only paths with non-zero flows become buckets).
+    pub fn from_allocation(allocation: &Allocation, tm: &TrafficMatrix) -> Self {
+        let mut groups = Vec::with_capacity(tm.len());
+        for a in tm.iter() {
+            let ps = allocation.path_set(a.id);
+            let mut buckets = Vec::new();
+            for (idx, p) in ps.iter().enumerate() {
+                let w = allocation.flows_on(a.id, idx);
+                if w > 0 {
+                    buckets.push((p.clone(), w));
+                }
+            }
+            groups.push(GroupEntry { buckets });
+        }
+        RuleSet { groups }
+    }
+
+    /// Number of aggregates covered.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group for one aggregate, if covered.
+    pub fn group(&self, id: AggregateId) -> Option<&GroupEntry> {
+        self.groups.get(id.index())
+    }
+
+    /// Splits `flows` across the given ordered buckets proportionally to
+    /// weight, using largest-remainder rounding so the counts always sum
+    /// to `flows` and the result is deterministic.
+    pub fn split_flows(buckets: &[(&Path, u32)], flows: u32) -> Vec<u32> {
+        if buckets.is_empty() {
+            return Vec::new();
+        }
+        let total: f64 = buckets.iter().map(|&(_, w)| f64::from(w)).sum();
+        if total <= 0.0 {
+            // Degenerate weights: everything on the first bucket.
+            let mut out = vec![0; buckets.len()];
+            out[0] = flows;
+            return out;
+        }
+        let mut out = Vec::with_capacity(buckets.len());
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(buckets.len());
+        let mut assigned: u32 = 0;
+        for (i, &(_, w)) in buckets.iter().enumerate() {
+            let exact = f64::from(flows) * f64::from(w) / total;
+            let floor = exact.floor() as u32;
+            out.push(floor);
+            assigned += floor;
+            remainders.push((i, exact - f64::from(floor)));
+        }
+        // Hand out the leftover flows to the largest remainders
+        // (ties broken by bucket order).
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut left = flows - assigned;
+        for (i, _) in remainders {
+            if left == 0 {
+                break;
+            }
+            out[i] += 1;
+            left -= 1;
+        }
+        out
+    }
+
+    /// Total number of installed buckets (a proxy for flow-table size).
+    pub fn bucket_count(&self) -> usize {
+        self.groups.iter().map(|g| g.buckets.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fubar_graph::NodeId;
+    use fubar_topology::{generators, Bandwidth, Delay};
+    use fubar_traffic::Aggregate;
+    use fubar_utility::TrafficClass;
+
+    fn fixture() -> (fubar_topology::Topology, TrafficMatrix) {
+        let topo = generators::ring(4, Bandwidth::from_mbps(1.0), Delay::from_ms(1.0));
+        let tm = TrafficMatrix::new(vec![Aggregate::new(
+            AggregateId(0),
+            NodeId(0),
+            NodeId(2),
+            TrafficClass::BulkTransfer,
+            10,
+        )]);
+        (topo, tm)
+    }
+
+    #[test]
+    fn from_allocation_snapshots_nonzero_buckets() {
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let rules = RuleSet::from_allocation(&alloc, &tm);
+        assert_eq!(rules.len(), 1);
+        let g = rules.group(AggregateId(0)).unwrap();
+        assert_eq!(g.buckets.len(), 1);
+        assert_eq!(g.buckets[0].1, 10);
+        assert_eq!(g.total_weight(), 10);
+        assert_eq!(rules.bucket_count(), 1);
+    }
+
+    #[test]
+    fn split_flows_proportional_and_exact() {
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let p = alloc.path_set(AggregateId(0)).path(0).clone();
+        let buckets = [(&p, 3u32), (&p, 1u32)];
+        let split = RuleSet::split_flows(&buckets, 10);
+        assert_eq!(split.iter().sum::<u32>(), 10);
+        assert_eq!(split, vec![8, 2]); // 7.5 -> 7 + remainder, 2.5 -> 2; leftover to larger remainder
+        let _ = tm;
+    }
+
+    #[test]
+    fn split_flows_handles_edge_cases() {
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let p = alloc.path_set(AggregateId(0)).path(0).clone();
+        // Zero total weight -> everything on first bucket.
+        let buckets = [(&p, 0u32), (&p, 0u32)];
+        assert_eq!(RuleSet::split_flows(&buckets, 5), vec![5, 0]);
+        // Empty buckets -> empty split.
+        assert!(RuleSet::split_flows(&[], 5).is_empty());
+        // Exact division has no remainder games.
+        let buckets = [(&p, 1u32), (&p, 1u32)];
+        assert_eq!(RuleSet::split_flows(&buckets, 4), vec![2, 2]);
+        let _ = tm;
+    }
+
+    #[test]
+    fn alive_buckets_filters_failed_paths() {
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let rules = RuleSet::from_allocation(&alloc, &tm);
+        let g = rules.group(AggregateId(0)).unwrap();
+        let mut down = LinkSet::new();
+        assert_eq!(g.alive_buckets(&down).len(), 1);
+        down.insert(g.buckets[0].0.links()[0]);
+        assert!(g.alive_buckets(&down).is_empty());
+    }
+}

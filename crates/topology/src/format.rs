@@ -1,0 +1,278 @@
+//! A tiny line-oriented text format for topologies.
+//!
+//! Keeps topologies diffable and round-trippable without pulling a
+//! serialization framework into the workspace. Grammar (one directive per
+//! line, `#` starts a comment):
+//!
+//! ```text
+//! topology <name>
+//! node <name> [<lat> <lon>]
+//! link <a> <b> <capacity> <delay>     # duplex; e.g. link NY LON 100Mbps 38ms
+//! link <a> <b> <capacity> geo         # delay derived from coordinates
+//! simplex <a> <b> <capacity> <delay>  # one-directional
+//! ```
+
+use crate::geo::GeoPoint;
+use crate::topology::{Topology, TopologyBuilder};
+use crate::units::{Bandwidth, Delay};
+use std::fmt;
+
+/// A parse failure, with the 1-based line number where it happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the text format described in the module docs.
+pub fn parse(text: &str) -> Result<Topology, ParseError> {
+    let mut builder: Option<TopologyBuilder> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "topology" => {
+                if builder.is_some() {
+                    return Err(err(lineno, "duplicate `topology` directive"));
+                }
+                if tokens.len() != 2 {
+                    return Err(err(lineno, "usage: topology <name>"));
+                }
+                builder = Some(TopologyBuilder::new(tokens[1]));
+            }
+            "node" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`node` before `topology`"))?;
+                match tokens.len() {
+                    2 => b
+                        .add_node(tokens[1])
+                        .map(|_| ())
+                        .map_err(|e| err(lineno, e.to_string()))?,
+                    4 => {
+                        let lat: f64 = tokens[2]
+                            .parse()
+                            .map_err(|e| err(lineno, format!("bad latitude: {e}")))?;
+                        let lon: f64 = tokens[3]
+                            .parse()
+                            .map_err(|e| err(lineno, format!("bad longitude: {e}")))?;
+                        if !(-90.0..=90.0).contains(&lat) {
+                            return Err(err(lineno, format!("latitude {lat} out of range")));
+                        }
+                        if !(-180.0..=180.0).contains(&lon) {
+                            return Err(err(lineno, format!("longitude {lon} out of range")));
+                        }
+                        b.add_node_at(tokens[1], GeoPoint::new(lat, lon))
+                            .map(|_| ())
+                            .map_err(|e| err(lineno, e.to_string()))?
+                    }
+                    _ => return Err(err(lineno, "usage: node <name> [<lat> <lon>]")),
+                }
+            }
+            "link" | "simplex" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "link before `topology`"))?;
+                if tokens.len() != 5 {
+                    return Err(err(
+                        lineno,
+                        format!("usage: {} <a> <b> <capacity> <delay|geo>", tokens[0]),
+                    ));
+                }
+                let cap: Bandwidth = tokens[3].parse().map_err(|e| err(lineno, e))?;
+                if tokens[0] == "simplex" {
+                    if tokens[4] == "geo" {
+                        return Err(err(lineno, "geo delay is only supported for duplex links"));
+                    }
+                    let delay: Delay = tokens[4].parse().map_err(|e| err(lineno, e))?;
+                    b.add_simplex_link(tokens[1], tokens[2], cap, delay)
+                        .map(|_| ())
+                        .map_err(|e| err(lineno, e.to_string()))?;
+                } else if tokens[4] == "geo" {
+                    b.add_duplex_link_geo(tokens[1], tokens[2], cap)
+                        .map(|_| ())
+                        .map_err(|e| err(lineno, e.to_string()))?;
+                } else {
+                    let delay: Delay = tokens[4].parse().map_err(|e| err(lineno, e))?;
+                    b.add_duplex_link(tokens[1], tokens[2], cap, delay)
+                        .map(|_| ())
+                        .map_err(|e| err(lineno, e.to_string()))?;
+                }
+            }
+            other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+        }
+    }
+    builder
+        .map(TopologyBuilder::build)
+        .ok_or_else(|| err(1, "missing `topology` directive"))
+}
+
+/// Serializes a topology into the text format. Delays are written
+/// explicitly (in ms) even for geo-built links, so the round trip is
+/// exact regardless of coordinate availability.
+pub fn serialize(t: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("topology {}\n", t.name()));
+    for n in t.nodes() {
+        match t.node_geo(n) {
+            Some(g) => out.push_str(&format!(
+                "node {} {} {}\n",
+                t.node_name(n),
+                g.lat,
+                g.lon
+            )),
+            None => out.push_str(&format!("node {}\n", t.node_name(n))),
+        }
+    }
+    let mut emitted = vec![false; t.link_count()];
+    for l in t.links() {
+        if emitted[l.index()] {
+            continue;
+        }
+        let link = t.graph().link(l);
+        let kind = match t.reverse_of(l) {
+            Some(r) => {
+                emitted[r.index()] = true;
+                "link"
+            }
+            None => "simplex",
+        };
+        out.push_str(&format!(
+            "{} {} {} {}bps {}ms\n",
+            kind,
+            t.node_name(link.src),
+            t.node_name(link.dst),
+            t.capacity(l).bps(),
+            t.delay(l).ms(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn parses_a_small_topology() {
+        let text = "
+# demo
+topology demo
+node a
+node b 40.0 -74.0
+node c 51.5 0.0
+link a b 100Mbps 5ms
+link b c 75Mbps geo
+simplex a c 10Mbps 1ms
+";
+        let t = parse(text).unwrap();
+        assert_eq!(t.name(), "demo");
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.duplex_count(), 3); // 2 duplex + 1 simplex
+        assert_eq!(t.link_count(), 5);
+        let ab = t
+            .graph()
+            .find_link(t.node("a").unwrap(), t.node("b").unwrap())
+            .unwrap();
+        assert_eq!(t.capacity(ab), Bandwidth::from_mbps(100.0));
+        assert_eq!(t.delay(ab), Delay::from_ms(5.0));
+    }
+
+    #[test]
+    fn round_trips_generated_topologies() {
+        for t in [
+            generators::he_core(Bandwidth::from_mbps(100.0)),
+            generators::abilene(Bandwidth::from_gbps(10.0)),
+            generators::dumbbell(
+                2,
+                Bandwidth::from_mbps(100.0),
+                Bandwidth::from_mbps(10.0),
+                Delay::from_ms(1.0),
+            ),
+        ] {
+            let text = serialize(&t);
+            let back = parse(&text).unwrap();
+            assert_eq!(back.name(), t.name());
+            assert_eq!(back.node_count(), t.node_count());
+            assert_eq!(back.link_count(), t.link_count());
+            for l in t.links() {
+                assert!(
+                    (back.capacity(l).bps() - t.capacity(l).bps()).abs() < 1e-6,
+                    "capacity mismatch on {}",
+                    t.link_label(l)
+                );
+                assert!(
+                    (back.delay(l).secs() - t.delay(l).secs()).abs() < 1e-12,
+                    "delay mismatch on {}",
+                    t.link_label(l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geo_delay_from_text() {
+        let text = "topology t\nnode x 40.71 -74.01\nnode y 51.51 -0.13\nlink x y 1Mbps geo\n";
+        let t = parse(text).unwrap();
+        let l = t
+            .graph()
+            .find_link(t.node("x").unwrap(), t.node("y").unwrap())
+            .unwrap();
+        assert!((30.0..50.0).contains(&t.delay(l).ms()));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("topology t\nnode a\nnode a\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate"));
+
+        let e = parse("node a\n").unwrap_err();
+        assert!(e.message.contains("before `topology`"));
+
+        let e = parse("topology t\nfrobnicate a b\n").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = parse("topology t\nnode a\nnode b\nlink a b 100Mbps\n").unwrap_err();
+        assert!(e.message.contains("usage"));
+
+        let e = parse("").unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn geo_link_without_coords_fails_cleanly() {
+        let e = parse("topology t\nnode a\nnode b\nlink a b 1Mbps geo\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("coordinates"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = parse("\n# hi\ntopology t # trailing\nnode a\nnode b\nlink a b 1Mbps 1ms # ok\n")
+            .unwrap();
+        assert_eq!(t.node_count(), 2);
+    }
+}

@@ -1,0 +1,508 @@
+//! Topology generators.
+//!
+//! The headline generator is [`he_core`], a synthesized stand-in for the
+//! Hurricane Electric core topology the paper evaluates on (31 POPs, 56
+//! inter-POP links — paper §3). The exact 2014 adjacency is not publicly
+//! recoverable, so we reconstruct a backbone with the same node count,
+//! link count, continental structure (US + Europe + Asia-Pacific rings
+//! with transatlantic/transpacific trunks) and geo-derived propagation
+//! delays. See DESIGN.md §1 for the substitution rationale.
+//!
+//! The remaining generators produce the small regular topologies used by
+//! tests, examples and benchmarks: [`line()`], [`ring`], [`star`], [`grid`],
+//! [`full_mesh`], [`dumbbell`], the [`abilene`] research backbone, and
+//! seeded random [`waxman`] graphs.
+
+use crate::geo::GeoPoint;
+use crate::topology::{Topology, TopologyBuilder};
+use crate::units::{Bandwidth, Delay};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 31 POPs of the synthesized Hurricane Electric core: name, latitude,
+/// longitude.
+pub const HE_POPS: [(&str, f64, f64); 31] = [
+    ("Seattle", 47.61, -122.33),
+    ("Portland", 45.52, -122.68),
+    ("Fremont", 37.55, -121.99),
+    ("SanJose", 37.34, -121.89),
+    ("LosAngeles", 34.05, -118.24),
+    ("Phoenix", 33.45, -112.07),
+    ("LasVegas", 36.17, -115.14),
+    ("Denver", 39.74, -104.99),
+    ("Dallas", 32.78, -96.80),
+    ("Houston", 29.76, -95.37),
+    ("KansasCity", 39.10, -94.58),
+    ("Chicago", 41.88, -87.63),
+    ("Minneapolis", 44.98, -93.27),
+    ("Toronto", 43.65, -79.38),
+    ("NewYork", 40.71, -74.01),
+    ("Ashburn", 39.04, -77.49),
+    ("Atlanta", 33.75, -84.39),
+    ("Miami", 25.76, -80.19),
+    ("London", 51.51, -0.13),
+    ("Paris", 48.86, 2.35),
+    ("Amsterdam", 52.37, 4.90),
+    ("Frankfurt", 50.11, 8.68),
+    ("Zurich", 47.37, 8.54),
+    ("Milan", 45.46, 9.19),
+    ("Prague", 50.08, 14.44),
+    ("Vienna", 48.21, 16.37),
+    ("Warsaw", 52.23, 21.01),
+    ("Stockholm", 59.33, 18.07),
+    ("Tokyo", 35.68, 139.69),
+    ("HongKong", 22.32, 114.17),
+    ("Singapore", 1.35, 103.82),
+];
+
+/// The 56 duplex adjacencies of the synthesized HE core.
+pub const HE_LINKS: [(&str, &str); 56] = [
+    // US West Coast chain.
+    ("Seattle", "Portland"),
+    ("Portland", "Fremont"),
+    ("Fremont", "SanJose"),
+    ("SanJose", "LosAngeles"),
+    ("LosAngeles", "Phoenix"),
+    ("LosAngeles", "LasVegas"),
+    ("LasVegas", "Phoenix"),
+    ("Fremont", "LosAngeles"),
+    // US interior.
+    ("Seattle", "Denver"),
+    ("Fremont", "Denver"),
+    ("Denver", "KansasCity"),
+    ("Denver", "Dallas"),
+    ("Phoenix", "Dallas"),
+    ("Dallas", "Houston"),
+    ("Dallas", "KansasCity"),
+    ("KansasCity", "Chicago"),
+    ("Minneapolis", "KansasCity"),
+    ("Chicago", "Minneapolis"),
+    ("Minneapolis", "Seattle"),
+    ("LosAngeles", "Dallas"),
+    ("Denver", "Chicago"),
+    ("Dallas", "Ashburn"),
+    // US East.
+    ("Chicago", "Toronto"),
+    ("Toronto", "NewYork"),
+    ("Chicago", "NewYork"),
+    ("Chicago", "Ashburn"),
+    ("NewYork", "Ashburn"),
+    ("Ashburn", "Atlanta"),
+    ("Atlanta", "Dallas"),
+    ("Atlanta", "Miami"),
+    ("Houston", "Miami"),
+    // Transatlantic.
+    ("NewYork", "London"),
+    ("NewYork", "Amsterdam"),
+    ("Ashburn", "London"),
+    ("Ashburn", "Paris"),
+    // Europe.
+    ("London", "Paris"),
+    ("London", "Amsterdam"),
+    ("London", "Frankfurt"),
+    ("Amsterdam", "Frankfurt"),
+    ("Amsterdam", "Stockholm"),
+    ("Paris", "Frankfurt"),
+    ("Paris", "Zurich"),
+    ("Frankfurt", "Zurich"),
+    ("Frankfurt", "Prague"),
+    ("Frankfurt", "Vienna"),
+    ("Frankfurt", "Warsaw"),
+    ("Zurich", "Milan"),
+    ("Prague", "Vienna"),
+    ("Vienna", "Warsaw"),
+    ("Warsaw", "Stockholm"),
+    // Transpacific & Asia.
+    ("Seattle", "Tokyo"),
+    ("LosAngeles", "Tokyo"),
+    ("Fremont", "Tokyo"),
+    ("Tokyo", "HongKong"),
+    ("HongKong", "Singapore"),
+    ("Singapore", "Tokyo"),
+];
+
+/// Synthesized Hurricane Electric core topology: 31 POPs, 56 duplex links,
+/// geo-derived propagation delays, uniform `capacity` on every directed
+/// link (the paper uses 100 Mb/s for the provisioned case and 75 Mb/s for
+/// the underprovisioned one).
+pub fn he_core(capacity: Bandwidth) -> Topology {
+    let mut b = TopologyBuilder::new("he-core-31");
+    for (name, lat, lon) in HE_POPS {
+        b.add_node_at(name, GeoPoint::new(lat, lon))
+            .expect("HE POP names are unique");
+    }
+    for (a, z) in HE_LINKS {
+        b.add_duplex_link_geo(a, z, capacity)
+            .expect("HE adjacency references known POPs");
+    }
+    b.build()
+}
+
+/// The historical Abilene (Internet2) research backbone: 11 POPs, 14
+/// duplex links, geo-derived delays. A well-known mid-size benchmark
+/// topology.
+pub fn abilene(capacity: Bandwidth) -> Topology {
+    const POPS: [(&str, f64, f64); 11] = [
+        ("Seattle", 47.61, -122.33),
+        ("Sunnyvale", 37.37, -122.04),
+        ("LosAngeles", 34.05, -118.24),
+        ("Denver", 39.74, -104.99),
+        ("KansasCity", 39.10, -94.58),
+        ("Houston", 29.76, -95.37),
+        ("Chicago", 41.88, -87.63),
+        ("Indianapolis", 39.77, -86.16),
+        ("Atlanta", 33.75, -84.39),
+        ("WashingtonDC", 38.91, -77.04),
+        ("NewYork", 40.71, -74.01),
+    ];
+    const LINKS: [(&str, &str); 14] = [
+        ("Seattle", "Sunnyvale"),
+        ("Seattle", "Denver"),
+        ("Sunnyvale", "LosAngeles"),
+        ("Sunnyvale", "Denver"),
+        ("LosAngeles", "Houston"),
+        ("Denver", "KansasCity"),
+        ("KansasCity", "Houston"),
+        ("KansasCity", "Indianapolis"),
+        ("Houston", "Atlanta"),
+        ("Chicago", "Indianapolis"),
+        ("Chicago", "NewYork"),
+        ("Indianapolis", "Atlanta"),
+        ("Atlanta", "WashingtonDC"),
+        ("WashingtonDC", "NewYork"),
+    ];
+    let mut b = TopologyBuilder::new("abilene");
+    for (name, lat, lon) in POPS {
+        b.add_node_at(name, GeoPoint::new(lat, lon)).unwrap();
+    }
+    for (a, z) in LINKS {
+        b.add_duplex_link_geo(a, z, capacity).unwrap();
+    }
+    b.build()
+}
+
+fn numbered(prefix: &str, i: usize) -> String {
+    format!("{prefix}{i}")
+}
+
+/// A line of `n` nodes: `n0 - n1 - ... - n(n-1)`.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+pub fn line(n: usize, capacity: Bandwidth, hop_delay: Delay) -> Topology {
+    assert!(n >= 2, "a line needs at least two nodes");
+    let mut b = TopologyBuilder::new(format!("line-{n}"));
+    for i in 0..n {
+        b.add_node(numbered("n", i)).unwrap();
+    }
+    for i in 0..n - 1 {
+        b.add_duplex_link(&numbered("n", i), &numbered("n", i + 1), capacity, hop_delay)
+            .unwrap();
+    }
+    b.build()
+}
+
+/// A ring of `n` nodes.
+///
+/// # Panics
+///
+/// Panics when `n < 3`.
+pub fn ring(n: usize, capacity: Bandwidth, hop_delay: Delay) -> Topology {
+    assert!(n >= 3, "a ring needs at least three nodes");
+    let mut b = TopologyBuilder::new(format!("ring-{n}"));
+    for i in 0..n {
+        b.add_node(numbered("n", i)).unwrap();
+    }
+    for i in 0..n {
+        b.add_duplex_link(
+            &numbered("n", i),
+            &numbered("n", (i + 1) % n),
+            capacity,
+            hop_delay,
+        )
+        .unwrap();
+    }
+    b.build()
+}
+
+/// A star: one `hub` connected to `leaves` leaf nodes.
+///
+/// # Panics
+///
+/// Panics when `leaves < 1`.
+pub fn star(leaves: usize, capacity: Bandwidth, hop_delay: Delay) -> Topology {
+    assert!(leaves >= 1, "a star needs at least one leaf");
+    let mut b = TopologyBuilder::new(format!("star-{leaves}"));
+    b.add_node("hub").unwrap();
+    for i in 0..leaves {
+        b.add_node(numbered("leaf", i)).unwrap();
+        b.add_duplex_link("hub", &numbered("leaf", i), capacity, hop_delay)
+            .unwrap();
+    }
+    b.build()
+}
+
+/// A `w × h` grid with nearest-neighbour links.
+///
+/// # Panics
+///
+/// Panics when either dimension is zero or the grid has fewer than 2 nodes.
+pub fn grid(w: usize, h: usize, capacity: Bandwidth, hop_delay: Delay) -> Topology {
+    assert!(w >= 1 && h >= 1 && w * h >= 2, "grid too small");
+    let name = |x: usize, y: usize| format!("g{x}_{y}");
+    let mut b = TopologyBuilder::new(format!("grid-{w}x{h}"));
+    for y in 0..h {
+        for x in 0..w {
+            b.add_node(name(x, y)).unwrap();
+        }
+    }
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_duplex_link(&name(x, y), &name(x + 1, y), capacity, hop_delay)
+                    .unwrap();
+            }
+            if y + 1 < h {
+                b.add_duplex_link(&name(x, y), &name(x, y + 1), capacity, hop_delay)
+                    .unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+/// A complete graph on `n` nodes.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+pub fn full_mesh(n: usize, capacity: Bandwidth, hop_delay: Delay) -> Topology {
+    assert!(n >= 2, "a mesh needs at least two nodes");
+    let mut b = TopologyBuilder::new(format!("mesh-{n}"));
+    for i in 0..n {
+        b.add_node(numbered("n", i)).unwrap();
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            b.add_duplex_link(&numbered("n", i), &numbered("n", j), capacity, hop_delay)
+                .unwrap();
+        }
+    }
+    b.build()
+}
+
+/// The classic dumbbell: `pairs` sources on the left, `pairs` sinks on the
+/// right, one shared bottleneck in the middle. Edge links get `capacity`;
+/// the bottleneck gets `bottleneck`. The canonical congestion-sharing test
+/// fixture.
+pub fn dumbbell(
+    pairs: usize,
+    capacity: Bandwidth,
+    bottleneck: Bandwidth,
+    hop_delay: Delay,
+) -> Topology {
+    assert!(pairs >= 1, "a dumbbell needs at least one pair");
+    let mut b = TopologyBuilder::new(format!("dumbbell-{pairs}"));
+    b.add_node("l-agg").unwrap();
+    b.add_node("r-agg").unwrap();
+    b.add_duplex_link("l-agg", "r-agg", bottleneck, hop_delay)
+        .unwrap();
+    for i in 0..pairs {
+        b.add_node(numbered("src", i)).unwrap();
+        b.add_node(numbered("dst", i)).unwrap();
+        b.add_duplex_link(&numbered("src", i), "l-agg", capacity, hop_delay)
+            .unwrap();
+        b.add_duplex_link("r-agg", &numbered("dst", i), capacity, hop_delay)
+            .unwrap();
+    }
+    b.build()
+}
+
+/// A seeded Waxman random geometric graph on the unit square (1000 km a
+/// side): nodes placed uniformly, each pair linked with probability
+/// `alpha * exp(-d / (beta * L))`. A spanning chain over the random node
+/// order is added first so the result is always connected. Delays follow
+/// link length at fiber speed.
+pub fn waxman(
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    capacity: Bandwidth,
+    seed: u64,
+) -> Topology {
+    assert!(n >= 2, "waxman needs at least two nodes");
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+    assert!(beta > 0.0, "beta must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side_km = 1000.0;
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>() * side_km, rng.gen::<f64>() * side_km))
+        .collect();
+    let dist =
+        |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+    let delay_of = |km: f64| Delay::from_secs(km.max(1.0) / crate::geo::C_FIBER_KM_S);
+
+    let mut b = TopologyBuilder::new(format!("waxman-{n}-s{seed}"));
+    for i in 0..n {
+        b.add_node(numbered("w", i)).unwrap();
+    }
+    let mut connected = vec![vec![false; n]; n];
+    // Spanning chain guarantees connectivity.
+    for i in 0..n - 1 {
+        let d = dist(positions[i], positions[i + 1]);
+        b.add_duplex_link(&numbered("w", i), &numbered("w", i + 1), capacity, delay_of(d))
+            .unwrap();
+        connected[i][i + 1] = true;
+    }
+    let diag = side_km * std::f64::consts::SQRT_2;
+    for i in 0..n {
+        for j in i + 1..n {
+            if connected[i][j] {
+                continue;
+            }
+            let d = dist(positions[i], positions[j]);
+            let p = alpha * (-d / (beta * diag)).exp();
+            if rng.gen::<f64>() < p {
+                b.add_duplex_link(&numbered("w", i), &numbered("w", j), capacity, delay_of(d))
+                    .unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: Bandwidth = Bandwidth::ZERO; // placeholder, see cap()
+    fn cap() -> Bandwidth {
+        Bandwidth::from_mbps(100.0)
+    }
+    fn ms(v: f64) -> Delay {
+        Delay::from_ms(v)
+    }
+
+    #[test]
+    fn he_core_matches_paper_scale() {
+        let _ = CAP;
+        let t = he_core(cap());
+        assert_eq!(t.node_count(), 31, "paper: 31 POP nodes");
+        assert_eq!(t.duplex_count(), 56, "paper: 56 inter-POP links");
+        assert_eq!(t.link_count(), 112);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn he_core_delays_are_plausible() {
+        let t = he_core(cap());
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for l in t.links() {
+            let d = t.delay(l).ms();
+            min = min.min(d);
+            max = max.max(d);
+        }
+        // Fremont-SanJose is tens of km; transpacific is tens of ms.
+        assert!(min < 1.0, "shortest HE link should be sub-millisecond, got {min}ms");
+        assert!(
+            (30.0..80.0).contains(&max),
+            "longest HE link should be a transpacific trunk, got {max}ms"
+        );
+    }
+
+    #[test]
+    fn he_core_adjacency_has_no_duplicates() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for (a, z) in HE_LINKS {
+            let key = if a < z { (a, z) } else { (z, a) };
+            assert!(seen.insert(key), "duplicate HE link {a}-{z}");
+        }
+    }
+
+    #[test]
+    fn abilene_shape() {
+        let t = abilene(cap());
+        assert_eq!(t.node_count(), 11);
+        assert_eq!(t.duplex_count(), 14);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn line_ring_star_shapes() {
+        let l = line(5, cap(), ms(1.0));
+        assert_eq!(l.node_count(), 5);
+        assert_eq!(l.duplex_count(), 4);
+        assert!(l.is_connected());
+
+        let r = ring(6, cap(), ms(1.0));
+        assert_eq!(r.duplex_count(), 6);
+        assert!(r.is_connected());
+
+        let s = star(4, cap(), ms(1.0));
+        assert_eq!(s.node_count(), 5);
+        assert_eq!(s.duplex_count(), 4);
+        assert!(s.is_connected());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4, cap(), ms(1.0));
+        assert_eq!(g.node_count(), 12);
+        // 3x4 grid: horizontal 2*4=8, vertical 3*3=9 -> 17.
+        assert_eq!(g.duplex_count(), 17);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn full_mesh_shape() {
+        let m = full_mesh(5, cap(), ms(1.0));
+        assert_eq!(m.duplex_count(), 10);
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    fn dumbbell_shape_and_bottleneck() {
+        let d = dumbbell(3, cap(), Bandwidth::from_mbps(10.0), ms(1.0));
+        assert_eq!(d.node_count(), 8);
+        assert_eq!(d.duplex_count(), 7);
+        assert!(d.is_connected());
+        let mid = d
+            .graph()
+            .find_link(d.node("l-agg").unwrap(), d.node("r-agg").unwrap())
+            .unwrap();
+        assert_eq!(d.capacity(mid), Bandwidth::from_mbps(10.0));
+    }
+
+    #[test]
+    fn waxman_is_connected_and_seed_deterministic() {
+        let a = waxman(20, 0.6, 0.3, cap(), 7);
+        let b = waxman(20, 0.6, 0.3, cap(), 7);
+        assert!(a.is_connected());
+        assert_eq!(a.link_count(), b.link_count());
+        for l in a.links() {
+            assert_eq!(a.delay(l), b.delay(l));
+        }
+        let c = waxman(20, 0.6, 0.3, cap(), 8);
+        // Different seed should (overwhelmingly) give a different graph.
+        assert!(
+            a.link_count() != c.link_count()
+                || a.links().any(|l| a.delay(l) != c.delay(l))
+        );
+    }
+
+    #[test]
+    fn waxman_alpha_zero_is_just_the_chain() {
+        let t = waxman(10, 0.0, 0.3, cap(), 1);
+        assert_eq!(t.duplex_count(), 9);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_ring_rejected() {
+        ring(2, cap(), ms(1.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Geographic helpers: great-circle distances and fiber propagation delay.
+//!
+//! The paper's Hurricane Electric topology comes with real-world
+//! propagation delays. Our synthesized stand-in derives them from POP
+//! coordinates: great-circle distance, inflated by a route-stretch factor
+//! (fiber rarely follows the geodesic), divided by the speed of light in
+//! fiber (~2/3 of c).
+
+use crate::units::Delay;
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Speed of light in vacuum, km/s.
+pub const C_VACUUM_KM_S: f64 = 299_792.458;
+
+/// Speed of light in optical fiber (refractive index ≈ 1.468), km/s.
+pub const C_FIBER_KM_S: f64 = C_VACUUM_KM_S / 1.468;
+
+/// Typical ratio of fiber route length to great-circle distance.
+pub const DEFAULT_ROUTE_STRETCH: f64 = 1.4;
+
+/// A point on the globe, degrees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, validating the coordinate ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when latitude is outside [-90, 90] or longitude outside
+    /// [-180, 180].
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude {lon} out of range"
+        );
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to `other` in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// One-way fiber propagation delay to `other`, using the default route
+    /// stretch.
+    pub fn fiber_delay(&self, other: &GeoPoint) -> Delay {
+        self.fiber_delay_with_stretch(other, DEFAULT_ROUTE_STRETCH)
+    }
+
+    /// One-way fiber propagation delay with an explicit route-stretch
+    /// factor (≥ 1).
+    pub fn fiber_delay_with_stretch(&self, other: &GeoPoint, stretch: f64) -> Delay {
+        assert!(stretch >= 1.0, "route stretch must be >= 1, got {stretch}");
+        let km = self.distance_km(other) * stretch;
+        Delay::from_secs(km / C_FIBER_KM_S)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NYC: GeoPoint = GeoPoint {
+        lat: 40.71,
+        lon: -74.01,
+    };
+    const LONDON: GeoPoint = GeoPoint {
+        lat: 51.51,
+        lon: -0.13,
+    };
+
+    #[test]
+    fn nyc_london_distance_is_about_5570km() {
+        let d = NYC.distance_km(&LONDON);
+        assert!((5540.0..5600.0).contains(&d), "got {d}");
+        // Symmetric.
+        assert!((d - LONDON.distance_km(&NYC)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert_eq!(NYC.distance_km(&NYC), 0.0);
+        assert_eq!(NYC.fiber_delay(&NYC), Delay::ZERO);
+    }
+
+    #[test]
+    fn nyc_london_fiber_delay_is_tens_of_ms() {
+        // ~5570 km * 1.4 / ~204k km/s ≈ 38 ms one-way.
+        let d = NYC.fiber_delay(&LONDON);
+        assert!(
+            (30.0..50.0).contains(&d.ms()),
+            "one-way NYC-London delay {d} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn stretch_scales_delay_linearly() {
+        let base = NYC.fiber_delay_with_stretch(&LONDON, 1.0);
+        let doubled = NYC.fiber_delay_with_stretch(&LONDON, 2.0);
+        assert!((doubled.secs() - 2.0 * base.secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn bad_latitude_rejected() {
+        GeoPoint::new(95.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "route stretch")]
+    fn bad_stretch_rejected() {
+        NYC.fiber_delay_with_stretch(&LONDON, 0.5);
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "got {d}, want {half}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # fubar-topology
+//!
+//! The physical-network substrate for the FUBAR reproduction: nodes
+//! (POPs), capacitated duplex links with one-way propagation delays,
+//! strong physical-unit types, topology generators, and a diffable text
+//! format.
+//!
+//! The paper evaluates FUBAR on Hurricane Electric's core network — 31
+//! POPs, 56 inter-POP links (§3). That exact 2014 adjacency is not
+//! public, so [`generators::he_core`] provides a synthesized stand-in
+//! with identical scale and geo-realistic delays (see DESIGN.md for the
+//! substitution note).
+//!
+//! ```
+//! use fubar_topology::{generators, Bandwidth};
+//!
+//! let topo = generators::he_core(Bandwidth::from_mbps(100.0));
+//! assert_eq!(topo.node_count(), 31);
+//! assert_eq!(topo.duplex_count(), 56);
+//! assert!(topo.is_connected());
+//! ```
+
+pub mod format;
+pub mod generators;
+mod geo;
+mod topology;
+mod units;
+
+pub use geo::{GeoPoint, C_FIBER_KM_S, DEFAULT_ROUTE_STRETCH, EARTH_RADIUS_KM};
+pub use topology::{Topology, TopologyBuilder, TopologyError};
+pub use units::{Bandwidth, Delay};
+
+// Re-export the graph identifiers users of this crate constantly need.
+pub use fubar_graph::{LinkId, NodeId};

@@ -1,0 +1,558 @@
+//! The [`Topology`] type: a named, capacitated, delay-weighted network.
+//!
+//! A topology wraps a [`DiGraph`] (whose link costs are one-way
+//! propagation delays in seconds) and adds what the routing layer needs:
+//! human-readable node names, optional POP coordinates, per-link capacity,
+//! and the pairing between the two directions of a duplex link.
+//!
+//! Backbone links are almost always duplex; [`TopologyBuilder::add_duplex_link`]
+//! creates the two directed links in one call and records their pairing so
+//! analyses can reason about "the Fremont–Denver link" as one object when
+//! they want to.
+
+use crate::geo::GeoPoint;
+use crate::units::{Bandwidth, Delay};
+use fubar_graph::{DiGraph, LinkId, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors arising while building or editing a topology.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyError {
+    /// A node with this name already exists.
+    DuplicateNode(String),
+    /// No node with this name exists.
+    UnknownNode(String),
+    /// Links from a node to itself are not meaningful in a backbone.
+    SelfLoop(String),
+    /// Geo-derived delay was requested but an endpoint has no coordinates.
+    MissingCoordinates(String),
+    /// Link capacity must be strictly positive.
+    ZeroCapacity,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateNode(n) => write!(f, "duplicate node name {n:?}"),
+            TopologyError::UnknownNode(n) => write!(f, "unknown node name {n:?}"),
+            TopologyError::SelfLoop(n) => write!(f, "self-loop at node {n:?}"),
+            TopologyError::MissingCoordinates(n) => {
+                write!(f, "node {n:?} has no coordinates for geo-derived delay")
+            }
+            TopologyError::ZeroCapacity => write!(f, "link capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Incrementally builds a [`Topology`].
+#[derive(Clone, Debug, Default)]
+pub struct TopologyBuilder {
+    name: String,
+    graph: DiGraph,
+    node_names: Vec<String>,
+    node_geo: Vec<Option<GeoPoint>>,
+    by_name: HashMap<String, NodeId>,
+    capacities: Vec<Bandwidth>,
+    reverse: Vec<Option<LinkId>>,
+}
+
+impl TopologyBuilder {
+    /// Starts a new topology with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a node without coordinates.
+    pub fn add_node(&mut self, name: impl Into<String>) -> Result<NodeId, TopologyError> {
+        self.add_node_inner(name.into(), None)
+    }
+
+    /// Adds a node at a geographic location, enabling geo-derived delays.
+    pub fn add_node_at(
+        &mut self,
+        name: impl Into<String>,
+        at: GeoPoint,
+    ) -> Result<NodeId, TopologyError> {
+        self.add_node_inner(name.into(), Some(at))
+    }
+
+    fn add_node_inner(
+        &mut self,
+        name: String,
+        at: Option<GeoPoint>,
+    ) -> Result<NodeId, TopologyError> {
+        if self.by_name.contains_key(&name) {
+            return Err(TopologyError::DuplicateNode(name));
+        }
+        let id = self.graph.add_node();
+        self.by_name.insert(name.clone(), id);
+        self.node_names.push(name);
+        self.node_geo.push(at);
+        Ok(id)
+    }
+
+    /// Node id by name.
+    pub fn node(&self, name: &str) -> Result<NodeId, TopologyError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TopologyError::UnknownNode(name.to_string()))
+    }
+
+    /// Adds a duplex link between two named nodes with explicit capacity
+    /// (per direction) and one-way delay. Returns the pair of directed
+    /// link ids (a→b, b→a).
+    pub fn add_duplex_link(
+        &mut self,
+        a: &str,
+        b: &str,
+        capacity: Bandwidth,
+        delay: Delay,
+    ) -> Result<(LinkId, LinkId), TopologyError> {
+        let na = self.node(a)?;
+        let nb = self.node(b)?;
+        if na == nb {
+            return Err(TopologyError::SelfLoop(a.to_string()));
+        }
+        if capacity <= Bandwidth::ZERO {
+            return Err(TopologyError::ZeroCapacity);
+        }
+        let fwd = self.graph.add_link(na, nb, delay.secs());
+        let bwd = self.graph.add_link(nb, na, delay.secs());
+        self.capacities.push(capacity);
+        self.capacities.push(capacity);
+        self.reverse.push(Some(bwd));
+        self.reverse.push(Some(fwd));
+        Ok((fwd, bwd))
+    }
+
+    /// Adds a duplex link whose delay is derived from the endpoints'
+    /// coordinates (fiber speed, default route stretch).
+    pub fn add_duplex_link_geo(
+        &mut self,
+        a: &str,
+        b: &str,
+        capacity: Bandwidth,
+    ) -> Result<(LinkId, LinkId), TopologyError> {
+        let na = self.node(a)?;
+        let nb = self.node(b)?;
+        let ga = self.node_geo[na.index()]
+            .ok_or_else(|| TopologyError::MissingCoordinates(a.to_string()))?;
+        let gb = self.node_geo[nb.index()]
+            .ok_or_else(|| TopologyError::MissingCoordinates(b.to_string()))?;
+        self.add_duplex_link(a, b, capacity, ga.fiber_delay(&gb))
+    }
+
+    /// Adds a one-directional link (rare in practice; used by tests and
+    /// asymmetric what-if scenarios).
+    pub fn add_simplex_link(
+        &mut self,
+        from: &str,
+        to: &str,
+        capacity: Bandwidth,
+        delay: Delay,
+    ) -> Result<LinkId, TopologyError> {
+        let na = self.node(from)?;
+        let nb = self.node(to)?;
+        if na == nb {
+            return Err(TopologyError::SelfLoop(from.to_string()));
+        }
+        if capacity <= Bandwidth::ZERO {
+            return Err(TopologyError::ZeroCapacity);
+        }
+        let id = self.graph.add_link(na, nb, delay.secs());
+        self.capacities.push(capacity);
+        self.reverse.push(None);
+        Ok(id)
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        Topology {
+            name: self.name,
+            graph: self.graph,
+            node_names: self.node_names,
+            node_geo: self.node_geo,
+            by_name: self.by_name,
+            capacities: self.capacities,
+            reverse: self.reverse,
+        }
+    }
+}
+
+/// An immutable-by-default network topology (capacities may be edited for
+/// what-if analyses; structure may not — rebuild instead).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    name: String,
+    graph: DiGraph,
+    node_names: Vec<String>,
+    node_geo: Vec<Option<GeoPoint>>,
+    by_name: HashMap<String, NodeId>,
+    capacities: Vec<Bandwidth>,
+    reverse: Vec<Option<LinkId>>,
+}
+
+impl Topology {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying delay-weighted graph.
+    #[inline]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Number of nodes (POPs).
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of *directed* links.
+    pub fn link_count(&self) -> usize {
+        self.graph.link_count()
+    }
+
+    /// Number of duplex (bidirectional) links; simplex links count 1 each.
+    pub fn duplex_count(&self) -> usize {
+        let paired = self.reverse.iter().filter(|r| r.is_some()).count();
+        let simplex = self.reverse.len() - paired;
+        paired / 2 + simplex
+    }
+
+    /// Node id by name.
+    pub fn node(&self, name: &str) -> Result<NodeId, TopologyError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TopologyError::UnknownNode(name.to_string()))
+    }
+
+    /// Node name by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this topology.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.index()]
+    }
+
+    /// Node coordinates, if known.
+    pub fn node_geo(&self, id: NodeId) -> Option<GeoPoint> {
+        self.node_geo[id.index()]
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        self.graph.nodes()
+    }
+
+    /// All directed link ids.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.link_count() as u32).map(LinkId)
+    }
+
+    /// Capacity of a directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a link of this topology.
+    #[inline]
+    pub fn capacity(&self, id: LinkId) -> Bandwidth {
+        self.capacities[id.index()]
+    }
+
+    /// One-way propagation delay of a directed link.
+    #[inline]
+    pub fn delay(&self, id: LinkId) -> Delay {
+        Delay::from_secs(self.graph.link(id).cost)
+    }
+
+    /// The opposite direction of a duplex link; `None` for simplex links.
+    pub fn reverse_of(&self, id: LinkId) -> Option<LinkId> {
+        self.reverse[id.index()]
+    }
+
+    /// Overrides the capacity of one directed link (what-if analyses,
+    /// partial upgrades).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not strictly positive.
+    pub fn set_capacity(&mut self, id: LinkId, capacity: Bandwidth) {
+        assert!(
+            capacity > Bandwidth::ZERO,
+            "link capacity must be positive"
+        );
+        self.capacities[id.index()] = capacity;
+    }
+
+    /// Overrides the one-way delay of one directed link. Used by what-if
+    /// analyses and by the SDN substrate to cost failed links out of the
+    /// routing graph.
+    pub fn set_delay(&mut self, id: LinkId, delay: Delay) {
+        self.graph.set_cost(id, delay.secs());
+    }
+
+    /// Sets every link's capacity to the same value — how the paper's
+    /// evaluation switches between the provisioned (100 Mb/s) and
+    /// underprovisioned (75 Mb/s) cases.
+    pub fn set_uniform_capacity(&mut self, capacity: Bandwidth) {
+        assert!(
+            capacity > Bandwidth::ZERO,
+            "link capacity must be positive"
+        );
+        self.capacities.fill(capacity);
+    }
+
+    /// Sum of all directed links' capacities.
+    pub fn total_capacity(&self) -> Bandwidth {
+        self.capacities.iter().copied().sum()
+    }
+
+    /// `"src->dst"` with node names, for diagnostics.
+    pub fn link_label(&self, id: LinkId) -> String {
+        let l = self.graph.link(id);
+        format!(
+            "{}->{}",
+            self.node_name(l.src),
+            self.node_name(l.dst)
+        )
+    }
+
+    /// True if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        self.graph.is_strongly_connected()
+    }
+
+    /// Rebuilds this topology without the given *duplex* links (each id
+    /// may be either direction; its pair is removed too). Used to simulate
+    /// fiber cuts.
+    pub fn without_links(&self, cut: &[LinkId]) -> Topology {
+        let mut drop = vec![false; self.link_count()];
+        for &l in cut {
+            drop[l.index()] = true;
+            if let Some(r) = self.reverse[l.index()] {
+                drop[r.index()] = true;
+            }
+        }
+        let mut b = TopologyBuilder::new(self.name.clone());
+        for id in self.nodes() {
+            let name = self.node_name(id).to_string();
+            match self.node_geo[id.index()] {
+                Some(g) => b.add_node_at(name, g).expect("names were unique"),
+                None => b.add_node(name).expect("names were unique"),
+            };
+        }
+        let mut seen = vec![false; self.link_count()];
+        for id in self.links() {
+            if drop[id.index()] || seen[id.index()] {
+                continue;
+            }
+            let l = self.graph.link(id);
+            let src = self.node_name(l.src);
+            let dst = self.node_name(l.dst);
+            match self.reverse[id.index()] {
+                Some(r) => {
+                    seen[r.index()] = true;
+                    b.add_duplex_link(src, dst, self.capacities[id.index()], self.delay(id))
+                        .expect("copied link must be valid");
+                }
+                None => {
+                    b.add_simplex_link(src, dst, self.capacities[id.index()], self.delay(id))
+                        .expect("copied link must be valid");
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} nodes, {} duplex links ({} directed), total capacity {}",
+            self.name,
+            self.node_count(),
+            self.duplex_count(),
+            self.link_count(),
+            self.total_capacity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut b = TopologyBuilder::new("triangle");
+        for n in ["a", "b", "c"] {
+            b.add_node(n).unwrap();
+        }
+        b.add_duplex_link("a", "b", Bandwidth::from_mbps(10.0), Delay::from_ms(1.0))
+            .unwrap();
+        b.add_duplex_link("b", "c", Bandwidth::from_mbps(10.0), Delay::from_ms(2.0))
+            .unwrap();
+        b.add_duplex_link("a", "c", Bandwidth::from_mbps(10.0), Delay::from_ms(5.0))
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let t = triangle();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 6);
+        assert_eq!(t.duplex_count(), 3);
+        assert!(t.is_connected());
+        assert_eq!(t.total_capacity(), Bandwidth::from_mbps(60.0));
+    }
+
+    #[test]
+    fn duplex_links_are_paired_and_symmetric() {
+        let t = triangle();
+        let ab = t.graph().find_link(t.node("a").unwrap(), t.node("b").unwrap()).unwrap();
+        let ba = t.reverse_of(ab).unwrap();
+        assert_eq!(t.reverse_of(ba), Some(ab));
+        assert_eq!(t.delay(ab), t.delay(ba));
+        assert_eq!(t.capacity(ab), t.capacity(ba));
+        assert_eq!(t.graph().link(ba).src, t.node("b").unwrap());
+    }
+
+    #[test]
+    fn name_lookup_and_labels() {
+        let t = triangle();
+        let ab = t.graph().find_link(t.node("a").unwrap(), t.node("b").unwrap()).unwrap();
+        assert_eq!(t.link_label(ab), "a->b");
+        assert_eq!(t.node_name(t.node("c").unwrap()), "c");
+        assert!(matches!(
+            t.node("zzz"),
+            Err(TopologyError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut b = TopologyBuilder::new("t");
+        b.add_node("x").unwrap();
+        assert_eq!(
+            b.add_node("x").unwrap_err(),
+            TopologyError::DuplicateNode("x".into())
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = TopologyBuilder::new("t");
+        b.add_node("x").unwrap();
+        assert_eq!(
+            b.add_duplex_link("x", "x", Bandwidth::from_mbps(1.0), Delay::ZERO)
+                .unwrap_err(),
+            TopologyError::SelfLoop("x".into())
+        );
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let mut b = TopologyBuilder::new("t");
+        b.add_node("x").unwrap();
+        b.add_node("y").unwrap();
+        assert_eq!(
+            b.add_duplex_link("x", "y", Bandwidth::ZERO, Delay::ZERO)
+                .unwrap_err(),
+            TopologyError::ZeroCapacity
+        );
+    }
+
+    #[test]
+    fn geo_link_requires_coordinates() {
+        let mut b = TopologyBuilder::new("t");
+        b.add_node("x").unwrap();
+        b.add_node_at("y", GeoPoint::new(0.0, 0.0)).unwrap();
+        assert!(matches!(
+            b.add_duplex_link_geo("x", "y", Bandwidth::from_mbps(1.0)),
+            Err(TopologyError::MissingCoordinates(_))
+        ));
+    }
+
+    #[test]
+    fn geo_link_delay_matches_fiber_formula() {
+        let mut b = TopologyBuilder::new("t");
+        let p = GeoPoint::new(40.71, -74.01);
+        let q = GeoPoint::new(51.51, -0.13);
+        b.add_node_at("nyc", p).unwrap();
+        b.add_node_at("lon", q).unwrap();
+        let (fwd, _) = b
+            .add_duplex_link_geo("nyc", "lon", Bandwidth::from_mbps(1.0))
+            .unwrap();
+        let t = b.build();
+        assert!((t.delay(fwd).secs() - p.fiber_delay(&q).secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_capacity_override() {
+        let mut t = triangle();
+        t.set_uniform_capacity(Bandwidth::from_mbps(75.0));
+        for l in t.links() {
+            assert_eq!(t.capacity(l), Bandwidth::from_mbps(75.0));
+        }
+    }
+
+    #[test]
+    fn single_capacity_override() {
+        let mut t = triangle();
+        let l = LinkId(0);
+        t.set_capacity(l, Bandwidth::from_gbps(1.0));
+        assert_eq!(t.capacity(l), Bandwidth::from_gbps(1.0));
+        assert_eq!(t.capacity(LinkId(1)), Bandwidth::from_mbps(10.0));
+    }
+
+    #[test]
+    fn without_links_cuts_both_directions() {
+        let t = triangle();
+        let ab = t
+            .graph()
+            .find_link(t.node("a").unwrap(), t.node("b").unwrap())
+            .unwrap();
+        let cut = t.without_links(&[ab]);
+        assert_eq!(cut.duplex_count(), 2);
+        assert_eq!(cut.node_count(), 3);
+        assert!(cut.is_connected(), "triangle minus one edge is still connected");
+        assert!(cut
+            .graph()
+            .find_link(cut.node("a").unwrap(), cut.node("b").unwrap())
+            .is_none());
+        assert!(cut
+            .graph()
+            .find_link(cut.node("b").unwrap(), cut.node("a").unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn simplex_links_have_no_reverse() {
+        let mut b = TopologyBuilder::new("t");
+        b.add_node("x").unwrap();
+        b.add_node("y").unwrap();
+        let l = b
+            .add_simplex_link("x", "y", Bandwidth::from_mbps(1.0), Delay::from_ms(1.0))
+            .unwrap();
+        let t = b.build();
+        assert_eq!(t.reverse_of(l), None);
+        assert_eq!(t.duplex_count(), 1);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn summary_mentions_the_name() {
+        let t = triangle();
+        assert!(t.summary().starts_with("triangle:"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Heuristic traffic classification.
+//!
+//! Paper §1: "We classify traffic with crude heuristics supplemented by
+//! operator knowledge when that is available." This module implements
+//! exactly that: a port/protocol heuristic with an operator override
+//! table that wins whenever it matches. It is used by the SDN substrate
+//! to tag measured aggregates with a [`TrafficClass`].
+
+use fubar_utility::TrafficClass;
+use std::collections::HashMap;
+
+/// Transport protocol of an observed flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// TCP.
+    Tcp,
+    /// UDP.
+    Udp,
+}
+
+/// The observable features the classifier works from.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowFeatures {
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Mean observed per-flow rate estimate in bits/s, if known.
+    pub rate_estimate_bps: Option<f64>,
+}
+
+/// An operator-supplied override: flows matching (protocol, port) are
+/// always the given class (paper §2.2: "the operator can specify a
+/// non-default delay curve for flows to a certain port or from a
+/// particular server").
+#[derive(Clone, Debug)]
+pub struct OperatorRule {
+    /// Protocol to match.
+    pub protocol: Protocol,
+    /// Destination port to match.
+    pub dst_port: u16,
+    /// The class to assign.
+    pub class: TrafficClass,
+}
+
+/// A port/protocol heuristic classifier with operator overrides.
+#[derive(Clone, Debug, Default)]
+pub struct Classifier {
+    overrides: HashMap<(Protocol, u16), TrafficClass>,
+}
+
+/// Per-flow rate (bps) above which an unmatched flow is considered a
+/// heavy file transfer.
+const LARGE_RATE_THRESHOLD_BPS: f64 = 700_000.0;
+
+impl Classifier {
+    /// A classifier with no operator knowledge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs operator rules; later rules win on conflicts.
+    pub fn with_rules(rules: impl IntoIterator<Item = OperatorRule>) -> Self {
+        let mut c = Classifier::default();
+        for r in rules {
+            c.add_rule(r);
+        }
+        c
+    }
+
+    /// Adds one operator rule, replacing any previous rule for the same
+    /// (protocol, port).
+    pub fn add_rule(&mut self, rule: OperatorRule) {
+        self.overrides
+            .insert((rule.protocol, rule.dst_port), rule.class);
+    }
+
+    /// Number of installed operator rules.
+    pub fn rule_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Classifies one flow. Operator rules win; otherwise the crude
+    /// heuristics of the paper: interactive/realtime ports → real-time,
+    /// very fast flows → large file transfer, everything else → bulk.
+    pub fn classify(&self, f: &FlowFeatures) -> TrafficClass {
+        if let Some(&class) = self.overrides.get(&(f.protocol, f.dst_port)) {
+            return class;
+        }
+        match (f.protocol, f.dst_port) {
+            // RTP/conferencing range, SIP, STUN.
+            (Protocol::Udp, 16_384..=32_767) | (Protocol::Udp, 5060..=5061) | (Protocol::Udp, 3478) => {
+                TrafficClass::RealTime
+            }
+            // DNS is tiny and latency-bound: treat as real-time.
+            (Protocol::Udp, 53) => TrafficClass::RealTime,
+            // SSH is interactive.
+            (Protocol::Tcp, 22) => TrafficClass::RealTime,
+            _ => {
+                if let Some(rate) = f.rate_estimate_bps {
+                    if rate >= LARGE_RATE_THRESHOLD_BPS {
+                        return TrafficClass::LargeFile {
+                            peak_mbps: (rate / 1e6).ceil().clamp(1.0, 2.0),
+                        };
+                    }
+                }
+                TrafficClass::BulkTransfer
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(protocol: Protocol, port: u16, rate: Option<f64>) -> FlowFeatures {
+        FlowFeatures {
+            protocol,
+            dst_port: port,
+            rate_estimate_bps: rate,
+        }
+    }
+
+    #[test]
+    fn rtp_range_is_real_time() {
+        let c = Classifier::new();
+        assert_eq!(
+            c.classify(&feat(Protocol::Udp, 20_000, None)),
+            TrafficClass::RealTime
+        );
+        assert_eq!(
+            c.classify(&feat(Protocol::Udp, 5060, None)),
+            TrafficClass::RealTime
+        );
+    }
+
+    #[test]
+    fn web_is_bulk() {
+        let c = Classifier::new();
+        assert_eq!(
+            c.classify(&feat(Protocol::Tcp, 443, None)),
+            TrafficClass::BulkTransfer
+        );
+        assert_eq!(
+            c.classify(&feat(Protocol::Tcp, 80, Some(100_000.0))),
+            TrafficClass::BulkTransfer
+        );
+    }
+
+    #[test]
+    fn fast_flows_become_large() {
+        let c = Classifier::new();
+        match c.classify(&feat(Protocol::Tcp, 443, Some(1_500_000.0))) {
+            TrafficClass::LargeFile { peak_mbps } => {
+                assert!((1.0..=2.0).contains(&peak_mbps))
+            }
+            other => panic!("expected large, got {other}"),
+        }
+    }
+
+    #[test]
+    fn operator_rules_win() {
+        let c = Classifier::with_rules([OperatorRule {
+            protocol: Protocol::Tcp,
+            dst_port: 443,
+            class: TrafficClass::RealTime, // operator says this 443 service is interactive
+        }]);
+        assert_eq!(
+            c.classify(&feat(Protocol::Tcp, 443, Some(5_000_000.0))),
+            TrafficClass::RealTime
+        );
+        assert_eq!(c.rule_count(), 1);
+    }
+
+    #[test]
+    fn later_rules_replace_earlier() {
+        let mut c = Classifier::new();
+        c.add_rule(OperatorRule {
+            protocol: Protocol::Udp,
+            dst_port: 9000,
+            class: TrafficClass::BulkTransfer,
+        });
+        c.add_rule(OperatorRule {
+            protocol: Protocol::Udp,
+            dst_port: 9000,
+            class: TrafficClass::RealTime,
+        });
+        assert_eq!(c.rule_count(), 1);
+        assert_eq!(
+            c.classify(&feat(Protocol::Udp, 9000, None)),
+            TrafficClass::RealTime
+        );
+    }
+
+    #[test]
+    fn ssh_and_dns_are_interactive() {
+        let c = Classifier::new();
+        assert_eq!(
+            c.classify(&feat(Protocol::Tcp, 22, None)),
+            TrafficClass::RealTime
+        );
+        assert_eq!(
+            c.classify(&feat(Protocol::Udp, 53, None)),
+            TrafficClass::RealTime
+        );
+        // TCP port 53 (zone transfers) is bulk, though.
+        assert_eq!(
+            c.classify(&feat(Protocol::Tcp, 53, None)),
+            TrafficClass::BulkTransfer
+        );
+    }
+}

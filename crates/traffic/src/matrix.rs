@@ -1,0 +1,237 @@
+//! The traffic matrix: every aggregate FUBAR is currently routing.
+
+use crate::aggregate::{Aggregate, AggregateId};
+use fubar_graph::NodeId;
+use fubar_topology::Bandwidth;
+use fubar_utility::TrafficClass;
+use std::collections::HashMap;
+
+/// An immutable collection of aggregates, indexed densely by
+/// [`AggregateId`]. At most one aggregate may exist per (ingress, egress,
+/// class-kind) triple; the paper's workload has exactly one per ordered
+/// POP pair.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficMatrix {
+    aggregates: Vec<Aggregate>,
+    by_pair: HashMap<(NodeId, NodeId), Vec<AggregateId>>,
+}
+
+impl TrafficMatrix {
+    /// Builds a matrix, re-assigning dense ids in iteration order.
+    pub fn new(mut aggregates: Vec<Aggregate>) -> Self {
+        let mut by_pair: HashMap<(NodeId, NodeId), Vec<AggregateId>> = HashMap::new();
+        for (i, a) in aggregates.iter_mut().enumerate() {
+            a.id = AggregateId(i as u32);
+            by_pair.entry((a.ingress, a.egress)).or_default().push(a.id);
+        }
+        TrafficMatrix {
+            aggregates,
+            by_pair,
+        }
+    }
+
+    /// Number of aggregates.
+    pub fn len(&self) -> usize {
+        self.aggregates.len()
+    }
+
+    /// True when the matrix holds no aggregates.
+    pub fn is_empty(&self) -> bool {
+        self.aggregates.is_empty()
+    }
+
+    /// The aggregate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    #[inline]
+    pub fn aggregate(&self, id: AggregateId) -> &Aggregate {
+        &self.aggregates[id.index()]
+    }
+
+    /// All aggregates in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Aggregate> {
+        self.aggregates.iter()
+    }
+
+    /// All aggregate ids.
+    pub fn ids(&self) -> impl Iterator<Item = AggregateId> {
+        (0..self.aggregates.len() as u32).map(AggregateId)
+    }
+
+    /// The aggregates flowing from `ingress` to `egress`, if any.
+    pub fn for_pair(&self, ingress: NodeId, egress: NodeId) -> &[AggregateId] {
+        self.by_pair
+            .get(&(ingress, egress))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Sum of all aggregates' fully-satisfied demands.
+    pub fn total_demand(&self) -> Bandwidth {
+        self.aggregates.iter().map(Aggregate::total_demand).sum()
+    }
+
+    /// Total number of flows across all aggregates.
+    pub fn total_flows(&self) -> u64 {
+        self.aggregates.iter().map(|a| u64::from(a.flow_count)).sum()
+    }
+
+    /// Ids of the "large flow" aggregates (heavy file transfers), whose
+    /// utility the paper tracks separately.
+    pub fn large_ids(&self) -> Vec<AggregateId> {
+        self.aggregates
+            .iter()
+            .filter(|a| a.is_large())
+            .map(|a| a.id)
+            .collect()
+    }
+
+    /// A copy with the priority weight of every *large* aggregate set to
+    /// `weight` — the Fig 5 experiment ("priority is given to large flows
+    /// by increasing their weighting when computing the network
+    /// utility").
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is not strictly positive.
+    pub fn with_large_priority(&self, weight: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "priority weight must be positive"
+        );
+        let mut m = self.clone();
+        for a in &mut m.aggregates {
+            if a.is_large() {
+                a.priority_weight = weight;
+            }
+        }
+        m
+    }
+
+    /// A copy with the delay axis of every *small* (non-large) aggregate
+    /// stretched by `factor` — the paper's relaxed-delay experiment runs
+    /// "the underprovisioned case with small flows using double the delay
+    /// parameter" (Fig 6), i.e. `factor = 2.0`.
+    pub fn with_relaxed_small_delays(&self, factor: f64) -> Self {
+        let mut m = self.clone();
+        for a in &mut m.aggregates {
+            if !a.is_large() {
+                a.utility = a.utility.with_relaxed_delay(factor);
+            }
+        }
+        m
+    }
+
+    /// A copy with one aggregate's utility function replaced (used when
+    /// inflection inference updates a demand peak).
+    pub fn with_utility(&self, id: AggregateId, utility: fubar_utility::UtilityFunction) -> Self {
+        let mut m = self.clone();
+        m.aggregates[id.index()].utility = utility;
+        m
+    }
+
+    /// Count of aggregates per class kind `(real-time, bulk, large)`.
+    pub fn class_census(&self) -> (usize, usize, usize) {
+        let mut rt = 0;
+        let mut bulk = 0;
+        let mut large = 0;
+        for a in &self.aggregates {
+            match a.class {
+                TrafficClass::RealTime => rt += 1,
+                TrafficClass::BulkTransfer => bulk += 1,
+                TrafficClass::LargeFile { .. } => large += 1,
+            }
+        }
+        (rt, bulk, large)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(i: u32, from: u32, to: u32, class: TrafficClass, flows: u32) -> Aggregate {
+        Aggregate::new(AggregateId(i), NodeId(from), NodeId(to), class, flows)
+    }
+
+    fn sample() -> TrafficMatrix {
+        TrafficMatrix::new(vec![
+            agg(0, 0, 1, TrafficClass::RealTime, 10),
+            agg(0, 1, 0, TrafficClass::BulkTransfer, 5),
+            agg(0, 0, 1, TrafficClass::LargeFile { peak_mbps: 2.0 }, 2),
+        ])
+    }
+
+    #[test]
+    fn ids_are_reassigned_densely() {
+        let m = sample();
+        for (i, a) in m.iter().enumerate() {
+            assert_eq!(a.id, AggregateId(i as u32));
+        }
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn pair_lookup() {
+        let m = sample();
+        let ids = m.for_pair(NodeId(0), NodeId(1));
+        assert_eq!(ids.len(), 2);
+        assert!(m.for_pair(NodeId(1), NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn totals() {
+        let m = sample();
+        assert_eq!(m.total_flows(), 17);
+        // 10*50k + 5*120k + 2*2M = 0.5M + 0.6M + 4M = 5.1M
+        assert!((m.total_demand().mbps() - 5.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_ids_and_census() {
+        let m = sample();
+        assert_eq!(m.large_ids(), vec![AggregateId(2)]);
+        assert_eq!(m.class_census(), (1, 1, 1));
+    }
+
+    #[test]
+    fn large_priority_override_only_touches_large() {
+        let m = sample().with_large_priority(4.0);
+        assert_eq!(m.aggregate(AggregateId(0)).priority_weight, 1.0);
+        assert_eq!(m.aggregate(AggregateId(2)).priority_weight, 4.0);
+        assert_eq!(m.aggregate(AggregateId(2)).objective_weight(), 8.0);
+    }
+
+    #[test]
+    fn relaxed_small_delays_leave_large_alone() {
+        use fubar_topology::{Bandwidth, Delay};
+        let m = sample().with_relaxed_small_delays(2.0);
+        let small = m.aggregate(AggregateId(0));
+        let large = m.aggregate(AggregateId(2));
+        // Real-time normally dies at 100ms; relaxed dies at 200ms.
+        assert!(small.utility.eval(Bandwidth::from_kbps(50.0), Delay::from_ms(150.0)) > 0.0);
+        // Large unchanged: bulk-shaped curve evaluated identically.
+        let reference = TrafficClass::LargeFile { peak_mbps: 2.0 }.utility();
+        assert_eq!(
+            large
+                .utility
+                .eval(Bandwidth::from_mbps(1.0), Delay::from_ms(500.0)),
+            reference.eval(Bandwidth::from_mbps(1.0), Delay::from_ms(500.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_priority_rejected() {
+        sample().with_large_priority(0.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = TrafficMatrix::new(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.total_flows(), 0);
+        assert_eq!(m.total_demand(), Bandwidth::ZERO);
+    }
+}

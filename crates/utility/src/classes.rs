@@ -1,0 +1,171 @@
+//! Traffic classes and their preset utility functions.
+//!
+//! The paper's evaluation (§3) draws every aggregate's utility function
+//! from three archetypes:
+//!
+//! * **real-time** (Fig 1): needs little bandwidth (saturates at
+//!   50 kb/s per flow) but is sharply delay-sensitive — utility hits zero
+//!   beyond 100 ms;
+//! * **bulk transfer** (Fig 2): wants more bandwidth per flow and
+//!   tolerates "relatively large variations in delay" (the default delay
+//!   curve "slowly decays to zero as delay increases to a few seconds",
+//!   §2.2);
+//! * **large file transfer**: the 2 %-probability heavy hitters "with a
+//!   higher max bandwidth (1 or 2 Mbps)".
+
+use crate::function::{BandwidthUtility, DelayUtility, UtilityFunction};
+use fubar_topology::{Bandwidth, Delay};
+use std::fmt;
+
+/// Per-flow demand peak of the real-time class (Fig 1: 50 kb/s).
+pub const REAL_TIME_PEAK: f64 = 50.0; // kb/s
+/// Delay at which real-time utility starts degrading.
+pub const REAL_TIME_DELAY_KNEE_MS: f64 = 10.0;
+/// Delay at which real-time utility reaches zero (Fig 1: 100 ms).
+pub const REAL_TIME_DELAY_ZERO_MS: f64 = 100.0;
+
+/// Per-flow demand peak of the bulk class (Fig 2's inflection point).
+pub const BULK_PEAK: f64 = 120.0; // kb/s
+/// Delay at which bulk utility starts degrading.
+pub const BULK_DELAY_KNEE_MS: f64 = 50.0;
+/// Delay at which bulk utility reaches zero ("a few seconds", §2.2).
+pub const BULK_DELAY_ZERO_MS: f64 = 2_000.0;
+
+/// The application class of a traffic aggregate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrafficClass {
+    /// Interactive/real-time traffic (VoIP, videoconferencing).
+    RealTime,
+    /// Ordinary bulk transfers (web, streaming at bounded bitrate).
+    BulkTransfer,
+    /// Heavy file-transfer aggregates with a per-flow demand peak of
+    /// `peak_mbps` megabits per second (the paper draws 1 or 2).
+    LargeFile {
+        /// Per-flow demand peak in Mb/s.
+        peak_mbps: f64,
+    },
+}
+
+impl TrafficClass {
+    /// The preset utility function for this class (Figs 1–2).
+    pub fn utility(&self) -> UtilityFunction {
+        match *self {
+            TrafficClass::RealTime => UtilityFunction::new(
+                BandwidthUtility::ramp(Bandwidth::from_kbps(REAL_TIME_PEAK)),
+                DelayUtility::ramp(
+                    Delay::from_ms(REAL_TIME_DELAY_KNEE_MS),
+                    Delay::from_ms(REAL_TIME_DELAY_ZERO_MS),
+                ),
+            ),
+            TrafficClass::BulkTransfer => UtilityFunction::new(
+                BandwidthUtility::ramp(Bandwidth::from_kbps(BULK_PEAK)),
+                DelayUtility::ramp(
+                    Delay::from_ms(BULK_DELAY_KNEE_MS),
+                    Delay::from_ms(BULK_DELAY_ZERO_MS),
+                ),
+            ),
+            TrafficClass::LargeFile { peak_mbps } => UtilityFunction::new(
+                BandwidthUtility::ramp(Bandwidth::from_mbps(peak_mbps)),
+                DelayUtility::ramp(
+                    Delay::from_ms(BULK_DELAY_KNEE_MS),
+                    Delay::from_ms(BULK_DELAY_ZERO_MS),
+                ),
+            ),
+        }
+    }
+
+    /// True for the heavy file-transfer class — the "large flows" whose
+    /// utility the paper plots separately (Figs 3–5, middle panels).
+    pub fn is_large(&self) -> bool {
+        matches!(self, TrafficClass::LargeFile { .. })
+    }
+
+    /// True for delay-sensitive classes, for which operators may specify
+    /// a non-default delay curve (§2.2).
+    pub fn is_delay_sensitive(&self) -> bool {
+        matches!(self, TrafficClass::RealTime)
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficClass::RealTime => write!(f, "real-time"),
+            TrafficClass::BulkTransfer => write!(f, "bulk"),
+            TrafficClass::LargeFile { peak_mbps } => write!(f, "large-file({peak_mbps}Mbps)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_time_matches_fig1() {
+        let u = TrafficClass::RealTime.utility();
+        assert_eq!(u.peak_demand(), Bandwidth::from_kbps(50.0));
+        // Utility zero beyond 100 ms regardless of bandwidth.
+        assert_eq!(
+            u.eval(Bandwidth::from_mbps(10.0), Delay::from_ms(101.0)),
+            0.0
+        );
+        // Comfortable at low delay with full bandwidth.
+        assert_eq!(u.eval(Bandwidth::from_kbps(50.0), Delay::from_ms(5.0)), 1.0);
+    }
+
+    #[test]
+    fn bulk_matches_fig2() {
+        let u = TrafficClass::BulkTransfer.utility();
+        assert_eq!(u.peak_demand(), Bandwidth::from_kbps(BULK_PEAK));
+        // Tolerates 200 ms with only mild degradation...
+        let at_200ms = u.eval(Bandwidth::from_kbps(BULK_PEAK), Delay::from_ms(200.0));
+        assert!(at_200ms > 0.85, "bulk at 200ms = {at_200ms}");
+        // ...but does decay to zero at multi-second delays.
+        assert_eq!(
+            u.eval(Bandwidth::from_kbps(BULK_PEAK), Delay::from_secs(2.5)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn bulk_needs_more_bandwidth_than_real_time() {
+        let rt = TrafficClass::RealTime.utility().peak_demand();
+        let bulk = TrafficClass::BulkTransfer.utility().peak_demand();
+        assert!(bulk > rt);
+    }
+
+    #[test]
+    fn large_file_peaks_at_given_mbps() {
+        for peak in [1.0, 2.0] {
+            let u = TrafficClass::LargeFile { peak_mbps: peak }.utility();
+            assert_eq!(u.peak_demand(), Bandwidth::from_mbps(peak));
+        }
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(TrafficClass::LargeFile { peak_mbps: 1.0 }.is_large());
+        assert!(!TrafficClass::BulkTransfer.is_large());
+        assert!(TrafficClass::RealTime.is_delay_sensitive());
+        assert!(!TrafficClass::LargeFile { peak_mbps: 2.0 }.is_delay_sensitive());
+    }
+
+    #[test]
+    fn real_time_is_more_delay_sensitive_than_bulk() {
+        let rt = TrafficClass::RealTime.utility();
+        let bulk = TrafficClass::BulkTransfer.utility();
+        let d = Delay::from_ms(150.0);
+        assert!(rt.max_at_delay(d) < bulk.max_at_delay(d));
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(TrafficClass::RealTime.to_string(), "real-time");
+        assert_eq!(TrafficClass::BulkTransfer.to_string(), "bulk");
+        assert_eq!(
+            TrafficClass::LargeFile { peak_mbps: 2.0 }.to_string(),
+            "large-file(2Mbps)"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Monotone piecewise-linear curves on `[0, ∞) → [0, 1]`.
+//!
+//! The paper deliberately picks shapes "defined by the fewest points"
+//! (§2.2): a utility component is fully described by a handful of
+//! `(x, y)` knots, linearly interpolated, clamped flat beyond the ends.
+//! FUBAR only needs evaluation, the location of the peak (the *demand*
+//! used by the flow model), and rescaling of the x-axis (the delay-
+//! relaxation experiment of Fig 6).
+
+use std::fmt;
+
+/// Errors from [`PiecewiseLinear::new`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CurveError {
+    /// Fewer than one knot.
+    Empty,
+    /// Knot x-coordinates must be strictly increasing.
+    NonIncreasingX {
+        /// Index of the offending knot.
+        at: usize,
+    },
+    /// Knot values must lie in `[0, 1]` and be finite.
+    ValueOutOfRange {
+        /// Index of the offending knot.
+        at: usize,
+    },
+    /// x-coordinates must be finite and non-negative.
+    BadX {
+        /// Index of the offending knot.
+        at: usize,
+    },
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::Empty => write!(f, "curve needs at least one knot"),
+            CurveError::NonIncreasingX { at } => {
+                write!(f, "knot {at}: x must be strictly increasing")
+            }
+            CurveError::ValueOutOfRange { at } => {
+                write!(f, "knot {at}: y must be finite and in [0,1]")
+            }
+            CurveError::BadX { at } => {
+                write!(f, "knot {at}: x must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
+
+/// A piecewise-linear function defined by `(x, y)` knots with strictly
+/// increasing `x` and `y ∈ [0, 1]`. Left of the first knot it evaluates
+/// to the first `y`; right of the last knot, to the last `y`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PiecewiseLinear {
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Builds a curve after validating the knots.
+    pub fn new(knots: Vec<(f64, f64)>) -> Result<Self, CurveError> {
+        if knots.is_empty() {
+            return Err(CurveError::Empty);
+        }
+        for (i, &(x, y)) in knots.iter().enumerate() {
+            if !x.is_finite() || x < 0.0 {
+                return Err(CurveError::BadX { at: i });
+            }
+            if !y.is_finite() || !(0.0..=1.0).contains(&y) {
+                return Err(CurveError::ValueOutOfRange { at: i });
+            }
+            if i > 0 && x <= knots[i - 1].0 {
+                return Err(CurveError::NonIncreasingX { at: i });
+            }
+        }
+        Ok(PiecewiseLinear { knots })
+    }
+
+    /// The constant-1 curve (an application indifferent to this axis).
+    pub fn one() -> Self {
+        PiecewiseLinear {
+            knots: vec![(0.0, 1.0)],
+        }
+    }
+
+    /// A ramp from `(0, 0)` up to `(peak_x, 1)`, flat afterwards — the
+    /// canonical bandwidth component.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `peak_x` is not strictly positive.
+    pub fn ramp_up(peak_x: f64) -> Self {
+        assert!(
+            peak_x > 0.0 && peak_x.is_finite(),
+            "ramp peak must be positive"
+        );
+        PiecewiseLinear {
+            knots: vec![(0.0, 0.0), (peak_x, 1.0)],
+        }
+    }
+
+    /// Flat at 1 until `knee_x`, then linearly down to 0 at `zero_x` —
+    /// the canonical delay component.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= knee_x < zero_x`.
+    pub fn ramp_down(knee_x: f64, zero_x: f64) -> Self {
+        assert!(
+            knee_x >= 0.0 && zero_x > knee_x && zero_x.is_finite(),
+            "need 0 <= knee < zero, got knee={knee_x} zero={zero_x}"
+        );
+        let knots = if knee_x == 0.0 {
+            vec![(0.0, 1.0), (zero_x, 0.0)]
+        } else {
+            vec![(0.0, 1.0), (knee_x, 1.0), (zero_x, 0.0)]
+        };
+        PiecewiseLinear { knots }
+    }
+
+    /// Evaluates the curve at `x` (clamped to the knot range).
+    pub fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x.is_finite() && x >= 0.0, "curve input {x} invalid");
+        let k = &self.knots;
+        if x <= k[0].0 {
+            return k[0].1;
+        }
+        if x >= k[k.len() - 1].0 {
+            return k[k.len() - 1].1;
+        }
+        // Binary search for the segment containing x.
+        let idx = k.partition_point(|&(kx, _)| kx <= x);
+        let (x0, y0) = k[idx - 1];
+        let (x1, y1) = k[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The maximum y over all knots.
+    pub fn max_value(&self) -> f64 {
+        self.knots.iter().map(|&(_, y)| y).fold(0.0, f64::max)
+    }
+
+    /// The smallest x at which the curve attains its maximum — for a
+    /// bandwidth component this is the *demand peak* (paper §2.3: the
+    /// rate beyond which the application cannot use more).
+    pub fn first_x_at_max(&self) -> f64 {
+        let m = self.max_value();
+        self.knots
+            .iter()
+            .find(|&&(_, y)| y == m)
+            .map(|&(x, _)| x)
+            .expect("non-empty curve has a max")
+    }
+
+    /// Returns a copy with every knot's x multiplied by `factor` — the
+    /// paper's "double the delay parameter" experiment (Fig 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not strictly positive.
+    pub fn scale_x(&self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive"
+        );
+        PiecewiseLinear {
+            knots: self.knots.iter().map(|&(x, y)| (x * factor, y)).collect(),
+        }
+    }
+
+    /// The knots, for plotting / serialization.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+
+    /// True if `eval` never decreases as x grows.
+    pub fn is_non_decreasing(&self) -> bool {
+        self.knots.windows(2).all(|w| w[0].1 <= w[1].1)
+    }
+
+    /// True if `eval` never increases as x grows.
+    pub fn is_non_increasing(&self) -> bool {
+        self.knots.windows(2).all(|w| w[0].1 >= w[1].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_up_shape() {
+        let c = PiecewiseLinear::ramp_up(50.0);
+        assert_eq!(c.eval(0.0), 0.0);
+        assert_eq!(c.eval(25.0), 0.5);
+        assert_eq!(c.eval(50.0), 1.0);
+        assert_eq!(c.eval(500.0), 1.0, "clamped past the peak");
+        assert_eq!(c.first_x_at_max(), 50.0);
+        assert!(c.is_non_decreasing());
+    }
+
+    #[test]
+    fn ramp_down_shape() {
+        let c = PiecewiseLinear::ramp_down(20.0, 100.0);
+        assert_eq!(c.eval(0.0), 1.0);
+        assert_eq!(c.eval(20.0), 1.0);
+        assert_eq!(c.eval(60.0), 0.5);
+        assert_eq!(c.eval(100.0), 0.0);
+        assert_eq!(c.eval(1e6), 0.0);
+        assert!(c.is_non_increasing());
+    }
+
+    #[test]
+    fn ramp_down_without_knee() {
+        let c = PiecewiseLinear::ramp_down(0.0, 10.0);
+        assert_eq!(c.eval(0.0), 1.0);
+        assert_eq!(c.eval(5.0), 0.5);
+    }
+
+    #[test]
+    fn constant_one() {
+        let c = PiecewiseLinear::one();
+        assert_eq!(c.eval(0.0), 1.0);
+        assert_eq!(c.eval(1e9), 1.0);
+        assert!(c.is_non_decreasing() && c.is_non_increasing());
+    }
+
+    #[test]
+    fn general_curve_interpolates() {
+        let c = PiecewiseLinear::new(vec![(0.0, 0.0), (10.0, 0.8), (20.0, 1.0)]).unwrap();
+        assert!((c.eval(5.0) - 0.4).abs() < 1e-12);
+        assert!((c.eval(15.0) - 0.9).abs() < 1e-12);
+        assert_eq!(c.first_x_at_max(), 20.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(PiecewiseLinear::new(vec![]), Err(CurveError::Empty));
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, 0.0), (0.0, 1.0)]),
+            Err(CurveError::NonIncreasingX { at: 1 })
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, 1.5)]),
+            Err(CurveError::ValueOutOfRange { at: 0 })
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(-1.0, 0.5)]),
+            Err(CurveError::BadX { at: 0 })
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, f64::NAN)]),
+            Err(CurveError::ValueOutOfRange { at: 0 })
+        );
+    }
+
+    #[test]
+    fn scale_x_stretches() {
+        let c = PiecewiseLinear::ramp_down(20.0, 100.0);
+        let d = c.scale_x(2.0);
+        assert_eq!(d.eval(40.0), 1.0);
+        assert_eq!(d.eval(200.0), 0.0);
+        assert_eq!(d.eval(120.0), c.eval(60.0));
+    }
+
+    #[test]
+    fn first_x_at_max_on_plateau_is_leftmost() {
+        let c =
+            PiecewiseLinear::new(vec![(0.0, 0.0), (10.0, 1.0), (20.0, 1.0), (30.0, 0.5)])
+                .unwrap();
+        assert_eq!(c.first_x_at_max(), 10.0);
+    }
+}

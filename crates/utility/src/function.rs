@@ -1,0 +1,288 @@
+//! The two-axis utility function of paper §2.2.
+//!
+//! "In FUBAR each flow is associated with a utility function which
+//! provides a mapping from bandwidth and delay to a single unitless real
+//! number in the range [0−1]" — the bandwidth component and the delay
+//! component "are multiplied together to form the final utility."
+
+use crate::curve::PiecewiseLinear;
+use fubar_topology::{Bandwidth, Delay};
+
+/// The bandwidth axis of a utility function. The x-axis is the rate a
+/// single flow receives, in bits per second.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BandwidthUtility {
+    curve: PiecewiseLinear,
+}
+
+impl BandwidthUtility {
+    /// Wraps an arbitrary non-decreasing curve (x in bits/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve decreases anywhere: more bandwidth can never
+    /// make an application less happy.
+    pub fn from_curve(curve: PiecewiseLinear) -> Self {
+        assert!(
+            curve.is_non_decreasing(),
+            "bandwidth utility must be non-decreasing"
+        );
+        BandwidthUtility { curve }
+    }
+
+    /// The paper's canonical shape: utility grows linearly from 0 and
+    /// "maxes out" at `peak` (Figs 1–2).
+    pub fn ramp(peak: Bandwidth) -> Self {
+        BandwidthUtility {
+            curve: PiecewiseLinear::ramp_up(peak.bps()),
+        }
+    }
+
+    /// Utility of a single flow receiving `rate`.
+    #[inline]
+    pub fn eval(&self, rate: Bandwidth) -> f64 {
+        self.curve.eval(rate.bps())
+    }
+
+    /// The *demand peak*: the smallest rate at which utility saturates.
+    /// This is the per-flow demand the traffic model fills toward
+    /// (paper §2.3: "obtained from the peak of the bandwidth component").
+    pub fn peak_demand(&self) -> Bandwidth {
+        Bandwidth::from_bps(self.curve.first_x_at_max())
+    }
+
+    /// Replaces the demand peak, keeping the ramp shape. Used by the
+    /// measurement-driven inflection inference (paper §2.2).
+    pub fn with_peak(&self, peak: Bandwidth) -> Self {
+        Self::ramp(peak)
+    }
+
+    /// Underlying curve (for plotting, e.g. regenerating Figs 1–2).
+    pub fn curve(&self) -> &PiecewiseLinear {
+        &self.curve
+    }
+}
+
+/// The delay axis of a utility function. The x-axis is the one-way path
+/// delay experienced by the flow, in seconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DelayUtility {
+    curve: PiecewiseLinear,
+}
+
+impl DelayUtility {
+    /// Wraps an arbitrary non-increasing curve (x in seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve increases anywhere: more delay can never make
+    /// an application happier.
+    pub fn from_curve(curve: PiecewiseLinear) -> Self {
+        assert!(
+            curve.is_non_increasing(),
+            "delay utility must be non-increasing"
+        );
+        DelayUtility { curve }
+    }
+
+    /// Flat at 1 until `knee`, then linear to 0 at `zero` — the shape of
+    /// Figs 1–2.
+    pub fn ramp(knee: Delay, zero: Delay) -> Self {
+        DelayUtility {
+            curve: PiecewiseLinear::ramp_down(knee.secs(), zero.secs()),
+        }
+    }
+
+    /// Indifferent to delay (utility 1 everywhere). Useful for pure
+    /// throughput experiments.
+    pub fn indifferent() -> Self {
+        DelayUtility {
+            curve: PiecewiseLinear::one(),
+        }
+    }
+
+    /// Utility multiplier for a flow experiencing `delay`.
+    #[inline]
+    pub fn eval(&self, delay: Delay) -> f64 {
+        self.curve.eval(delay.secs())
+    }
+
+    /// Stretches the delay axis by `factor` — the paper's relaxed-delay
+    /// experiment runs "small flows using double the delay parameter"
+    /// (Fig 6), i.e. `relaxed(2.0)`.
+    pub fn relaxed(&self, factor: f64) -> Self {
+        DelayUtility {
+            curve: self.curve.scale_x(factor),
+        }
+    }
+
+    /// Underlying curve (for plotting).
+    pub fn curve(&self) -> &PiecewiseLinear {
+        &self.curve
+    }
+}
+
+/// A complete utility function: `U(bw, d) = U_bw(bw) · U_delay(d)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilityFunction {
+    bandwidth: BandwidthUtility,
+    delay: DelayUtility,
+}
+
+impl UtilityFunction {
+    /// Combines the two components.
+    pub fn new(bandwidth: BandwidthUtility, delay: DelayUtility) -> Self {
+        UtilityFunction { bandwidth, delay }
+    }
+
+    /// Utility of a single flow at (`rate`, `delay`). Always in [0, 1].
+    #[inline]
+    pub fn eval(&self, rate: Bandwidth, delay: Delay) -> f64 {
+        self.bandwidth.eval(rate) * self.delay.eval(delay)
+    }
+
+    /// The per-flow demand peak (see [`BandwidthUtility::peak_demand`]).
+    pub fn peak_demand(&self) -> Bandwidth {
+        self.bandwidth.peak_demand()
+    }
+
+    /// The best utility attainable at a given delay, i.e. with bandwidth
+    /// fully satisfied. Used by the per-aggregate isolation upper bound.
+    pub fn max_at_delay(&self, delay: Delay) -> f64 {
+        self.delay.eval(delay)
+    }
+
+    /// Bandwidth component.
+    pub fn bandwidth(&self) -> &BandwidthUtility {
+        &self.bandwidth
+    }
+
+    /// Delay component.
+    pub fn delay(&self) -> &DelayUtility {
+        &self.delay
+    }
+
+    /// A copy with the delay axis stretched by `factor` (Fig 6).
+    pub fn with_relaxed_delay(&self, factor: f64) -> Self {
+        UtilityFunction {
+            bandwidth: self.bandwidth.clone(),
+            delay: self.delay.relaxed(factor),
+        }
+    }
+
+    /// A copy with a new bandwidth demand peak (inference updates).
+    pub fn with_peak_demand(&self, peak: Bandwidth) -> Self {
+        UtilityFunction {
+            bandwidth: self.bandwidth.with_peak(peak),
+            delay: self.delay.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kbps(v: f64) -> Bandwidth {
+        Bandwidth::from_kbps(v)
+    }
+    fn ms(v: f64) -> Delay {
+        Delay::from_ms(v)
+    }
+
+    /// Figure 1's real-time function: bandwidth ramps to 1 at 50 kb/s,
+    /// delay drops to 0 at 100 ms.
+    fn fig1() -> UtilityFunction {
+        UtilityFunction::new(
+            BandwidthUtility::ramp(kbps(50.0)),
+            DelayUtility::ramp(ms(10.0), ms(100.0)),
+        )
+    }
+
+    #[test]
+    fn components_multiply() {
+        let u = fig1();
+        // Half the bandwidth, comfortable delay: 0.5 * 1.0.
+        assert!((u.eval(kbps(25.0), ms(5.0)) - 0.5).abs() < 1e-12);
+        // Full bandwidth, half-dead delay: 1.0 * 0.5.
+        assert!((u.eval(kbps(50.0), ms(55.0)) - 0.5).abs() < 1e-12);
+        // Both degraded: product.
+        assert!((u.eval(kbps(25.0), ms(55.0)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_zero_utility() {
+        let u = fig1();
+        assert_eq!(u.eval(Bandwidth::ZERO, ms(0.0)), 0.0);
+    }
+
+    #[test]
+    fn delay_past_cutoff_means_zero_utility() {
+        let u = fig1();
+        assert_eq!(u.eval(kbps(1000.0), ms(150.0)), 0.0);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let u = fig1();
+        for &bw in &[0.0, 10.0, 50.0, 500.0] {
+            for &d in &[0.0, 50.0, 100.0, 5000.0] {
+                let v = u.eval(kbps(bw), ms(d));
+                assert!((0.0..=1.0).contains(&v), "u({bw}kbps,{d}ms) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn peak_demand_is_the_inflection_point() {
+        assert_eq!(fig1().peak_demand(), kbps(50.0));
+    }
+
+    #[test]
+    fn max_at_delay_ignores_bandwidth() {
+        let u = fig1();
+        assert_eq!(u.max_at_delay(ms(5.0)), 1.0);
+        assert!((u.max_at_delay(ms(55.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxed_delay_doubles_the_axis() {
+        let u = fig1().with_relaxed_delay(2.0);
+        // Old zero point (100ms) now gives 0.5.
+        assert!((u.eval(kbps(50.0), ms(110.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(u.eval(kbps(50.0), ms(200.0)), 0.0);
+        // Bandwidth axis untouched.
+        assert_eq!(u.peak_demand(), kbps(50.0));
+    }
+
+    #[test]
+    fn with_peak_demand_rescales_bandwidth_only() {
+        let u = fig1().with_peak_demand(kbps(100.0));
+        assert_eq!(u.peak_demand(), kbps(100.0));
+        assert!((u.eval(kbps(50.0), ms(0.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(u.eval(kbps(100.0), ms(150.0)), 0.0, "delay curve unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_bandwidth_curve_rejected() {
+        BandwidthUtility::from_curve(
+            crate::curve::PiecewiseLinear::ramp_down(0.0, 10.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn increasing_delay_curve_rejected() {
+        DelayUtility::from_curve(crate::curve::PiecewiseLinear::ramp_up(10.0));
+    }
+
+    #[test]
+    fn indifferent_delay_component() {
+        let u = UtilityFunction::new(
+            BandwidthUtility::ramp(kbps(10.0)),
+            DelayUtility::indifferent(),
+        );
+        assert_eq!(u.eval(kbps(10.0), Delay::from_secs(30.0)), 1.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Measurement-driven inference of the bandwidth inflection point.
+//!
+//! Paper §2.2: "we rely on continuous traffic measurements to scale the
+//! bandwidth component as needed. We can infer the inflection point of
+//! the bandwidth curve when an aggregate is using an uncongested path and
+//! fails to utilize it."
+//!
+//! The estimator consumes periodic per-flow rate observations tagged with
+//! whether the aggregate's paths were congested at measurement time:
+//!
+//! * **uncongested** samples are direct evidence of the application's
+//!   actual demand — the estimator tracks an exponentially weighted
+//!   moving maximum of them;
+//! * **congested** samples only lower-bound demand (the network, not the
+//!   application, was the limit), so they can push the estimate *up* but
+//!   never down.
+//!
+//! [`InflectionEstimator::estimate`] then yields a demand peak with a
+//! small headroom factor, suitable for
+//! [`UtilityFunction::with_peak_demand`](crate::UtilityFunction::with_peak_demand).
+
+use fubar_topology::Bandwidth;
+
+/// Online estimator of a traffic aggregate's per-flow demand peak.
+#[derive(Clone, Debug)]
+pub struct InflectionEstimator {
+    /// Smoothed estimate of the uncongested per-flow rate, bps.
+    smoothed: Option<f64>,
+    /// Highest rate ever observed (congested or not), bps.
+    observed_max: f64,
+    /// EWMA gain for new uncongested samples, in (0, 1].
+    gain: f64,
+    /// Multiplicative headroom applied by [`Self::estimate`].
+    headroom: f64,
+    samples: u64,
+}
+
+impl Default for InflectionEstimator {
+    fn default() -> Self {
+        Self::new(0.3, 1.1)
+    }
+}
+
+impl InflectionEstimator {
+    /// Creates an estimator with the given EWMA `gain` (0 < gain ≤ 1) and
+    /// multiplicative `headroom` (≥ 1) on the reported peak.
+    ///
+    /// # Panics
+    ///
+    /// Panics when parameters are out of range.
+    pub fn new(gain: f64, headroom: f64) -> Self {
+        assert!(gain > 0.0 && gain <= 1.0, "gain must be in (0,1]");
+        assert!(headroom >= 1.0, "headroom must be >= 1");
+        InflectionEstimator {
+            smoothed: None,
+            observed_max: 0.0,
+            gain,
+            headroom,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one measurement of the aggregate's *per-flow* rate.
+    /// `congested` must be true when any link on the aggregate's paths
+    /// was congested during the measurement interval.
+    pub fn observe(&mut self, per_flow_rate: Bandwidth, congested: bool) {
+        let r = per_flow_rate.bps();
+        self.samples += 1;
+        self.observed_max = self.observed_max.max(r);
+        if congested {
+            // A congested sample can only raise the estimate: the app
+            // proved it can use at least this much.
+            if let Some(s) = self.smoothed {
+                if r > s {
+                    self.smoothed = Some(r);
+                }
+            }
+            return;
+        }
+        self.smoothed = Some(match self.smoothed {
+            None => r,
+            Some(s) => s + self.gain * (r - s),
+        });
+    }
+
+    /// The current demand-peak estimate, or `None` before any uncongested
+    /// observation has arrived (congested-only evidence is not enough to
+    /// *shrink* a configured peak, per the paper's one-sided inference).
+    pub fn estimate(&self) -> Option<Bandwidth> {
+        self.smoothed
+            .map(|s| Bandwidth::from_bps(s * self.headroom))
+    }
+
+    /// The largest rate ever seen, congested or not.
+    pub fn observed_max(&self) -> Bandwidth {
+        Bandwidth::from_bps(self.observed_max)
+    }
+
+    /// Number of samples consumed.
+    pub fn sample_count(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kbps(v: f64) -> Bandwidth {
+        Bandwidth::from_kbps(v)
+    }
+
+    #[test]
+    fn no_estimate_before_uncongested_evidence() {
+        let mut e = InflectionEstimator::default();
+        e.observe(kbps(40.0), true);
+        e.observe(kbps(45.0), true);
+        assert_eq!(e.estimate(), None);
+        assert_eq!(e.observed_max(), kbps(45.0));
+    }
+
+    #[test]
+    fn converges_to_uncongested_usage() {
+        let mut e = InflectionEstimator::new(0.5, 1.0);
+        for _ in 0..20 {
+            e.observe(kbps(30.0), false);
+        }
+        let est = e.estimate().unwrap();
+        assert!((est.kbps() - 30.0).abs() < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn headroom_is_applied() {
+        let mut e = InflectionEstimator::new(1.0, 1.2);
+        e.observe(kbps(100.0), false);
+        assert!((e.estimate().unwrap().kbps() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congested_samples_never_shrink_the_estimate() {
+        let mut e = InflectionEstimator::new(1.0, 1.0);
+        e.observe(kbps(50.0), false);
+        e.observe(kbps(10.0), true); // starved by the network, not the app
+        assert_eq!(e.estimate().unwrap(), kbps(50.0));
+    }
+
+    #[test]
+    fn congested_samples_can_raise_it() {
+        let mut e = InflectionEstimator::new(1.0, 1.0);
+        e.observe(kbps(50.0), false);
+        e.observe(kbps(80.0), true); // proved it can push 80 even congested
+        assert_eq!(e.estimate().unwrap(), kbps(80.0));
+    }
+
+    #[test]
+    fn shrinks_when_uncongested_usage_drops() {
+        let mut e = InflectionEstimator::new(0.5, 1.0);
+        e.observe(kbps(100.0), false);
+        for _ in 0..30 {
+            e.observe(kbps(20.0), false);
+        }
+        let est = e.estimate().unwrap();
+        assert!(est.kbps() < 21.0, "estimate should track the drop, got {est}");
+    }
+
+    #[test]
+    fn sample_count_tracks_everything() {
+        let mut e = InflectionEstimator::default();
+        e.observe(kbps(1.0), true);
+        e.observe(kbps(1.0), false);
+        assert_eq!(e.sample_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gain")]
+    fn zero_gain_rejected() {
+        InflectionEstimator::new(0.0, 1.0);
+    }
+}

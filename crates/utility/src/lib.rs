@@ -1,0 +1,41 @@
+//! # fubar-utility
+//!
+//! Utility functions for the FUBAR reproduction (paper §2.2, Figs 1–2).
+//!
+//! FUBAR extends Shenker's notion of application utility to a function of
+//! *both* bandwidth and delay: each flow maps `(rate, path delay)` to a
+//! unitless value in `[0, 1]`, computed as the product of a non-decreasing
+//! bandwidth component and a non-increasing delay component, each a
+//! piecewise-linear curve "defined by the fewest points".
+//!
+//! * [`PiecewiseLinear`] — the curve primitive;
+//! * [`BandwidthUtility`], [`DelayUtility`], [`UtilityFunction`] — the two
+//!   components and their product;
+//! * [`TrafficClass`] — the paper's three archetypes (real-time, bulk,
+//!   large file transfer) with the Figs 1–2 presets;
+//! * [`InflectionEstimator`] — measurement-driven re-fitting of the
+//!   bandwidth inflection point (§2.2's "continuous traffic measurements").
+//!
+//! ```
+//! use fubar_utility::TrafficClass;
+//! use fubar_topology::{Bandwidth, Delay};
+//!
+//! let u = TrafficClass::RealTime.utility();
+//! // Plenty of bandwidth but 150 ms of delay: useless for real-time.
+//! assert_eq!(u.eval(Bandwidth::from_mbps(10.0), Delay::from_ms(150.0)), 0.0);
+//! // 25 of the 50 kb/s it wants, at negligible delay: half-happy.
+//! assert!((u.eval(Bandwidth::from_kbps(25.0), Delay::from_ms(1.0)) - 0.5).abs() < 1e-9);
+//! ```
+
+mod classes;
+mod curve;
+mod function;
+mod inference;
+
+pub use classes::{
+    TrafficClass, BULK_DELAY_KNEE_MS, BULK_DELAY_ZERO_MS, BULK_PEAK,
+    REAL_TIME_DELAY_KNEE_MS, REAL_TIME_DELAY_ZERO_MS, REAL_TIME_PEAK,
+};
+pub use curve::{CurveError, PiecewiseLinear};
+pub use function::{BandwidthUtility, DelayUtility, UtilityFunction};
+pub use inference::InflectionEstimator;

@@ -1,0 +1,83 @@
+//! Property-based tests on utility-function invariants.
+
+use fubar_topology::{Bandwidth, Delay};
+use fubar_utility::{PiecewiseLinear, TrafficClass, UtilityFunction};
+use proptest::prelude::*;
+
+fn any_class() -> impl Strategy<Value = TrafficClass> {
+    prop_oneof![
+        Just(TrafficClass::RealTime),
+        Just(TrafficClass::BulkTransfer),
+        (0.5f64..4.0).prop_map(|p| TrafficClass::LargeFile { peak_mbps: p }),
+    ]
+}
+
+proptest! {
+    /// Utility is always within [0,1] for all classes and inputs.
+    #[test]
+    fn utility_bounded(class in any_class(), bw_kbps in 0.0f64..10_000.0, d_ms in 0.0f64..10_000.0) {
+        let u = class.utility();
+        let v = u.eval(Bandwidth::from_kbps(bw_kbps), Delay::from_ms(d_ms));
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// More bandwidth never hurts; more delay never helps.
+    #[test]
+    fn utility_monotone(class in any_class(), bw in 0.0f64..5_000.0, extra_bw in 0.0f64..5_000.0,
+                        d in 0.0f64..5_000.0, extra_d in 0.0f64..5_000.0) {
+        let u = class.utility();
+        let base = u.eval(Bandwidth::from_kbps(bw), Delay::from_ms(d));
+        let more_bw = u.eval(Bandwidth::from_kbps(bw + extra_bw), Delay::from_ms(d));
+        let more_delay = u.eval(Bandwidth::from_kbps(bw), Delay::from_ms(d + extra_d));
+        prop_assert!(more_bw + 1e-12 >= base);
+        prop_assert!(more_delay <= base + 1e-12);
+    }
+
+    /// At the demand peak and zero delay, utility is exactly 1 for all
+    /// presets.
+    #[test]
+    fn saturates_at_peak(class in any_class()) {
+        let u = class.utility();
+        let v = u.eval(u.peak_demand(), Delay::ZERO);
+        prop_assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    /// Relaxing the delay axis never lowers utility at any point.
+    #[test]
+    fn relaxation_is_pointwise_better(class in any_class(), factor in 1.0f64..5.0,
+                                      bw in 0.0f64..5_000.0, d in 0.0f64..5_000.0) {
+        let u = class.utility();
+        let relaxed = u.with_relaxed_delay(factor);
+        let before = u.eval(Bandwidth::from_kbps(bw), Delay::from_ms(d));
+        let after = relaxed.eval(Bandwidth::from_kbps(bw), Delay::from_ms(d));
+        prop_assert!(after + 1e-12 >= before);
+    }
+
+    /// Arbitrary valid curves evaluate within the hull of their knot values.
+    #[test]
+    fn curve_eval_within_knot_range(
+        raw in proptest::collection::vec((0.0f64..1_000.0, 0.0f64..1.0), 1..8),
+        x in 0.0f64..2_000.0,
+    ) {
+        let mut knots = raw;
+        knots.sort_by(|a, b| a.0.total_cmp(&b.0));
+        knots.dedup_by(|a, b| a.0 == b.0);
+        let lo = knots.iter().map(|k| k.1).fold(f64::INFINITY, f64::min);
+        let hi = knots.iter().map(|k| k.1).fold(0.0, f64::max);
+        let c = PiecewiseLinear::new(knots).unwrap();
+        let v = c.eval(x);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    /// The product decomposition holds: U(bw,d) = U(bw,0) * U_delay(d)
+    /// for presets whose delay curve is 1 at zero delay.
+    #[test]
+    fn product_decomposition(class in any_class(), bw in 0.0f64..5_000.0, d in 0.0f64..5_000.0) {
+        let u: UtilityFunction = class.utility();
+        let bw = Bandwidth::from_kbps(bw);
+        let d = Delay::from_ms(d);
+        let lhs = u.eval(bw, d);
+        let rhs = u.eval(bw, Delay::ZERO) * u.max_at_delay(d);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

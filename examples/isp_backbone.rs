@@ -1,0 +1,75 @@
+//! The paper's headline scenario: optimize a 31-POP ISP backbone
+//! carrying an all-pairs traffic matrix (961 aggregates), then compare
+//! FUBAR against shortest-path routing and the isolation upper bound.
+//!
+//! This is the provisioned case of §3 (uniform 100 Mb/s links); pass a
+//! different capacity in Mb/s as the first argument to explore other
+//! regimes, e.g. `cargo run --release --example isp_backbone -- 75`.
+
+use fubar::core::baselines;
+use fubar::prelude::*;
+use fubar::topology::generators;
+use fubar::traffic::workload;
+
+fn main() {
+    let mbps: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    let topo = generators::he_core(Bandwidth::from_mbps(mbps));
+    let tm = workload::generate(&topo, &WorkloadConfig::default(), seed);
+    println!("{}", topo.summary());
+    println!(
+        "{} aggregates ({} large), {} flows, demand {}",
+        tm.len(),
+        tm.large_ids().len(),
+        tm.total_flows(),
+        tm.total_demand()
+    );
+
+    let sp = baselines::shortest_path(&topo, &tm);
+    println!(
+        "shortest-path routing: utility {:.4}, {} congested links",
+        sp.report.network_utility,
+        sp.outcome.congested.len()
+    );
+    for &l in sp.outcome.congested.iter().take(5) {
+        println!(
+            "  hot: {} oversubscribed {:.2}x",
+            topo.link_label(l),
+            sp.outcome.oversubscription(l)
+        );
+    }
+
+    let result = Optimizer::with_defaults(&topo, &tm).run();
+    let last = result.trace.last().unwrap();
+    println!(
+        "FUBAR: utility {:.4} ({} moves, {:.1}s, {:?}), {} congested links",
+        last.network_utility,
+        result.commits,
+        last.elapsed.as_secs_f64(),
+        result.termination,
+        last.congested_links
+    );
+
+    let ub = baselines::upper_bound(&topo, &tm);
+    println!("isolation upper bound: {:.4}", ub.mean);
+    println!(
+        "FUBAR closes {:.1}% of the shortest-path-to-upper-bound gap",
+        100.0 * (last.network_utility - sp.report.network_utility)
+            / (ub.mean - sp.report.network_utility).max(1e-9)
+    );
+    println!(
+        "utilization: actual {:.3}, demanded {:.3} (equal means congestion-free)",
+        last.actual_utilization, last.demanded_utilization
+    );
+    println!(
+        "largest path set: {} paths (paper: ~10-15)",
+        result.allocation.max_path_set_size()
+    );
+}

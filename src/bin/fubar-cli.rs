@@ -1,0 +1,173 @@
+//! `fubar-cli` — drive the FUBAR optimizer from topology and
+//! traffic-matrix text files (see `fubar_topology::format` and
+//! `fubar_traffic::format` for the grammars).
+//!
+//! ```text
+//! fubar-cli generate <he|abilene> <capacity_mbps> <seed>
+//!     Emit a topology file and a matching workload matrix to
+//!     ./<name>.topo and ./<name>.tm.
+//!
+//! fubar-cli evaluate <file.topo> <file.tm>
+//!     Evaluate shortest-path routing (no optimization).
+//!
+//! fubar-cli optimize <file.topo> <file.tm> [--minmax] [--trace out.csv]
+//!     Run FUBAR and print the computed path splits.
+//! ```
+
+use fubar::core::baselines;
+use fubar::prelude::*;
+use fubar::topology::format as topo_format;
+use fubar::topology::generators;
+use fubar::traffic::format as tm_format;
+use fubar::traffic::workload;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fubar-cli generate <he|abilene> <capacity_mbps> <seed>\n  \
+         fubar-cli evaluate <file.topo> <file.tm>\n  \
+         fubar-cli optimize <file.topo> <file.tm> [--minmax] [--trace out.csv]"
+    );
+    ExitCode::FAILURE
+}
+
+fn load(topo_path: &str, tm_path: &str) -> Result<(Topology, TrafficMatrix), String> {
+    let topo_text =
+        std::fs::read_to_string(topo_path).map_err(|e| format!("{topo_path}: {e}"))?;
+    let topo = topo_format::parse(&topo_text).map_err(|e| format!("{topo_path}: {e}"))?;
+    let tm_text = std::fs::read_to_string(tm_path).map_err(|e| format!("{tm_path}: {e}"))?;
+    let tm = tm_format::parse(&tm_text, &topo).map_err(|e| format!("{tm_path}: {e}"))?;
+    Ok((topo, tm))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let [kind, mbps, seed] = args else {
+        return Err("generate needs <he|abilene> <capacity_mbps> <seed>".into());
+    };
+    let mbps: f64 = mbps.parse().map_err(|e| format!("bad capacity: {e}"))?;
+    let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+    let topo = match kind.as_str() {
+        "he" => generators::he_core(Bandwidth::from_mbps(mbps)),
+        "abilene" => generators::abilene(Bandwidth::from_mbps(mbps)),
+        other => return Err(format!("unknown topology kind {other:?}")),
+    };
+    let tm = workload::generate(&topo, &WorkloadConfig::default(), seed);
+    let base = format!("{}-s{seed}", topo.name());
+    std::fs::write(format!("{base}.topo"), topo_format::serialize(&topo))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(format!("{base}.tm"), tm_format::serialize(&tm, &topo))
+        .map_err(|e| e.to_string())?;
+    println!("wrote {base}.topo and {base}.tm ({} aggregates)", tm.len());
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let [topo_path, tm_path] = args else {
+        return Err("evaluate needs <file.topo> <file.tm>".into());
+    };
+    let (topo, tm) = load(topo_path, tm_path)?;
+    println!("{}", topo.summary());
+    println!(
+        "{} aggregates, {} flows, demand {}",
+        tm.len(),
+        tm.total_flows(),
+        tm.total_demand()
+    );
+    let sp = baselines::shortest_path(&topo, &tm);
+    println!(
+        "shortest-path: utility {:.4}, {} congested links, {} starved bundles",
+        sp.report.network_utility,
+        sp.outcome.congested.len(),
+        sp.outcome.congested_bundle_count()
+    );
+    for &l in sp.outcome.congested.iter().take(10) {
+        println!(
+            "  {:<28} oversub {:.3}",
+            topo.link_label(l),
+            sp.outcome.oversubscription(l)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    if args.len() < 2 {
+        return Err("optimize needs <file.topo> <file.tm>".into());
+    }
+    let (topo, tm) = load(&args[0], &args[1])?;
+    let mut cfg = OptimizerConfig::default();
+    let mut trace_path: Option<String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--minmax" => cfg.objective = Objective::MinMaxUtilization,
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| "--trace needs a file".to_string())?
+                        .clone(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    let result = Optimizer::new(&topo, &tm, cfg).run();
+    let initial = result.trace.initial().unwrap();
+    let last = result.trace.last().unwrap();
+    println!(
+        "utility {:.4} -> {:.4} in {} moves / {:.1}s ({:?}); congested links {} -> {}",
+        initial.network_utility,
+        last.network_utility,
+        result.commits,
+        last.elapsed.as_secs_f64(),
+        result.termination,
+        initial.congested_links,
+        last.congested_links
+    );
+    if let Some(path) = trace_path {
+        std::fs::write(&path, result.trace.to_csv()).map_err(|e| e.to_string())?;
+        println!("trace written to {path}");
+    }
+    println!("# computed splits (aggregate, flows, path)");
+    for a in tm.iter() {
+        let ps = result.allocation.path_set(a.id);
+        for (idx, p) in ps.iter().enumerate() {
+            let flows = result.allocation.flows_on(a.id, idx);
+            if flows == 0 {
+                continue;
+            }
+            let hops: Vec<&str> = p.nodes().iter().map(|&n| topo.node_name(n)).collect();
+            println!(
+                "split {} {} {} {}",
+                topo.node_name(a.ingress),
+                topo.node_name(a.egress),
+                flows,
+                hops.join("->")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args[1..]),
+        "evaluate" => cmd_evaluate(&args[1..]),
+        "optimize" => cmd_optimize(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
