@@ -17,7 +17,9 @@ fn main() {
         .unwrap_or(1);
     println!("# capacity sweep, paper workload, seed {seed}");
     println!("capacity_mbps,final_utility,congested_links,cut_certificates,worst_cut_oversub,termination,elapsed_s");
-    for mbps in [60.0, 70.0, 75.0, 80.0, 85.0, 90.0, 95.0, 100.0, 110.0, 125.0] {
+    for mbps in [
+        60.0, 70.0, 75.0, 80.0, 85.0, 90.0, 95.0, 100.0, 110.0, 125.0,
+    ] {
         let topo = generators::he_core(Bandwidth::from_mbps(mbps));
         let tm = workload::generate(&topo, &WorkloadConfig::default(), seed);
         let result = Optimizer::new(&topo, &tm, OptimizerConfig::default()).run();

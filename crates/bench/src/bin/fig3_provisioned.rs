@@ -23,7 +23,10 @@ fn main() {
         tm.total_flows()
     );
     let report = run_case(&topo, &tm, OptimizerConfig::default());
-    print_trace("fig3 provisioned (100 Mb/s), seed per arg", &report.fubar.trace);
+    print_trace(
+        "fig3 provisioned (100 Mb/s), seed per arg",
+        &report.fubar.trace,
+    );
     print_references(&report);
     print_summary("3", &report);
 }

@@ -21,7 +21,10 @@ fn main() {
         OptimizerConfig::default(),
     );
 
-    println!("# fig7: {runs} provisioned runs, seeds {base_seed}..{}", base_seed + runs as u64);
+    println!(
+        "# fig7: {runs} provisioned runs, seeds {base_seed}..{}",
+        base_seed + runs as u64
+    );
     println!("seed,fubar,shortest_path,maximal");
     for r in &rows {
         println!(
@@ -53,5 +56,7 @@ fn main() {
         .fold(0.0_f64, f64::max);
     let mean_gain: f64 =
         rows.iter().map(|r| r.fubar - r.shortest_path).sum::<f64>() / rows.len().max(1) as f64;
-    println!("# fig7 worst gap to maximal {worst_gap:.4}; mean gain over shortest path {mean_gain:.4}");
+    println!(
+        "# fig7 worst gap to maximal {worst_gap:.4}; mean gain over shortest path {mean_gain:.4}"
+    );
 }

@@ -34,14 +34,9 @@ fn main() {
         let fu_out = model.evaluate(&fu_bundles);
         let fu_q = queueing_report(&fu_bundles, &fu_out, cfg);
 
-        for (system, q, out) in [
-            ("shortest-path", &sp_q, &sp_out),
-            ("fubar", &fu_q, &fu_out),
-        ] {
+        for (system, q, out) in [("shortest-path", &sp_q, &sp_out), ("fubar", &fu_q, &fu_out)] {
             let saturated = (0..topo.link_count())
-                .filter(|&i| {
-                    out.link_load[i].bps() >= out.link_capacity[i].bps() * (1.0 - 1e-9)
-                })
+                .filter(|&i| out.link_load[i].bps() >= out.link_capacity[i].bps() * (1.0 - 1e-9))
                 .count();
             println!(
                 "{name},{system},{:.3},{:.3},{saturated}",

@@ -17,8 +17,14 @@ pub fn print_trace(figure: &str, trace: &RunTrace) {
 /// Prints the reference lines (shortest path, upper bound) that the
 /// paper draws as horizontal guides.
 pub fn print_references(report: &CaseReport) {
-    println!("# reference shortest_path_utility {:.6}", report.shortest_path_utility);
-    println!("# reference upper_bound_utility {:.6}", report.upper_bound.mean);
+    println!(
+        "# reference shortest_path_utility {:.6}",
+        report.shortest_path_utility
+    );
+    println!(
+        "# reference upper_bound_utility {:.6}",
+        report.upper_bound.mean
+    );
     if let Some(l) = report.shortest_path_large_utility {
         println!("# reference shortest_path_large_utility {l:.6}");
     }

@@ -82,6 +82,93 @@ impl Allocation {
         Allocation { path_sets, flows }
     }
 
+    /// Adapts this allocation to a (possibly changed) matrix, topology
+    /// view, and exclusion set — the warm-start seed for incremental
+    /// re-optimization.
+    ///
+    /// Per aggregate: paths that avoid `excluded` survive with their
+    /// relative flow shares, and the aggregate's *new* flow count is
+    /// spread across them by largest-remainder rounding; when nothing
+    /// survives (all paths excluded, a brand-new aggregate, or an
+    /// aggregate that previously had all its flows elsewhere) the flows
+    /// land on the current constrained shortest path. Aggregates beyond
+    /// this allocation's coverage (the matrix grew) get shortest paths
+    /// too. The result always satisfies [`Allocation::validate`] against
+    /// `tm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some aggregate's endpoints are disconnected even on the
+    /// full topology.
+    pub fn rebase(&self, topology: &Topology, tm: &TrafficMatrix, excluded: &LinkSet) -> Self {
+        let empty = LinkSet::new();
+        let shortest = |a: &fubar_traffic::Aggregate| -> Path {
+            topology
+                .graph()
+                .shortest_path(a.ingress, a.egress, excluded)
+                .or_else(|| topology.graph().shortest_path(a.ingress, a.egress, &empty))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "aggregate {} endpoints {}->{} are disconnected",
+                        a.id,
+                        topology.node_name(a.ingress),
+                        topology.node_name(a.egress)
+                    )
+                })
+        };
+
+        let mut path_sets = Vec::with_capacity(tm.len());
+        let mut flows = Vec::with_capacity(tm.len());
+        for a in tm.iter() {
+            let idx = a.id.index();
+            let survivors: Vec<(&Path, u32)> = if idx < self.path_sets.len() {
+                self.path_sets[idx]
+                    .iter()
+                    .zip(&self.flows[idx])
+                    .filter(|(p, _)| p.links().iter().all(|l| !excluded.contains(*l)))
+                    .map(|(p, &n)| (p, n))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let old_total: u64 = survivors.iter().map(|&(_, n)| u64::from(n)).sum();
+            if old_total == 0 {
+                path_sets.push(PathSet::with_default(shortest(a)));
+                flows.push(vec![a.flow_count]);
+                continue;
+            }
+            // Largest-remainder split of the new count over the old
+            // shares, so unchanged aggregates rebase to exactly their
+            // previous allocation.
+            let mut set = PathSet::default();
+            let mut counts = Vec::with_capacity(survivors.len());
+            let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
+            let mut assigned: u32 = 0;
+            for (i, (p, n)) in survivors.iter().enumerate() {
+                set.insert((*p).clone());
+                let exact = f64::from(a.flow_count) * f64::from(*n) / old_total as f64;
+                let floor = exact.floor() as u32;
+                counts.push(floor);
+                assigned += floor;
+                remainders.push((i, exact - f64::from(floor)));
+            }
+            remainders.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            let mut left = a.flow_count - assigned;
+            for (i, _) in remainders {
+                if left == 0 {
+                    break;
+                }
+                counts[i] += 1;
+                left -= 1;
+            }
+            path_sets.push(set);
+            flows.push(counts);
+        }
+        let rebased = Allocation { path_sets, flows };
+        debug_assert!(rebased.validate(tm).is_ok());
+        rebased
+    }
+
     /// The path set of one aggregate.
     #[inline]
     pub fn path_set(&self, agg: AggregateId) -> &PathSet {
@@ -170,11 +257,7 @@ impl Allocation {
 
     /// Links used by `agg`'s non-empty paths that are also in
     /// `congested` — the exclusion set for the paper's *local* path.
-    pub fn congested_links_used_by(
-        &self,
-        agg: AggregateId,
-        congested: &LinkSet,
-    ) -> LinkSet {
+    pub fn congested_links_used_by(&self, agg: AggregateId, congested: &LinkSet) -> LinkSet {
         let mut used = LinkSet::new();
         let fs = &self.flows[agg.index()];
         let ps = &self.path_sets[agg.index()];
@@ -294,7 +377,13 @@ mod tests {
         let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
         // Add the other way around the ring for aggregate 0.
         let g = topo.graph();
-        let used: LinkSet = alloc.path_set(AggregateId(0)).path(0).links().iter().copied().collect();
+        let used: LinkSet = alloc
+            .path_set(AggregateId(0))
+            .path(0)
+            .links()
+            .iter()
+            .copied()
+            .collect();
         let alt = g.shortest_path(NodeId(0), NodeId(2), &used).unwrap();
         let idx = alloc.add_path(AggregateId(0), alt);
         assert_eq!(idx, 1);
@@ -358,7 +447,13 @@ mod tests {
         let (topo, tm) = fixture();
         let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
         let g = topo.graph();
-        let used: LinkSet = alloc.path_set(AggregateId(0)).path(0).links().iter().copied().collect();
+        let used: LinkSet = alloc
+            .path_set(AggregateId(0))
+            .path(0)
+            .links()
+            .iter()
+            .copied()
+            .collect();
         let alt = g.shortest_path(NodeId(0), NodeId(2), &used).unwrap();
         alloc.add_path(AggregateId(0), alt);
         alloc.apply(Move {
@@ -367,6 +462,91 @@ mod tests {
             to: 1,
             count: 99,
         });
+    }
+
+    #[test]
+    fn rebase_identity_when_nothing_changed() {
+        let (topo, tm) = fixture();
+        let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let used: LinkSet = alloc
+            .path_set(AggregateId(0))
+            .path(0)
+            .links()
+            .iter()
+            .copied()
+            .collect();
+        let alt = topo
+            .graph()
+            .shortest_path(NodeId(0), NodeId(2), &used)
+            .unwrap();
+        let idx = alloc.add_path(AggregateId(0), alt);
+        alloc.apply(Move {
+            aggregate: AggregateId(0),
+            from: 0,
+            to: idx,
+            count: 4,
+        });
+
+        let rebased = alloc.rebase(&topo, &tm, &LinkSet::new());
+        rebased.validate(&tm).unwrap();
+        assert_eq!(rebased.flows_on(AggregateId(0), 0), 6);
+        assert_eq!(rebased.flows_on(AggregateId(0), 1), 4);
+    }
+
+    #[test]
+    fn rebase_scales_shares_to_new_flow_count() {
+        let (topo, mut tm) = fixture();
+        let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let used: LinkSet = alloc
+            .path_set(AggregateId(0))
+            .path(0)
+            .links()
+            .iter()
+            .copied()
+            .collect();
+        let alt = topo
+            .graph()
+            .shortest_path(NodeId(0), NodeId(2), &used)
+            .unwrap();
+        let idx = alloc.add_path(AggregateId(0), alt);
+        alloc.apply(Move {
+            aggregate: AggregateId(0),
+            from: 0,
+            to: idx,
+            count: 5,
+        }); // 5:5
+
+        tm.set_flow_count(AggregateId(0), 20); // flash crowd: x2
+        let rebased = alloc.rebase(&topo, &tm, &LinkSet::new());
+        rebased.validate(&tm).unwrap();
+        assert_eq!(rebased.flows_on(AggregateId(0), 0), 10);
+        assert_eq!(rebased.flows_on(AggregateId(0), 1), 10);
+
+        tm.set_flow_count(AggregateId(0), 0); // aggregate went idle
+        let idle = alloc.rebase(&topo, &tm, &LinkSet::new());
+        idle.validate(&tm).unwrap();
+        let total: u32 = (0..idle.path_set(AggregateId(0)).len())
+            .map(|i| idle.flows_on(AggregateId(0), i))
+            .sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn rebase_evacuates_excluded_paths() {
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        // Exclude the first link of aggregate 0's only path: its flows
+        // must land on a survivor that avoids the exclusion.
+        let dead = alloc.path_set(AggregateId(0)).path(0).links()[0];
+        let mut excluded = LinkSet::new();
+        excluded.insert(dead);
+        let rebased = alloc.rebase(&topo, &tm, &excluded);
+        rebased.validate(&tm).unwrap();
+        for (idx, p) in rebased.path_set(AggregateId(0)).iter().enumerate() {
+            if rebased.flows_on(AggregateId(0), idx) > 0 {
+                assert!(!p.uses_link(dead), "flows must avoid the excluded link");
+            }
+        }
     }
 
     #[test]

@@ -72,9 +72,7 @@ pub fn cut_certificates(
 
         let crossing_demand: Bandwidth = tm
             .iter()
-            .filter(|x| {
-                r.source_side[x.ingress.index()] && !r.source_side[x.egress.index()]
-            })
+            .filter(|x| r.source_side[x.ingress.index()] && !r.source_side[x.egress.index()])
             .map(|x| x.total_demand())
             .sum();
         let capacity = Bandwidth::from_bps(r.value);
@@ -130,9 +128,12 @@ mod tests {
         for n in ["w1", "w2", "e1", "e2"] {
             b.add_node(n).unwrap();
         }
-        b.add_duplex_link("w1", "w2", kb(10_000.0), ms(1.0)).unwrap();
-        b.add_duplex_link("e1", "e2", kb(10_000.0), ms(1.0)).unwrap();
-        b.add_duplex_link("w2", "e1", kb(bridge_kbps), ms(5.0)).unwrap();
+        b.add_duplex_link("w1", "w2", kb(10_000.0), ms(1.0))
+            .unwrap();
+        b.add_duplex_link("e1", "e2", kb(10_000.0), ms(1.0))
+            .unwrap();
+        b.add_duplex_link("w2", "e1", kb(bridge_kbps), ms(5.0))
+            .unwrap();
         let topo = b.build();
         // 10 bulk flows w1 -> e2 (1.2 Mb/s) plus 5 flows w2 -> e2
         // (600 kb/s): 1.8 Mb/s must cross the bridge.
@@ -204,9 +205,11 @@ mod tests {
         );
         // The transatlantic trunks are the canonical bottleneck.
         let has_atlantic = certs.iter().any(|c| {
-            c.links
-                .iter()
-                .any(|&l| topo.link_label(l).contains("London") || topo.link_label(l).contains("NewYork") || topo.link_label(l).contains("Ashburn"))
+            c.links.iter().any(|&l| {
+                topo.link_label(l).contains("London")
+                    || topo.link_label(l).contains("NewYork")
+                    || topo.link_label(l).contains("Ashburn")
+            })
         });
         assert!(has_atlantic, "expected a transatlantic certificate");
     }

@@ -16,7 +16,7 @@
 
 use crate::allocation::{Allocation, Move};
 use crate::objective::Objective;
-use crate::optimizer::{Optimizer, OptimizerConfig, OptimizeResult};
+use crate::optimizer::{OptimizeResult, Optimizer, OptimizerConfig};
 use fubar_graph::{yen, LinkSet};
 use fubar_model::{utility_report, FlowModel, ModelOutcome, UtilityReport};
 use fubar_topology::Topology;
@@ -47,7 +47,11 @@ fn evaluate(topology: &Topology, tm: &TrafficMatrix, allocation: Allocation) -> 
 /// Everything on its lowest-delay path — conventional shortest-path
 /// routing, FUBAR's starting point and lower bound.
 pub fn shortest_path(topology: &Topology, tm: &TrafficMatrix) -> BaselineResult {
-    evaluate(topology, tm, Allocation::all_on_shortest_paths(topology, tm))
+    evaluate(
+        topology,
+        tm,
+        Allocation::all_on_shortest_paths(topology, tm),
+    )
 }
 
 /// The per-aggregate isolation upper bound.
@@ -120,13 +124,8 @@ pub fn ecmp(
         if a.is_intra_pop() {
             continue;
         }
-        let candidates = yen::k_shortest_paths(
-            topology.graph(),
-            a.ingress,
-            a.egress,
-            max_paths,
-            &empty,
-        );
+        let candidates =
+            yen::k_shortest_paths(topology.graph(), a.ingress, a.egress, max_paths, &empty);
         let best = candidates[0].cost();
         let equal: Vec<_> = candidates
             .into_iter()

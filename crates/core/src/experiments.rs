@@ -5,7 +5,7 @@
 //! DESIGN.md's experiment index (F3–F7, T1–T3, A1–A2).
 
 use crate::baselines::{self, UpperBound};
-use crate::optimizer::{Optimizer, OptimizerConfig, OptimizeResult};
+use crate::optimizer::{OptimizeResult, Optimizer, OptimizerConfig};
 use fubar_topology::{generators, Bandwidth, Topology};
 use fubar_traffic::{workload, TrafficMatrix, WorkloadConfig};
 
@@ -79,11 +79,7 @@ pub struct CaseReport {
 }
 
 /// Runs FUBAR and both reference baselines on arbitrary inputs.
-pub fn run_case(
-    topology: &Topology,
-    tm: &TrafficMatrix,
-    optimizer: OptimizerConfig,
-) -> CaseReport {
+pub fn run_case(topology: &Topology, tm: &TrafficMatrix, optimizer: OptimizerConfig) -> CaseReport {
     let sp = baselines::shortest_path(topology, tm);
     let ub = baselines::upper_bound(topology, tm);
     let fubar = Optimizer::new(topology, tm, optimizer).run();

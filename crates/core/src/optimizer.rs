@@ -9,10 +9,10 @@
 //! whole-aggregate moves cannot help.
 
 use crate::allocation::{Allocation, Move};
-use fubar_graph::Path;
 use crate::objective::Objective;
 use crate::pathgen::{alternatives, PathPolicy};
 use crate::recorder::{RunTrace, TracePoint};
+use fubar_graph::Path;
 use fubar_graph::{LinkId, LinkSet};
 use fubar_model::{utility_report, FlowModel, ModelConfig, ModelOutcome, UtilityReport};
 use fubar_topology::{Bandwidth, Topology};
@@ -89,8 +89,7 @@ impl Default for OptimizerConfig {
             model: ModelConfig::default(),
             time_limit: None,
             excluded_links: LinkSet::new(),
-            threads: std::thread::available_parallelism()
-                .map_or(1, |n| n.get().min(8)),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
         }
     }
 }
@@ -289,10 +288,7 @@ impl<'a> Optimizer<'a> {
         } else {
             let chunk = candidates.len().div_ceil(threads);
             std::thread::scope(|scope| {
-                for (slot, cands) in scores
-                    .chunks_mut(chunk)
-                    .zip(candidates.chunks(chunk))
-                {
+                for (slot, cands) in scores.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
                     let mut scratch = alloc.clone();
                     scope.spawn(move || {
                         for (s, c) in slot.iter_mut().zip(cands) {
@@ -329,12 +325,33 @@ impl<'a> Optimizer<'a> {
     /// Listing 1: the main loop. Runs to termination and returns the
     /// final allocation with its full progress trace.
     pub fn run(&self) -> OptimizeResult {
-        let started = Instant::now();
-        let mut alloc = Allocation::all_on_shortest_paths_avoiding(
+        self.run_with(Allocation::all_on_shortest_paths_avoiding(
             self.topology,
             self.tm,
             &self.config.excluded_links,
-        );
+        ))
+    }
+
+    /// Warm start: seeds the greedy loop from a previous allocation
+    /// instead of the shortest-path boot state. `previous` is first
+    /// [rebased](Allocation::rebase) onto this optimizer's matrix,
+    /// topology, and exclusion set, so it may come from an earlier epoch
+    /// with different flow counts or a different failure pattern.
+    ///
+    /// After a small perturbation (drift, one failure, a flash crowd)
+    /// the previous optimum is already close to the new one, so far
+    /// fewer commits are needed than from scratch — this is what makes
+    /// per-event re-optimization affordable in the scenario engine.
+    pub fn run_from(&self, previous: &Allocation) -> OptimizeResult {
+        self.run_with(previous.rebase(self.topology, self.tm, &self.config.excluded_links))
+    }
+
+    /// The main loop from an explicit starting allocation (which must
+    /// already satisfy `validate` against this optimizer's matrix).
+    fn run_with(&self, initial: Allocation) -> OptimizeResult {
+        let started = Instant::now();
+        debug_assert!(initial.validate(self.tm).is_ok());
+        let mut alloc = initial;
         let (mut outcome, mut report) = self.eval(&alloc);
         let mut trace = RunTrace::new();
         let mut commits = 0usize;
@@ -420,7 +437,8 @@ mod tests {
         for n in ["s", "x", "t"] {
             b.add_node(n).unwrap();
         }
-        b.add_duplex_link("s", "t", kb(direct_kbps), ms(1.0)).unwrap();
+        b.add_duplex_link("s", "t", kb(direct_kbps), ms(1.0))
+            .unwrap();
         b.add_duplex_link("s", "x", kb(100_000.0), ms(3.0)).unwrap();
         b.add_duplex_link("x", "t", kb(100_000.0), ms(3.0)).unwrap();
         let topo = b.build();
@@ -559,6 +577,45 @@ mod tests {
         let before = result.trace.initial().unwrap().congested_links;
         let after = result.outcome.congested.len();
         assert!(after <= before);
+    }
+
+    #[test]
+    fn warm_start_from_own_optimum_needs_no_commits() {
+        let (topo, tm) = diamond(600.0);
+        let opt = Optimizer::with_defaults(&topo, &tm);
+        let cold = opt.run();
+        let warm = opt.run_from(&cold.allocation);
+        assert_eq!(warm.commits, 0, "re-running from the optimum is a no-op");
+        assert!(
+            (warm.report.network_utility - cold.report.network_utility).abs() < 1e-12,
+            "{} vs {}",
+            warm.report.network_utility,
+            cold.report.network_utility
+        );
+    }
+
+    #[test]
+    fn warm_start_tracks_a_perturbation_cheaply() {
+        let (topo, tm) = diamond(600.0);
+        let cold = Optimizer::with_defaults(&topo, &tm).run();
+        // Perturb: one more flow in the aggregate.
+        let mut tm2 = tm.clone();
+        tm2.set_flow_count(fubar_traffic::AggregateId(0), 21);
+        let opt2 = Optimizer::with_defaults(&topo, &tm2);
+        let warm = opt2.run_from(&cold.allocation);
+        let cold2 = opt2.run();
+        assert!(
+            warm.commits <= cold2.commits,
+            "warm start must not work harder: {} vs {}",
+            warm.commits,
+            cold2.commits
+        );
+        assert!(
+            warm.report.network_utility >= cold2.report.network_utility - 0.01,
+            "warm start must stay within 1%: {} vs {}",
+            warm.report.network_utility,
+            cold2.report.network_utility
+        );
     }
 
     #[test]

@@ -23,9 +23,10 @@ use fubar_topology::Topology;
 use fubar_traffic::{Aggregate, AggregateId};
 
 /// Which alternative paths the optimizer may request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum PathPolicy {
     /// The paper's design: global + local + link-local.
+    #[default]
     ThreePaths,
     /// Only the global path (ablation).
     GlobalOnly,
@@ -35,12 +36,6 @@ pub enum PathPolicy {
     /// "an optimal algorithm would need to consider all the possible
     /// policy-compliant paths ... clearly computationally infeasible").
     KShortest(usize),
-}
-
-impl Default for PathPolicy {
-    fn default() -> Self {
-        PathPolicy::ThreePaths
-    }
 }
 
 /// Generates candidate alternative paths for one congested aggregate.
@@ -110,7 +105,11 @@ pub fn alternatives(
 /// The most-congested link in `used` (by the outcome's descending
 /// oversubscription order).
 fn most_congested_used(outcome: &ModelOutcome, used: &LinkSet) -> Option<LinkId> {
-    outcome.congested.iter().copied().find(|&l| used.contains(l))
+    outcome
+        .congested
+        .iter()
+        .copied()
+        .find(|&l| used.contains(l))
 }
 
 /// Convenience: the aggregate's most congested used link, exposed for
@@ -176,7 +175,14 @@ mod tests {
         let (alloc, out) = run(&topo, &tm);
         assert!(out.is_congested(), "direct link must congest");
         let agg = tm.aggregate(AggregateId(0));
-        let alts = alternatives(&topo, agg, &alloc, &out, PathPolicy::ThreePaths, &LinkSet::new());
+        let alts = alternatives(
+            &topo,
+            agg,
+            &alloc,
+            &out,
+            PathPolicy::ThreePaths,
+            &LinkSet::new(),
+        );
         assert!(!alts.is_empty());
         // All alternatives dodge the congested direct link; the best is
         // via x (4 ms).
@@ -194,7 +200,14 @@ mod tests {
         let (topo, tm) = diamond();
         let (alloc, out) = run(&topo, &tm);
         let agg = tm.aggregate(AggregateId(0));
-        let alts = alternatives(&topo, agg, &alloc, &out, PathPolicy::ThreePaths, &LinkSet::new());
+        let alts = alternatives(
+            &topo,
+            agg,
+            &alloc,
+            &out,
+            PathPolicy::ThreePaths,
+            &LinkSet::new(),
+        );
         assert_eq!(alts.len(), 1);
     }
 
@@ -236,7 +249,14 @@ mod tests {
         let st = tm.aggregate(AggregateId(0));
         // The s->t aggregate uses no congested link.
         assert_eq!(most_congested_link_of(&alloc, AggregateId(0), &out), None);
-        let alts = alternatives(&topo, st, &alloc, &out, PathPolicy::ThreePaths, &LinkSet::new());
+        let alts = alternatives(
+            &topo,
+            st,
+            &alloc,
+            &out,
+            PathPolicy::ThreePaths,
+            &LinkSet::new(),
+        );
         // Global avoids u->m (trivially true for s->m->t already);
         // local has an empty exclusion set -> the current shortest path.
         // Both dedupe into candidates; at least the local one equals the
@@ -249,7 +269,14 @@ mod tests {
         let (topo, tm) = diamond();
         let (alloc, out) = run(&topo, &tm);
         let agg = tm.aggregate(AggregateId(0));
-        let alts = alternatives(&topo, agg, &alloc, &out, PathPolicy::KShortest(3), &LinkSet::new());
+        let alts = alternatives(
+            &topo,
+            agg,
+            &alloc,
+            &out,
+            PathPolicy::KShortest(3),
+            &LinkSet::new(),
+        );
         assert_eq!(alts.len(), 3);
         assert!(alts[0].cost() <= alts[1].cost());
         assert!(alts[1].cost() <= alts[2].cost());
@@ -267,7 +294,15 @@ mod tests {
         )]);
         let (alloc, out) = run(&topo, &tm);
         let agg = tm.aggregate(AggregateId(0));
-        assert!(alternatives(&topo, agg, &alloc, &out, PathPolicy::ThreePaths, &LinkSet::new()).is_empty());
+        assert!(alternatives(
+            &topo,
+            agg,
+            &alloc,
+            &out,
+            PathPolicy::ThreePaths,
+            &LinkSet::new()
+        )
+        .is_empty());
     }
 
     #[test]
@@ -275,7 +310,14 @@ mod tests {
         let (topo, tm) = diamond();
         let (alloc, out) = run(&topo, &tm);
         let agg = tm.aggregate(AggregateId(0));
-        let alts = alternatives(&topo, agg, &alloc, &out, PathPolicy::GlobalOnly, &LinkSet::new());
+        let alts = alternatives(
+            &topo,
+            agg,
+            &alloc,
+            &out,
+            PathPolicy::GlobalOnly,
+            &LinkSet::new(),
+        );
         assert!(alts.len() <= 1);
     }
 }

@@ -113,8 +113,12 @@ impl fmt::Display for RunTrace {
             (Some(a), Some(b)) => write!(
                 f,
                 "{} commits in {:.2?}: utility {:.4} -> {:.4}, congested links {} -> {}",
-                b.commits, b.elapsed, a.network_utility, b.network_utility,
-                a.congested_links, b.congested_links
+                b.commits,
+                b.elapsed,
+                a.network_utility,
+                b.network_utility,
+                a.congested_links,
+                b.congested_links
             ),
             _ => write!(f, "(empty trace)"),
         }

@@ -24,13 +24,15 @@ fn instance() -> impl Strategy<Value = Instance> {
         200.0f64..3_000.0,
         (1u32..4, 4u32..9),
     )
-        .prop_map(|(nodes, topo_seed, tm_seed, capacity_kbps, flows)| Instance {
-            nodes,
-            topo_seed,
-            tm_seed,
-            capacity_kbps,
-            flows,
-        })
+        .prop_map(
+            |(nodes, topo_seed, tm_seed, capacity_kbps, flows)| Instance {
+                nodes,
+                topo_seed,
+                tm_seed,
+                capacity_kbps,
+                flows,
+            },
+        )
 }
 
 fn build(i: &Instance) -> (Topology, TrafficMatrix) {

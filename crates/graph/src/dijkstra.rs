@@ -181,7 +181,9 @@ impl DiGraph {
         let mut links = Vec::new();
         let mut at = dst;
         while at != src {
-            let lid = labels[at.index()].pred.expect("settled non-source has pred");
+            let lid = labels[at.index()]
+                .pred
+                .expect("settled non-source has pred");
             links.push(lid);
             at = self.link(lid).src;
         }

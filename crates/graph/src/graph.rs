@@ -233,23 +233,22 @@ impl DiGraph {
         if n <= 1 {
             return true;
         }
-        let reach =
-            |start: NodeId, adj: &dyn Fn(NodeId) -> Vec<NodeId>| -> usize {
-                let mut seen = vec![false; n];
-                let mut stack = vec![start];
-                seen[start.index()] = true;
-                let mut count = 1;
-                while let Some(u) = stack.pop() {
-                    for v in adj(u) {
-                        if !seen[v.index()] {
-                            seen[v.index()] = true;
-                            count += 1;
-                            stack.push(v);
-                        }
+        let reach = |start: NodeId, adj: &dyn Fn(NodeId) -> Vec<NodeId>| -> usize {
+            let mut seen = vec![false; n];
+            let mut stack = vec![start];
+            seen[start.index()] = true;
+            let mut count = 1;
+            while let Some(u) = stack.pop() {
+                for v in adj(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        count += 1;
+                        stack.push(v);
                     }
                 }
-                count
-            };
+            }
+            count
+        };
         let fwd = |u: NodeId| {
             self.out[u.index()]
                 .iter()

@@ -42,15 +42,15 @@
 //! assert_eq!(p.cost(), 5.0);
 //! ```
 
+pub mod bellman_ford;
 mod bitset;
 mod dijkstra;
 mod graph;
-mod path;
-pub mod bellman_ford;
 pub mod maxflow;
+mod path;
 pub mod yen;
 
 pub use bitset::{LinkSet, NodeSet};
-pub use maxflow::{max_flow, MaxFlowResult};
 pub use graph::{DiGraph, Link, LinkId, NodeId};
+pub use maxflow::{max_flow, MaxFlowResult};
 pub use path::{Path, PathError};

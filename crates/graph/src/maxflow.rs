@@ -32,9 +32,7 @@ impl MaxFlowResult {
     pub fn min_cut_links(&self, graph: &DiGraph) -> Vec<LinkId> {
         graph
             .links()
-            .filter(|(_, l)| {
-                self.source_side[l.src.index()] && !self.source_side[l.dst.index()]
-            })
+            .filter(|(_, l)| self.source_side[l.src.index()] && !self.source_side[l.dst.index()])
             .map(|(id, _)| id)
             .collect()
     }

@@ -238,10 +238,7 @@ mod tests {
     fn loop_detected() {
         let (mut g, [a, b, _], [ab, _]) = line3();
         let ba = g.add_link(b, a, 1.0);
-        assert_eq!(
-            Path::new(&g, a, vec![ab, ba]),
-            Err(PathError::NotSimple(a))
-        );
+        assert_eq!(Path::new(&g, a, vec![ab, ba]), Err(PathError::NotSimple(a)));
     }
 
     #[test]

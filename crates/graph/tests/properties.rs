@@ -19,8 +19,7 @@ struct RandomGraph {
 fn random_graph() -> impl Strategy<Value = RandomGraph> {
     (2usize..12).prop_flat_map(|nodes| {
         let edge = (0..nodes, 0..nodes, 0.0f64..100.0);
-        proptest::collection::vec(edge, 1..60)
-            .prop_map(move |edges| RandomGraph { nodes, edges })
+        proptest::collection::vec(edge, 1..60).prop_map(move |edges| RandomGraph { nodes, edges })
     })
 }
 

@@ -455,8 +455,12 @@ mod tests {
         let (bottleneck, _) = b.add_duplex_link("m", "d", kbps(900.0), ms(5.0)).unwrap();
         let t = b.build();
         let g = t.graph();
-        let s1m = g.find_link(t.node("s1").unwrap(), t.node("m").unwrap()).unwrap();
-        let s2m = g.find_link(t.node("s2").unwrap(), t.node("m").unwrap()).unwrap();
+        let s1m = g
+            .find_link(t.node("s1").unwrap(), t.node("m").unwrap())
+            .unwrap();
+        let s2m = g
+            .find_link(t.node("s2").unwrap(), t.node("m").unwrap())
+            .unwrap();
         let m = FlowModel::with_defaults(&t);
         // RTTs: near 2*(5+5)=20ms, far 2*(15+5)=40ms.
         let out = m.evaluate(&[
@@ -649,6 +653,9 @@ mod tests {
         );
         let _ = a;
         let total: f64 = out.bundle_rates.iter().map(|r| r.kbps()).sum();
-        assert!((total - 100.0).abs() < 1e-6, "pipe fully shared, got {total}");
+        assert!(
+            (total - 100.0).abs() < 1e-6,
+            "pipe fully shared, got {total}"
+        );
     }
 }

@@ -24,6 +24,6 @@ mod spec;
 
 pub use engine::{FlowModel, ModelConfig};
 pub use outcome::{ModelOutcome, UtilizationSummary};
-pub use report::{utility_report, UtilityReport};
 pub use queueing::{queueing_report, QueueingConfig, QueueingReport};
+pub use report::{utility_report, UtilityReport};
 pub use spec::{BundleSpec, BundleStatus};

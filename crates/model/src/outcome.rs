@@ -125,10 +125,7 @@ mod tests {
     fn sample() -> ModelOutcome {
         ModelOutcome::new(
             vec![kb(50.0), kb(100.0)],
-            vec![
-                BundleStatus::Congested(LinkId(0)),
-                BundleStatus::Satisfied,
-            ],
+            vec![BundleStatus::Congested(LinkId(0)), BundleStatus::Satisfied],
             vec![kb(100.0), kb(50.0), Bandwidth::ZERO],
             vec![kb(200.0), kb(50.0), Bandwidth::ZERO],
             vec![kb(100.0), kb(100.0), kb(100.0)],

@@ -87,11 +87,7 @@ pub fn queueing_report(
     let mut weighted = 0.0;
     let mut flows = 0.0;
     for b in bundles {
-        let q: Delay = b
-            .links
-            .iter()
-            .map(|l| link_queueing[l.index()])
-            .sum();
+        let q: Delay = b.links.iter().map(|l| link_queueing[l.index()]).sum();
         weighted += q.secs() * f64::from(b.flow_count);
         flows += f64::from(b.flow_count);
         bundle_queueing.push(q);
@@ -186,8 +182,14 @@ mod tests {
         b.add_duplex_link("b", "c", Bandwidth::from_kbps(100.0), Delay::from_ms(1.0))
             .unwrap();
         let t = b.build();
-        let ab = t.graph().find_link(t.node("a").unwrap(), t.node("b").unwrap()).unwrap();
-        let bc = t.graph().find_link(t.node("b").unwrap(), t.node("c").unwrap()).unwrap();
+        let ab = t
+            .graph()
+            .find_link(t.node("a").unwrap(), t.node("b").unwrap())
+            .unwrap();
+        let bc = t
+            .graph()
+            .find_link(t.node("b").unwrap(), t.node("c").unwrap())
+            .unwrap();
         let bundles = vec![BundleSpec {
             aggregate: AggregateId(0),
             flow_count: 5,

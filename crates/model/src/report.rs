@@ -65,8 +65,15 @@ pub fn utility_report(
             covered[a.id.index()],
             a.flow_count
         );
-        // Uncovered (black-holed) flows contribute zero utility.
-        per_aggregate[a.id.index()] = weighted[a.id.index()] / f64::from(a.flow_count);
+        // Uncovered (black-holed) flows contribute zero utility. Idle
+        // aggregates (zero flows — dynamic scenarios park departed
+        // aggregates at zero instead of removing them) carry no traffic
+        // and no objective weight; score them 0 rather than 0/0.
+        per_aggregate[a.id.index()] = if a.flow_count == 0 {
+            0.0
+        } else {
+            weighted[a.id.index()] / f64::from(a.flow_count)
+        };
     }
 
     let mut obj_num = 0.0;
@@ -91,7 +98,11 @@ pub fn utility_report(
     }
 
     UtilityReport {
-        network_utility: if obj_den > 0.0 { obj_num / obj_den } else { 0.0 },
+        network_utility: if obj_den > 0.0 {
+            obj_num / obj_den
+        } else {
+            0.0
+        },
         per_aggregate,
         large_average: (large_den > 0.0).then(|| large_num / large_den),
         small_average: (small_den > 0.0).then(|| small_num / small_den),
@@ -205,8 +216,14 @@ mod tests {
         ])
         .with_large_priority(3.0);
         let excl = fubar_graph::LinkSet::new();
-        let p0 = t.graph().shortest_path(NodeId(0), NodeId(1), &excl).unwrap();
-        let p1 = t.graph().shortest_path(NodeId(2), NodeId(3), &excl).unwrap();
+        let p0 = t
+            .graph()
+            .shortest_path(NodeId(0), NodeId(1), &excl)
+            .unwrap();
+        let p1 = t
+            .graph()
+            .shortest_path(NodeId(2), NodeId(3), &excl)
+            .unwrap();
         let bundles = vec![
             BundleSpec::new(tm.aggregate(AggregateId(0)), &p0, 10),
             BundleSpec::new(tm.aggregate(AggregateId(1)), &p1, 300),

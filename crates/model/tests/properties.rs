@@ -26,12 +26,14 @@ fn workload() -> impl Strategy<Value = RandomWorkload> {
         proptest::collection::vec((0usize..12, 0usize..12, 1u32..30, 1.0f64..500.0), 1..40),
         100.0f64..5_000.0,
     )
-        .prop_map(|(topo_seed, nodes, entries, capacity_kbps)| RandomWorkload {
-            topo_seed,
-            nodes,
-            entries,
-            capacity_kbps,
-        })
+        .prop_map(
+            |(topo_seed, nodes, entries, capacity_kbps)| RandomWorkload {
+                topo_seed,
+                nodes,
+                entries,
+                capacity_kbps,
+            },
+        )
 }
 
 fn build(w: &RandomWorkload, capacity: Bandwidth) -> (Topology, Vec<BundleSpec>) {

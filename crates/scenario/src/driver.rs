@@ -1,0 +1,427 @@
+//! The bundled [`EventConsumer`]: a `fubar_sdn::Fabric` data plane, the
+//! noisy measurement pipeline, and a periodically re-optimizing FUBAR
+//! controller with **warm start** — each re-optimization seeds from the
+//! previous allocation (`Optimizer::run_from`), so tracking a small
+//! perturbation costs a handful of commits instead of a full run.
+//!
+//! [`build`] turns a declarative [`Scenario`] into a ready
+//! [`Engine`]; [`run`] goes all the way to a [`ScenarioLog`].
+
+use crate::engine::{Engine, EventConsumer, Measure};
+use crate::event::{Event, EventKind};
+use crate::log::ScenarioLog;
+use crate::spec::{Action, Scenario, TopologySpec};
+use crate::stochastic::{ChurnSource, FailureSource};
+use fubar_core::{Allocation, Optimizer, OptimizerConfig};
+use fubar_graph::LinkId;
+use fubar_sdn::{Estimator, Fabric, MeasurementConfig, RuleSet};
+use fubar_topology::{generators, Delay, Topology};
+use fubar_traffic::{workload, AggregateId, WorkloadConfig};
+
+/// The fabric-driving consumer.
+pub struct SdnConsumer {
+    fabric: Fabric,
+    estimator: Estimator,
+    optimizer: OptimizerConfig,
+    warm_start: bool,
+    previous: Option<Allocation>,
+    /// Baseline flow counts from the generated workload.
+    baseline: Vec<u32>,
+    /// Active surge factor per aggregate (1.0 = baseline).
+    surge: Vec<f64>,
+}
+
+impl SdnConsumer {
+    /// Builds the consumer around a fabric whose matrix is the scenario
+    /// baseline.
+    pub fn new(fabric: Fabric, measurement_seed: u64, warm_start: bool) -> Self {
+        let n = fabric.true_tm().len();
+        let baseline: Vec<u32> = fabric.true_tm().iter().map(|a| a.flow_count).collect();
+        let estimator = Estimator::new(n, MeasurementConfig::default(), measurement_seed);
+        SdnConsumer {
+            fabric,
+            estimator,
+            optimizer: OptimizerConfig::default(),
+            warm_start,
+            previous: None,
+            baseline,
+            surge: vec![1.0; n],
+        }
+    }
+
+    /// The fabric, for post-run inspection.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The last installed allocation, if any re-optimization ran.
+    pub fn previous_allocation(&self) -> Option<&Allocation> {
+        self.previous.as_ref()
+    }
+
+    fn total_flows(&self) -> u64 {
+        self.fabric.true_tm().total_flows()
+    }
+
+    fn measure_from(&self, report: &fubar_sdn::EpochReport) -> Measure {
+        Measure {
+            utility: report.report.network_utility,
+            congested_links: report.outcome.congested.len(),
+            live_flows: self.total_flows(),
+            failed_links: self.fabric.failed_links().len(),
+            commits: None,
+            warm: false,
+        }
+    }
+
+    fn reoptimize(&mut self) -> (usize, bool) {
+        let estimated = self.estimator.estimated_matrix(self.fabric.true_tm());
+        let view = self.fabric.topology_view();
+        let mut cfg = self.optimizer.clone();
+        cfg.excluded_links = self.fabric.failed_links().clone();
+        let optimizer = Optimizer::new(&view, &estimated, cfg);
+        let warm = self.warm_start && self.previous.is_some();
+        let result = match (&self.previous, warm) {
+            (Some(prev), true) => optimizer.run_from(prev),
+            _ => optimizer.run(),
+        };
+        self.fabric
+            .install(RuleSet::from_allocation(&result.allocation, &estimated));
+        let commits = result.commits;
+        self.previous = Some(result.allocation);
+        (commits, warm)
+    }
+
+    fn pair_name(&self, aggregate: AggregateId) -> String {
+        let a = self.fabric.true_tm().aggregate(aggregate);
+        let t = self.fabric.topology();
+        format!("{}->{}", t.node_name(a.ingress), t.node_name(a.egress))
+    }
+
+    fn link_name(&self, link: LinkId) -> String {
+        let t = self.fabric.topology();
+        let l = t.graph().link(link);
+        format!("{}-{}", t.node_name(l.src), t.node_name(l.dst))
+    }
+}
+
+impl EventConsumer for SdnConsumer {
+    fn on_event(&mut self, event: &Event) -> Measure {
+        match &event.kind {
+            EventKind::FlowArrival { aggregate, count } => {
+                let now = self.fabric.flow_count(*aggregate);
+                self.fabric.set_flow_count(*aggregate, now + count);
+            }
+            EventKind::FlowDeparture { aggregate, count } => {
+                let now = self.fabric.flow_count(*aggregate);
+                self.fabric
+                    .set_flow_count(*aggregate, now.saturating_sub(*count));
+            }
+            EventKind::LinkFailure { link } => self.fabric.fail_link(*link),
+            EventKind::LinkRecovery { link } => self.fabric.repair_link(*link),
+            EventKind::CapacityChange { link, capacity } => {
+                self.fabric.set_capacity(*link, *capacity)
+            }
+            EventKind::Surge { aggregate, factor } => {
+                self.surge[aggregate.index()] = *factor;
+                let target = (f64::from(self.baseline[aggregate.index()]) * factor).round() as u32;
+                self.fabric.set_flow_count(*aggregate, target.max(1));
+            }
+            EventKind::Relax { aggregate } => {
+                self.surge[aggregate.index()] = 1.0;
+                self.fabric
+                    .set_flow_count(*aggregate, self.baseline[aggregate.index()]);
+            }
+            EventKind::Reoptimize => {
+                let (commits, warm) = self.reoptimize();
+                let mut m = self.measure_from(&self.fabric.peek());
+                m.commits = Some(commits);
+                m.warm = warm;
+                return m;
+            }
+            EventKind::MeasurementEpoch => {
+                let report = self.fabric.run_epoch();
+                self.estimator
+                    .observe(self.fabric.counters(), self.fabric.epoch_duration());
+                return self.measure_from(&report);
+            }
+        }
+        self.measure_from(&self.fabric.peek())
+    }
+
+    fn describe(&self, kind: &EventKind) -> String {
+        match kind {
+            EventKind::FlowArrival { aggregate, count } => {
+                format!("arrive {} +{}", self.pair_name(*aggregate), count)
+            }
+            EventKind::FlowDeparture { aggregate, count } => {
+                format!("depart {} -{}", self.pair_name(*aggregate), count)
+            }
+            EventKind::LinkFailure { link } => format!("fail {}", self.link_name(*link)),
+            EventKind::LinkRecovery { link } => format!("repair {}", self.link_name(*link)),
+            EventKind::CapacityChange { link, capacity } => {
+                format!("capacity {} {}bps", self.link_name(*link), capacity.bps())
+            }
+            EventKind::Surge { aggregate, factor } => {
+                format!("surge {} x{}", self.pair_name(*aggregate), factor)
+            }
+            EventKind::Relax { aggregate } => format!("relax {}", self.pair_name(*aggregate)),
+            EventKind::Reoptimize => "reoptimize".to_string(),
+            EventKind::MeasurementEpoch => format!("epoch {}", self.fabric.epochs_run()),
+        }
+    }
+
+    fn aggregate_count(&self) -> usize {
+        self.fabric.true_tm().len()
+    }
+
+    fn flow_count(&self, aggregate: AggregateId) -> u32 {
+        self.fabric.flow_count(aggregate)
+    }
+
+    fn churn_target(&self, aggregate: AggregateId) -> f64 {
+        f64::from(self.baseline[aggregate.index()]) * self.surge[aggregate.index()]
+    }
+
+    fn healthy_duplex_links(&self) -> Vec<LinkId> {
+        let t = self.fabric.topology();
+        let down = self.fabric.failed_links();
+        t.links()
+            .filter(|&l| {
+                !down.contains(l) && t.reverse_of(l).is_some_and(|r| r.index() > l.index())
+            })
+            .collect()
+    }
+}
+
+/// A scenario that does not resolve against its own topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BuildError(pub String);
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+fn build_topology(spec: &TopologySpec) -> Topology {
+    match spec {
+        TopologySpec::He { capacity } => generators::he_core(*capacity),
+        TopologySpec::Abilene { capacity } => generators::abilene(*capacity),
+        TopologySpec::Ring {
+            nodes,
+            capacity,
+            hop_delay,
+        } => generators::ring(*nodes, *capacity, *hop_delay),
+    }
+}
+
+fn duplex_between(topo: &Topology, a: &str, b: &str) -> Result<LinkId, BuildError> {
+    let na = topo.node(a).map_err(|e| BuildError(e.to_string()))?;
+    let nb = topo.node(b).map_err(|e| BuildError(e.to_string()))?;
+    topo.graph()
+        .find_link(na, nb)
+        .ok_or_else(|| BuildError(format!("no link between {a:?} and {b:?}")))
+}
+
+fn aggregates_on(
+    tm: &fubar_traffic::TrafficMatrix,
+    topo: &Topology,
+    src: &str,
+    dst: &str,
+) -> Result<Vec<AggregateId>, BuildError> {
+    let s = topo.node(src).map_err(|e| BuildError(e.to_string()))?;
+    let d = topo.node(dst).map_err(|e| BuildError(e.to_string()))?;
+    let ids = tm.for_pair(s, d).to_vec();
+    if ids.is_empty() {
+        return Err(BuildError(format!("no aggregate flows {src} -> {dst}")));
+    }
+    Ok(ids)
+}
+
+/// Builds the engine for `scenario`, overriding its default seed with
+/// `seed`. Everything downstream (workload, measurement noise, churn,
+/// failures) derives deterministically from that one number.
+pub fn build(scenario: &Scenario, seed: u64) -> Result<Engine<SdnConsumer>, BuildError> {
+    let topo = build_topology(&scenario.topology);
+    let mut tm = workload::generate(
+        &topo,
+        &WorkloadConfig {
+            include_intra_pop: scenario.workload.intra_pop,
+            flow_count: scenario.workload.flows,
+            large_probability: scenario.workload.large_probability,
+            large_flow_count: (
+                scenario.workload.flows.0,
+                scenario.workload.flows.1.max(scenario.workload.flows.0 + 1),
+            ),
+            ..WorkloadConfig::default()
+        },
+        seed,
+    );
+    if let Some(w) = scenario.large_priority {
+        tm = tm.with_large_priority(w);
+    }
+
+    // Resolve the timeline against the concrete topology and matrix
+    // before anything is consumed by the fabric.
+    let mut timeline: Vec<(Delay, EventKind)> = Vec::new();
+    for e in &scenario.timeline {
+        match &e.action {
+            Action::Fail { a, b } => timeline.push((
+                e.at,
+                EventKind::LinkFailure {
+                    link: duplex_between(&topo, a, b)?,
+                },
+            )),
+            Action::Repair { a, b } => timeline.push((
+                e.at,
+                EventKind::LinkRecovery {
+                    link: duplex_between(&topo, a, b)?,
+                },
+            )),
+            Action::Capacity { a, b, capacity } => timeline.push((
+                e.at,
+                EventKind::CapacityChange {
+                    link: duplex_between(&topo, a, b)?,
+                    capacity: *capacity,
+                },
+            )),
+            Action::Surge { src, dst, factor } => {
+                for id in aggregates_on(&tm, &topo, src, dst)? {
+                    timeline.push((
+                        e.at,
+                        EventKind::Surge {
+                            aggregate: id,
+                            factor: *factor,
+                        },
+                    ));
+                }
+            }
+            Action::Relax { src, dst } => {
+                for id in aggregates_on(&tm, &topo, src, dst)? {
+                    timeline.push((e.at, EventKind::Relax { aggregate: id }));
+                }
+            }
+            Action::Reoptimize => timeline.push((e.at, EventKind::Reoptimize)),
+        }
+    }
+
+    let fabric = Fabric::new(topo, tm, scenario.epoch);
+    let consumer = SdnConsumer::new(fabric, seed ^ 0x5eed, scenario.reoptimize.warm_start);
+
+    let churn = (scenario.arrivals.is_some() || scenario.departures.is_some()).then(|| {
+        ChurnSource::new(
+            seed,
+            scenario.arrivals.clone(),
+            scenario.departures.clone(),
+            scenario.diurnal.clone(),
+        )
+    });
+    let failures = scenario
+        .failures
+        .clone()
+        .map(|spec| FailureSource::new(seed, spec));
+
+    Ok(Engine::new(
+        consumer,
+        scenario.duration,
+        scenario.epoch,
+        Some((scenario.reoptimize.warmup, scenario.reoptimize.every)),
+        timeline,
+        churn,
+        failures,
+    ))
+}
+
+/// Runs `scenario` end to end with `seed` and returns the log.
+pub fn run(scenario: &Scenario, seed: u64) -> Result<ScenarioLog, BuildError> {
+    Ok(build(scenario, seed)?.run(&scenario.name, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scenario;
+
+    fn ring_spec(extra: &str) -> Scenario {
+        Scenario::parse(&format!(
+            "scenario ring_test\n\
+             topology ring 5 600kbps 2ms\n\
+             duration 100s\n\
+             epoch 10s\n\
+             workload flows 2 5\n\
+             reoptimize every 30s warmup 15s\n\
+             {extra}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical_different_seed_is_not() {
+        let spec = ring_spec("arrivals rate 0.2 max-flows 30\ndepartures prob 0.2\n");
+        let a = run(&spec, 7).unwrap().to_text();
+        let b = run(&spec, 7).unwrap().to_text();
+        assert_eq!(a, b);
+        let c = run(&spec, 8).unwrap().to_text();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn timeline_failure_is_applied_and_survived() {
+        let spec = ring_spec("at 25s fail n0 n1\nat 55s repair n0 n1\n");
+        let log = run(&spec, 3).unwrap();
+        let fail = log.records.iter().find(|r| r.what.starts_with("fail"));
+        let repair = log.records.iter().find(|r| r.what.starts_with("repair"));
+        assert!(fail.is_some() && repair.is_some());
+        assert_eq!(fail.unwrap().failed_links, 2, "duplex pair counts as 2");
+        assert_eq!(repair.unwrap().failed_links, 0);
+        for r in &log.records {
+            assert!(r.utility > 0.0, "ring survives one cut: {}", r.to_line());
+        }
+    }
+
+    #[test]
+    fn surge_and_relax_move_the_population() {
+        let spec = ring_spec("at 20s surge n0 n2 x4\nat 60s relax n0 n2\n");
+        let log = run(&spec, 5).unwrap();
+        let surged = log
+            .records
+            .iter()
+            .find(|r| r.what.starts_with("surge"))
+            .unwrap();
+        let before = log.records.first().unwrap().live_flows;
+        assert!(
+            surged.live_flows > before,
+            "{} vs {}",
+            surged.live_flows,
+            before
+        );
+        let relaxed = log
+            .records
+            .iter()
+            .find(|r| r.what.starts_with("relax"))
+            .unwrap();
+        assert_eq!(relaxed.live_flows, before);
+    }
+
+    #[test]
+    fn reoptimizations_run_warm_after_the_first() {
+        let spec = ring_spec("");
+        let log = run(&spec, 2).unwrap();
+        let reopts: Vec<_> = log.records.iter().filter(|r| r.commits.is_some()).collect();
+        assert!(reopts.len() >= 2);
+        assert!(!reopts[0].warm, "first run has nothing to warm from");
+        assert!(reopts[1..].iter().all(|r| r.warm));
+    }
+
+    #[test]
+    fn unknown_names_fail_the_build() {
+        let spec = ring_spec("at 10s fail n0 nope\n");
+        let e = run(&spec, 1).unwrap_err();
+        assert!(e.0.contains("nope"), "{e}");
+        let spec = ring_spec("at 10s surge n0 n0 x2\n");
+        assert!(run(&spec, 1).is_err(), "intra-pop pair absent by default");
+    }
+}

@@ -1,0 +1,216 @@
+//! Typed scenario events and the deterministic event queue.
+//!
+//! Every change the network experiences during a scenario run is one
+//! [`Event`]: flow churn, link failures and repairs, capacity changes,
+//! demand surges, scheduled re-optimizations, and measurement epochs.
+//! The [`EventQueue`] is a binary heap ordered by `(time, seq)` where
+//! `seq` is a monotonically increasing tie-breaker assigned at creation
+//! time — so the pop order is a total, deterministic order: events at
+//! distinct times pop in time order no matter how they were interleaved
+//! into the heap, and simultaneous events pop in creation order.
+
+use fubar_graph::LinkId;
+use fubar_topology::{Bandwidth, Delay};
+use fubar_traffic::AggregateId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// `count` new flows joined an aggregate.
+    FlowArrival {
+        /// The aggregate gaining flows.
+        aggregate: AggregateId,
+        /// How many flows arrived.
+        count: u32,
+    },
+    /// `count` flows of an aggregate finished.
+    FlowDeparture {
+        /// The aggregate losing flows.
+        aggregate: AggregateId,
+        /// How many flows departed.
+        count: u32,
+    },
+    /// A link (and its duplex reverse) went down.
+    LinkFailure {
+        /// The failed link.
+        link: LinkId,
+    },
+    /// A previously failed link came back.
+    LinkRecovery {
+        /// The repaired link.
+        link: LinkId,
+    },
+    /// A link's capacity changed (maintenance downgrade or upgrade).
+    CapacityChange {
+        /// The affected link (and its duplex reverse).
+        link: LinkId,
+        /// The new capacity.
+        capacity: Bandwidth,
+    },
+    /// An aggregate's demand jumped to `factor` times its baseline —
+    /// a flash crowd when `factor > 1`.
+    Surge {
+        /// The surging aggregate.
+        aggregate: AggregateId,
+        /// Multiplier on the baseline flow count.
+        factor: f64,
+    },
+    /// A surged aggregate returned to its baseline demand.
+    Relax {
+        /// The relaxing aggregate.
+        aggregate: AggregateId,
+    },
+    /// The offline controller re-optimizes and installs fresh rules.
+    Reoptimize,
+    /// A measurement epoch closes: the data plane integrates counters
+    /// and the estimator observes them.
+    MeasurementEpoch,
+}
+
+impl EventKind {
+    /// Stable lowercase tag for log lines.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::FlowArrival { .. } => "arrive",
+            EventKind::FlowDeparture { .. } => "depart",
+            EventKind::LinkFailure { .. } => "fail",
+            EventKind::LinkRecovery { .. } => "repair",
+            EventKind::CapacityChange { .. } => "capacity",
+            EventKind::Surge { .. } => "surge",
+            EventKind::Relax { .. } => "relax",
+            EventKind::Reoptimize => "reoptimize",
+            EventKind::MeasurementEpoch => "epoch",
+        }
+    }
+}
+
+/// One scheduled occurrence: a kind at a time, with its tie-break
+/// sequence number.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Simulated time of the event.
+    pub time: Delay,
+    /// Creation-order tie breaker among simultaneous events.
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// Min-heap entry; `BinaryHeap` is a max-heap, so the ordering is
+/// reversed here.
+struct Entry(Event);
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: the heap's "largest" is the earliest (time, seq).
+        other
+            .0
+            .time
+            .secs()
+            .total_cmp(&self.0.time.secs())
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// The deterministic future-event list.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time`, assigning the next sequence number.
+    /// Returns the assigned number.
+    pub fn push(&mut self, time: Delay, kind: EventKind) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(Event { time, seq, kind }));
+        seq
+    }
+
+    /// Removes and returns the earliest event (ties: lowest seq).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Delay> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(q: &mut EventQueue, t: f64) {
+        q.push(Delay::from_secs(t), EventKind::Reoptimize);
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for t in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            ev(&mut q, t);
+        }
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.secs())
+            .collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_creation_order() {
+        let mut q = EventQueue::new();
+        let s0 = q.push(Delay::from_secs(1.0), EventKind::Reoptimize);
+        let s1 = q.push(Delay::from_secs(1.0), EventKind::MeasurementEpoch);
+        let s2 = q.push(Delay::from_secs(0.5), EventKind::Reoptimize);
+        assert!(s0 < s1 && s1 < s2);
+        assert_eq!(q.pop().unwrap().seq, s2);
+        assert_eq!(q.pop().unwrap().seq, s0);
+        assert_eq!(q.pop().unwrap().seq, s1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        ev(&mut q, 2.0);
+        ev(&mut q, 1.0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time().unwrap().secs(), 1.0);
+    }
+}

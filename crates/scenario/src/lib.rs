@@ -1,0 +1,57 @@
+//! # fubar-scenario
+//!
+//! A deterministic discrete-event scenario engine for the FUBAR
+//! reproduction: the machinery that stresses the offline controller the
+//! way a real network would — flows arrive and depart, links fail and
+//! come back, capacity changes under maintenance, demand breathes with
+//! the time of day — instead of handing it one static traffic matrix.
+//!
+//! The crate has four layers:
+//!
+//! * **[`spec`]** — a declarative, diffable, line-oriented scenario
+//!   format ([`Scenario::parse`] / `Display`); scenario suites are
+//!   checked into `scenarios/` and embedded as the [`catalog`];
+//! * **[`event`]** — typed events and a binary-heap [`EventQueue`]
+//!   totally ordered by `(time, seq)`;
+//! * **[`stochastic`]** — seeded sources: Poisson flow arrivals and
+//!   Binomial departures (reusing `fubar_sdn`'s samplers), Weibull
+//!   failure/repair processes, and diurnal demand modulation;
+//! * **[`engine`] + [`driver`]** — the engine pops events and drives an
+//!   [`EventConsumer`]; the bundled [`SdnConsumer`] applies them to a
+//!   `fubar_sdn::Fabric` with a periodically re-optimizing controller
+//!   that **warm-starts** each run from the previous allocation
+//!   (`fubar_core::Optimizer::run_from`).
+//!
+//! The determinism contract: a scenario run is a pure function of
+//! `(spec, seed)` — two runs with the same pair produce byte-identical
+//! [`ScenarioLog`]s.
+//!
+//! ```
+//! use fubar_scenario::{catalog, run};
+//!
+//! let spec = catalog::load("flash_crowd").unwrap();
+//! let mut short = spec.clone();
+//! short.duration = fubar_topology::Delay::from_secs(60.0);
+//! let a = run(&short, 7).unwrap();
+//! let b = run(&short, 7).unwrap();
+//! assert_eq!(a.to_text(), b.to_text());
+//! assert!(a.records.len() > 10);
+//! ```
+
+pub mod catalog;
+pub mod driver;
+pub mod engine;
+pub mod event;
+pub mod log;
+pub mod spec;
+pub mod stochastic;
+
+pub use driver::{build, run, BuildError, SdnConsumer};
+pub use engine::{Engine, EventConsumer, Measure};
+pub use event::{Event, EventKind, EventQueue};
+pub use log::{EventRecord, ScenarioLog};
+pub use spec::{
+    Action, ArrivalSpec, DepartureSpec, DiurnalSpec, FailureSpec, ParseError, ReoptimizeSpec,
+    Scenario, TimelineEvent, TopologySpec, WorkloadSpec,
+};
+pub use stochastic::{diurnal_factor, sample_weibull, ChurnSource, FailureSource};

@@ -1,0 +1,181 @@
+//! The per-event scenario log — the run's reproducible artifact.
+//!
+//! Every applied event appends one [`EventRecord`]; [`ScenarioLog::to_text`]
+//! serializes the whole run with fixed-precision formatting, so two runs
+//! with the same spec and seed produce **byte-identical** logs (the
+//! determinism contract the property tests and the CLI rely on).
+
+use std::fmt::Write as _;
+
+/// One applied event and the network state just after it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Queue sequence number (total order within the run).
+    pub seq: u64,
+    /// Human-readable event description (stable per spec+seed).
+    pub what: String,
+    /// Network utility after the event.
+    pub utility: f64,
+    /// Congested links after the event.
+    pub congested_links: usize,
+    /// Live flows across all aggregates after the event.
+    pub live_flows: u64,
+    /// Links currently failed.
+    pub failed_links: usize,
+    /// Commits spent, for re-optimization events.
+    pub commits: Option<usize>,
+    /// Whether that re-optimization was warm-started.
+    pub warm: bool,
+}
+
+impl EventRecord {
+    /// The fixed-format log line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = format!(
+            "t={:010.3} seq={:06} {:<44} util={:.6} congested={:03} flows={:06} down={:02}",
+            self.time_s,
+            self.seq,
+            self.what,
+            self.utility,
+            self.congested_links,
+            self.live_flows,
+            self.failed_links,
+        );
+        if let Some(c) = self.commits {
+            let _ = write!(
+                s,
+                " commits={:04} start={}",
+                c,
+                if self.warm { "warm" } else { "cold" }
+            );
+        }
+        s
+    }
+}
+
+/// The full run log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioLog {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Applied events in order.
+    pub records: Vec<EventRecord>,
+}
+
+impl ScenarioLog {
+    /// Serializes the run: a header, then one line per event.
+    /// Byte-identical across runs of the same spec and seed.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# scenario {} seed {} events {}",
+            self.scenario,
+            self.seed,
+            self.records.len()
+        );
+        for r in &self.records {
+            let _ = writeln!(out, "{}", r.to_line());
+        }
+        out
+    }
+
+    /// Utility trajectory: the records at measurement epochs.
+    pub fn epoch_utilities(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.what.starts_with("epoch"))
+            .map(|r| r.utility)
+            .collect()
+    }
+
+    /// Mean utility across measurement epochs (0 when none ran).
+    pub fn mean_epoch_utility(&self) -> f64 {
+        let u = self.epoch_utilities();
+        if u.is_empty() {
+            0.0
+        } else {
+            u.iter().sum::<f64>() / u.len() as f64
+        }
+    }
+
+    /// Total commits spent across all re-optimizations.
+    pub fn total_commits(&self) -> usize {
+        self.records.iter().filter_map(|r| r.commits).sum()
+    }
+
+    /// Number of re-optimizations that ran.
+    pub fn reoptimizations(&self) -> usize {
+        self.records.iter().filter(|r| r.commits.is_some()).count()
+    }
+
+    /// One-line run summary.
+    pub fn summary(&self) -> String {
+        let last = self.records.last();
+        format!(
+            "{} seed={} events={} reopts={} commits={} mean-epoch-utility={:.4} final-utility={:.4}",
+            self.scenario,
+            self.seed,
+            self.records.len(),
+            self.reoptimizations(),
+            self.total_commits(),
+            self.mean_epoch_utility(),
+            last.map_or(0.0, |r| r.utility),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: f64, what: &str, commits: Option<usize>) -> EventRecord {
+        EventRecord {
+            time_s: t,
+            seq: 1,
+            what: what.to_string(),
+            utility: 0.123456789,
+            congested_links: 2,
+            live_flows: 40,
+            failed_links: 1,
+            commits,
+            warm: true,
+        }
+    }
+
+    #[test]
+    fn line_format_is_fixed_width_and_stable() {
+        let a = record(12.5, "fail X-Y", None).to_line();
+        let b = record(12.5, "fail X-Y", None).to_line();
+        assert_eq!(a, b);
+        assert!(a.contains("util=0.123457"), "{a}");
+        assert!(a.contains("t=000012.500"), "{a}");
+        assert!(!a.contains("commits"));
+        let c = record(12.5, "reoptimize", Some(7)).to_line();
+        assert!(c.ends_with("commits=0007 start=warm"), "{c}");
+    }
+
+    #[test]
+    fn text_serialization_and_summaries() {
+        let log = ScenarioLog {
+            scenario: "t".into(),
+            seed: 9,
+            records: vec![
+                record(1.0, "epoch 0", None),
+                record(2.0, "reoptimize", Some(3)),
+                record(3.0, "epoch 1", None),
+            ],
+        };
+        let text = log.to_text();
+        assert!(text.starts_with("# scenario t seed 9 events 3\n"));
+        assert_eq!(text.lines().count(), 4);
+        assert_eq!(log.epoch_utilities().len(), 2);
+        assert_eq!(log.total_commits(), 3);
+        assert_eq!(log.reoptimizations(), 1);
+        assert!(log.summary().contains("events=3"));
+    }
+}

@@ -1,0 +1,784 @@
+//! The declarative scenario format.
+//!
+//! A scenario is a plain-text, line-oriented, diffable artifact — same
+//! philosophy as `fubar_topology::format` — so scenario suites can be
+//! checked into `scenarios/` and reviewed like code. `#` starts a
+//! comment; one directive per line:
+//!
+//! ```text
+//! scenario <name>                          # required, first directive
+//! topology he <capacity>                   # 31-POP HE core
+//! topology abilene <capacity>              # 11-POP Abilene
+//! topology ring <n> <capacity> <delay>     # n-node ring
+//! duration <delay>                         # simulated horizon (default 300s)
+//! epoch <delay>                            # measurement cadence (default 10s)
+//! seed <u64>                               # default run seed (default 1)
+//! workload flows <min> <max> [intra-pop] [large-prob <p>]
+//! reoptimize every <delay> warmup <delay> [cold-start]
+//! arrivals rate <r> [max-flows <n>]        # Poisson flow arrivals
+//! departures prob <p>                      # per-flow departure probability
+//! failures shape <k> scale <delay> repair-shape <k> repair-scale <delay> [max-down <n>]
+//! diurnal amplitude <a> period <delay>     # sinusoidal demand modulation
+//! large-priority <w>                       # Fig-5 style large-flow weighting
+//! at <delay> fail <a> <b>                  # timeline: deterministic events
+//! at <delay> repair <a> <b>
+//! at <delay> capacity <a> <b> <bandwidth>
+//! at <delay> surge <src> <dst> x<factor>
+//! at <delay> relax <src> <dst>
+//! at <delay> reoptimize
+//! ```
+//!
+//! `arrivals rate` is *per baseline flow per epoch*: an aggregate whose
+//! baseline is `f` flows sees Poisson(`rate · f · diurnal(t)`) arrivals
+//! each epoch, so with `departures prob` equal to the rate the live
+//! population orbits the baseline. [`Scenario::parse`] and the
+//! [`Display`](std::fmt::Display) impl round-trip exactly.
+
+use fubar_topology::{Bandwidth, Delay};
+use std::fmt;
+
+/// A parse failure, with the 1-based line number where it happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Which topology the scenario runs on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// The 31-POP synthesized Hurricane Electric core.
+    He {
+        /// Uniform link capacity.
+        capacity: Bandwidth,
+    },
+    /// The 11-POP Abilene research backbone.
+    Abilene {
+        /// Uniform link capacity.
+        capacity: Bandwidth,
+    },
+    /// An `n`-node ring.
+    Ring {
+        /// Node count.
+        nodes: usize,
+        /// Uniform link capacity.
+        capacity: Bandwidth,
+        /// Per-hop one-way delay.
+        hop_delay: Delay,
+    },
+}
+
+/// Base-workload knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Inclusive flow-count range for ordinary aggregates.
+    pub flows: (u32, u32),
+    /// Generate aggregates for src == dst pairs.
+    pub intra_pop: bool,
+    /// Probability an aggregate is a heavy file transfer.
+    pub large_probability: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            flows: (2, 6),
+            intra_pop: false,
+            large_probability: 0.02,
+        }
+    }
+}
+
+/// Re-optimization schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReoptimizeSpec {
+    /// Period between scheduled re-optimizations.
+    pub every: Delay,
+    /// Measurement time before the first one.
+    pub warmup: Delay,
+    /// Seed each run from the previous allocation (incremental) rather
+    /// than from scratch.
+    pub warm_start: bool,
+}
+
+impl Default for ReoptimizeSpec {
+    fn default() -> Self {
+        ReoptimizeSpec {
+            every: Delay::from_secs(60.0),
+            warmup: Delay::from_secs(20.0),
+            warm_start: true,
+        }
+    }
+}
+
+/// Poisson flow-arrival source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrivalSpec {
+    /// Mean arrivals per baseline flow per epoch.
+    pub rate: f64,
+    /// Cap on *stochastic* arrivals: sampled arrivals that would push
+    /// an aggregate's live flow count above this are turned away.
+    /// Deterministic timeline `surge` events are operator actions and
+    /// ignore it.
+    pub max_flows: u32,
+}
+
+/// Per-flow departure source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DepartureSpec {
+    /// Probability each live flow departs in an epoch.
+    pub probability: f64,
+}
+
+/// Weibull failure/repair source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureSpec {
+    /// Weibull shape of inter-failure times (k < 1: bursty, k = 1:
+    /// memoryless, k > 1: wear-out).
+    pub shape: f64,
+    /// Weibull scale of inter-failure times.
+    pub scale: Delay,
+    /// Weibull shape of repair times.
+    pub repair_shape: f64,
+    /// Weibull scale of repair times.
+    pub repair_scale: Delay,
+    /// At most this many stochastic failures down at once.
+    pub max_down: usize,
+}
+
+/// Sinusoidal demand modulation: `1 + amplitude · sin(2πt / period)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiurnalSpec {
+    /// Peak relative swing, in `[0, 1)`.
+    pub amplitude: f64,
+    /// Full cycle length.
+    pub period: Delay,
+}
+
+/// A deterministic timeline action (node names resolved at build time).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Fail the duplex link between two named nodes.
+    Fail {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+    },
+    /// Repair the duplex link between two named nodes.
+    Repair {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+    },
+    /// Change the capacity of the duplex link between two named nodes.
+    Capacity {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+        /// New capacity.
+        capacity: Bandwidth,
+    },
+    /// Multiply the demand of every aggregate on an ordered pair.
+    Surge {
+        /// Ingress node name.
+        src: String,
+        /// Egress node name.
+        dst: String,
+        /// Baseline multiplier.
+        factor: f64,
+    },
+    /// Return every aggregate on an ordered pair to baseline demand.
+    Relax {
+        /// Ingress node name.
+        src: String,
+        /// Egress node name.
+        dst: String,
+    },
+    /// Force an unscheduled re-optimization.
+    Reoptimize,
+}
+
+/// One timeline entry: an action at a time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineEvent {
+    /// When the action fires.
+    pub at: Delay,
+    /// What happens.
+    pub action: Action,
+}
+
+/// A complete declarative scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (used by the catalog and in log headers).
+    pub name: String,
+    /// The topology to run on.
+    pub topology: TopologySpec,
+    /// Simulated horizon.
+    pub duration: Delay,
+    /// Measurement-epoch cadence.
+    pub epoch: Delay,
+    /// Default seed (CLI `--seed` overrides it).
+    pub seed: u64,
+    /// Base workload.
+    pub workload: WorkloadSpec,
+    /// Controller schedule.
+    pub reoptimize: ReoptimizeSpec,
+    /// Stochastic flow arrivals, if any.
+    pub arrivals: Option<ArrivalSpec>,
+    /// Stochastic flow departures, if any.
+    pub departures: Option<DepartureSpec>,
+    /// Stochastic link failures, if any.
+    pub failures: Option<FailureSpec>,
+    /// Diurnal demand modulation, if any.
+    pub diurnal: Option<DiurnalSpec>,
+    /// Priority weight applied to large aggregates, if any.
+    pub large_priority: Option<f64>,
+    /// Deterministic scheduled events, in file order.
+    pub timeline: Vec<TimelineEvent>,
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, token: &str, what: &str) -> Result<T, ParseError>
+where
+    T::Err: fmt::Display,
+{
+    token
+        .parse()
+        .map_err(|e| err(line, format!("bad {what} {token:?}: {e}")))
+}
+
+impl Scenario {
+    /// Parses the text format described in the module docs.
+    pub fn parse(text: &str) -> Result<Scenario, ParseError> {
+        let mut scenario: Option<Scenario> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let t: Vec<&str> = line.split_whitespace().collect();
+            if t[0] == "scenario" {
+                if scenario.is_some() {
+                    return Err(err(lineno, "duplicate `scenario` directive"));
+                }
+                if t.len() != 2 {
+                    return Err(err(lineno, "usage: scenario <name>"));
+                }
+                scenario = Some(Scenario {
+                    name: t[1].to_string(),
+                    topology: TopologySpec::Abilene {
+                        capacity: Bandwidth::from_mbps(3.0),
+                    },
+                    duration: Delay::from_secs(300.0),
+                    epoch: Delay::from_secs(10.0),
+                    seed: 1,
+                    workload: WorkloadSpec::default(),
+                    reoptimize: ReoptimizeSpec::default(),
+                    arrivals: None,
+                    departures: None,
+                    failures: None,
+                    diurnal: None,
+                    large_priority: None,
+                    timeline: Vec::new(),
+                });
+                continue;
+            }
+            let s = scenario
+                .as_mut()
+                .ok_or_else(|| err(lineno, format!("`{}` before `scenario`", t[0])))?;
+            match t[0] {
+                "topology" => {
+                    s.topology =
+                        match t.get(1).copied() {
+                            Some("he") if t.len() == 3 => TopologySpec::He {
+                                capacity: parse_num(lineno, t[2], "capacity")?,
+                            },
+                            Some("abilene") if t.len() == 3 => TopologySpec::Abilene {
+                                capacity: parse_num(lineno, t[2], "capacity")?,
+                            },
+                            Some("ring") if t.len() == 5 => TopologySpec::Ring {
+                                nodes: parse_num(lineno, t[2], "node count")?,
+                                capacity: parse_num(lineno, t[3], "capacity")?,
+                                hop_delay: parse_num(lineno, t[4], "delay")?,
+                            },
+                            _ => return Err(err(
+                                lineno,
+                                "usage: topology he <cap> | abilene <cap> | ring <n> <cap> <delay>",
+                            )),
+                        };
+                    if let TopologySpec::Ring { nodes, .. } = s.topology {
+                        if nodes < 3 {
+                            return Err(err(lineno, "ring needs at least 3 nodes"));
+                        }
+                    }
+                }
+                "duration" => {
+                    if t.len() != 2 {
+                        return Err(err(lineno, "usage: duration <delay>"));
+                    }
+                    s.duration = parse_num(lineno, t[1], "duration")?;
+                }
+                "epoch" => {
+                    if t.len() != 2 {
+                        return Err(err(lineno, "usage: epoch <delay>"));
+                    }
+                    s.epoch = parse_num(lineno, t[1], "epoch")?;
+                    if s.epoch <= Delay::ZERO {
+                        return Err(err(lineno, "epoch must be positive"));
+                    }
+                }
+                "seed" => {
+                    if t.len() != 2 {
+                        return Err(err(lineno, "usage: seed <u64>"));
+                    }
+                    s.seed = parse_num(lineno, t[1], "seed")?;
+                }
+                "workload" => {
+                    if t.len() < 4 || t[1] != "flows" {
+                        return Err(err(
+                            lineno,
+                            "usage: workload flows <min> <max> [intra-pop] [large-prob <p>]",
+                        ));
+                    }
+                    let mut w = WorkloadSpec {
+                        flows: (
+                            parse_num(lineno, t[2], "flow count")?,
+                            parse_num(lineno, t[3], "flow count")?,
+                        ),
+                        ..WorkloadSpec::default()
+                    };
+                    if w.flows.0 < 1 || w.flows.0 > w.flows.1 {
+                        return Err(err(lineno, "bad flow range"));
+                    }
+                    let mut k = 4;
+                    while k < t.len() {
+                        match t[k] {
+                            "intra-pop" => w.intra_pop = true,
+                            "large-prob" => {
+                                k += 1;
+                                let p = t
+                                    .get(k)
+                                    .ok_or_else(|| err(lineno, "large-prob needs a value"))?;
+                                w.large_probability = parse_num(lineno, p, "probability")?;
+                                if !(0.0..=1.0).contains(&w.large_probability) {
+                                    return Err(err(lineno, "large-prob must be in [0,1]"));
+                                }
+                            }
+                            other => {
+                                return Err(err(lineno, format!("unknown workload flag {other:?}")))
+                            }
+                        }
+                        k += 1;
+                    }
+                    s.workload = w;
+                }
+                "reoptimize" => {
+                    if t.len() < 5 || t[1] != "every" || t[3] != "warmup" {
+                        return Err(err(
+                            lineno,
+                            "usage: reoptimize every <delay> warmup <delay> [cold-start]",
+                        ));
+                    }
+                    let every: Delay = parse_num(lineno, t[2], "period")?;
+                    if every <= Delay::ZERO {
+                        return Err(err(lineno, "reoptimize period must be positive"));
+                    }
+                    let warm_start = match t.get(5).copied() {
+                        None => true,
+                        Some("cold-start") => false,
+                        Some(other) => {
+                            return Err(err(lineno, format!("unknown reoptimize flag {other:?}")))
+                        }
+                    };
+                    s.reoptimize = ReoptimizeSpec {
+                        every,
+                        warmup: parse_num(lineno, t[4], "warmup")?,
+                        warm_start,
+                    };
+                }
+                "arrivals" => {
+                    if t.len() < 3 || t[1] != "rate" {
+                        return Err(err(lineno, "usage: arrivals rate <r> [max-flows <n>]"));
+                    }
+                    let rate: f64 = parse_num(lineno, t[2], "rate")?;
+                    if rate < 0.0 || !rate.is_finite() {
+                        return Err(err(lineno, "arrival rate must be non-negative"));
+                    }
+                    let max_flows = match (t.get(3).copied(), t.get(4)) {
+                        (None, _) => 1_000,
+                        (Some("max-flows"), Some(v)) => parse_num(lineno, v, "max-flows")?,
+                        _ => return Err(err(lineno, "usage: arrivals rate <r> [max-flows <n>]")),
+                    };
+                    s.arrivals = Some(ArrivalSpec { rate, max_flows });
+                }
+                "departures" => {
+                    if t.len() != 3 || t[1] != "prob" {
+                        return Err(err(lineno, "usage: departures prob <p>"));
+                    }
+                    let probability: f64 = parse_num(lineno, t[2], "probability")?;
+                    if !(0.0..=1.0).contains(&probability) {
+                        return Err(err(lineno, "departure prob must be in [0,1]"));
+                    }
+                    s.departures = Some(DepartureSpec { probability });
+                }
+                "failures" => {
+                    if t.len() < 9
+                        || t[1] != "shape"
+                        || t[3] != "scale"
+                        || t[5] != "repair-shape"
+                        || t[7] != "repair-scale"
+                    {
+                        return Err(err(
+                            lineno,
+                            "usage: failures shape <k> scale <delay> repair-shape <k> \
+                             repair-scale <delay> [max-down <n>]",
+                        ));
+                    }
+                    let shape: f64 = parse_num(lineno, t[2], "shape")?;
+                    let repair_shape: f64 = parse_num(lineno, t[6], "repair shape")?;
+                    if shape <= 0.0 || repair_shape <= 0.0 {
+                        return Err(err(lineno, "Weibull shapes must be positive"));
+                    }
+                    let max_down = match (t.get(9).copied(), t.get(10)) {
+                        (None, _) => 1,
+                        (Some("max-down"), Some(v)) => parse_num(lineno, v, "max-down")?,
+                        _ => return Err(err(lineno, "trailing tokens after repair-scale")),
+                    };
+                    s.failures = Some(FailureSpec {
+                        shape,
+                        scale: parse_num(lineno, t[4], "scale")?,
+                        repair_shape,
+                        repair_scale: parse_num(lineno, t[8], "repair scale")?,
+                        max_down,
+                    });
+                }
+                "diurnal" => {
+                    if t.len() != 5 || t[1] != "amplitude" || t[3] != "period" {
+                        return Err(err(lineno, "usage: diurnal amplitude <a> period <delay>"));
+                    }
+                    let amplitude: f64 = parse_num(lineno, t[2], "amplitude")?;
+                    if !(0.0..1.0).contains(&amplitude) {
+                        return Err(err(lineno, "amplitude must be in [0,1)"));
+                    }
+                    let period: Delay = parse_num(lineno, t[4], "period")?;
+                    if period <= Delay::ZERO {
+                        return Err(err(lineno, "period must be positive"));
+                    }
+                    s.diurnal = Some(DiurnalSpec { amplitude, period });
+                }
+                "large-priority" => {
+                    if t.len() != 2 {
+                        return Err(err(lineno, "usage: large-priority <w>"));
+                    }
+                    let w: f64 = parse_num(lineno, t[1], "weight")?;
+                    if w <= 0.0 || !w.is_finite() {
+                        return Err(err(lineno, "priority weight must be positive"));
+                    }
+                    s.large_priority = Some(w);
+                }
+                "at" => {
+                    if t.len() < 3 {
+                        return Err(err(lineno, "usage: at <delay> <action...>"));
+                    }
+                    let at: Delay = parse_num(lineno, t[1], "time")?;
+                    let action = match (t[2], t.len()) {
+                        ("fail", 5) => Action::Fail {
+                            a: t[3].to_string(),
+                            b: t[4].to_string(),
+                        },
+                        ("repair", 5) => Action::Repair {
+                            a: t[3].to_string(),
+                            b: t[4].to_string(),
+                        },
+                        ("capacity", 6) => Action::Capacity {
+                            a: t[3].to_string(),
+                            b: t[4].to_string(),
+                            capacity: parse_num(lineno, t[5], "capacity")?,
+                        },
+                        ("surge", 6) => {
+                            let f = t[5]
+                                .strip_prefix('x')
+                                .ok_or_else(|| err(lineno, "surge factor must look like x4"))?;
+                            let factor: f64 = parse_num(lineno, f, "factor")?;
+                            if factor <= 0.0 || !factor.is_finite() {
+                                return Err(err(lineno, "surge factor must be positive"));
+                            }
+                            Action::Surge {
+                                src: t[3].to_string(),
+                                dst: t[4].to_string(),
+                                factor,
+                            }
+                        }
+                        ("relax", 5) => Action::Relax {
+                            src: t[3].to_string(),
+                            dst: t[4].to_string(),
+                        },
+                        ("reoptimize", 3) => Action::Reoptimize,
+                        (other, _) => {
+                            return Err(err(
+                                lineno,
+                                format!(
+                                    "unknown or malformed action {other:?} \
+                                     (fail/repair/capacity/surge/relax/reoptimize)"
+                                ),
+                            ))
+                        }
+                    };
+                    s.timeline.push(TimelineEvent { at, action });
+                }
+                other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+            }
+        }
+        scenario.ok_or_else(|| err(1, "missing `scenario` directive"))
+    }
+}
+
+fn fmt_delay(d: Delay) -> String {
+    format!("{}s", d.secs())
+}
+
+fn fmt_bw(b: Bandwidth) -> String {
+    format!("{}bps", b.bps())
+}
+
+impl fmt::Display for Scenario {
+    /// Serializes into the text format; `parse` round-trips it exactly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario {}", self.name)?;
+        match &self.topology {
+            TopologySpec::He { capacity } => writeln!(f, "topology he {}", fmt_bw(*capacity))?,
+            TopologySpec::Abilene { capacity } => {
+                writeln!(f, "topology abilene {}", fmt_bw(*capacity))?
+            }
+            TopologySpec::Ring {
+                nodes,
+                capacity,
+                hop_delay,
+            } => writeln!(
+                f,
+                "topology ring {} {} {}",
+                nodes,
+                fmt_bw(*capacity),
+                fmt_delay(*hop_delay)
+            )?,
+        }
+        writeln!(f, "duration {}", fmt_delay(self.duration))?;
+        writeln!(f, "epoch {}", fmt_delay(self.epoch))?;
+        writeln!(f, "seed {}", self.seed)?;
+        write!(
+            f,
+            "workload flows {} {}",
+            self.workload.flows.0, self.workload.flows.1
+        )?;
+        if self.workload.intra_pop {
+            write!(f, " intra-pop")?;
+        }
+        if self.workload.large_probability != WorkloadSpec::default().large_probability {
+            write!(f, " large-prob {}", self.workload.large_probability)?;
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "reoptimize every {} warmup {}",
+            fmt_delay(self.reoptimize.every),
+            fmt_delay(self.reoptimize.warmup)
+        )?;
+        if !self.reoptimize.warm_start {
+            write!(f, " cold-start")?;
+        }
+        writeln!(f)?;
+        if let Some(a) = &self.arrivals {
+            writeln!(f, "arrivals rate {} max-flows {}", a.rate, a.max_flows)?;
+        }
+        if let Some(d) = &self.departures {
+            writeln!(f, "departures prob {}", d.probability)?;
+        }
+        if let Some(w) = &self.failures {
+            writeln!(
+                f,
+                "failures shape {} scale {} repair-shape {} repair-scale {} max-down {}",
+                w.shape,
+                fmt_delay(w.scale),
+                w.repair_shape,
+                fmt_delay(w.repair_scale),
+                w.max_down
+            )?;
+        }
+        if let Some(d) = &self.diurnal {
+            writeln!(
+                f,
+                "diurnal amplitude {} period {}",
+                d.amplitude,
+                fmt_delay(d.period)
+            )?;
+        }
+        if let Some(w) = self.large_priority {
+            writeln!(f, "large-priority {w}")?;
+        }
+        for e in &self.timeline {
+            write!(f, "at {} ", fmt_delay(e.at))?;
+            match &e.action {
+                Action::Fail { a, b } => writeln!(f, "fail {a} {b}")?,
+                Action::Repair { a, b } => writeln!(f, "repair {a} {b}")?,
+                Action::Capacity { a, b, capacity } => {
+                    writeln!(f, "capacity {a} {b} {}", fmt_bw(*capacity))?
+                }
+                Action::Surge { src, dst, factor } => writeln!(f, "surge {src} {dst} x{factor}")?,
+                Action::Relax { src, dst } => writeln!(f, "relax {src} {dst}")?,
+                Action::Reoptimize => writeln!(f, "reoptimize")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = "
+# A fully loaded spec.
+scenario kitchen_sink
+topology ring 6 800kbps 2ms
+duration 120s
+epoch 5s
+seed 42
+workload flows 3 9 intra-pop large-prob 0.1
+reoptimize every 30s warmup 10s cold-start
+arrivals rate 0.25 max-flows 50
+departures prob 0.1
+failures shape 1.5 scale 400s repair-shape 1 repair-scale 60s max-down 2
+diurnal amplitude 0.4 period 100s
+large-priority 4
+at 20s fail n0 n1
+at 40s repair n0 n1
+at 50s capacity n2 n3 200kbps
+at 60s surge n0 n3 x5
+at 80s relax n0 n3
+at 90s reoptimize
+";
+
+    #[test]
+    fn parses_a_full_spec() {
+        let s = Scenario::parse(FULL).unwrap();
+        assert_eq!(s.name, "kitchen_sink");
+        assert_eq!(
+            s.topology,
+            TopologySpec::Ring {
+                nodes: 6,
+                capacity: Bandwidth::from_kbps(800.0),
+                hop_delay: Delay::from_ms(2.0)
+            }
+        );
+        assert_eq!(s.duration, Delay::from_secs(120.0));
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.workload.flows, (3, 9));
+        assert!(s.workload.intra_pop);
+        assert!(!s.reoptimize.warm_start);
+        assert_eq!(s.arrivals.as_ref().unwrap().max_flows, 50);
+        assert_eq!(s.failures.as_ref().unwrap().max_down, 2);
+        assert_eq!(s.large_priority, Some(4.0));
+        assert_eq!(s.timeline.len(), 6);
+        assert_eq!(
+            s.timeline[3].action,
+            Action::Surge {
+                src: "n0".into(),
+                dst: "n3".into(),
+                factor: 5.0
+            }
+        );
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let s = Scenario::parse(FULL).unwrap();
+        let text = s.to_string();
+        let back = Scenario::parse(&text).unwrap();
+        assert_eq!(s, back);
+        // And serialization is a fixed point.
+        assert_eq!(text, back.to_string());
+    }
+
+    #[test]
+    fn minimal_spec_gets_defaults() {
+        let s = Scenario::parse("scenario tiny\ntopology abilene 3Mbps\n").unwrap();
+        assert_eq!(s.duration, Delay::from_secs(300.0));
+        assert_eq!(s.epoch, Delay::from_secs(10.0));
+        assert_eq!(s.seed, 1);
+        assert!(s.reoptimize.warm_start);
+        assert!(s.arrivals.is_none());
+        assert!(s.timeline.is_empty());
+        let back = Scenario::parse(&s.to_string()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = Scenario::parse("topology he 1Mbps\n").unwrap_err();
+        assert!(e.message.contains("before `scenario`"));
+
+        let e = Scenario::parse("scenario a\nscenario b\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"));
+
+        let e = Scenario::parse("scenario a\nfrobnicate\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+
+        let e = Scenario::parse("scenario a\nat 5s explode n0 n1\n").unwrap_err();
+        assert!(e.message.contains("unknown or malformed action"));
+
+        let e = Scenario::parse("scenario a\nat 5s surge n0 n1 4\n").unwrap_err();
+        assert!(e.message.contains("x4"));
+
+        let e = Scenario::parse("scenario a\ndiurnal amplitude 1.5 period 10s\n").unwrap_err();
+        assert!(e.message.contains("amplitude"));
+
+        let e = Scenario::parse("").unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn wrong_arity_reports_usage_not_unknown_directive() {
+        for bad in [
+            "scenario a\nduration 10s 20s\n",
+            "scenario a\nepoch\n",
+            "scenario a\nseed 1 2\n",
+            "scenario a\nlarge-priority\n",
+        ] {
+            let e = Scenario::parse(bad).unwrap_err();
+            assert!(
+                e.message.contains("usage:"),
+                "expected a usage error for {bad:?}, got: {}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s =
+            Scenario::parse("\n# hi\nscenario t # trailing\ntopology he 1Mbps\n\n# bye\n").unwrap();
+        assert_eq!(s.name, "t");
+    }
+}

@@ -1,0 +1,264 @@
+//! Seeded stochastic event sources.
+//!
+//! Three processes feed the queue, all drawing from independent,
+//! deterministically derived RNG streams so a scenario replayed with the
+//! same seed produces a byte-identical event log:
+//!
+//! * **flow churn** — per aggregate and epoch, Poisson arrivals with
+//!   mean `rate · baseline · diurnal(t)` and Binomial departures, each
+//!   event placed uniformly at random inside the epoch (reusing
+//!   `fubar_sdn`'s arrival-process samplers rather than reimplementing
+//!   them);
+//! * **link failures** — Weibull inter-failure and repair times, victims
+//!   drawn uniformly among currently healthy duplex links;
+//! * **diurnal modulation** — a deterministic sinusoid scaling the
+//!   arrival mean (no RNG of its own).
+
+use crate::spec::{ArrivalSpec, DepartureSpec, DiurnalSpec, FailureSpec};
+use fubar_sdn::{sample_departures, sample_poisson};
+use fubar_topology::Delay;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverse-CDF Weibull draw: `scale · (−ln(1−u))^(1/shape)`.
+pub fn sample_weibull<R: Rng>(rng: &mut R, shape: f64, scale: Delay) -> Delay {
+    let u: f64 = rng.gen();
+    // 1−u ∈ (0, 1]; clamp away from 0 so ln stays finite.
+    let t = (-(1.0 - u).max(1e-12).ln()).powf(1.0 / shape);
+    Delay::from_secs(scale.secs() * t)
+}
+
+/// The demand multiplier at time `t`: `1 + A·sin(2πt/T)`, or 1 when no
+/// diurnal modulation is configured.
+pub fn diurnal_factor(spec: Option<&DiurnalSpec>, t: Delay) -> f64 {
+    match spec {
+        None => 1.0,
+        Some(d) => {
+            1.0 + d.amplitude * (2.0 * std::f64::consts::PI * t.secs() / d.period.secs()).sin()
+        }
+    }
+}
+
+/// One sampled churn event, relative to nothing — the engine schedules
+/// it at the absolute time.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnDraw {
+    /// Offset inside the epoch.
+    pub offset: Delay,
+    /// Index of the affected aggregate.
+    pub aggregate: usize,
+    /// Positive: arrivals; negative: departures.
+    pub delta: i64,
+}
+
+/// The seeded flow-churn source.
+pub struct ChurnSource {
+    rng: StdRng,
+    arrivals: Option<ArrivalSpec>,
+    departures: Option<DepartureSpec>,
+    diurnal: Option<DiurnalSpec>,
+}
+
+impl ChurnSource {
+    /// Builds the source from the spec pieces, on its own RNG stream.
+    pub fn new(
+        seed: u64,
+        arrivals: Option<ArrivalSpec>,
+        departures: Option<DepartureSpec>,
+        diurnal: Option<DiurnalSpec>,
+    ) -> Self {
+        ChurnSource {
+            // Distinct fixed stream tags keep the three sources
+            // independent of each other for a given run seed.
+            rng: StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_0000_0001),
+            arrivals,
+            departures,
+            diurnal,
+        }
+    }
+
+    /// Samples every churn event for the epoch starting at `epoch_start`
+    /// of length `epoch`. `baseline[i]` is aggregate `i`'s target flow
+    /// count (including surge factors) and `live[i]` its current count.
+    /// Draw order is fixed (aggregate-major: departures, then arrivals,
+    /// then offsets), so the stream consumption is reproducible.
+    pub fn epoch_events(
+        &mut self,
+        epoch_start: Delay,
+        epoch: Delay,
+        baseline: &[f64],
+        live: &[u32],
+    ) -> Vec<ChurnDraw> {
+        let mut draws = Vec::new();
+        let diurnal = diurnal_factor(self.diurnal.as_ref(), epoch_start);
+        for (i, (&base, &cur)) in baseline.iter().zip(live).enumerate() {
+            if let Some(d) = &self.departures {
+                let n = sample_departures(&mut self.rng, u64::from(cur), d.probability);
+                if n > 0 {
+                    let offset = epoch * self.rng.gen::<f64>();
+                    draws.push(ChurnDraw {
+                        offset,
+                        aggregate: i,
+                        delta: -(n as i64),
+                    });
+                }
+            }
+            if let Some(a) = &self.arrivals {
+                let mean = a.rate * base * diurnal;
+                let n = sample_poisson(&mut self.rng, mean.max(0.0));
+                // Cap at the configured ceiling (arrivals beyond it are
+                // turned away by admission control).
+                let room = u64::from(a.max_flows.saturating_sub(cur));
+                let n = n.min(room);
+                if n > 0 {
+                    let offset = epoch * self.rng.gen::<f64>();
+                    draws.push(ChurnDraw {
+                        offset,
+                        aggregate: i,
+                        delta: n as i64,
+                    });
+                }
+            }
+        }
+        draws
+    }
+}
+
+/// The seeded Weibull failure/repair source.
+pub struct FailureSource {
+    rng: StdRng,
+    spec: FailureSpec,
+}
+
+impl FailureSource {
+    /// Builds the source on its own RNG stream.
+    pub fn new(seed: u64, spec: FailureSpec) -> Self {
+        FailureSource {
+            rng: StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_0000_0002),
+            spec,
+        }
+    }
+
+    /// Time from `now` to the next stochastic failure.
+    pub fn next_failure_in(&mut self) -> Delay {
+        sample_weibull(&mut self.rng, self.spec.shape, self.spec.scale)
+    }
+
+    /// How long the next failure stays down.
+    pub fn repair_in(&mut self) -> Delay {
+        sample_weibull(
+            &mut self.rng,
+            self.spec.repair_shape,
+            self.spec.repair_scale,
+        )
+    }
+
+    /// Picks a victim among `healthy` candidates (uniform). Draws from
+    /// the stream even when empty, so stream position does not depend on
+    /// the (state-dependent) candidate count staying nonzero.
+    pub fn pick_victim<T: Copy>(&mut self, healthy: &[T]) -> Option<T> {
+        let roll: f64 = self.rng.gen();
+        if healthy.is_empty() {
+            return None;
+        }
+        let idx = ((roll * healthy.len() as f64) as usize).min(healthy.len() - 1);
+        Some(healthy[idx])
+    }
+
+    /// Concurrent stochastic failure budget.
+    pub fn max_down(&self) -> usize {
+        self.spec.max_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weibull_shape_one_is_exponential_mean_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| sample_weibull(&mut rng, 1.0, Delay::from_secs(100.0)).secs())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn weibull_is_positive_and_deterministic() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50)
+                .map(|_| sample_weibull(&mut rng, 1.7, Delay::from_secs(30.0)).secs())
+                .collect::<Vec<_>>()
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7));
+        assert_ne!(a, draw(8));
+        assert!(a.iter().all(|&t| t >= 0.0 && t.is_finite()));
+    }
+
+    #[test]
+    fn diurnal_cycles_around_one() {
+        let spec = DiurnalSpec {
+            amplitude: 0.5,
+            period: Delay::from_secs(100.0),
+        };
+        assert!((diurnal_factor(Some(&spec), Delay::ZERO) - 1.0).abs() < 1e-12);
+        assert!((diurnal_factor(Some(&spec), Delay::from_secs(25.0)) - 1.5).abs() < 1e-12);
+        assert!((diurnal_factor(Some(&spec), Delay::from_secs(75.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(diurnal_factor(None, Delay::from_secs(3.0)), 1.0);
+    }
+
+    #[test]
+    fn churn_respects_max_flows_and_determinism() {
+        let arr = ArrivalSpec {
+            rate: 2.0,
+            max_flows: 10,
+        };
+        let dep = DepartureSpec { probability: 0.1 };
+        let run = |seed| {
+            let mut src = ChurnSource::new(seed, Some(arr.clone()), Some(dep.clone()), None);
+            src.epoch_events(
+                Delay::ZERO,
+                Delay::from_secs(10.0),
+                &[5.0, 5.0, 5.0],
+                &[9, 10, 2],
+            )
+            .iter()
+            .map(|d| (d.aggregate, d.delta, d.offset.secs()))
+            .collect::<Vec<_>>()
+        };
+        let a = run(3);
+        assert_eq!(a, run(3), "same seed, same draws");
+        assert_ne!(a, run(4));
+        for &(agg, delta, off) in &a {
+            assert!((0.0..10.0).contains(&off));
+            if delta > 0 {
+                // Aggregate 1 is already at the cap.
+                assert_ne!(agg, 1, "arrivals above max-flows must be dropped");
+            }
+        }
+    }
+
+    #[test]
+    fn victim_choice_consumes_stream_uniformly() {
+        let spec = FailureSpec {
+            shape: 1.0,
+            scale: Delay::from_secs(100.0),
+            repair_shape: 1.0,
+            repair_scale: Delay::from_secs(10.0),
+            max_down: 1,
+        };
+        let mut src = FailureSource::new(1, spec);
+        assert_eq!(src.pick_victim::<u32>(&[]), None);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = src.pick_victim(&[0usize, 1, 2, 3]).unwrap();
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all candidates reachable");
+    }
+}

@@ -69,15 +69,13 @@ impl AdmissionController {
         if w.is_empty() {
             return None;
         }
-        let bucket = (0..w.len())
-            .filter(|&i| w[i] > 0)
-            .min_by(|&a, &b| {
-                // assigned/weight compared as cross products to stay in
-                // integers: a_i * w_j vs a_j * w_i.
-                let lhs = g.assigned[a] * w[b];
-                let rhs = g.assigned[b] * w[a];
-                lhs.cmp(&rhs).then(a.cmp(&b))
-            })?;
+        let bucket = (0..w.len()).filter(|&i| w[i] > 0).min_by(|&a, &b| {
+            // assigned/weight compared as cross products to stay in
+            // integers: a_i * w_j vs a_j * w_i.
+            let lhs = g.assigned[a] * w[b];
+            let rhs = g.assigned[b] * w[a];
+            lhs.cmp(&rhs).then(a.cmp(&b))
+        })?;
         g.assigned[bucket] += 1;
         g.total += 1;
         Some(FlowAssignment { aggregate, bucket })

@@ -20,6 +20,57 @@ use fubar_traffic::AggregateId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Draws a geometric variate with the given mean — the churn model's
+/// burst-friendly arrival law (P(k) ∝ (m/(1+m))^k).
+///
+/// # Panics
+///
+/// Panics on a negative or non-finite mean.
+pub fn sample_geometric<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0 && mean.is_finite(), "mean must be non-negative");
+    let p = 1.0 / (1.0 + mean);
+    let mut k = 0u64;
+    while rng.gen::<f64>() > p && k < 1_000 {
+        k += 1;
+    }
+    k
+}
+
+/// Draws a Poisson variate with the given mean (Knuth's product method —
+/// exact, and fast for the per-event means used here, which are ≪ 30).
+/// The memoryless law the scenario engine uses for flow arrivals.
+///
+/// # Panics
+///
+/// Panics on a negative or non-finite mean.
+pub fn sample_poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0 && mean.is_finite(), "mean must be non-negative");
+    let limit = (-mean).exp();
+    let mut k = 0u64;
+    let mut product = rng.gen::<f64>();
+    while product > limit && k < 10_000 {
+        k += 1;
+        product *= rng.gen::<f64>();
+    }
+    k
+}
+
+/// Draws how many of `live` flows depart, each independently with
+/// probability `prob` — Binomial(live, prob) as explicit Bernoulli
+/// trials, so the stream consumption is identical to the per-flow churn
+/// loop below.
+///
+/// # Panics
+///
+/// Panics when `prob` is outside `[0, 1]`.
+pub fn sample_departures<R: Rng>(rng: &mut R, live: u64, prob: f64) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&prob),
+        "departure probability must be in [0,1]"
+    );
+    (0..live).filter(|_| rng.gen::<f64>() < prob).count() as u64
+}
+
 /// Parameters of the churn process.
 #[derive(Clone, Debug)]
 pub struct ChurnConfig {
@@ -93,13 +144,7 @@ impl ChurnSimulation {
 
     /// Geometric sample with the configured mean.
     fn sample_arrivals(&mut self) -> u64 {
-        // P(k) geometric with mean m: success prob p = 1/(1+m).
-        let p = 1.0 / (1.0 + self.config.arrival_rate);
-        let mut k = 0u64;
-        while self.rng.gen::<f64>() > p && k < 1_000 {
-            k += 1;
-        }
-        k
+        sample_geometric(&mut self.rng, self.config.arrival_rate)
     }
 
     /// Runs one tick; returns its record.
@@ -203,10 +248,12 @@ mod tests {
         let mut sim = ChurnSimulation::new(&r, ChurnConfig::default());
         let log = sim.run(500);
         let max = log.iter().map(|r| r.worst_imbalance).fold(0.0, f64::max);
-        let mean: f64 =
-            log.iter().map(|r| r.worst_imbalance).sum::<f64>() / log.len() as f64;
+        let mean: f64 = log.iter().map(|r| r.worst_imbalance).sum::<f64>() / log.len() as f64;
         assert!(max <= 6.0, "worst transient imbalance {max} too large");
-        assert!(mean <= 1.5, "mean imbalance {mean} should be around one flow");
+        assert!(
+            mean <= 1.5,
+            "mean imbalance {mean} should be around one flow"
+        );
     }
 
     #[test]
@@ -246,8 +293,7 @@ mod tests {
         );
         let log = sim.run(400);
         let tail: Vec<&ChurnRecord> = log[300..].iter().collect();
-        let mean_live: f64 =
-            tail.iter().map(|r| r.live as f64).sum::<f64>() / tail.len() as f64;
+        let mean_live: f64 = tail.iter().map(|r| r.live as f64).sum::<f64>() / tail.len() as f64;
         assert!(
             (10.0..35.0).contains(&mean_live),
             "steady-state population {mean_live} should be near 20"
@@ -279,10 +325,33 @@ mod tests {
         let arr: u64 = log.iter().map(|x| x.arrivals).sum();
         let dep: u64 = log.iter().map(|x| x.departures).sum();
         assert_eq!(log.last().unwrap().live, arr - dep);
-        assert_eq!(
-            sim.controller().live_flows(AggregateId(0)),
-            arr - dep
-        );
+        assert_eq!(sim.controller().live_flows(AggregateId(0)), arr - dep);
+    }
+
+    #[test]
+    fn poisson_sampler_has_the_right_mean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 20_000;
+        for mean in [0.5, 2.0, 8.0] {
+            let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, mean)).sum();
+            let observed = total as f64 / n as f64;
+            assert!(
+                (observed - mean).abs() < 0.15 * mean.max(1.0),
+                "poisson mean {mean}: observed {observed}"
+            );
+        }
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn departure_sampler_is_binomial_shaped() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| sample_departures(&mut rng, 40, 0.25)).sum();
+        let observed = total as f64 / n as f64;
+        assert!((observed - 10.0).abs() < 0.5, "observed {observed}");
+        assert_eq!(sample_departures(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_departures(&mut rng, 17, 1.0), 17);
     }
 
     #[test]

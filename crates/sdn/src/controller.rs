@@ -50,7 +50,8 @@ impl FubarController {
 
     /// Whether this epoch index triggers a re-optimization.
     pub fn should_run(&self, epoch: usize) -> bool {
-        epoch >= self.warmup_epochs && (epoch - self.warmup_epochs) % self.reoptimize_every == 0
+        epoch >= self.warmup_epochs
+            && (epoch - self.warmup_epochs).is_multiple_of(self.reoptimize_every)
     }
 }
 
@@ -201,9 +202,7 @@ impl ClosedLoop {
 
             let reoptimized = self.config.controller.should_run(epoch);
             if reoptimized {
-                let estimated = self
-                    .estimator
-                    .estimated_matrix(self.fabric.true_tm());
+                let estimated = self.estimator.estimated_matrix(self.fabric.true_tm());
                 let rules = self.config.controller.reoptimize(&self.fabric, &estimated);
                 self.fabric.install(rules);
             }
@@ -273,11 +272,7 @@ mod tests {
     fn loop_survives_failure_and_recovers() {
         let fabric = small_fabric();
         // Find a link on the initial shortest path of aggregate 0.
-        let link = fabric
-            .rules()
-            .group(AggregateId(0))
-            .unwrap()
-            .buckets[0]
+        let link = fabric.rules().group(AggregateId(0)).unwrap().buckets[0]
             .0
             .links()[0];
         let cfg = ClosedLoopConfig {

@@ -106,6 +106,38 @@ impl Fabric {
         self.true_tm = tm;
     }
 
+    /// Sets one aggregate's live flow count (a single churn event, as
+    /// opposed to the whole-matrix [`Fabric::set_true_tm`]). Zero parks
+    /// the aggregate as *idle*: it keeps its id, counters, and installed
+    /// rules, but contributes no traffic until flows arrive again.
+    pub fn set_flow_count(&mut self, id: fubar_traffic::AggregateId, flows: u32) {
+        self.true_tm.set_flow_count(id, flows);
+    }
+
+    /// One aggregate's current live flow count.
+    pub fn flow_count(&self, id: fubar_traffic::AggregateId) -> u32 {
+        self.true_tm.aggregate(id).flow_count
+    }
+
+    /// Changes the capacity of a link and (for duplex links) its reverse
+    /// — a maintenance downgrade or upgrade, as opposed to the binary
+    /// [`Fabric::fail_link`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive capacity; use [`Fabric::fail_link`] to
+    /// take a link out of service.
+    pub fn set_capacity(&mut self, link: fubar_graph::LinkId, capacity: Bandwidth) {
+        assert!(
+            capacity > Bandwidth::ZERO,
+            "capacity must be positive; fail the link instead"
+        );
+        self.topology.set_capacity(link, capacity);
+        if let Some(r) = self.topology.reverse_of(link) {
+            self.topology.set_capacity(r, capacity);
+        }
+    }
+
     /// Installs a new rule set (the controller's output).
     pub fn install(&mut self, rules: RuleSet) {
         assert_eq!(
@@ -176,10 +208,11 @@ impl Fabric {
         let mut fallbacks = 0usize;
         let mut blackholed = 0u64;
         for a in self.true_tm.iter() {
-            let group = self
-                .rules
-                .group(a.id)
-                .expect("rules cover every aggregate");
+            if a.flow_count == 0 {
+                // Idle aggregate: keeps its rules but sends nothing.
+                continue;
+            }
+            let group = self.rules.group(a.id).expect("rules cover every aggregate");
             let alive = group.alive_buckets(&self.down);
             if alive.is_empty() {
                 // Data-plane protection: fall back to the live shortest
@@ -208,6 +241,25 @@ impl Fabric {
             }
         }
         (bundles, fallbacks, blackholed)
+    }
+
+    /// Evaluates the current state (installed rules, live failures, true
+    /// traffic) *without* advancing the epoch or touching counters — a
+    /// read-only probe for event-driven callers that need a utility
+    /// measurement between epochs. The returned report carries the
+    /// index of the epoch currently in progress.
+    pub fn peek(&self) -> EpochReport {
+        let (bundles, fallback_count, blackholed_flows) = self.bundles();
+        let model = FlowModel::new(&self.topology, self.model);
+        let outcome = model.evaluate(&bundles);
+        let report = fubar_model::utility_report(&self.true_tm, &bundles, &outcome);
+        EpochReport {
+            epoch: self.epoch,
+            outcome,
+            report,
+            fallback_count,
+            blackholed_flows,
+        }
     }
 
     /// Runs one epoch: route true traffic over installed rules, update
@@ -308,8 +360,7 @@ mod tests {
         let mut f = fixture();
         let before = f.run_epoch();
         // Run FUBAR against ground truth and install.
-        let result =
-            fubar_core::Optimizer::with_defaults(f.topology(), f.true_tm()).run();
+        let result = fubar_core::Optimizer::with_defaults(f.topology(), f.true_tm()).run();
         let rules = RuleSet::from_allocation(&result.allocation, f.true_tm());
         f.install(rules);
         let after = f.run_epoch();
@@ -382,5 +433,50 @@ mod tests {
     fn population_change_rejected() {
         let mut f = fixture();
         f.set_true_tm(TrafficMatrix::new(vec![]));
+    }
+
+    #[test]
+    fn idle_aggregate_sends_nothing_and_revives() {
+        let mut f = fixture();
+        f.set_flow_count(AggregateId(0), 0);
+        assert_eq!(f.flow_count(AggregateId(0)), 0);
+        let r = f.run_epoch();
+        assert!(r.outcome.bundle_rates.is_empty(), "idle sends no bundles");
+        assert_eq!(r.report.network_utility, 0.0);
+        assert!(r.report.network_utility.is_finite(), "no NaN from 0 flows");
+        assert_eq!(f.counters()[0].flows_last_epoch, 0);
+        // Revival restores traffic on the still-installed rules.
+        f.set_flow_count(AggregateId(0), 2);
+        let r = f.run_epoch();
+        assert!(r.report.network_utility > 0.0);
+        assert_eq!(f.counters()[0].flows_last_epoch, 2);
+    }
+
+    #[test]
+    fn capacity_change_applies_to_both_directions() {
+        let mut f = fixture();
+        let link = fubar_graph::LinkId(0);
+        let rev = f.topology().reverse_of(link).unwrap();
+        f.set_capacity(link, Bandwidth::from_mbps(3.0));
+        assert_eq!(f.topology().capacity(link), Bandwidth::from_mbps(3.0));
+        assert_eq!(f.topology().capacity(rev), Bandwidth::from_mbps(3.0));
+        // Upgrading every link of the installed path decongests the
+        // 2 Mb/s demand that the 500 kb/s pipes were starving.
+        let path_links: Vec<_> = f.rules().group(AggregateId(0)).unwrap().buckets[0]
+            .0
+            .links()
+            .to_vec();
+        for l in path_links {
+            f.set_capacity(l, Bandwidth::from_mbps(3.0));
+        }
+        let r = f.run_epoch();
+        assert!(!r.outcome.bundle_status[0].is_congested());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let mut f = fixture();
+        f.set_capacity(fubar_graph::LinkId(0), Bandwidth::ZERO);
     }
 }

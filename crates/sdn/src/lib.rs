@@ -43,7 +43,9 @@ mod measurement;
 mod rules;
 
 pub use admission::{AdmissionController, FlowAssignment};
-pub use arrivals::{ChurnConfig, ChurnRecord, ChurnSimulation};
+pub use arrivals::{
+    sample_departures, sample_geometric, sample_poisson, ChurnConfig, ChurnRecord, ChurnSimulation,
+};
 pub use controller::{
     ClosedLoop, ClosedLoopConfig, DriftConfig, FailureEvent, FubarController, LoopRecord,
 };

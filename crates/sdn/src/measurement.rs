@@ -183,7 +183,10 @@ mod tests {
             inference_headroom: 1.0,
         };
         let mut e = Estimator::new(1, cfg, 7);
-        e.observe(&counters(500_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+        e.observe(
+            &counters(500_000.0, 10, false, 10.0),
+            Delay::from_secs(10.0),
+        );
         let est = e.estimate(0);
         assert!((est.rate_bps - 500_000.0).abs() < 1e-6);
         assert_eq!(est.flow_count, 10);
@@ -200,7 +203,10 @@ mod tests {
         };
         let mut e = Estimator::new(1, cfg, 42);
         for _ in 0..200 {
-            e.observe(&counters(1_000_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+            e.observe(
+                &counters(1_000_000.0, 10, false, 10.0),
+                Delay::from_secs(10.0),
+            );
         }
         let est = e.estimate(0);
         let rel_err = (est.rate_bps - 1_000_000.0).abs() / 1_000_000.0;
@@ -220,7 +226,10 @@ mod tests {
         e.observe(&counters(200_000.0, 10, true, 10.0), Delay::from_secs(10.0));
         assert_eq!(e.estimate(0).demand_peak, None);
         // One uncongested epoch at 80 kb/s per flow teaches the peak.
-        e.observe(&counters(800_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+        e.observe(
+            &counters(800_000.0, 10, false, 10.0),
+            Delay::from_secs(10.0),
+        );
         assert!((e.estimate(0).demand_peak.unwrap().kbps() - 80.0).abs() < 1e-9);
     }
 
@@ -244,7 +253,10 @@ mod tests {
         let mut e = Estimator::new(1, cfg, 7);
         // Uncongested but only using 40 kb/s per flow: the app is the
         // limit, so the demand peak should shrink.
-        e.observe(&counters(400_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+        e.observe(
+            &counters(400_000.0, 10, false, 10.0),
+            Delay::from_secs(10.0),
+        );
         let est_tm = e.estimated_matrix(&template);
         let peak = est_tm.aggregate(AggregateId(0)).per_flow_demand();
         assert!((peak.kbps() - 40.0).abs() < 1e-9, "got {peak}");
@@ -268,11 +280,17 @@ mod tests {
             inference_headroom: 2.0, // aggressive headroom
         };
         let mut e = Estimator::new(1, cfg, 7);
-        e.observe(&counters(500_000.0, 10, false, 10.0), Delay::from_secs(10.0));
+        e.observe(
+            &counters(500_000.0, 10, false, 10.0),
+            Delay::from_secs(10.0),
+        );
         // Learned peak would be 100 kb/s (headroom 2.0) > configured 50.
         let est_tm = e.estimated_matrix(&template);
         let peak = est_tm.aggregate(AggregateId(0)).per_flow_demand();
-        assert!((peak.kbps() - 50.0).abs() < 1e-9, "configured peak kept, got {peak}");
+        assert!(
+            (peak.kbps() - 50.0).abs() < 1e-9,
+            "configured peak kept, got {peak}"
+        );
     }
 
     #[test]

@@ -20,6 +20,15 @@ pub struct GroupEntry {
 }
 
 impl GroupEntry {
+    /// A group with a single path carrying all the weight — the rule a
+    /// controller installs for a freshly arrived aggregate before the
+    /// optimizer has had a say.
+    pub fn single(path: Path, weight: u32) -> Self {
+        GroupEntry {
+            buckets: vec![(path, weight)],
+        }
+    }
+
     /// Total weight across buckets.
     pub fn total_weight(&self) -> u64 {
         self.buckets.iter().map(|&(_, w)| u64::from(w)).sum()
@@ -72,6 +81,27 @@ impl RuleSet {
     /// The group for one aggregate, if covered.
     pub fn group(&self, id: AggregateId) -> Option<&GroupEntry> {
         self.groups.get(id.index())
+    }
+
+    /// Replaces one aggregate's group in place — a single-aggregate rule
+    /// update (OpenFlow group-mod), as opposed to reinstalling the whole
+    /// table via [`Fabric::install`](crate::Fabric::install).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not covered by this rule set.
+    pub fn set_group(&mut self, id: AggregateId, entry: GroupEntry) {
+        self.groups[id.index()] = entry;
+    }
+
+    /// Removes one aggregate's installed paths (the aggregate departed).
+    /// The group slot survives, empty, so indices stay dense.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not covered by this rule set.
+    pub fn clear_group(&mut self, id: AggregateId) {
+        self.groups[id.index()] = GroupEntry::default();
     }
 
     /// Splits `flows` across the given ordered buckets proportionally to

@@ -136,12 +136,7 @@ pub fn serialize(t: &Topology) -> String {
     out.push_str(&format!("topology {}\n", t.name()));
     for n in t.nodes() {
         match t.node_geo(n) {
-            Some(g) => out.push_str(&format!(
-                "node {} {} {}\n",
-                t.node_name(n),
-                g.lat,
-                g.lon
-            )),
+            Some(g) => out.push_str(&format!("node {} {} {}\n", t.node_name(n), g.lat, g.lon)),
             None => out.push_str(&format!("node {}\n", t.node_name(n))),
         }
     }

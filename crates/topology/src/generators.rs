@@ -197,8 +197,13 @@ pub fn line(n: usize, capacity: Bandwidth, hop_delay: Delay) -> Topology {
         b.add_node(numbered("n", i)).unwrap();
     }
     for i in 0..n - 1 {
-        b.add_duplex_link(&numbered("n", i), &numbered("n", i + 1), capacity, hop_delay)
-            .unwrap();
+        b.add_duplex_link(
+            &numbered("n", i),
+            &numbered("n", i + 1),
+            capacity,
+            hop_delay,
+        )
+        .unwrap();
     }
     b.build()
 }
@@ -324,13 +329,7 @@ pub fn dumbbell(
 /// `alpha * exp(-d / (beta * L))`. A spanning chain over the random node
 /// order is added first so the result is always connected. Delays follow
 /// link length at fiber speed.
-pub fn waxman(
-    n: usize,
-    alpha: f64,
-    beta: f64,
-    capacity: Bandwidth,
-    seed: u64,
-) -> Topology {
+pub fn waxman(n: usize, alpha: f64, beta: f64, capacity: Bandwidth, seed: u64) -> Topology {
     assert!(n >= 2, "waxman needs at least two nodes");
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
     assert!(beta > 0.0, "beta must be positive");
@@ -339,8 +338,7 @@ pub fn waxman(
     let positions: Vec<(f64, f64)> = (0..n)
         .map(|_| (rng.gen::<f64>() * side_km, rng.gen::<f64>() * side_km))
         .collect();
-    let dist =
-        |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+    let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
     let delay_of = |km: f64| Delay::from_secs(km.max(1.0) / crate::geo::C_FIBER_KM_S);
 
     let mut b = TopologyBuilder::new(format!("waxman-{n}-s{seed}"));
@@ -351,8 +349,13 @@ pub fn waxman(
     // Spanning chain guarantees connectivity.
     for i in 0..n - 1 {
         let d = dist(positions[i], positions[i + 1]);
-        b.add_duplex_link(&numbered("w", i), &numbered("w", i + 1), capacity, delay_of(d))
-            .unwrap();
+        b.add_duplex_link(
+            &numbered("w", i),
+            &numbered("w", i + 1),
+            capacity,
+            delay_of(d),
+        )
+        .unwrap();
         connected[i][i + 1] = true;
     }
     let diag = side_km * std::f64::consts::SQRT_2;
@@ -405,7 +408,10 @@ mod tests {
             max = max.max(d);
         }
         // Fremont-SanJose is tens of km; transpacific is tens of ms.
-        assert!(min < 1.0, "shortest HE link should be sub-millisecond, got {min}ms");
+        assert!(
+            min < 1.0,
+            "shortest HE link should be sub-millisecond, got {min}ms"
+        );
         assert!(
             (30.0..80.0).contains(&max),
             "longest HE link should be a transpacific trunk, got {max}ms"
@@ -487,10 +493,7 @@ mod tests {
         }
         let c = waxman(20, 0.6, 0.3, cap(), 8);
         // Different seed should (overwhelmingly) give a different graph.
-        assert!(
-            a.link_count() != c.link_count()
-                || a.links().any(|l| a.delay(l) != c.delay(l))
-        );
+        assert!(a.link_count() != c.link_count() || a.links().any(|l| a.delay(l) != c.delay(l)));
     }
 
     #[test]

@@ -288,10 +288,7 @@ impl Topology {
     ///
     /// Panics if the capacity is not strictly positive.
     pub fn set_capacity(&mut self, id: LinkId, capacity: Bandwidth) {
-        assert!(
-            capacity > Bandwidth::ZERO,
-            "link capacity must be positive"
-        );
+        assert!(capacity > Bandwidth::ZERO, "link capacity must be positive");
         self.capacities[id.index()] = capacity;
     }
 
@@ -306,10 +303,7 @@ impl Topology {
     /// evaluation switches between the provisioned (100 Mb/s) and
     /// underprovisioned (75 Mb/s) cases.
     pub fn set_uniform_capacity(&mut self, capacity: Bandwidth) {
-        assert!(
-            capacity > Bandwidth::ZERO,
-            "link capacity must be positive"
-        );
+        assert!(capacity > Bandwidth::ZERO, "link capacity must be positive");
         self.capacities.fill(capacity);
     }
 
@@ -321,11 +315,7 @@ impl Topology {
     /// `"src->dst"` with node names, for diagnostics.
     pub fn link_label(&self, id: LinkId) -> String {
         let l = self.graph.link(id);
-        format!(
-            "{}->{}",
-            self.node_name(l.src),
-            self.node_name(l.dst)
-        )
+        format!("{}->{}", self.node_name(l.src), self.node_name(l.dst))
     }
 
     /// True if every node can reach every other node.
@@ -419,7 +409,10 @@ mod tests {
     #[test]
     fn duplex_links_are_paired_and_symmetric() {
         let t = triangle();
-        let ab = t.graph().find_link(t.node("a").unwrap(), t.node("b").unwrap()).unwrap();
+        let ab = t
+            .graph()
+            .find_link(t.node("a").unwrap(), t.node("b").unwrap())
+            .unwrap();
         let ba = t.reverse_of(ab).unwrap();
         assert_eq!(t.reverse_of(ba), Some(ab));
         assert_eq!(t.delay(ab), t.delay(ba));
@@ -430,13 +423,13 @@ mod tests {
     #[test]
     fn name_lookup_and_labels() {
         let t = triangle();
-        let ab = t.graph().find_link(t.node("a").unwrap(), t.node("b").unwrap()).unwrap();
+        let ab = t
+            .graph()
+            .find_link(t.node("a").unwrap(), t.node("b").unwrap())
+            .unwrap();
         assert_eq!(t.link_label(ab), "a->b");
         assert_eq!(t.node_name(t.node("c").unwrap()), "c");
-        assert!(matches!(
-            t.node("zzz"),
-            Err(TopologyError::UnknownNode(_))
-        ));
+        assert!(matches!(t.node("zzz"), Err(TopologyError::UnknownNode(_))));
     }
 
     #[test]
@@ -525,7 +518,10 @@ mod tests {
         let cut = t.without_links(&[ab]);
         assert_eq!(cut.duplex_count(), 2);
         assert_eq!(cut.node_count(), 3);
-        assert!(cut.is_connected(), "triangle minus one edge is still connected");
+        assert!(
+            cut.is_connected(),
+            "triangle minus one edge is still connected"
+        );
         assert!(cut
             .graph()
             .find_link(cut.node("a").unwrap(), cut.node("b").unwrap())

@@ -89,9 +89,9 @@ impl Classifier {
         }
         match (f.protocol, f.dst_port) {
             // RTP/conferencing range, SIP, STUN.
-            (Protocol::Udp, 16_384..=32_767) | (Protocol::Udp, 5060..=5061) | (Protocol::Udp, 3478) => {
-                TrafficClass::RealTime
-            }
+            (Protocol::Udp, 16_384..=32_767)
+            | (Protocol::Udp, 5060..=5061)
+            | (Protocol::Udp, 3478) => TrafficClass::RealTime,
             // DNS is tiny and latency-bound: treat as real-time.
             (Protocol::Udp, 53) => TrafficClass::RealTime,
             // SSH is interactive.

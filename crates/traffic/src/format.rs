@@ -104,7 +104,10 @@ pub fn parse(text: &str, topology: &Topology) -> Result<TrafficMatrix, ParseErro
         let mut agg = Aggregate::new(AggregateId(0), src, dst, class, flows);
         if tokens.len() == 7 {
             if tokens[5] != "priority" {
-                return Err(err(lineno, format!("expected `priority`, got {:?}", tokens[5])));
+                return Err(err(
+                    lineno,
+                    format!("expected `priority`, got {:?}", tokens[5]),
+                ));
             }
             let w: f64 = tokens[6]
                 .parse()
@@ -219,7 +222,11 @@ aggregate Denver Houston large:2 3 priority 4.5
     #[test]
     fn comments_and_blank_lines_ignored() {
         let t = topo();
-        let tm = parse("# nothing\n\naggregate Seattle Denver bulk 2 # inline\n", &t).unwrap();
+        let tm = parse(
+            "# nothing\n\naggregate Seattle Denver bulk 2 # inline\n",
+            &t,
+        )
+        .unwrap();
         assert_eq!(tm.len(), 1);
     }
 

@@ -74,7 +74,10 @@ impl TrafficMatrix {
 
     /// Total number of flows across all aggregates.
     pub fn total_flows(&self) -> u64 {
-        self.aggregates.iter().map(|a| u64::from(a.flow_count)).sum()
+        self.aggregates
+            .iter()
+            .map(|a| u64::from(a.flow_count))
+            .sum()
     }
 
     /// Ids of the "large flow" aggregates (heavy file transfers), whose
@@ -129,6 +132,22 @@ impl TrafficMatrix {
         let mut m = self.clone();
         m.aggregates[id.index()].utility = utility;
         m
+    }
+
+    /// Sets one aggregate's live flow count in place.
+    ///
+    /// Unlike [`Aggregate::new`], zero is allowed here: a zero-flow
+    /// aggregate is *idle* — it stays in the matrix (ids stay dense, so
+    /// per-aggregate state such as data-plane counters keeps its
+    /// indexing) but contributes no traffic, no demand, and no objective
+    /// weight. Dynamic scenarios park departed aggregates at zero and
+    /// revive them on re-arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn set_flow_count(&mut self, id: AggregateId, flows: u32) {
+        self.aggregates[id.index()].flow_count = flows;
     }
 
     /// Count of aggregates per class kind `(real-time, bulk, large)`.
@@ -210,7 +229,12 @@ mod tests {
         let small = m.aggregate(AggregateId(0));
         let large = m.aggregate(AggregateId(2));
         // Real-time normally dies at 100ms; relaxed dies at 200ms.
-        assert!(small.utility.eval(Bandwidth::from_kbps(50.0), Delay::from_ms(150.0)) > 0.0);
+        assert!(
+            small
+                .utility
+                .eval(Bandwidth::from_kbps(50.0), Delay::from_ms(150.0))
+                > 0.0
+        );
         // Large unchanged: bulk-shaped curve evaluated identically.
         let reference = TrafficClass::LargeFile { peak_mbps: 2.0 }.utility();
         assert_eq!(

@@ -94,8 +94,7 @@ pub fn generate(topology: &Topology, config: &WorkloadConfig, seed: u64) -> Traf
                 continue;
             }
             let (class, flows) = if rng.gen::<f64>() < config.large_probability {
-                let peak = config.large_peaks_mbps
-                    [rng.gen_range(0..config.large_peaks_mbps.len())];
+                let peak = config.large_peaks_mbps[rng.gen_range(0..config.large_peaks_mbps.len())];
                 (
                     TrafficClass::LargeFile { peak_mbps: peak },
                     rng.gen_range(config.large_flow_count.0..=config.large_flow_count.1),
@@ -116,7 +115,6 @@ pub fn generate(topology: &Topology, config: &WorkloadConfig, seed: u64) -> Traf
     }
     TrafficMatrix::new(aggregates)
 }
-
 
 /// Tunables for [`generate_gravity`].
 #[derive(Clone, Debug)]
@@ -151,11 +149,7 @@ impl Default for GravityConfig {
 /// paper's §3 workload), gravity matrices concentrate demand between
 /// well-connected hubs — a more realistic stress pattern for the
 /// optimizer and the default for the workspace's non-paper experiments.
-pub fn generate_gravity(
-    topology: &Topology,
-    config: &GravityConfig,
-    seed: u64,
-) -> TrafficMatrix {
+pub fn generate_gravity(topology: &Topology, config: &GravityConfig, seed: u64) -> TrafficMatrix {
     assert!(
         (0.0..=1.0).contains(&config.real_time_fraction),
         "real_time_fraction must be a probability"
@@ -165,8 +159,7 @@ pub fn generate_gravity(
         "large_probability must be a probability"
     );
     assert!(
-        !config.large_peaks_mbps.is_empty()
-            && config.large_peaks_mbps.iter().all(|&p| p > 0.0),
+        !config.large_peaks_mbps.is_empty() && config.large_peaks_mbps.iter().all(|&p| p > 0.0),
         "need at least one positive large peak"
     );
     let mut rng = StdRng::seed_from_u64(seed);
@@ -191,8 +184,7 @@ pub fn generate_gravity(
     for (k, &(src, dst)) in pairs.iter().enumerate() {
         let demand_bps = config.total_demand.bps() * weights[k] / total_w;
         let (class, per_flow) = if rng.gen::<f64>() < config.large_probability {
-            let peak =
-                config.large_peaks_mbps[rng.gen_range(0..config.large_peaks_mbps.len())];
+            let peak = config.large_peaks_mbps[rng.gen_range(0..config.large_peaks_mbps.len())];
             (TrafficClass::LargeFile { peak_mbps: peak }, peak * 1e6)
         } else if rng.gen::<f64>() < config.real_time_fraction {
             (TrafficClass::RealTime, 50e3)
@@ -281,8 +273,7 @@ mod tests {
         let m = generate(&he(), &cfg, 9);
         for a in m.iter() {
             if a.is_large() {
-                assert!((cfg.large_flow_count.0..=cfg.large_flow_count.1)
-                    .contains(&a.flow_count));
+                assert!((cfg.large_flow_count.0..=cfg.large_flow_count.1).contains(&a.flow_count));
             } else {
                 assert!((cfg.flow_count.0..=cfg.flow_count.1).contains(&a.flow_count));
             }
@@ -341,7 +332,9 @@ mod tests {
             let (sum, count) = m
                 .iter()
                 .filter(|a| a.ingress == n)
-                .fold((0.0, 0usize), |(s, c), a| (s + a.total_demand().bps(), c + 1));
+                .fold((0.0, 0usize), |(s, c), a| {
+                    (s + a.total_demand().bps(), c + 1)
+                });
             sum / count as f64
         };
         assert!(

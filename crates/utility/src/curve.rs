@@ -268,8 +268,7 @@ mod tests {
     #[test]
     fn first_x_at_max_on_plateau_is_leftmost() {
         let c =
-            PiecewiseLinear::new(vec![(0.0, 0.0), (10.0, 1.0), (20.0, 1.0), (30.0, 0.5)])
-                .unwrap();
+            PiecewiseLinear::new(vec![(0.0, 0.0), (10.0, 1.0), (20.0, 1.0), (30.0, 0.5)]).unwrap();
         assert_eq!(c.first_x_at_max(), 10.0);
     }
 }

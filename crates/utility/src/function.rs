@@ -266,9 +266,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-decreasing")]
     fn decreasing_bandwidth_curve_rejected() {
-        BandwidthUtility::from_curve(
-            crate::curve::PiecewiseLinear::ramp_down(0.0, 10.0),
-        );
+        BandwidthUtility::from_curve(crate::curve::PiecewiseLinear::ramp_down(0.0, 10.0));
     }
 
     #[test]

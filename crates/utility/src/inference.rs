@@ -160,7 +160,10 @@ mod tests {
             e.observe(kbps(20.0), false);
         }
         let est = e.estimate().unwrap();
-        assert!(est.kbps() < 21.0, "estimate should track the drop, got {est}");
+        assert!(
+            est.kbps() < 21.0,
+            "estimate should track the drop, got {est}"
+        );
     }
 
     #[test]

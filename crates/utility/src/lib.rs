@@ -33,8 +33,8 @@ mod function;
 mod inference;
 
 pub use classes::{
-    TrafficClass, BULK_DELAY_KNEE_MS, BULK_DELAY_ZERO_MS, BULK_PEAK,
-    REAL_TIME_DELAY_KNEE_MS, REAL_TIME_DELAY_ZERO_MS, REAL_TIME_PEAK,
+    TrafficClass, BULK_DELAY_KNEE_MS, BULK_DELAY_ZERO_MS, BULK_PEAK, REAL_TIME_DELAY_KNEE_MS,
+    REAL_TIME_DELAY_ZERO_MS, REAL_TIME_PEAK,
 };
 pub use curve::{CurveError, PiecewiseLinear};
 pub use function::{BandwidthUtility, DelayUtility, UtilityFunction};

@@ -36,7 +36,11 @@ fn main() {
 
     run(&topo, &tm, "neutral (weight 1)");
     run(&topo, &tm.with_large_priority(8.0), "large-priority (x8)");
-    run(&topo, &tm.with_large_priority(0.125), "large-penalty (x1/8)");
+    run(
+        &topo,
+        &tm.with_large_priority(0.125),
+        "large-penalty (x1/8)",
+    );
 
     println!();
     println!("expected shape (paper Fig 5): prioritizing large flows lifts their");

@@ -14,10 +14,14 @@ fn main() {
     }
     let cap = |mbps: f64| Bandwidth::from_mbps(mbps);
     let ms = |v: f64| Delay::from_ms(v);
-    b.add_duplex_link("paris", "london", cap(2.0), ms(4.0)).unwrap();
-    b.add_duplex_link("paris", "frankfurt", cap(10.0), ms(6.0)).unwrap();
-    b.add_duplex_link("frankfurt", "amsterdam", cap(10.0), ms(4.0)).unwrap();
-    b.add_duplex_link("amsterdam", "london", cap(10.0), ms(4.0)).unwrap();
+    b.add_duplex_link("paris", "london", cap(2.0), ms(4.0))
+        .unwrap();
+    b.add_duplex_link("paris", "frankfurt", cap(10.0), ms(6.0))
+        .unwrap();
+    b.add_duplex_link("frankfurt", "amsterdam", cap(10.0), ms(4.0))
+        .unwrap();
+    b.add_duplex_link("amsterdam", "london", cap(10.0), ms(4.0))
+        .unwrap();
     let topo = b.build();
     println!("{}", topo.summary());
 
@@ -59,11 +63,7 @@ fn main() {
         for (idx, path) in ps.iter().enumerate() {
             let flows = result.allocation.flows_on(a.id, idx);
             if flows > 0 {
-                let hops: Vec<&str> = path
-                    .nodes()
-                    .iter()
-                    .map(|&n| topo.node_name(n))
-                    .collect();
+                let hops: Vec<&str> = path.nodes().iter().map(|&n| topo.node_name(n)).collect();
                 println!(
                     "  {flows:>3} flows via {} ({:.1} ms)",
                     hops.join("->"),

@@ -28,7 +28,10 @@ fn main() {
     // Cut the Denver-KansasCity trunk at epoch 8, repair at epoch 14.
     let cut = topo
         .graph()
-        .find_link(topo.node("Denver").unwrap(), topo.node("KansasCity").unwrap())
+        .find_link(
+            topo.node("Denver").unwrap(),
+            topo.node("KansasCity").unwrap(),
+        )
         .expect("abilene has this trunk");
 
     let fabric = Fabric::new(topo, tm, Delay::from_secs(30.0));

@@ -53,7 +53,10 @@ fn main() {
         ));
     }
     rows.sort_by(|a, b| a.1.total_cmp(&b.1));
-    println!("{:<28} {:>9} {:>7} {:>10}", "failed trunk", "utility", "loss", "congested");
+    println!(
+        "{:<28} {:>9} {:>7} {:>10}",
+        "failed trunk", "utility", "loss", "congested"
+    );
     for (label, u, c) in &rows {
         if u.is_nan() {
             println!("{label:<28} {:>9} {:>7} {:>10}", "PARTITION", "-", "-");

@@ -12,10 +12,21 @@
 //!
 //! fubar-cli optimize <file.topo> <file.tm> [--minmax] [--trace out.csv]
 //!     Run FUBAR and print the computed path splits.
+//!
+//! fubar-cli scenario list
+//!     Name and describe the bundled scenario catalog.
+//!
+//! fubar-cli scenario show <name|file.scn>
+//!     Print a scenario spec (canonical serialization).
+//!
+//! fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt]
+//!     Run a scenario and emit the per-event log on stdout (or to
+//!     --out). Same spec + same seed => byte-identical log.
 //! ```
 
 use fubar::core::baselines;
 use fubar::prelude::*;
+use fubar::scenario::catalog;
 use fubar::topology::format as topo_format;
 use fubar::topology::generators;
 use fubar::traffic::format as tm_format;
@@ -26,14 +37,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  fubar-cli generate <he|abilene> <capacity_mbps> <seed>\n  \
          fubar-cli evaluate <file.topo> <file.tm>\n  \
-         fubar-cli optimize <file.topo> <file.tm> [--minmax] [--trace out.csv]"
+         fubar-cli optimize <file.topo> <file.tm> [--minmax] [--trace out.csv]\n  \
+         fubar-cli scenario list\n  \
+         fubar-cli scenario show <name|file.scn>\n  \
+         fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt]"
     );
     ExitCode::FAILURE
 }
 
 fn load(topo_path: &str, tm_path: &str) -> Result<(Topology, TrafficMatrix), String> {
-    let topo_text =
-        std::fs::read_to_string(topo_path).map_err(|e| format!("{topo_path}: {e}"))?;
+    let topo_text = std::fs::read_to_string(topo_path).map_err(|e| format!("{topo_path}: {e}"))?;
     let topo = topo_format::parse(&topo_text).map_err(|e| format!("{topo_path}: {e}"))?;
     let tm_text = std::fs::read_to_string(tm_path).map_err(|e| format!("{tm_path}: {e}"))?;
     let tm = tm_format::parse(&tm_text, &topo).map_err(|e| format!("{tm_path}: {e}"))?;
@@ -152,6 +165,90 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads a scenario by catalog name or from a spec file.
+fn load_scenario(what: &str) -> Result<Scenario, String> {
+    if let Some(s) = catalog::load(what) {
+        return Ok(s);
+    }
+    if std::path::Path::new(what).exists() {
+        let text = std::fs::read_to_string(what).map_err(|e| format!("{what}: {e}"))?;
+        return Scenario::parse(&text).map_err(|e| format!("{what}: {e}"));
+    }
+    Err(format!(
+        "{what:?} is neither a bundled scenario ({}) nor a spec file",
+        catalog::names().join(", ")
+    ))
+}
+
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err("scenario needs a subcommand: list, show, or run".into());
+    };
+    match sub.as_str() {
+        "list" => {
+            for name in catalog::names() {
+                let s = catalog::load(name).expect("catalog names load");
+                println!(
+                    "{name:<20} {:>4} events/timeline, duration {}, seed {}",
+                    s.timeline.len(),
+                    s.duration,
+                    s.seed
+                );
+            }
+            Ok(())
+        }
+        "show" => {
+            let [what] = &args[1..] else {
+                return Err("show needs <name|file.scn>".into());
+            };
+            print!("{}", load_scenario(what)?);
+            Ok(())
+        }
+        "run" => {
+            if args.len() < 2 {
+                return Err("run needs <name|file.scn> [--seed N] [--out file]".into());
+            }
+            let spec = load_scenario(&args[1])?;
+            let mut seed = spec.seed;
+            let mut out: Option<String> = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seed" => {
+                        i += 1;
+                        seed = args
+                            .get(i)
+                            .ok_or_else(|| "--seed needs a value".to_string())?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                    }
+                    "--out" => {
+                        i += 1;
+                        out = Some(
+                            args.get(i)
+                                .ok_or_else(|| "--out needs a file".to_string())?
+                                .clone(),
+                        );
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            let log = fubar::scenario::run(&spec, seed).map_err(|e| e.to_string())?;
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, log.to_text()).map_err(|e| e.to_string())?;
+                    println!("log written to {path}");
+                }
+                None => print!("{}", log.to_text()),
+            }
+            eprintln!("{}", log.summary());
+            Ok(())
+        }
+        other => Err(format!("unknown scenario subcommand {other:?}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -161,6 +258,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args[1..]),
         "evaluate" => cmd_evaluate(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
+        "scenario" => cmd_scenario(&args[1..]),
         _ => return usage(),
     };
     match result {

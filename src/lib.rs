@@ -18,6 +18,7 @@
 //! | [`model`] | the TCP-like progressive-filling flow model (§2.3) |
 //! | [`core`] | the FUBAR optimizer, baselines, experiment drivers (§2.4–2.5) |
 //! | [`sdn`] | simulated SDN deployment: fabric, measurement, closed loop |
+//! | [`scenario`] | deterministic discrete-event scenarios: churn, failures, drift |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@
 pub use fubar_core as core;
 pub use fubar_graph as graph;
 pub use fubar_model as model;
+pub use fubar_scenario as scenario;
 pub use fubar_sdn as sdn;
 pub use fubar_topology as topology;
 pub use fubar_traffic as traffic;
@@ -48,11 +50,11 @@ pub use fubar_utility as utility;
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
     pub use fubar_core::{
-        Allocation, Objective, OptimizeResult, Optimizer, OptimizerConfig, PathPolicy,
-        Termination,
+        Allocation, Objective, OptimizeResult, Optimizer, OptimizerConfig, PathPolicy, Termination,
     };
     pub use fubar_graph::{LinkId, LinkSet, NodeId, Path};
     pub use fubar_model::{BundleSpec, FlowModel, ModelConfig, UtilityReport};
+    pub use fubar_scenario::{Scenario, ScenarioLog};
     pub use fubar_sdn::{ClosedLoop, ClosedLoopConfig, Fabric, FubarController, RuleSet};
     pub use fubar_topology::{Bandwidth, Delay, Topology, TopologyBuilder};
     pub use fubar_traffic::{Aggregate, AggregateId, TrafficMatrix, WorkloadConfig};

@@ -69,7 +69,10 @@ fn double_failure_still_converges() {
     let topo = fabric.topology();
     let cut1 = topo
         .graph()
-        .find_link(topo.node("Denver").unwrap(), topo.node("KansasCity").unwrap())
+        .find_link(
+            topo.node("Denver").unwrap(),
+            topo.node("KansasCity").unwrap(),
+        )
         .unwrap();
     let cut2 = topo
         .graph()

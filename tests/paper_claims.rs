@@ -42,7 +42,10 @@ fn trace_is_monotone_and_bounded_by_upper_bound() {
     let (topo, tm) = scenario(4.0, 7);
     let ub = baselines::upper_bound(&topo, &tm);
     let result = Optimizer::with_defaults(&topo, &tm).run();
-    assert!(result.trace.is_monotone(), "greedy steps only improve (§2.5)");
+    assert!(
+        result.trace.is_monotone(),
+        "greedy steps only improve (§2.5)"
+    );
     assert!(
         result.report.network_utility <= ub.mean + 1e-9,
         "isolation bound dominates any shared allocation"

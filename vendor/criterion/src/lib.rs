@@ -1,0 +1,283 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses. The build environment has no registry access, so benches link
+//! against this shim: same surface (`Criterion`, groups, `Bencher::iter`,
+//! the `criterion_group!`/`criterion_main!` macros), a much simpler
+//! engine (fixed warm-up, adaptive iteration count, mean/min report to
+//! stdout — no statistics, plots, or baselines).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement knobs shared by [`Criterion`] and groups.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    /// Target number of timed samples.
+    sample_size: usize,
+    /// Wall-clock budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            budget: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher<'a> {
+    settings: Settings,
+    result: &'a mut Option<Sample>,
+}
+
+/// One benchmark's measurement.
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing mean and best-of-run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: how many iterations fit ~10 ms?
+        let cal_start = Instant::now();
+        std::hint::black_box(f());
+        let once = cal_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let run_start = Instant::now();
+        for _ in 0..self.settings.sample_size {
+            let s = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            let dt = s.elapsed();
+            let per_iter = dt / per_sample as u32;
+            min = min.min(per_iter);
+            total += dt;
+            iters += per_sample;
+            if run_start.elapsed() > self.settings.budget {
+                break;
+            }
+        }
+        *self.result = Some(Sample {
+            mean: total / iters.max(1) as u32,
+            min,
+            iters,
+        });
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+fn run_one(
+    label: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut result = None;
+    let mut b = Bencher {
+        settings,
+        result: &mut result,
+    };
+    f(&mut b);
+    match result {
+        Some(s) => {
+            let rate = throughput.map_or(String::new(), |t| match t {
+                Throughput::Elements(n) => {
+                    format!("  ({:.0} elem/s)", n as f64 / s.mean.as_secs_f64())
+                }
+                Throughput::Bytes(n) => {
+                    format!("  ({:.0} B/s)", n as f64 / s.mean.as_secs_f64())
+                }
+            });
+            println!(
+                "bench {label:<48} mean {:>12?}  min {:>12?}  iters {}{}",
+                s.mean, s.min, s.iters, rate
+            );
+        }
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.settings, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoLabel,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.settings, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.settings, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Either a `&str` or a [`BenchmarkId`] — group benchmarks accept both.
+pub trait IntoLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.id
+    }
+}
+
+/// Opaque value barrier, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn shim_runs_benches() {
+        let mut c = Criterion::default();
+        quick(&mut c);
+    }
+}
