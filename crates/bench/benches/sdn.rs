@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fubar_core::Allocation;
 use fubar_sdn::{Estimator, Fabric, MeasurementConfig, RuleSet};
 use fubar_topology::{generators, Bandwidth, Delay};
-use fubar_traffic::{workload, WorkloadConfig};
+use fubar_traffic::{workload, AggregateId, WorkloadConfig};
 
 fn he_fabric() -> Fabric {
     let topo = generators::he_core(Bandwidth::from_mbps(100.0));
@@ -17,6 +17,34 @@ fn bench_epoch(c: &mut Criterion) {
     let mut fabric = he_fabric();
     c.bench_function("fabric_epoch_he_961_aggregates", |b| {
         b.iter(|| fabric.run_epoch())
+    });
+}
+
+/// The headline comparison for incremental measurement: a full
+/// recompute of the 961-aggregate HE fabric versus an incremental
+/// `peek` after a single-aggregate churn event (the common case in
+/// event-driven scenarios). The incremental path must be ≥ 5x faster.
+fn bench_peek(c: &mut Criterion) {
+    let mut fabric = he_fabric();
+    fabric.peek(); // warm the measurement cache
+
+    c.bench_function("peek_full_recompute_he_961", |b| {
+        b.iter(|| fabric.peek_full())
+    });
+
+    let victim = AggregateId(17);
+    let base = fabric.true_tm().aggregate(victim).flow_count;
+    let mut bump = false;
+    c.bench_function("peek_incremental_one_churn_he_961", |b| {
+        b.iter(|| {
+            bump = !bump;
+            fabric.set_flow_count(victim, base + u32::from(bump));
+            fabric.peek()
+        })
+    });
+
+    c.bench_function("peek_incremental_unchanged_he_961", |b| {
+        b.iter(|| fabric.peek())
     });
 }
 
@@ -43,5 +71,11 @@ fn bench_rule_snapshot(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_epoch, bench_estimator, bench_rule_snapshot);
+criterion_group!(
+    benches,
+    bench_epoch,
+    bench_peek,
+    bench_estimator,
+    bench_rule_snapshot
+);
 criterion_main!(benches);

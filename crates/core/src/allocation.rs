@@ -86,15 +86,20 @@ impl Allocation {
     /// view, and exclusion set — the warm-start seed for incremental
     /// re-optimization.
     ///
-    /// Per aggregate: paths that avoid `excluded` survive with their
-    /// relative flow shares, and the aggregate's *new* flow count is
-    /// spread across them by largest-remainder rounding; when nothing
-    /// survives (all paths excluded, a brand-new aggregate, or an
-    /// aggregate that previously had all its flows elsewhere) the flows
-    /// land on the current constrained shortest path. Aggregates beyond
-    /// this allocation's coverage (the matrix grew) get shortest paths
-    /// too. The result always satisfies [`Allocation::validate`] against
-    /// `tm`.
+    /// Per aggregate: paths that avoid `excluded` *and still connect
+    /// the aggregate's endpoints* survive with their relative flow
+    /// shares, and the aggregate's *new* flow count is spread across
+    /// them by largest-remainder rounding; when nothing survives (all
+    /// paths excluded, a brand-new aggregate, or an aggregate that
+    /// previously had all its flows elsewhere) the flows land on the
+    /// current constrained shortest path. Aggregates beyond this
+    /// allocation's coverage (the matrix grew) get shortest paths too.
+    /// The endpoint check matters when `tm` is not the matrix this
+    /// allocation was built for: `TrafficMatrix::new` assigns dense ids
+    /// in construction order, so a regenerated matrix can attach the
+    /// same id to a different ingress/egress pair — inheriting the old
+    /// id's paths would route that traffic between the wrong nodes. The
+    /// result always satisfies [`Allocation::validate`] against `tm`.
     ///
     /// # Panics
     ///
@@ -125,7 +130,11 @@ impl Allocation {
                 self.path_sets[idx]
                     .iter()
                     .zip(&self.flows[idx])
-                    .filter(|(p, _)| p.links().iter().all(|l| !excluded.contains(*l)))
+                    .filter(|(p, _)| {
+                        p.source() == a.ingress
+                            && p.destination() == a.egress
+                            && p.links().iter().all(|l| !excluded.contains(*l))
+                    })
                     .map(|(p, &n)| (p, n))
                     .collect()
             } else {
@@ -545,6 +554,40 @@ mod tests {
         for (idx, p) in rebased.path_set(AggregateId(0)).iter().enumerate() {
             if rebased.flows_on(AggregateId(0), idx) > 0 {
                 assert!(!p.uses_link(dead), "flows must avoid the excluded link");
+            }
+        }
+    }
+
+    #[test]
+    fn rebase_onto_permuted_matrix_respects_endpoints() {
+        // Build an allocation for one ordering of the aggregates, then
+        // rebase onto a matrix holding the *same* pairs in a different
+        // order. `TrafficMatrix::new` reassigns dense ids in
+        // construction order, so aggregate 0 of the new matrix is a
+        // different ingress/egress pair than aggregate 0 of the old one
+        // — its flows must not inherit the old id's paths.
+        let topo = generators::ring(4, Bandwidth::from_mbps(10.0), Delay::from_ms(1.0));
+        let forward = |i| {
+            Aggregate::new(
+                AggregateId(0),
+                NodeId(i),
+                NodeId((i + 2) % 4),
+                TrafficClass::RealTime,
+                4 + i,
+            )
+        };
+        let tm1 = TrafficMatrix::new(vec![forward(0), forward(1)]);
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm1);
+
+        let tm2 = TrafficMatrix::new(vec![forward(1), forward(0)]); // permuted
+        let rebased = alloc.rebase(&topo, &tm2, &LinkSet::new());
+        rebased.validate(&tm2).unwrap();
+        for a in tm2.iter() {
+            for (idx, p) in rebased.path_set(a.id).iter().enumerate() {
+                if rebased.flows_on(a.id, idx) > 0 {
+                    assert_eq!(p.source(), a.ingress, "aggregate {} wrong source", a.id);
+                    assert_eq!(p.destination(), a.egress, "aggregate {} wrong dest", a.id);
+                }
             }
         }
     }

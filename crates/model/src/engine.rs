@@ -25,6 +25,22 @@
 //! `bundles + links` times, and the whole evaluation is
 //! `O((B + Σ path length) log B)` — fast enough for the optimizer to call
 //! thousands of times per run.
+//!
+//! ### Incremental re-evaluation
+//!
+//! [`FlowModel::evaluate_from`] patches a previous [`Evaluation`] after a
+//! small change instead of re-running everything. The key observation:
+//! a link whose offered demand is strictly below its capacity can never
+//! saturate (the load is bounded by the demand at every water level), so
+//! it never freezes anyone and never couples bundles. Only *binding*
+//! links (demand ≥ capacity, in the previous or the new input) transmit
+//! influence. The affected set is the closure of the changed bundles
+//! over shared binding links — the "bottleneck component" — and only
+//! that subset is re-filled; everything else keeps its previous rate
+//! bitwise. Per-bundle freeze records ([`FreezeKey`]) let the patcher
+//! re-accumulate touched links' loads in exactly the order the full run
+//! would have used, so the patched outcome is bit-for-bit identical to a
+//! full recompute.
 
 use crate::outcome::ModelOutcome;
 use crate::spec::{BundleSpec, BundleStatus};
@@ -130,6 +146,123 @@ impl LinkState {
     }
 }
 
+/// Relative binding slack: a link counts as *binding* (able to
+/// saturate) when its offered demand reaches `capacity · (1 − SLACK)`.
+/// The theoretical condition is `demand ≥ capacity`; the slack absorbs
+/// the difference between the setup-order demand sum and the
+/// freeze-order load sum (different float orderings of the same terms).
+/// Being conservative here only grows the re-evaluated component — it
+/// can never make the patched result diverge from a full recompute.
+const BINDING_SLACK: f64 = 1e-9;
+
+fn is_binding(demand: f64, capacity: f64) -> bool {
+    demand >= capacity * (1.0 - BINDING_SLACK)
+}
+
+/// Where in the global freeze sequence a bundle froze — enough to
+/// replay the order in which `frozen_load` was accumulated on any link.
+///
+/// The engine processes same-time events in a fixed order: satisfaction
+/// before saturation, then ascending bundle index (satisfactions) or
+/// ascending link id with victims in ascending bundle index
+/// (saturations). The key mirrors that order lexicographically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FreezeKey {
+    /// Water level at which the bundle froze.
+    time: f64,
+    /// 0 = satisfied its demand, 1 = frozen by a saturating link.
+    kind: u8,
+    /// kind 0: the bundle's global index; kind 1: the saturating link.
+    primary: u32,
+    /// kind 0: unused; kind 1: the bundle's global index.
+    secondary: u32,
+}
+
+impl FreezeKey {
+    fn satisfied(time: f64, bundle: u32) -> Self {
+        FreezeKey {
+            time,
+            kind: 0,
+            primary: bundle,
+            secondary: 0,
+        }
+    }
+
+    fn congested(time: f64, link: u32, bundle: u32) -> Self {
+        FreezeKey {
+            time,
+            kind: 1,
+            primary: link,
+            secondary: bundle,
+        }
+    }
+
+    /// The same freeze event with the bundle renumbered — used when a
+    /// previous evaluation's bundles shift position in a new input list.
+    fn with_bundle(self, bundle: u32) -> Self {
+        if self.kind == 0 {
+            FreezeKey {
+                primary: bundle,
+                ..self
+            }
+        } else {
+            FreezeKey {
+                secondary: bundle,
+                ..self
+            }
+        }
+    }
+
+    /// Total order matching the engine's event-processing order.
+    fn order(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.kind.cmp(&other.kind))
+            .then(self.primary.cmp(&other.primary))
+            .then(self.secondary.cmp(&other.secondary))
+    }
+}
+
+/// A model outcome plus the freeze trace [`FlowModel::evaluate_from`]
+/// needs to patch it incrementally.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// The equilibrium, exactly as [`FlowModel::evaluate`] returns it.
+    pub outcome: ModelOutcome,
+    /// Per-bundle freeze records (same order as the input bundles).
+    freeze_keys: Vec<FreezeKey>,
+}
+
+/// What [`FlowModel::evaluate_from`] produced.
+#[derive(Clone, Debug)]
+pub struct IncrementalEvaluation {
+    /// The patched evaluation — bitwise identical to a full recompute.
+    pub evaluation: Evaluation,
+    /// Global indices of the bundles that were actually re-filled (the
+    /// affected bottleneck component, including every dirty bundle).
+    pub affected: Vec<u32>,
+    /// True when the affected component covered (most of) the input and
+    /// the engine fell back to a plain full evaluation.
+    pub full_recompute: bool,
+}
+
+/// Raw output of one progressive-filling run over a bundle subset.
+struct FillResult {
+    /// Per subset entry, parallel to the `subset` slice.
+    rates: Vec<f64>,
+    status: Vec<BundleStatus>,
+    keys: Vec<FreezeKey>,
+    /// Links that saturated while starving a bundle, in saturation
+    /// order (callers sort by oversubscription).
+    saturated: Vec<LinkId>,
+    /// Frozen load per link — only meaningful for links all of whose
+    /// crossers are in the subset (always true for saturated links).
+    link_frozen: Vec<f64>,
+    /// Offered demand per link, accumulated over subset bundles in
+    /// input order.
+    link_demand: Vec<f64>,
+}
+
 impl<'a> FlowModel<'a> {
     /// Creates a model over `topology` with the given configuration.
     pub fn new(topology: &'a Topology, config: ModelConfig) -> Self {
@@ -152,6 +285,14 @@ impl<'a> FlowModel<'a> {
         self.config
     }
 
+    /// Per-link usable capacities, in the order full evaluation uses.
+    fn capacities(&self) -> Vec<f64> {
+        let n_links = self.topology.link_count();
+        (0..n_links)
+            .map(|i| self.topology.capacity(LinkId(i as u32)).bps() * self.config.usable_capacity)
+            .collect()
+    }
+
     /// Runs progressive filling over `bundles` and returns the
     /// equilibrium.
     ///
@@ -160,203 +301,454 @@ impl<'a> FlowModel<'a> {
     /// Panics (in debug builds) if a bundle references a link outside the
     /// topology.
     pub fn evaluate(&self, bundles: &[BundleSpec]) -> ModelOutcome {
-        let n_links = self.topology.link_count();
-        let n_bundles = bundles.len();
+        self.evaluate_traced(bundles).outcome
+    }
 
-        // Per-bundle precomputation.
+    /// Like [`FlowModel::evaluate`], but also records the freeze trace
+    /// so a later [`FlowModel::evaluate_from`] can patch the result.
+    pub fn evaluate_traced(&self, bundles: &[BundleSpec]) -> Evaluation {
+        let caps = self.capacities();
         let weights: Vec<f64> = bundles
             .iter()
             .map(|b| b.weight(self.config.min_rtt))
             .collect();
         let demands: Vec<f64> = bundles.iter().map(|b| b.demand().bps()).collect();
-        let mut rates = vec![0.0_f64; n_bundles];
-        let mut status = vec![BundleStatus::Satisfied; n_bundles];
-        let mut active = vec![true; n_bundles];
+        let subset: Vec<u32> = (0..bundles.len() as u32).collect();
+        let fill = fill(bundles, &subset, &weights, &demands, &caps);
 
-        // Per-link state.
-        let mut links: Vec<LinkState> = (0..n_links)
-            .map(|i| LinkState {
-                capacity: self.topology.capacity(LinkId(i as u32)).bps()
-                    * self.config.usable_capacity,
-                frozen_load: 0.0,
-                active_weight: 0.0,
-                version: 0,
-                saturated: false,
-                crossing: Vec::new(),
-                demand: 0.0,
-            })
+        let mut congested = fill.saturated;
+        sort_congested(&mut congested, &fill.link_demand, &caps);
+
+        Evaluation {
+            outcome: ModelOutcome::new(
+                fill.rates.into_iter().map(Bandwidth::from_bps).collect(),
+                fill.status,
+                fill.link_frozen
+                    .iter()
+                    .zip(&caps)
+                    .map(|(&f, &c)| Bandwidth::from_bps(f.min(c)))
+                    .collect(),
+                fill.link_demand
+                    .into_iter()
+                    .map(Bandwidth::from_bps)
+                    .collect(),
+                caps.into_iter().map(Bandwidth::from_bps).collect(),
+                congested,
+            ),
+            freeze_keys: fill.keys,
+        }
+    }
+
+    /// Patches `prev` into the evaluation of `bundles`, re-running
+    /// water-filling only on the affected bottleneck component.
+    ///
+    /// `prev_index[i]` is the bundle's index in the previous input when
+    /// bundle `i` is *identical* to that previous bundle (same path,
+    /// flow count, delay, and demand), or `None` when it is new or
+    /// changed; previous bundles absent from the mapping count as
+    /// removed. `touched_links` must list every link whose capacity
+    /// changed plus every link crossed by a removed or changed previous
+    /// bundle. The result is bitwise identical to
+    /// `evaluate_traced(bundles)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `prev` was computed for a different link population
+    /// or `prev_index` disagrees with the input lengths.
+    pub fn evaluate_from(
+        &self,
+        prev: &Evaluation,
+        bundles: &[BundleSpec],
+        prev_index: &[Option<u32>],
+        touched_links: &[LinkId],
+    ) -> IncrementalEvaluation {
+        let n_links = self.topology.link_count();
+        let n = bundles.len();
+        assert_eq!(prev_index.len(), n, "prev_index must cover every bundle");
+        assert_eq!(
+            prev.outcome.link_load.len(),
+            n_links,
+            "previous evaluation is for a different topology shape"
+        );
+
+        let caps = self.capacities();
+        let weights: Vec<f64> = bundles
+            .iter()
+            .map(|b| b.weight(self.config.min_rtt))
             .collect();
+        let demands: Vec<f64> = bundles.iter().map(|b| b.demand().bps()).collect();
+
+        // Crossing lists + offered demand, accumulated in input order —
+        // the same float-add order the full path uses, so `link_demand`
+        // is bitwise identical by construction.
+        let mut crossing: Vec<Vec<u32>> = vec![Vec::new(); n_links];
+        let mut link_demand = vec![0.0_f64; n_links];
         for (bi, b) in bundles.iter().enumerate() {
             debug_assert!(
                 b.links.iter().all(|l| l.index() < n_links),
                 "bundle {bi} references a link outside the topology"
             );
             for l in &b.links {
-                let ls = &mut links[l.index()];
-                ls.active_weight += weights[bi];
-                ls.demand += demands[bi];
-                ls.crossing.push(bi as u32);
+                crossing[l.index()].push(bi as u32);
+                link_demand[l.index()] += demands[bi];
             }
         }
 
-        let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(n_bundles + n_links);
-        for (bi, b) in bundles.iter().enumerate() {
-            debug_assert!(weights[bi] > 0.0 && demands[bi] > 0.0);
-            let _ = b;
+        // Links that can transmit influence: binding in either input.
+        let binding: Vec<bool> = (0..n_links)
+            .map(|l| {
+                is_binding(link_demand[l], caps[l])
+                    || is_binding(
+                        prev.outcome.link_demand[l].bps(),
+                        prev.outcome.link_capacity[l].bps(),
+                    )
+            })
+            .collect();
+
+        // Seed the affected set: changed bundles, plus crossers of
+        // touched links that are (or were) binding.
+        let mut in_set = vec![false; n];
+        let mut queue: Vec<u32> = Vec::new();
+        for (i, p) in prev_index.iter().enumerate() {
+            if p.is_none() {
+                in_set[i] = true;
+                queue.push(i as u32);
+            }
+        }
+        let mut load_dirty = vec![false; n_links];
+        for &l in touched_links {
+            let li = l.index();
+            if li >= n_links || load_dirty[li] {
+                continue;
+            }
+            load_dirty[li] = true;
+            if binding[li] {
+                for &c in &crossing[li] {
+                    if !in_set[c as usize] {
+                        in_set[c as usize] = true;
+                        queue.push(c);
+                    }
+                }
+            }
+        }
+
+        // Closure over shared binding links: the bottleneck component.
+        let mut link_seen = vec![false; n_links];
+        while let Some(bi) = queue.pop() {
+            for l in &bundles[bi as usize].links {
+                let li = l.index();
+                if binding[li] && !link_seen[li] {
+                    link_seen[li] = true;
+                    for &c in &crossing[li] {
+                        if !in_set[c as usize] {
+                            in_set[c as usize] = true;
+                            queue.push(c);
+                        }
+                    }
+                }
+            }
+        }
+
+        let subset: Vec<u32> = (0..n as u32).filter(|&i| in_set[i as usize]).collect();
+        // A component covering almost all of the input gains nothing
+        // over a full run; fall back (also exercises the same code the
+        // oracle uses, trivially keeping the equality invariant).
+        if subset.len() * 10 >= n.max(1) * 9 {
+            return IncrementalEvaluation {
+                evaluation: self.evaluate_traced(bundles),
+                affected: (0..n as u32).collect(),
+                full_recompute: true,
+            };
+        }
+
+        let fill = fill(bundles, &subset, &weights, &demands, &caps);
+
+        // Splice per-bundle results: re-filled values for the affected
+        // component, previous values (with renumbered freeze keys) for
+        // everything else.
+        let mut rates = vec![0.0_f64; n];
+        let mut status = vec![BundleStatus::Satisfied; n];
+        let mut keys = vec![FreezeKey::satisfied(0.0, 0); n];
+        for (local, &gi) in subset.iter().enumerate() {
+            rates[gi as usize] = fill.rates[local];
+            status[gi as usize] = fill.status[local];
+            keys[gi as usize] = fill.keys[local];
+        }
+        for (i, p) in prev_index.iter().enumerate() {
+            if in_set[i] {
+                continue;
+            }
+            let j = p.expect("unaffected bundles are mapped") as usize;
+            rates[i] = prev.outcome.bundle_rates[j].bps();
+            status[i] = prev.outcome.bundle_status[j];
+            keys[i] = prev.freeze_keys[j].with_bundle(i as u32);
+        }
+
+        // Links whose load must be re-derived: touched ones plus every
+        // link the affected component crosses.
+        for &gi in &subset {
+            for l in &bundles[gi as usize].links {
+                load_dirty[l.index()] = true;
+            }
+        }
+        // Re-accumulate dirty links' loads in freeze order — the exact
+        // order (and therefore the exact float sum) of a full run.
+        let mut link_load = vec![0.0_f64; n_links];
+        let mut entries: Vec<(FreezeKey, f64)> = Vec::new();
+        for li in 0..n_links {
+            if !load_dirty[li] {
+                link_load[li] = prev.outcome.link_load[li].bps();
+                continue;
+            }
+            entries.clear();
+            entries.extend(
+                crossing[li]
+                    .iter()
+                    .map(|&bi| (keys[bi as usize], rates[bi as usize])),
+            );
+            entries.sort_by(|a, b| a.0.order(&b.0));
+            let mut sum = 0.0;
+            for &(_, r) in entries.iter() {
+                sum += r;
+            }
+            link_load[li] = sum.min(caps[li]);
+        }
+
+        // Congested links: unaffected components keep theirs, the
+        // re-filled component contributes its saturations; the global
+        // sort key (oversubscription, id) is recomputed from arrays that
+        // are bitwise identical to a full run's.
+        let mut congested: Vec<LinkId> = prev
+            .outcome
+            .congested
+            .iter()
+            .copied()
+            .filter(|l| !load_dirty[l.index()])
+            .collect();
+        congested.extend(fill.saturated);
+        sort_congested(&mut congested, &link_demand, &caps);
+
+        IncrementalEvaluation {
+            evaluation: Evaluation {
+                outcome: ModelOutcome::new(
+                    rates.into_iter().map(Bandwidth::from_bps).collect(),
+                    status,
+                    link_load.into_iter().map(Bandwidth::from_bps).collect(),
+                    link_demand.into_iter().map(Bandwidth::from_bps).collect(),
+                    caps.into_iter().map(Bandwidth::from_bps).collect(),
+                    congested,
+                ),
+                freeze_keys: keys,
+            },
+            affected: subset,
+            full_recompute: false,
+        }
+    }
+}
+
+/// Sorts congested links by oversubscription (descending), the order
+/// Listing 1 visits them in; ties break on link id.
+fn sort_congested(congested: &mut [LinkId], link_demand: &[f64], caps: &[f64]) {
+    congested.sort_by(|&a, &b| {
+        let oa = link_demand[a.index()] / caps[a.index()].max(1e-9);
+        let ob = link_demand[b.index()] / caps[b.index()].max(1e-9);
+        ob.total_cmp(&oa).then(a.0.cmp(&b.0))
+    });
+}
+
+/// Progressive filling over `subset` (ascending global bundle indices).
+/// Event tie-breaking uses global indices throughout, so filling a
+/// subset whose members don't share a binding link with the rest
+/// reproduces exactly what a full run computes for those bundles.
+fn fill(
+    bundles: &[BundleSpec],
+    subset: &[u32],
+    weights: &[f64],
+    demands: &[f64],
+    caps: &[f64],
+) -> FillResult {
+    let n_links = caps.len();
+    let m = subset.len();
+
+    // Global index -> position in `subset`.
+    let mut local_of = vec![u32::MAX; bundles.len()];
+    for (local, &gi) in subset.iter().enumerate() {
+        local_of[gi as usize] = local as u32;
+    }
+
+    let mut rates = vec![0.0_f64; m];
+    let mut status = vec![BundleStatus::Satisfied; m];
+    let mut keys = vec![FreezeKey::satisfied(0.0, 0); m];
+    let mut active = vec![true; m];
+
+    let mut links: Vec<LinkState> = caps
+        .iter()
+        .map(|&capacity| LinkState {
+            capacity,
+            frozen_load: 0.0,
+            active_weight: 0.0,
+            version: 0,
+            saturated: false,
+            crossing: Vec::new(),
+            demand: 0.0,
+        })
+        .collect();
+    for &gi in subset {
+        let bi = gi as usize;
+        debug_assert!(
+            bundles[bi].links.iter().all(|l| l.index() < n_links),
+            "bundle {bi} references a link outside the topology"
+        );
+        for l in &bundles[bi].links {
+            let ls = &mut links[l.index()];
+            ls.active_weight += weights[bi];
+            ls.demand += demands[bi];
+            ls.crossing.push(gi);
+        }
+    }
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(m + n_links);
+    for &gi in subset {
+        let bi = gi as usize;
+        debug_assert!(weights[bi] > 0.0 && demands[bi] > 0.0);
+        heap.push(Event {
+            time: demands[bi] / weights[bi],
+            kind: 0,
+            idx: gi,
+            version: 0,
+        });
+    }
+    for (li, ls) in links.iter().enumerate() {
+        if let Some(t) = ls.saturation_time() {
             heap.push(Event {
-                time: demands[bi] / weights[bi],
-                kind: 0,
-                idx: bi as u32,
-                version: 0,
+                time: t,
+                kind: 1,
+                idx: li as u32,
+                version: ls.version,
             });
         }
-        for (li, ls) in links.iter().enumerate() {
-            if let Some(t) = ls.saturation_time() {
-                heap.push(Event {
-                    time: t,
-                    kind: 1,
-                    idx: li as u32,
-                    version: ls.version,
-                });
+    }
+
+    let mut saturated: Vec<LinkId> = Vec::new();
+    let mut remaining = m;
+
+    // Freezes bundle `gi` at water level `t` with the given status,
+    // updating all links it crosses and re-arming their events.
+    let freeze = |gi: u32,
+                  t: f64,
+                  st: BundleStatus,
+                  rates: &mut [f64],
+                  status: &mut [BundleStatus],
+                  keys: &mut [FreezeKey],
+                  active: &mut [bool],
+                  links: &mut [LinkState],
+                  heap: &mut BinaryHeap<Event>,
+                  local_of: &[u32]| {
+        let bi = gi as usize;
+        let local = local_of[bi] as usize;
+        let rate = match st {
+            BundleStatus::Satisfied => demands[bi],
+            BundleStatus::Congested(_) => (weights[bi] * t).min(demands[bi]),
+        };
+        rates[local] = rate;
+        status[local] = st;
+        keys[local] = match st {
+            BundleStatus::Satisfied => FreezeKey::satisfied(t, gi),
+            BundleStatus::Congested(l) => FreezeKey::congested(t, l.0, gi),
+        };
+        active[local] = false;
+        for l in &bundles[bi].links {
+            let ls = &mut links[l.index()];
+            ls.frozen_load += rate;
+            ls.active_weight -= weights[bi];
+            if ls.active_weight < 1e-9 {
+                ls.active_weight = 0.0;
+            }
+            ls.version += 1;
+            if !ls.saturated {
+                if let Some(nt) = ls.saturation_time() {
+                    heap.push(Event {
+                        time: nt.max(t),
+                        kind: 1,
+                        idx: l.0,
+                        version: ls.version,
+                    });
+                }
             }
         }
+    };
 
-        let mut congested_links: Vec<LinkId> = Vec::new();
-        let mut remaining = n_bundles;
-
-        // Freezes bundle `bi` at water level `t` with the given status,
-        // updating all links it crosses and re-arming their events.
-        let freeze = |bi: usize,
-                      t: f64,
-                      st: BundleStatus,
-                      rates: &mut [f64],
-                      status: &mut [BundleStatus],
-                      active: &mut [bool],
-                      links: &mut [LinkState],
-                      heap: &mut BinaryHeap<Event>,
-                      weights: &[f64],
-                      demands: &[f64],
-                      bundles: &[BundleSpec]| {
-            let rate = match st {
-                BundleStatus::Satisfied => demands[bi],
-                BundleStatus::Congested(_) => (weights[bi] * t).min(demands[bi]),
-            };
-            rates[bi] = rate;
-            status[bi] = st;
-            active[bi] = false;
-            for l in &bundles[bi].links {
-                let ls = &mut links[l.index()];
-                ls.frozen_load += rate;
-                ls.active_weight -= weights[bi];
-                if ls.active_weight < 1e-9 {
-                    ls.active_weight = 0.0;
+    while let Some(ev) = heap.pop() {
+        if remaining == 0 {
+            break;
+        }
+        match ev.kind {
+            0 => {
+                let local = local_of[ev.idx as usize] as usize;
+                if !active[local] {
+                    continue; // frozen by an earlier link saturation
                 }
-                ls.version += 1;
-                if !ls.saturated {
-                    if let Some(nt) = ls.saturation_time() {
-                        heap.push(Event {
-                            time: nt.max(t),
-                            kind: 1,
-                            idx: l.0,
-                            version: ls.version,
-                        });
-                    }
+                freeze(
+                    ev.idx,
+                    ev.time,
+                    BundleStatus::Satisfied,
+                    &mut rates,
+                    &mut status,
+                    &mut keys,
+                    &mut active,
+                    &mut links,
+                    &mut heap,
+                    &local_of,
+                );
+                remaining -= 1;
+            }
+            _ => {
+                let li = ev.idx as usize;
+                if links[li].saturated
+                    || links[li].version != ev.version
+                    || links[li].active_weight <= 0.0
+                {
+                    continue; // stale
                 }
-            }
-        };
-
-        while let Some(ev) = heap.pop() {
-            if remaining == 0 {
-                break;
-            }
-            match ev.kind {
-                0 => {
-                    let bi = ev.idx as usize;
-                    if !active[bi] {
-                        continue; // frozen by an earlier link saturation
-                    }
+                links[li].saturated = true;
+                let victims: Vec<u32> = links[li]
+                    .crossing
+                    .iter()
+                    .copied()
+                    .filter(|&gi| active[local_of[gi as usize] as usize])
+                    .collect();
+                debug_assert!(
+                    !victims.is_empty(),
+                    "a saturating link must have active crossers"
+                );
+                saturated.push(LinkId(li as u32));
+                for gi in victims {
                     freeze(
-                        bi,
+                        gi,
                         ev.time,
-                        BundleStatus::Satisfied,
+                        BundleStatus::Congested(LinkId(li as u32)),
                         &mut rates,
                         &mut status,
+                        &mut keys,
                         &mut active,
                         &mut links,
                         &mut heap,
-                        &weights,
-                        &demands,
-                        bundles,
+                        &local_of,
                     );
                     remaining -= 1;
                 }
-                _ => {
-                    let li = ev.idx as usize;
-                    if links[li].saturated
-                        || links[li].version != ev.version
-                        || links[li].active_weight <= 0.0
-                    {
-                        continue; // stale
-                    }
-                    links[li].saturated = true;
-                    let victims: Vec<u32> = links[li]
-                        .crossing
-                        .iter()
-                        .copied()
-                        .filter(|&bi| active[bi as usize])
-                        .collect();
-                    debug_assert!(
-                        !victims.is_empty(),
-                        "a saturating link must have active crossers"
-                    );
-                    congested_links.push(LinkId(li as u32));
-                    for bi in victims {
-                        freeze(
-                            bi as usize,
-                            ev.time,
-                            BundleStatus::Congested(LinkId(li as u32)),
-                            &mut rates,
-                            &mut status,
-                            &mut active,
-                            &mut links,
-                            &mut heap,
-                            &weights,
-                            &demands,
-                            bundles,
-                        );
-                        remaining -= 1;
-                    }
-                }
             }
         }
-        debug_assert_eq!(remaining, 0, "every bundle must terminate");
+    }
+    debug_assert_eq!(remaining, 0, "every bundle must terminate");
 
-        // Sort congested links by oversubscription (descending), the
-        // order Listing 1 visits them in.
-        let mut congested = congested_links;
-        congested.sort_by(|&a, &b| {
-            let oa = links[a.index()].demand / links[a.index()].capacity.max(1e-9);
-            let ob = links[b.index()].demand / links[b.index()].capacity.max(1e-9);
-            ob.total_cmp(&oa).then(a.0.cmp(&b.0))
-        });
-
-        ModelOutcome::new(
-            rates.into_iter().map(Bandwidth::from_bps).collect(),
-            status,
-            links
-                .iter()
-                .map(|l| Bandwidth::from_bps(l.frozen_load.min(l.capacity)))
-                .collect(),
-            links
-                .iter()
-                .map(|l| Bandwidth::from_bps(l.demand))
-                .collect(),
-            links
-                .iter()
-                .map(|l| Bandwidth::from_bps(l.capacity))
-                .collect(),
-            congested,
-        )
+    FillResult {
+        rates,
+        status,
+        keys,
+        saturated,
+        link_frozen: links.iter().map(|l| l.frozen_load).collect(),
+        link_demand: links.iter().map(|l| l.demand).collect(),
     }
 }
 
@@ -625,6 +1017,161 @@ mod tests {
         for (i, b) in bundles.iter().enumerate() {
             assert!(out.bundle_rates[i].bps() <= b.demand().bps() + 1e-3);
         }
+    }
+
+    /// Bitwise outcome equality — the incremental contract.
+    fn assert_outcomes_identical(a: &ModelOutcome, b: &ModelOutcome) {
+        if let Some(field) = a.bitwise_mismatch(b) {
+            panic!("outcomes differ bitwise in {field}");
+        }
+    }
+
+    #[test]
+    fn evaluate_from_identity_touches_nothing() {
+        let t = pipe(kbps(300.0), ms(5.0));
+        let m = FlowModel::with_defaults(&t);
+        let bundles = vec![bundle(0, 10, vec![LinkId(0)], ms(5.0), kbps(50.0))];
+        let prev = m.evaluate_traced(&bundles);
+        let inc = m.evaluate_from(&prev, &bundles, &[Some(0)], &[]);
+        assert!(!inc.full_recompute);
+        assert!(inc.affected.is_empty(), "nothing was dirty");
+        assert_outcomes_identical(&inc.evaluation.outcome, &prev.outcome);
+    }
+
+    #[test]
+    fn evaluate_from_refills_only_the_affected_component() {
+        // Two independent congested pipes; changing the bundle on one
+        // must not re-fill the other.
+        let mut b = TopologyBuilder::new("two-pipes");
+        for n in ["a", "b", "c", "d"] {
+            b.add_node(n).unwrap();
+        }
+        let (p1, _) = b.add_duplex_link("a", "b", kbps(100.0), ms(5.0)).unwrap();
+        let (p2, _) = b.add_duplex_link("c", "d", kbps(100.0), ms(5.0)).unwrap();
+        let t = b.build();
+        let m = FlowModel::with_defaults(&t);
+        let old = vec![
+            bundle(0, 10, vec![p1], ms(5.0), kbps(20.0)),
+            bundle(1, 10, vec![p2], ms(5.0), kbps(50.0)),
+        ];
+        let prev = m.evaluate_traced(&old);
+        // Shrink bundle 0's demand below the pipe: its component
+        // decongests; bundle 1 is untouched.
+        let new = vec![
+            bundle(0, 10, vec![p1], ms(5.0), kbps(5.0)),
+            bundle(1, 10, vec![p2], ms(5.0), kbps(50.0)),
+        ];
+        let inc = m.evaluate_from(&prev, &new, &[None, Some(1)], &[p1]);
+        assert!(!inc.full_recompute);
+        assert_eq!(inc.affected, vec![0], "only the changed pipe re-fills");
+        assert_outcomes_identical(&inc.evaluation.outcome, &m.evaluate(&new));
+        assert_eq!(inc.evaluation.outcome.congested, vec![p2]);
+    }
+
+    #[test]
+    fn evaluate_from_couples_through_binding_links() {
+        // Three bundles: 0 and 1 share a saturating pipe, 2 is
+        // independent. Dirtying 0 must pull 1 into the re-fill (their
+        // shared link is binding) but leave 2 untouched.
+        let mut b = TopologyBuilder::new("shared");
+        for n in ["a", "b", "c", "d"] {
+            b.add_node(n).unwrap();
+        }
+        let (shared, _) = b.add_duplex_link("a", "b", kbps(100.0), ms(5.0)).unwrap();
+        let (solo, _) = b.add_duplex_link("c", "d", kbps(100.0), ms(5.0)).unwrap();
+        let t = b.build();
+        let m = FlowModel::with_defaults(&t);
+        let old = vec![
+            bundle(0, 10, vec![shared], ms(5.0), kbps(30.0)),
+            bundle(1, 10, vec![shared], ms(5.0), kbps(30.0)),
+            bundle(2, 10, vec![solo], ms(5.0), kbps(5.0)),
+        ];
+        let prev = m.evaluate_traced(&old);
+        assert_eq!(prev.outcome.congested, vec![shared]);
+        let new = vec![
+            bundle(0, 4, vec![shared], ms(5.0), kbps(30.0)),
+            bundle(1, 10, vec![shared], ms(5.0), kbps(30.0)),
+            bundle(2, 10, vec![solo], ms(5.0), kbps(5.0)),
+        ];
+        let inc = m.evaluate_from(&prev, &new, &[None, Some(1), Some(2)], &[shared]);
+        assert!(!inc.full_recompute);
+        assert_eq!(inc.affected, vec![0, 1], "sharer re-fills, loner survives");
+        assert_outcomes_identical(&inc.evaluation.outcome, &m.evaluate(&new));
+    }
+
+    #[test]
+    fn evaluate_from_handles_added_and_removed_bundles() {
+        let mut b = TopologyBuilder::new("two-pipes");
+        for n in ["a", "b", "c", "d"] {
+            b.add_node(n).unwrap();
+        }
+        let (p1, _) = b.add_duplex_link("a", "b", kbps(100.0), ms(5.0)).unwrap();
+        let (p2, _) = b.add_duplex_link("c", "d", kbps(100.0), ms(5.0)).unwrap();
+        let t = b.build();
+        let m = FlowModel::with_defaults(&t);
+        let old = vec![
+            bundle(0, 10, vec![p1], ms(5.0), kbps(20.0)),
+            bundle(1, 10, vec![p2], ms(5.0), kbps(50.0)),
+        ];
+        let prev = m.evaluate_traced(&old);
+        // Bundle 0 disappears (its aggregate went idle); a new bundle 2
+        // appears on the same pipe as the survivor.
+        let new = vec![
+            bundle(1, 10, vec![p2], ms(5.0), kbps(50.0)),
+            bundle(2, 3, vec![p2], ms(5.0), kbps(10.0)),
+        ];
+        let inc = m.evaluate_from(&prev, &new, &[Some(1), None], &[p1, p2]);
+        assert_outcomes_identical(&inc.evaluation.outcome, &m.evaluate(&new));
+        // The vacated pipe carries nothing.
+        assert_eq!(
+            inc.evaluation.outcome.link_load[p1.index()],
+            Bandwidth::ZERO
+        );
+    }
+
+    #[test]
+    fn evaluate_from_matches_full_on_he_under_random_churn() {
+        use fubar_traffic::{workload, WorkloadConfig};
+        let topo = generators::he_core(mbps(5.0)); // scarce: real contention
+        let tm = workload::generate(&topo, &WorkloadConfig::default(), 3);
+        let mut bundles = Vec::new();
+        for a in tm.iter() {
+            let path = topo
+                .graph()
+                .shortest_path(a.ingress, a.egress, &fubar_graph::LinkSet::new())
+                .expect("HE core is connected");
+            bundles.push(BundleSpec::new(a, &path, a.flow_count));
+        }
+        let m = FlowModel::with_defaults(&topo);
+        let mut prev = m.evaluate_traced(&bundles);
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut incremental_hits = 0usize;
+        for _ in 0..40 {
+            // Churn one bundle's flow count.
+            let victim = (next() % bundles.len() as u64) as usize;
+            let mut changed = bundles.clone();
+            changed[victim].flow_count = 1 + (next() % 40) as u32;
+            let prev_index: Vec<Option<u32>> = (0..bundles.len())
+                .map(|i| (i != victim).then_some(i as u32))
+                .collect();
+            let touched: Vec<LinkId> = bundles[victim].links.clone();
+            let inc = m.evaluate_from(&prev, &changed, &prev_index, &touched);
+            let full = m.evaluate_traced(&changed);
+            assert_outcomes_identical(&inc.evaluation.outcome, &full.outcome);
+            incremental_hits += usize::from(!inc.full_recompute);
+            bundles = changed;
+            prev = inc.evaluation;
+        }
+        assert!(
+            incremental_hits > 0,
+            "the incremental path must actually run on HE"
+        );
     }
 
     #[test]

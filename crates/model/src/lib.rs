@@ -13,8 +13,13 @@
 //! * [`BundleSpec`] — flows of one aggregate pinned to one path;
 //! * [`FlowModel::evaluate`] — run progressive filling, yielding a
 //!   [`ModelOutcome`] (rates, loads, congestion report);
+//! * [`FlowModel::evaluate_traced`] / [`FlowModel::evaluate_from`] —
+//!   the incremental path: a traced [`Evaluation`] can be patched after
+//!   a small change by re-filling only the affected bottleneck
+//!   component, bitwise identical to a full recompute;
 //! * [`utility_report`] — fold an outcome into per-aggregate and
-//!   network-wide utilities (paper §3's "total average").
+//!   network-wide utilities (paper §3's "total average");
+//!   [`utility_report_from`] is its incremental twin.
 
 mod engine;
 mod outcome;
@@ -22,8 +27,8 @@ pub mod queueing;
 mod report;
 mod spec;
 
-pub use engine::{FlowModel, ModelConfig};
+pub use engine::{Evaluation, FlowModel, IncrementalEvaluation, ModelConfig};
 pub use outcome::{ModelOutcome, UtilizationSummary};
 pub use queueing::{queueing_report, QueueingConfig, QueueingReport};
-pub use report::{utility_report, UtilityReport};
+pub use report::{utility_report, utility_report_from, UtilityReport};
 pub use spec::{BundleSpec, BundleStatus};

@@ -112,6 +112,36 @@ impl ModelOutcome {
             .filter(|s| s.is_congested())
             .count()
     }
+
+    /// The first *bitwise* difference against `other`, if any — the
+    /// oracle check behind the incremental-evaluation invariant
+    /// (`evaluate_from` ≡ `evaluate`, bit for bit). Hidden: this is a
+    /// test helper, not a `PartialEq` (float payloads are only
+    /// meaningfully compared bit-for-bit in that context).
+    #[doc(hidden)]
+    pub fn bitwise_mismatch(&self, other: &Self) -> Option<String> {
+        fn bits(v: &[Bandwidth]) -> Vec<u64> {
+            v.iter().map(|x| x.bps().to_bits()).collect()
+        }
+        let fields: [(&str, &[Bandwidth], &[Bandwidth]); 4] = [
+            ("bundle rates", &self.bundle_rates, &other.bundle_rates),
+            ("link load", &self.link_load, &other.link_load),
+            ("link demand", &self.link_demand, &other.link_demand),
+            ("link capacity", &self.link_capacity, &other.link_capacity),
+        ];
+        for (name, a, b) in fields {
+            if bits(a) != bits(b) {
+                return Some(name.to_string());
+            }
+        }
+        if self.bundle_status != other.bundle_status {
+            return Some("bundle status".to_string());
+        }
+        if self.congested != other.congested {
+            return Some("congested links".to_string());
+        }
+        None
+    }
 }
 
 #[cfg(test)]

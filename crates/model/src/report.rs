@@ -26,6 +26,30 @@ pub struct UtilityReport {
     pub small_average: Option<f64>,
 }
 
+impl UtilityReport {
+    /// The first *bitwise* difference against `other`, if any — the
+    /// oracle check behind the incremental-report invariant
+    /// (`utility_report_from` ≡ `utility_report`, bit for bit). Hidden:
+    /// a test helper, not a `PartialEq`.
+    #[doc(hidden)]
+    pub fn bitwise_mismatch(&self, other: &Self) -> Option<String> {
+        if self.network_utility.to_bits() != other.network_utility.to_bits() {
+            return Some("network utility".to_string());
+        }
+        let bits = |v: &[f64]| v.iter().map(|u| u.to_bits()).collect::<Vec<_>>();
+        if bits(&self.per_aggregate) != bits(&other.per_aggregate) {
+            return Some("per-aggregate utilities".to_string());
+        }
+        if self.large_average.map(f64::to_bits) != other.large_average.map(f64::to_bits) {
+            return Some("large average".to_string());
+        }
+        if self.small_average.map(f64::to_bits) != other.small_average.map(f64::to_bits) {
+            return Some("small average".to_string());
+        }
+        None
+    }
+}
+
 /// Computes utilities for `outcome`, which must have been produced by
 /// evaluating exactly `bundles` (same order) against a topology.
 ///
@@ -76,6 +100,76 @@ pub fn utility_report(
         };
     }
 
+    finalize(tm, per_aggregate)
+}
+
+/// Like [`utility_report`], but re-evaluates utility curves only for the
+/// bundles of `affected` aggregates, carrying every other aggregate's
+/// utility over from `prev` — bitwise identical to a full
+/// [`utility_report`] when the unaffected aggregates' bundles and rates
+/// are unchanged (which the fabric's dirty tracking guarantees).
+pub fn utility_report_from(
+    tm: &TrafficMatrix,
+    bundles: &[BundleSpec],
+    outcome: &ModelOutcome,
+    prev: &UtilityReport,
+    affected: &[fubar_traffic::AggregateId],
+) -> UtilityReport {
+    assert_eq!(
+        bundles.len(),
+        outcome.bundle_rates.len(),
+        "outcome does not match bundle list"
+    );
+    let n = tm.len();
+    assert_eq!(
+        prev.per_aggregate.len(),
+        n,
+        "previous report covers a different aggregate population"
+    );
+    let mut mask = vec![false; n];
+    for &a in affected {
+        mask[a.index()] = true;
+    }
+
+    let mut weighted = vec![0.0_f64; n];
+    let mut covered = vec![0u64; n];
+    for (i, b) in bundles.iter().enumerate() {
+        if !mask[b.aggregate.index()] {
+            continue;
+        }
+        let a = tm.aggregate(b.aggregate);
+        let per_flow = outcome.bundle_rates[i] / f64::from(b.flow_count);
+        let u = a.utility.eval(per_flow, b.path_delay);
+        weighted[b.aggregate.index()] += f64::from(b.flow_count) * u;
+        covered[b.aggregate.index()] += u64::from(b.flow_count);
+    }
+
+    let mut per_aggregate = prev.per_aggregate.clone();
+    for a in tm.iter() {
+        if !mask[a.id.index()] {
+            continue;
+        }
+        debug_assert!(
+            covered[a.id.index()] <= u64::from(a.flow_count),
+            "aggregate {} has {} flows covered but only {} exist",
+            a.id,
+            covered[a.id.index()],
+            a.flow_count
+        );
+        per_aggregate[a.id.index()] = if a.flow_count == 0 {
+            0.0
+        } else {
+            weighted[a.id.index()] / f64::from(a.flow_count)
+        };
+    }
+
+    finalize(tm, per_aggregate)
+}
+
+/// Folds per-aggregate utilities into the network-wide averages — the
+/// shared tail of the full and incremental report paths (identical code
+/// so the two stay bitwise interchangeable).
+fn finalize(tm: &TrafficMatrix, per_aggregate: Vec<f64>) -> UtilityReport {
     let mut obj_num = 0.0;
     let mut obj_den = 0.0;
     let mut large_num = 0.0;

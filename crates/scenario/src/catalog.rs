@@ -8,7 +8,7 @@
 use crate::spec::Scenario;
 
 /// `(name, spec text)` for every bundled scenario.
-pub const CATALOG: [(&str, &str); 5] = [
+pub const CATALOG: [(&str, &str); 6] = [
     (
         "flash_crowd",
         include_str!("../../../scenarios/flash_crowd.scn"),
@@ -29,6 +29,7 @@ pub const CATALOG: [(&str, &str); 5] = [
         "priority_surge",
         include_str!("../../../scenarios/priority_surge.scn"),
     ),
+    ("he_scale", include_str!("../../../scenarios/he_scale.scn")),
 ];
 
 /// The names of all bundled scenarios.
@@ -53,7 +54,7 @@ mod tests {
             let s = load(name).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(s.name, name, "file name and `scenario` directive agree");
         }
-        assert_eq!(names().len(), 5);
+        assert_eq!(names().len(), 6);
         assert!(load("no_such_scenario").is_none());
     }
 

@@ -134,19 +134,26 @@ impl EventConsumer for SdnConsumer {
             }
             EventKind::Reoptimize => {
                 let (commits, warm) = self.reoptimize();
-                let mut m = self.measure_from(&self.fabric.peek());
+                let report = self.fabric.peek();
+                let mut m = self.measure_from(&report);
                 m.commits = Some(commits);
                 m.warm = warm;
                 return m;
             }
             EventKind::MeasurementEpoch => {
+                // One measurement serves everything: `run_epoch` reuses
+                // the evaluation cached by the preceding event's peek
+                // (the flow model used to be re-run here even when
+                // nothing had changed), the counters feed the estimator,
+                // and the same report becomes the log record.
                 let report = self.fabric.run_epoch();
                 self.estimator
                     .observe(self.fabric.counters(), self.fabric.epoch_duration());
                 return self.measure_from(&report);
             }
         }
-        self.measure_from(&self.fabric.peek())
+        let report = self.fabric.peek();
+        self.measure_from(&report)
     }
 
     fn describe(&self, kind: &EventKind) -> String {
@@ -241,10 +248,10 @@ fn aggregates_on(
     Ok(ids)
 }
 
-/// Builds the engine for `scenario`, overriding its default seed with
-/// `seed`. Everything downstream (workload, measurement noise, churn,
-/// failures) derives deterministically from that one number.
-pub fn build(scenario: &Scenario, seed: u64) -> Result<Engine<SdnConsumer>, BuildError> {
+/// The concrete `(topology, traffic matrix)` a scenario resolves to for
+/// one seed — exposed so tests and tools can probe the same inputs the
+/// engine runs on.
+pub fn inputs(scenario: &Scenario, seed: u64) -> (Topology, fubar_traffic::TrafficMatrix) {
     let topo = build_topology(&scenario.topology);
     let mut tm = workload::generate(
         &topo,
@@ -263,6 +270,25 @@ pub fn build(scenario: &Scenario, seed: u64) -> Result<Engine<SdnConsumer>, Buil
     if let Some(w) = scenario.large_priority {
         tm = tm.with_large_priority(w);
     }
+    (topo, tm)
+}
+
+/// Builds the engine for `scenario`, overriding its default seed with
+/// `seed`. Everything downstream (workload, measurement noise, churn,
+/// failures) derives deterministically from that one number.
+pub fn build(scenario: &Scenario, seed: u64) -> Result<Engine<SdnConsumer>, BuildError> {
+    build_with(scenario, seed, true)
+}
+
+/// Like [`build`], but selecting the fabric's measurement mode:
+/// incremental (the default) or full recompute on every probe — the
+/// oracle mode the equality property tests compare against.
+pub fn build_with(
+    scenario: &Scenario,
+    seed: u64,
+    incremental: bool,
+) -> Result<Engine<SdnConsumer>, BuildError> {
+    let (topo, tm) = inputs(scenario, seed);
 
     // Resolve the timeline against the concrete topology and matrix
     // before anything is consumed by the fabric.
@@ -308,7 +334,8 @@ pub fn build(scenario: &Scenario, seed: u64) -> Result<Engine<SdnConsumer>, Buil
         }
     }
 
-    let fabric = Fabric::new(topo, tm, scenario.epoch);
+    let mut fabric = Fabric::new(topo, tm, scenario.epoch);
+    fabric.set_incremental(incremental);
     let consumer = SdnConsumer::new(fabric, seed ^ 0x5eed, scenario.reoptimize.warm_start);
 
     let churn = (scenario.arrivals.is_some() || scenario.departures.is_some()).then(|| {
@@ -337,7 +364,18 @@ pub fn build(scenario: &Scenario, seed: u64) -> Result<Engine<SdnConsumer>, Buil
 
 /// Runs `scenario` end to end with `seed` and returns the log.
 pub fn run(scenario: &Scenario, seed: u64) -> Result<ScenarioLog, BuildError> {
-    Ok(build(scenario, seed)?.run(&scenario.name, seed))
+    run_with(scenario, seed, true)
+}
+
+/// Like [`run`], but selecting the fabric's measurement mode (see
+/// [`build_with`]). Incremental and full runs of the same `(spec,
+/// seed)` must produce byte-identical logs.
+pub fn run_with(
+    scenario: &Scenario,
+    seed: u64,
+    incremental: bool,
+) -> Result<ScenarioLog, BuildError> {
+    Ok(build_with(scenario, seed, incremental)?.run(&scenario.name, seed))
 }
 
 #[cfg(test)]

@@ -46,7 +46,7 @@ pub mod log;
 pub mod spec;
 pub mod stochastic;
 
-pub use driver::{build, run, BuildError, SdnConsumer};
+pub use driver::{build, build_with, run, run_with, BuildError, SdnConsumer};
 pub use engine::{Engine, EventConsumer, Measure};
 pub use event::{Event, EventKind, EventQueue};
 pub use log::{EventRecord, ScenarioLog};

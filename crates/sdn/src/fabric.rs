@@ -7,12 +7,25 @@
 //! shortest paths when a rule's path has failed — the data plane's
 //! IGP-style protection), evaluates the flow model, and accumulates
 //! counters exactly as switch hardware would.
+//!
+//! ### Incremental measurement
+//!
+//! Event-driven callers probe the fabric after every single change
+//! ([`Fabric::peek`]), so the fabric keeps its last measurement — the
+//! bundle table, the traced flow-model evaluation, and the utility
+//! report — and tracks which aggregates and links each mutation dirties.
+//! The next `peek`/`run_epoch` re-derives bundles only for dirty
+//! aggregates and patches the evaluation through
+//! `FlowModel::evaluate_from`, which re-runs water-filling only on the
+//! affected bottleneck component. The invariant (enforced by property
+//! tests): the incremental measurement is **bitwise identical** to the
+//! full recompute [`Fabric::peek_full`] performs.
 
-use crate::rules::RuleSet;
+use crate::rules::{GroupEntry, RuleSet};
 use fubar_graph::{LinkSet, Path};
-use fubar_model::{BundleSpec, FlowModel, ModelConfig, ModelOutcome, UtilityReport};
+use fubar_model::{BundleSpec, Evaluation, FlowModel, ModelConfig, ModelOutcome, UtilityReport};
 use fubar_topology::{Bandwidth, Delay, Topology};
-use fubar_traffic::TrafficMatrix;
+use fubar_traffic::{Aggregate, AggregateId, TrafficMatrix};
 
 /// Per-aggregate counters, as an SDN controller would read from
 /// ingress-switch flow rules.
@@ -46,6 +59,55 @@ pub struct EpochReport {
     pub blackholed_flows: u64,
 }
 
+impl EpochReport {
+    /// The first *bitwise* difference against `other`, if any — the
+    /// oracle check behind the incremental-measurement invariant
+    /// ([`Fabric::peek`] ≡ [`Fabric::peek_full`], bit for bit). Hidden:
+    /// a test helper, not a `PartialEq`.
+    #[doc(hidden)]
+    pub fn bitwise_mismatch(&self, other: &Self) -> Option<String> {
+        if self.epoch != other.epoch {
+            return Some("epoch".to_string());
+        }
+        if self.fallback_count != other.fallback_count {
+            return Some("fallback count".to_string());
+        }
+        if self.blackholed_flows != other.blackholed_flows {
+            return Some("blackholed flows".to_string());
+        }
+        self.outcome
+            .bitwise_mismatch(&other.outcome)
+            .or_else(|| self.report.bitwise_mismatch(&other.report))
+    }
+}
+
+/// One aggregate's routed state inside the measurement cache.
+#[derive(Clone, Copy, Debug, Default)]
+struct AggRoute {
+    /// How many bundles the aggregate contributes to the bundle table.
+    len: u32,
+    /// True when every installed bucket crossed a failed link and the
+    /// aggregate rides a live shortest path instead.
+    fallback: bool,
+    /// Flows black-holed by a partition (no path at all).
+    blackholed: u64,
+}
+
+/// The cached measurement: bundle table + traced evaluation + report.
+struct MeasureCache {
+    /// Per-aggregate routing state, indexed by aggregate id.
+    routes: Vec<AggRoute>,
+    /// The canonical bundle table: every aggregate's bundles
+    /// concatenated in id order (the exact list a full rebuild yields).
+    bundles: Vec<BundleSpec>,
+    /// Traced flow-model evaluation of `bundles`.
+    eval: Evaluation,
+    /// Utility report of `eval` against the true matrix.
+    report: UtilityReport,
+    fallback_count: usize,
+    blackholed_flows: u64,
+}
+
 /// The simulated SDN data plane.
 pub struct Fabric {
     topology: Topology,
@@ -56,6 +118,14 @@ pub struct Fabric {
     epoch: usize,
     epoch_duration: Delay,
     model: ModelConfig,
+    /// When false, every measurement recomputes from scratch (the
+    /// oracle mode the equality property tests compare against).
+    incremental: bool,
+    cache: Option<MeasureCache>,
+    dirty_aggs: Vec<bool>,
+    dirty_list: Vec<u32>,
+    dirty_links: Vec<fubar_graph::LinkId>,
+    dirty_all: bool,
 }
 
 impl Fabric {
@@ -78,6 +148,12 @@ impl Fabric {
             epoch: 0,
             epoch_duration,
             model: ModelConfig::default(),
+            incremental: true,
+            cache: None,
+            dirty_aggs: vec![false; n],
+            dirty_list: Vec::new(),
+            dirty_links: Vec::new(),
+            dirty_all: false,
         }
     }
 
@@ -89,6 +165,17 @@ impl Fabric {
     /// The ground-truth traffic matrix.
     pub fn true_tm(&self) -> &TrafficMatrix {
         &self.true_tm
+    }
+
+    /// Switches between incremental (default) and full-recompute
+    /// measurement. Full mode re-derives every bundle and re-runs the
+    /// whole flow model on each probe — the oracle the incremental path
+    /// must match bitwise.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+        if !on {
+            self.cache = None;
+        }
     }
 
     /// Replaces the ground-truth traffic matrix (demand drift).
@@ -104,18 +191,20 @@ impl Fabric {
             "aggregate population must be stable across drift"
         );
         self.true_tm = tm;
+        self.dirty_all = true;
     }
 
     /// Sets one aggregate's live flow count (a single churn event, as
     /// opposed to the whole-matrix [`Fabric::set_true_tm`]). Zero parks
     /// the aggregate as *idle*: it keeps its id, counters, and installed
     /// rules, but contributes no traffic until flows arrive again.
-    pub fn set_flow_count(&mut self, id: fubar_traffic::AggregateId, flows: u32) {
+    pub fn set_flow_count(&mut self, id: AggregateId, flows: u32) {
         self.true_tm.set_flow_count(id, flows);
+        self.mark_aggregate(id);
     }
 
     /// One aggregate's current live flow count.
-    pub fn flow_count(&self, id: fubar_traffic::AggregateId) -> u32 {
+    pub fn flow_count(&self, id: AggregateId) -> u32 {
         self.true_tm.aggregate(id).flow_count
     }
 
@@ -133,8 +222,10 @@ impl Fabric {
             "capacity must be positive; fail the link instead"
         );
         self.topology.set_capacity(link, capacity);
+        self.dirty_links.push(link);
         if let Some(r) = self.topology.reverse_of(link) {
             self.topology.set_capacity(r, capacity);
+            self.dirty_links.push(r);
         }
     }
 
@@ -146,6 +237,7 @@ impl Fabric {
             "rules must cover every aggregate"
         );
         self.rules = rules;
+        self.dirty_all = true;
     }
 
     /// Currently installed rules.
@@ -153,20 +245,48 @@ impl Fabric {
         &self.rules
     }
 
+    /// Replaces one aggregate's installed group in place — a
+    /// single-aggregate rule update (OpenFlow group-mod), as opposed to
+    /// reinstalling the whole table via [`Fabric::install`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not covered by the installed rules.
+    pub fn set_group(&mut self, id: AggregateId, entry: GroupEntry) {
+        self.rules.set_group(id, entry);
+        self.mark_aggregate(id);
+    }
+
+    /// Removes one aggregate's installed paths (the aggregate
+    /// departed); its traffic rides the live shortest path until rules
+    /// are reinstalled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not covered by the installed rules.
+    pub fn clear_group(&mut self, id: AggregateId) {
+        self.rules.clear_group(id);
+        self.mark_aggregate(id);
+    }
+
     /// Marks a link (and its reverse, for duplex links) as failed.
     pub fn fail_link(&mut self, link: fubar_graph::LinkId) {
         self.down.insert(link);
-        if let Some(r) = self.topology.reverse_of(link) {
+        let rev = self.topology.reverse_of(link);
+        if let Some(r) = rev {
             self.down.insert(r);
         }
+        self.note_link_state_change(link, rev);
     }
 
     /// Repairs a previously failed link (and its reverse).
     pub fn repair_link(&mut self, link: fubar_graph::LinkId) {
         self.down.remove(link);
-        if let Some(r) = self.topology.reverse_of(link) {
+        let rev = self.topology.reverse_of(link);
+        if let Some(r) = rev {
             self.down.remove(r);
         }
+        self.note_link_state_change(link, rev);
     }
 
     /// The currently failed links.
@@ -188,7 +308,7 @@ impl Fabric {
         // every delay curve is long dead by then) and starve them of
         // capacity (Topology requires strictly positive values). The
         // data plane additionally reroutes around failures in
-        // `bundles()`, so this is belt and braces.
+        // `route_aggregate`, so this is belt and braces.
         for l in self.down.iter() {
             view.set_capacity(l, Bandwidth::from_bps(1.0));
             view.set_delay(l, Delay::from_secs(3600.0));
@@ -201,55 +321,258 @@ impl Fabric {
         &self.counters
     }
 
-    /// Maps the true traffic onto installed rules, honouring failures.
-    /// Returns the bundles plus how many aggregates needed fallback.
-    fn bundles(&self) -> (Vec<BundleSpec>, usize, u64) {
-        let mut bundles = Vec::new();
-        let mut fallbacks = 0usize;
-        let mut blackholed = 0u64;
+    /// Marks one aggregate's cached routing stale.
+    fn mark_aggregate(&mut self, id: AggregateId) {
+        let i = id.index();
+        if !self.dirty_aggs[i] {
+            self.dirty_aggs[i] = true;
+            self.dirty_list.push(i as u32);
+        }
+    }
+
+    /// After a failure or repair of `link` (+ its reverse), marks every
+    /// aggregate whose routing could change: groups with a bucket
+    /// crossing the link, and aggregates currently riding a live
+    /// shortest path (fallback or black-holed) — their path can change
+    /// whenever *any* link flips state.
+    fn note_link_state_change(
+        &mut self,
+        link: fubar_graph::LinkId,
+        rev: Option<fubar_graph::LinkId>,
+    ) {
+        self.dirty_links.push(link);
+        if let Some(r) = rev {
+            self.dirty_links.push(r);
+        }
+        if self.cache.is_none() || self.dirty_all {
+            return;
+        }
+        let mut stale: Vec<AggregateId> = Vec::new();
         for a in self.true_tm.iter() {
             if a.flow_count == 0 {
-                // Idle aggregate: keeps its rules but sends nothing.
-                continue;
+                continue; // idle: no bundles either way
             }
             let group = self.rules.group(a.id).expect("rules cover every aggregate");
-            let alive = group.alive_buckets(&self.down);
-            if alive.is_empty() {
-                // Data-plane protection: fall back to the live shortest
-                // path (what an IGP underlay would do). If the network is
-                // partitioned the traffic black-holes: no bundle, zero
-                // utility.
-                if !group.buckets.is_empty() {
-                    fallbacks += 1;
-                }
-                match self
-                    .topology
-                    .graph()
-                    .shortest_path(a.ingress, a.egress, &self.down)
-                {
-                    Some(p) => bundles.push(BundleSpec::new(a, &p, a.flow_count)),
-                    None => blackholed += u64::from(a.flow_count),
-                }
-                continue;
+            let crosses = group
+                .buckets
+                .iter()
+                .any(|(p, _)| p.uses_link(link) || rev.is_some_and(|r| p.uses_link(r)));
+            if crosses || group.alive_buckets(&self.down).is_empty() {
+                stale.push(a.id);
             }
-            let refs: Vec<(&Path, u32)> = alive.iter().map(|(p, w)| (p, *w)).collect();
-            let split = RuleSet::split_flows(&refs, a.flow_count);
-            for (i, &n) in split.iter().enumerate() {
-                if n > 0 {
-                    bundles.push(BundleSpec::new(a, refs[i].0, n));
+        }
+        for id in stale {
+            self.mark_aggregate(id);
+        }
+    }
+
+    /// Maps one aggregate's true traffic onto its installed group,
+    /// honouring failures: `(bundles, used_fallback, blackholed_flows)`.
+    fn route_aggregate(&self, a: &Aggregate) -> (Vec<BundleSpec>, bool, u64) {
+        if a.flow_count == 0 {
+            // Idle aggregate: keeps its rules but sends nothing.
+            return (Vec::new(), false, 0);
+        }
+        let group = self.rules.group(a.id).expect("rules cover every aggregate");
+        let alive = group.alive_buckets(&self.down);
+        if alive.is_empty() {
+            // Data-plane protection: fall back to the live shortest
+            // path (what an IGP underlay would do). If the network is
+            // partitioned the traffic black-holes: no bundle, zero
+            // utility. An empty group (nothing installed yet) is not a
+            // *fallback* — there was no rule to fail.
+            let fallback = !group.buckets.is_empty();
+            return match self
+                .topology
+                .graph()
+                .shortest_path(a.ingress, a.egress, &self.down)
+            {
+                Some(p) => (vec![BundleSpec::new(a, &p, a.flow_count)], fallback, 0),
+                None => (Vec::new(), fallback, u64::from(a.flow_count)),
+            };
+        }
+        let refs: Vec<(&Path, u32)> = alive.iter().map(|(p, w)| (p, *w)).collect();
+        let split = RuleSet::split_flows(&refs, a.flow_count);
+        let mut out = Vec::new();
+        for (i, &n) in split.iter().enumerate() {
+            if n > 0 {
+                out.push(BundleSpec::new(a, refs[i].0, n));
+            }
+        }
+        (out, false, 0)
+    }
+
+    /// Routes every aggregate from scratch (the full-recompute path).
+    fn build_all(&self) -> (Vec<AggRoute>, Vec<BundleSpec>, usize, u64) {
+        let mut routes = Vec::with_capacity(self.true_tm.len());
+        let mut bundles = Vec::new();
+        let mut fallback_count = 0usize;
+        let mut blackholed = 0u64;
+        for a in self.true_tm.iter() {
+            let (bs, fallback, bh) = self.route_aggregate(a);
+            routes.push(AggRoute {
+                len: bs.len() as u32,
+                fallback,
+                blackholed: bh,
+            });
+            fallback_count += usize::from(fallback);
+            blackholed += bh;
+            bundles.extend(bs);
+        }
+        (routes, bundles, fallback_count, blackholed)
+    }
+
+    /// Clears all dirtiness bookkeeping (after a full rebuild).
+    fn clear_dirt(&mut self) {
+        for &i in &self.dirty_list {
+            self.dirty_aggs[i as usize] = false;
+        }
+        self.dirty_list.clear();
+        self.dirty_links.clear();
+        self.dirty_all = false;
+    }
+
+    /// Brings the measurement cache up to date — the single call site
+    /// both [`Fabric::peek`] and [`Fabric::run_epoch`] measure from.
+    fn measure(&mut self) {
+        let full = self.cache.is_none() || self.dirty_all || !self.incremental;
+        if full {
+            let (routes, bundles, fallback_count, blackholed_flows) = self.build_all();
+            let model = FlowModel::new(&self.topology, self.model);
+            let eval = model.evaluate_traced(&bundles);
+            let report = fubar_model::utility_report(&self.true_tm, &bundles, &eval.outcome);
+            self.cache = Some(MeasureCache {
+                routes,
+                bundles,
+                eval,
+                report,
+                fallback_count,
+                blackholed_flows,
+            });
+            self.clear_dirt();
+            return;
+        }
+        if self.dirty_list.is_empty() && self.dirty_links.is_empty() {
+            return; // nothing changed since the last measurement
+        }
+
+        let mut cache = self.cache.take().expect("checked above");
+        let mut touched = std::mem::take(&mut self.dirty_links);
+
+        // Rebuild the bundle table: dirty aggregates are re-routed, the
+        // rest move over untouched (so the table stays exactly what a
+        // full rebuild would produce). `prev_index` maps surviving
+        // bundles to their previous position for the model patcher, and
+        // `touched` collects every link an old or new dirty bundle
+        // crossed.
+        let old_bundles = std::mem::take(&mut cache.bundles);
+        let n_old = old_bundles.len();
+        let mut old_iter = old_bundles.into_iter();
+        let mut bundles: Vec<BundleSpec> = Vec::with_capacity(n_old + 4);
+        let mut prev_index: Vec<Option<u32>> = Vec::with_capacity(n_old + 4);
+        let mut old_pos: u32 = 0;
+        for a in self.true_tm.iter() {
+            let i = a.id.index();
+            let route = &mut cache.routes[i];
+            if self.dirty_aggs[i] {
+                for _ in 0..route.len {
+                    let b = old_iter.next().expect("cache covers every bundle");
+                    touched.extend_from_slice(&b.links);
+                }
+                old_pos += route.len;
+                let (bs, fallback, bh) = self.route_aggregate(a);
+                *route = AggRoute {
+                    len: bs.len() as u32,
+                    fallback,
+                    blackholed: bh,
+                };
+                for b in bs {
+                    touched.extend_from_slice(&b.links);
+                    prev_index.push(None);
+                    bundles.push(b);
+                }
+            } else {
+                for _ in 0..route.len {
+                    let b = old_iter.next().expect("cache covers every bundle");
+                    prev_index.push(Some(old_pos));
+                    old_pos += 1;
+                    bundles.push(b);
                 }
             }
         }
-        (bundles, fallbacks, blackholed)
+        debug_assert!(old_iter.next().is_none(), "cache bundle count drifted");
+
+        let model = FlowModel::new(&self.topology, self.model);
+        let inc = model.evaluate_from(&cache.eval, &bundles, &prev_index, &touched);
+        let report = if inc.full_recompute {
+            fubar_model::utility_report(&self.true_tm, &bundles, &inc.evaluation.outcome)
+        } else {
+            // Utilities to refresh: aggregates owning re-filled bundles
+            // plus every dirty aggregate (whose flow count or routing
+            // changed even if it contributes no bundles now).
+            let mut mask = vec![false; self.true_tm.len()];
+            for &bi in &inc.affected {
+                mask[bundles[bi as usize].aggregate.index()] = true;
+            }
+            for &i in &self.dirty_list {
+                mask[i as usize] = true;
+            }
+            let affected: Vec<AggregateId> = (0..mask.len())
+                .filter(|&i| mask[i])
+                .map(|i| AggregateId(i as u32))
+                .collect();
+            fubar_model::utility_report_from(
+                &self.true_tm,
+                &bundles,
+                &inc.evaluation.outcome,
+                &cache.report,
+                &affected,
+            )
+        };
+
+        cache.bundles = bundles;
+        cache.eval = inc.evaluation;
+        cache.report = report;
+        cache.fallback_count = cache.routes.iter().filter(|r| r.fallback).count();
+        cache.blackholed_flows = cache.routes.iter().map(|r| r.blackholed).sum();
+        self.cache = Some(cache);
+        self.clear_dirt();
+    }
+
+    /// The epoch report matching the current cache.
+    fn report_from_cache(&self) -> EpochReport {
+        let c = self.cache.as_ref().expect("measure() populates the cache");
+        EpochReport {
+            epoch: self.epoch,
+            outcome: c.eval.outcome.clone(),
+            report: c.report.clone(),
+            fallback_count: c.fallback_count,
+            blackholed_flows: c.blackholed_flows,
+        }
     }
 
     /// Evaluates the current state (installed rules, live failures, true
     /// traffic) *without* advancing the epoch or touching counters — a
     /// read-only probe for event-driven callers that need a utility
-    /// measurement between epochs. The returned report carries the
-    /// index of the epoch currently in progress.
-    pub fn peek(&self) -> EpochReport {
-        let (bundles, fallback_count, blackholed_flows) = self.bundles();
+    /// measurement between epochs. Incremental: only aggregates dirtied
+    /// since the last measurement are re-routed (no shortest-path or
+    /// split work for the rest), and the flow model re-runs
+    /// water-filling only on the affected bottleneck component; a few
+    /// linear passes over the bundle table (splice, demand sums, report
+    /// clone) remain, but with a constant ~10x smaller than a full
+    /// recompute on the 961-aggregate HE fabric — and an unprobed
+    /// fabric with nothing dirty returns the cache outright. The
+    /// returned report carries the index of the epoch in progress.
+    pub fn peek(&mut self) -> EpochReport {
+        self.measure();
+        self.report_from_cache()
+    }
+
+    /// Full-recompute probe: rebuilds every bundle and re-runs the whole
+    /// flow model, ignoring (and not touching) the measurement cache.
+    /// This is the oracle [`Fabric::peek`] must match bitwise.
+    pub fn peek_full(&self) -> EpochReport {
+        let (_, bundles, fallback_count, blackholed_flows) = self.build_all();
         let model = FlowModel::new(&self.topology, self.model);
         let outcome = model.evaluate(&bundles);
         let report = fubar_model::utility_report(&self.true_tm, &bundles, &outcome);
@@ -263,14 +586,13 @@ impl Fabric {
     }
 
     /// Runs one epoch: route true traffic over installed rules, update
-    /// counters, return the epoch report.
+    /// counters, return the epoch report. Shares the measurement with
+    /// [`Fabric::peek`] — when nothing changed since the last probe the
+    /// flow model is not re-evaluated at all (previously every epoch
+    /// close re-ran it even after an identical just-completed peek).
     pub fn run_epoch(&mut self) -> EpochReport {
-        let (bundles, fallback_count, blackholed_flows) = self.bundles();
-        // Failed links carry nothing: bundles never cross them by
-        // construction, so evaluating on the true topology is exact.
-        let model = FlowModel::new(&self.topology, self.model);
-        let outcome = model.evaluate(&bundles);
-        let report = fubar_model::utility_report(&self.true_tm, &bundles, &outcome);
+        self.measure();
+        let report = self.report_from_cache();
 
         // Refresh counters.
         let dt = self.epoch_duration.secs();
@@ -279,24 +601,18 @@ impl Fabric {
             c.flows_last_epoch = 0;
             c.congested_last_epoch = false;
         }
-        for (i, b) in bundles.iter().enumerate() {
+        let cache = self.cache.as_ref().expect("measure() populates the cache");
+        for (i, b) in cache.bundles.iter().enumerate() {
             let c = &mut self.counters[b.aggregate.index()];
-            let bytes = outcome.bundle_rates[i].bps() * dt / 8.0;
+            let bytes = cache.eval.outcome.bundle_rates[i].bps() * dt / 8.0;
             c.bytes_last_epoch += bytes;
             c.bytes_total += bytes;
             c.flows_last_epoch += b.flow_count;
-            c.congested_last_epoch |= outcome.bundle_status[i].is_congested();
+            c.congested_last_epoch |= cache.eval.outcome.bundle_status[i].is_congested();
         }
 
-        let epoch = self.epoch;
         self.epoch += 1;
-        EpochReport {
-            epoch,
-            outcome,
-            report,
-            fallback_count,
-            blackholed_flows,
-        }
+        report
     }
 
     /// The duration the counters integrate over.
@@ -328,6 +644,13 @@ mod tests {
             2, // 2 Mb/s demand vs 500 kb/s links: splittable across the ring
         )]);
         Fabric::new(topo, tm, Delay::from_secs(10.0))
+    }
+
+    /// Asserts two epoch reports are bitwise identical, field by field.
+    fn assert_reports_identical(a: &EpochReport, b: &EpochReport) {
+        if let Some(field) = a.bitwise_mismatch(b) {
+            panic!("reports differ bitwise in {field}");
+        }
     }
 
     #[test]
@@ -478,5 +801,153 @@ mod tests {
     fn zero_capacity_rejected() {
         let mut f = fixture();
         f.set_capacity(fubar_graph::LinkId(0), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn group_mod_updates_routing_incrementally() {
+        let mut f = fixture();
+        let before = f.peek();
+        // Replace the group with the other way around the ring.
+        let used: LinkSet = f.rules().group(AggregateId(0)).unwrap().buckets[0]
+            .0
+            .links()
+            .iter()
+            .copied()
+            .collect();
+        let alt = f
+            .topology()
+            .graph()
+            .shortest_path(NodeId(0), NodeId(2), &used)
+            .unwrap();
+        f.set_group(AggregateId(0), GroupEntry::single(alt.clone(), 2));
+        let after = f.peek();
+        assert_ne!(
+            before.outcome.link_load, after.outcome.link_load,
+            "traffic must move to the new path"
+        );
+        assert_reports_identical(&after, &f.peek_full());
+        // Clearing the group drops to the live shortest path (the
+        // original route), not a fallback.
+        f.clear_group(AggregateId(0));
+        let cleared = f.peek();
+        assert_eq!(cleared.fallback_count, 0);
+        assert_reports_identical(&cleared, &f.peek_full());
+    }
+
+    #[test]
+    fn empty_group_is_not_a_fallback_but_a_dead_bucket_is() {
+        let mut f = fixture();
+        // Empty group: routed on the live shortest path, fallback_count
+        // stays 0 (there was no installed rule to fail).
+        f.clear_group(AggregateId(0));
+        let r = f.peek();
+        assert_eq!(r.fallback_count, 0);
+        assert_eq!(r.blackholed_flows, 0);
+        assert_eq!(r.outcome.bundle_rates.len(), 1, "traffic still routed");
+        // A group whose single bucket is dead is a fallback.
+        let p = f
+            .topology()
+            .graph()
+            .shortest_path(NodeId(0), NodeId(2), &LinkSet::new())
+            .unwrap();
+        f.set_group(AggregateId(0), GroupEntry::single(p.clone(), 2));
+        f.fail_link(p.links()[0]);
+        let r = f.peek();
+        assert_eq!(r.fallback_count, 1);
+        assert_reports_identical(&r, &f.peek_full());
+    }
+
+    #[test]
+    fn all_zero_weight_buckets_fall_on_first_alive_bucket() {
+        let mut f = fixture();
+        // Two buckets, both weight 0 (degenerate), on disjoint paths.
+        let p0 = f.rules().group(AggregateId(0)).unwrap().buckets[0]
+            .0
+            .clone();
+        let used: LinkSet = p0.links().iter().copied().collect();
+        let p1 = f
+            .topology()
+            .graph()
+            .shortest_path(NodeId(0), NodeId(2), &used)
+            .unwrap();
+        f.set_group(
+            AggregateId(0),
+            GroupEntry {
+                buckets: vec![(p0.clone(), 0), (p1.clone(), 0)],
+            },
+        );
+        let r = f.peek();
+        // Degenerate split: all flows pile onto the first bucket.
+        assert_eq!(r.outcome.bundle_rates.len(), 1);
+        assert!(r.outcome.link_load[p0.links()[0].index()] > Bandwidth::ZERO);
+        // Now fail the first bucket: the degenerate split must land on
+        // the first *alive* bucket, not the dead bucket 0.
+        f.fail_link(p0.links()[0]);
+        let r = f.peek();
+        assert_eq!(r.fallback_count, 0, "second bucket is alive");
+        assert_eq!(r.outcome.link_load[p0.links()[0].index()], Bandwidth::ZERO);
+        assert!(r.outcome.link_load[p1.links()[0].index()] > Bandwidth::ZERO);
+        assert_reports_identical(&r, &f.peek_full());
+    }
+
+    #[test]
+    fn incremental_peek_matches_full_recompute_through_event_storm() {
+        let topo = generators::ring(6, Bandwidth::from_kbps(700.0), Delay::from_ms(2.0));
+        let tm = fubar_traffic::workload::generate(
+            &topo,
+            &fubar_traffic::WorkloadConfig {
+                include_intra_pop: false,
+                flow_count: (2, 6),
+                ..Default::default()
+            },
+            11,
+        );
+        let n = tm.len() as u32;
+        let mut f = Fabric::new(topo, tm, Delay::from_secs(10.0));
+        // A deterministic pseudo-random event storm touching every
+        // mutation kind the fabric tracks.
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut failed: Vec<fubar_graph::LinkId> = Vec::new();
+        for step in 0..200 {
+            match next() % 10 {
+                0..=4 => {
+                    let id = AggregateId((next() % u64::from(n)) as u32);
+                    let flows = (next() % 12) as u32;
+                    f.set_flow_count(id, flows);
+                }
+                5 | 6 => {
+                    let links = f.topology().link_count() as u64;
+                    let l = fubar_graph::LinkId((next() % links) as u32);
+                    let kbps = 300.0 + (next() % 800) as f64;
+                    f.set_capacity(l, Bandwidth::from_kbps(kbps));
+                }
+                7 => {
+                    let links = f.topology().link_count() as u64;
+                    let l = fubar_graph::LinkId((next() % links) as u32);
+                    if !f.failed_links().contains(l) && failed.len() < 2 {
+                        f.fail_link(l);
+                        failed.push(l);
+                    }
+                }
+                8 => {
+                    if let Some(l) = failed.pop() {
+                        f.repair_link(l);
+                    }
+                }
+                _ => {
+                    let _ = f.run_epoch();
+                }
+            }
+            let inc = f.peek();
+            let full = f.peek_full();
+            assert_reports_identical(&inc, &full);
+            let _ = step;
+        }
     }
 }

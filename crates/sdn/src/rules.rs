@@ -210,6 +210,42 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_zero_weights_with_dead_first_bucket_go_to_first_alive() {
+        // All-zero weights are degenerate: `split_flows` piles the
+        // flows onto bucket 0 *of the slice it is given*. The data
+        // plane must therefore always pass the alive-filtered buckets,
+        // never the raw group — otherwise the flows land on a possibly
+        // failed bucket 0. This pins the contract down.
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let p0 = alloc.path_set(AggregateId(0)).path(0).clone();
+        let used: LinkSet = p0.links().iter().copied().collect();
+        let p1 = topo
+            .graph()
+            .shortest_path(fubar_graph::NodeId(0), fubar_graph::NodeId(2), &used)
+            .unwrap();
+        let group = GroupEntry {
+            buckets: vec![(p0.clone(), 0), (p1.clone(), 0)],
+        };
+        // First bucket dead: only p1 survives the filter.
+        let mut down = LinkSet::new();
+        down.insert(p0.links()[0]);
+        let alive = group.alive_buckets(&down);
+        assert_eq!(alive.len(), 1);
+        let refs: Vec<(&Path, u32)> = alive.iter().map(|(p, w)| (p, *w)).collect();
+        let split = RuleSet::split_flows(&refs, 7);
+        assert_eq!(split, vec![7], "all flows on the first *alive* bucket");
+        assert!(
+            !refs[0].0.uses_link(p0.links()[0]),
+            "and that bucket avoids the failed link"
+        );
+        // Unfiltered degenerate split for contrast: everything on the
+        // (dead) first bucket — the caller-side hazard.
+        let raw: Vec<(&Path, u32)> = group.buckets.iter().map(|(p, w)| (p, *w)).collect();
+        assert_eq!(RuleSet::split_flows(&raw, 7), vec![7, 0]);
+    }
+
+    #[test]
     fn alive_buckets_filters_failed_paths() {
         let (topo, tm) = fixture();
         let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
