@@ -78,11 +78,42 @@ fn bench_initial_allocation(c: &mut Criterion) {
     });
 }
 
+/// The headline comparison for incremental candidate scoring: the same
+/// 5-commit budget on the full 961-aggregate HE instance, scored
+/// incrementally (one-aggregate bundle deltas patched over the cached
+/// incumbent evaluation — the default) versus the full-recompute oracle
+/// (every candidate rebuilds all bundles and re-runs full
+/// water-filling). Both runs commit identical moves — the property
+/// tests enforce bitwise equality — so the ratio isolates the inner
+/// loop. The CI perf gate (`perf_gate`) requires ≥ 5x after
+/// subtracting the shared startup cost.
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let topo = generators::he_core(Bandwidth::from_mbps(100.0));
+    let tm = workload::generate(&topo, &WorkloadConfig::default(), 1);
+    let mut g = c.benchmark_group("optimize_incremental_vs_full");
+    g.sample_size(10);
+    for (label, incremental) in [("incremental", true), ("full_oracle", false)] {
+        g.bench_function(format!("he_961_5_commits_{label}"), |b| {
+            b.iter(|| {
+                let cfg = OptimizerConfig {
+                    max_commits: 5,
+                    threads: 1,
+                    incremental,
+                    ..Default::default()
+                };
+                Optimizer::new(&topo, &tm, cfg).run()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_end_to_end_abilene,
     bench_end_to_end_ring,
     bench_per_commit_he,
-    bench_initial_allocation
+    bench_initial_allocation,
+    bench_incremental_vs_full
 );
 criterion_main!(benches);

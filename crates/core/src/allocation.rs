@@ -154,7 +154,14 @@ impl Allocation {
             let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(survivors.len());
             let mut assigned: u32 = 0;
             for (i, (p, n)) in survivors.iter().enumerate() {
-                set.insert((*p).clone());
+                // Rebuild against the *current* topology so the path's
+                // cached cost reflects today's delays — an allocation
+                // computed on a failure-era view (failed links costed
+                // out at hour-scale delay) must not poison utilities
+                // after the repair.
+                let refreshed = Path::new(topology.graph(), p.source(), p.links().to_vec())
+                    .expect("surviving path is valid in the current topology");
+                set.insert(refreshed);
                 let exact = f64::from(a.flow_count) * f64::from(*n) / old_total as f64;
                 let floor = exact.floor() as u32;
                 counts.push(floor);
@@ -231,8 +238,17 @@ impl Allocation {
     /// The non-empty bundles of this allocation, in deterministic
     /// (aggregate, path index) order — the model's input.
     pub fn bundles(&self, tm: &TrafficMatrix) -> Vec<BundleSpec> {
+        self.bundles_with_spans(tm).0
+    }
+
+    /// Like [`Allocation::bundles`], but also returns per-aggregate
+    /// `(start, len)` spans into the returned list — the index map the
+    /// optimizer's incremental scorer splices candidate deltas through.
+    pub fn bundles_with_spans(&self, tm: &TrafficMatrix) -> (Vec<BundleSpec>, Vec<(u32, u32)>) {
         let mut out = Vec::new();
+        let mut spans = Vec::with_capacity(tm.len());
         for a in tm.iter() {
+            let start = out.len() as u32;
             let fs = &self.flows[a.id.index()];
             let ps = &self.path_sets[a.id.index()];
             for (idx, &n) in fs.iter().enumerate() {
@@ -240,6 +256,60 @@ impl Allocation {
                     out.push(BundleSpec::new(a, ps.path(idx), n));
                 }
             }
+            spans.push((start, out.len() as u32 - start));
+        }
+        (out, spans)
+    }
+
+    /// The bundle segment `agg` would contribute after moving `count`
+    /// flows from path `from` onto `to_path`, *without mutating* the
+    /// allocation — the one-aggregate delta the incremental optimizer
+    /// scores. `to_path` may be absent from the aggregate's path set (a
+    /// freshly generated alternative); it is then treated as appended at
+    /// the end, exactly what [`Allocation::add_path`] followed by
+    /// [`Allocation::apply`] would produce. Bundle order matches
+    /// [`Allocation::bundles`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `to_path` equals the source path, `count` is zero, or
+    /// path `from` carries fewer than `count` flows.
+    pub fn bundles_after_move(
+        &self,
+        tm: &TrafficMatrix,
+        agg: AggregateId,
+        from: usize,
+        to_path: &Path,
+        count: u32,
+    ) -> Vec<BundleSpec> {
+        let a = tm.aggregate(agg);
+        let fs = &self.flows[agg.index()];
+        let paths = self.path_sets[agg.index()].as_slice();
+        let to = self.path_sets[agg.index()]
+            .position(to_path)
+            .unwrap_or(paths.len());
+        assert_ne!(from, to, "move must change paths");
+        assert!(count > 0, "move must carry at least one flow");
+        assert!(
+            fs[from] >= count,
+            "moving {count} flows but only {} present",
+            fs[from]
+        );
+        let mut out = Vec::with_capacity(paths.len() + 1);
+        for (idx, (&n, path)) in fs.iter().zip(paths).enumerate() {
+            let n = if idx == from {
+                n - count
+            } else if idx == to {
+                n + count
+            } else {
+                n
+            };
+            if n > 0 {
+                out.push(BundleSpec::new(a, path, n));
+            }
+        }
+        if to == paths.len() {
+            out.push(BundleSpec::new(a, to_path, count));
         }
         out
     }
@@ -589,6 +659,140 @@ mod tests {
                     assert_eq!(p.destination(), a.egress, "aggregate {} wrong dest", a.id);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn rebase_refreshes_path_costs_to_the_current_topology() {
+        // An allocation computed on a degraded view (failed link costed
+        // out at hour-scale delay) must not carry the poisoned path
+        // cost once rebased onto the healthy topology — utilities after
+        // a repair depend on it.
+        let (topo, tm) = fixture();
+        let alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let healthy_cost = alloc.path_set(AggregateId(0)).path(0).cost();
+
+        let mut degraded = topo.clone();
+        let on_path = alloc.path_set(AggregateId(0)).path(0).links()[0];
+        degraded.set_delay(on_path, fubar_topology::Delay::from_secs(3600.0));
+        let poisoned = Allocation::all_on_shortest_paths(&degraded, &tm).rebase(
+            &degraded,
+            &tm,
+            &LinkSet::new(),
+        );
+        // (The degraded-view allocation may route around the slow link;
+        // rebase the *original* allocation onto the degraded view to
+        // pin the poisoned cost.)
+        let stale = alloc.rebase(&degraded, &tm, &LinkSet::new());
+        assert!(
+            stale.path_set(AggregateId(0)).path(0).cost() >= 3600.0,
+            "rebase onto the degraded view must adopt its delays"
+        );
+        let repaired = stale.rebase(&topo, &tm, &LinkSet::new());
+        assert_eq!(
+            repaired.path_set(AggregateId(0)).path(0).cost(),
+            healthy_cost,
+            "rebase must refresh path costs to the current topology"
+        );
+        let _ = poisoned;
+    }
+
+    #[test]
+    fn bundles_with_spans_matches_bundles() {
+        let (topo, tm) = fixture();
+        let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let used: LinkSet = alloc
+            .path_set(AggregateId(0))
+            .path(0)
+            .links()
+            .iter()
+            .copied()
+            .collect();
+        let alt = topo
+            .graph()
+            .shortest_path(NodeId(0), NodeId(2), &used)
+            .unwrap();
+        let idx = alloc.add_path(AggregateId(0), alt);
+        alloc.apply(Move {
+            aggregate: AggregateId(0),
+            from: 0,
+            to: idx,
+            count: 4,
+        });
+        let plain = alloc.bundles(&tm);
+        let (spanned, spans) = alloc.bundles_with_spans(&tm);
+        assert_eq!(plain.len(), spanned.len());
+        assert_eq!(spans.len(), tm.len());
+        for a in tm.iter() {
+            let (start, len) = spans[a.id.index()];
+            for i in start..start + len {
+                assert_eq!(spanned[i as usize].aggregate, a.id);
+            }
+        }
+        let total: u32 = spans.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total as usize, spanned.len());
+    }
+
+    #[test]
+    fn bundles_after_move_matches_apply() {
+        let (topo, tm) = fixture();
+        let mut alloc = Allocation::all_on_shortest_paths(&topo, &tm);
+        let used: LinkSet = alloc
+            .path_set(AggregateId(0))
+            .path(0)
+            .links()
+            .iter()
+            .copied()
+            .collect();
+        let alt = topo
+            .graph()
+            .shortest_path(NodeId(0), NodeId(2), &used)
+            .unwrap();
+
+        // Fresh alternative: the segment must match add_path + apply.
+        let predicted = alloc.bundles_after_move(&tm, AggregateId(0), 0, &alt, 4);
+        let to = alloc.add_path(AggregateId(0), alt.clone());
+        let m = Move {
+            aggregate: AggregateId(0),
+            from: 0,
+            to,
+            count: 4,
+        };
+        alloc.apply(m);
+        let actual: Vec<_> = alloc
+            .bundles(&tm)
+            .into_iter()
+            .filter(|b| b.aggregate == AggregateId(0))
+            .collect();
+        assert_eq!(predicted.len(), actual.len());
+        for (p, a) in predicted.iter().zip(&actual) {
+            assert_eq!(p.links, a.links);
+            assert_eq!(p.flow_count, a.flow_count);
+        }
+
+        // Existing destination (moving back): same contract.
+        let back = alloc.bundles_after_move(
+            &tm,
+            AggregateId(0),
+            to,
+            alloc.path_set(AggregateId(0)).path(0),
+            2,
+        );
+        alloc.revert(Move {
+            aggregate: AggregateId(0),
+            from: 0,
+            to,
+            count: 2,
+        });
+        let actual: Vec<_> = alloc
+            .bundles(&tm)
+            .into_iter()
+            .filter(|b| b.aggregate == AggregateId(0))
+            .collect();
+        assert_eq!(back.len(), actual.len());
+        for (p, a) in back.iter().zip(&actual) {
+            assert_eq!(p.links, a.links);
+            assert_eq!(p.flow_count, a.flow_count);
         }
     }
 

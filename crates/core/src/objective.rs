@@ -23,18 +23,31 @@ pub enum Objective {
 impl Objective {
     /// A scalar score where higher is better.
     pub fn score(&self, report: &UtilityReport, outcome: &ModelOutcome) -> f64 {
+        self.score_with_links(
+            report,
+            outcome
+                .link_demand
+                .iter()
+                .zip(&outcome.link_capacity)
+                .map(|(d, c)| (d.bps(), c.bps())),
+        )
+    }
+
+    /// Like [`Objective::score`], but with the per-link
+    /// `(demand, capacity)` pairs supplied directly — the incremental
+    /// candidate scorer feeds `DeltaScore` arrays without materializing
+    /// a `ModelOutcome`. Both entry points run the identical fold, so
+    /// they are bitwise interchangeable.
+    pub fn score_with_links(
+        &self,
+        report: &UtilityReport,
+        links: impl Iterator<Item = (f64, f64)>,
+    ) -> f64 {
         match self {
             Objective::NetworkUtility => report.network_utility,
             Objective::MinMaxUtilization => {
-                let worst = (0..outcome.link_capacity.len())
-                    .map(|i| {
-                        let cap = outcome.link_capacity[i].bps();
-                        if cap > 0.0 {
-                            outcome.link_demand[i].bps() / cap
-                        } else {
-                            0.0
-                        }
-                    })
+                let worst = links
+                    .map(|(demand, cap)| if cap > 0.0 { demand / cap } else { 0.0 })
                     .fold(0.0_f64, f64::max);
                 -worst
             }

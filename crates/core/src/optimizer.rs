@@ -7,6 +7,25 @@
 //! stuck in a local optimum, progressively enlarge the moved chunk
 //! (the paper's cheap stand-in for simulated annealing) until even
 //! whole-aggregate moves cannot help.
+//!
+//! ### Incremental candidate scoring
+//!
+//! Each candidate move perturbs exactly one aggregate's path split, so
+//! the inner loop does not rebuild the world per candidate: the
+//! optimizer caches the incumbent allocation's bundle table (with
+//! per-aggregate spans), its traced flow-model evaluation, and its
+//! utility report, and scores a candidate by splicing the moved
+//! aggregate's new bundle segment over the cache as a
+//! [`BundleDelta`] and patching through
+//! [`FlowModel::evaluate_delta`] — water-filling re-runs only on the
+//! affected bottleneck component, utilities refresh only for affected
+//! aggregates. Rejected candidates never touch the cache; the winner is
+//! patched in once per commit. The invariant (mirroring the fabric's
+//! measurement invariant, enforced by property tests in
+//! `tests/properties.rs`): **incremental candidate scoring is bitwise
+//! identical to full-recompute scoring**, move for move, over whole
+//! optimization runs. [`OptimizerConfig::incremental`] selects the
+//! full-recompute oracle the tests compare against.
 
 use crate::allocation::{Allocation, Move};
 use crate::objective::Objective;
@@ -14,9 +33,12 @@ use crate::pathgen::{alternatives, PathPolicy};
 use crate::recorder::{RunTrace, TracePoint};
 use fubar_graph::Path;
 use fubar_graph::{LinkId, LinkSet};
-use fubar_model::{utility_report, FlowModel, ModelConfig, ModelOutcome, UtilityReport};
+use fubar_model::{
+    utility_report, utility_report_delta, utility_report_from, BundleDelta, BundleSpec, Evaluation,
+    FlowModel, IncrementalEvaluation, ModelConfig, ModelOutcome, UtilityReport,
+};
 use fubar_topology::{Bandwidth, Topology};
-use fubar_traffic::{Aggregate, TrafficMatrix};
+use fubar_traffic::{Aggregate, AggregateId, TrafficMatrix};
 use std::time::{Duration, Instant};
 
 /// Why an optimization run stopped.
@@ -73,6 +95,13 @@ pub struct OptimizerConfig {
     /// are identical at any thread count; 1 disables threading. The
     /// default uses the available parallelism, capped at 8.
     pub threads: usize,
+    /// Incremental candidate scoring (the default): score each move as
+    /// a one-aggregate bundle delta patched over the cached incumbent
+    /// evaluation. When false, every candidate rebuilds all bundles and
+    /// re-runs full water-filling — the oracle mode (mirroring
+    /// `Fabric::peek_full`) whose runs the incremental path must match
+    /// move for move, bitwise.
+    pub incremental: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -90,6 +119,7 @@ impl Default for OptimizerConfig {
             time_limit: None,
             excluded_links: LinkSet::new(),
             threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            incremental: true,
         }
     }
 }
@@ -127,8 +157,24 @@ pub struct OptimizeResult {
     pub outcome: ModelOutcome,
     /// Number of committed moves.
     pub commits: usize,
+    /// The committed moves in order — the scoring-equivalence property
+    /// tests compare incremental and oracle runs move for move.
+    pub moves: Vec<Move>,
     /// Why the run stopped.
     pub termination: Termination,
+}
+
+/// The cached state of the incumbent allocation during a run: the
+/// canonical bundle table with per-aggregate `(start, len)` spans, its
+/// traced flow-model evaluation, and its utility report. In incremental
+/// mode candidates are scored as one-aggregate [`BundleDelta`] splices
+/// against this cache; in full (oracle) mode it merely memoizes the
+/// incumbent's measurement between commits.
+struct Incumbent {
+    bundles: Vec<BundleSpec>,
+    spans: Vec<(u32, u32)>,
+    eval: Evaluation,
+    report: UtilityReport,
 }
 
 /// The optimizer, bound to one topology and one traffic matrix.
@@ -175,6 +221,53 @@ impl<'a> Optimizer<'a> {
         (outcome, report)
     }
 
+    /// Measures `alloc` from scratch into an incumbent cache (run start
+    /// and, in oracle mode, after every commit).
+    fn incumbent_for(&self, alloc: &Allocation) -> Incumbent {
+        let (bundles, spans) = alloc.bundles_with_spans(self.tm);
+        let eval = self.model.evaluate_traced(&bundles);
+        let report = utility_report(self.tm, &bundles, &eval.outcome);
+        Incumbent {
+            bundles,
+            spans,
+            eval,
+            report,
+        }
+    }
+
+    /// Patches one aggregate's replacement bundle segment over the
+    /// incumbent cache: one delta evaluation (water-filling re-runs only
+    /// on the affected bottleneck component) plus a utility refresh
+    /// restricted to the aggregates owning re-filled bundles. Shared by
+    /// candidate scoring and the winner's commit.
+    fn patch_incumbent(
+        &self,
+        inc: &Incumbent,
+        agg: AggregateId,
+        segment: &[BundleSpec],
+    ) -> (IncrementalEvaluation, UtilityReport) {
+        let (start, len) = inc.spans[agg.index()];
+        let delta = BundleDelta::new(&inc.bundles, start as usize, len as usize, segment);
+        let patched = self.model.evaluate_delta(&inc.eval, &delta);
+        let mut mask = vec![false; self.tm.len()];
+        mask[agg.index()] = true;
+        for &bi in &patched.affected {
+            mask[delta.get(bi as usize).aggregate.index()] = true;
+        }
+        let affected: Vec<AggregateId> = (0..mask.len())
+            .filter(|&i| mask[i])
+            .map(|i| AggregateId(i as u32))
+            .collect();
+        let report = utility_report_from(
+            self.tm,
+            delta.iter(),
+            &patched.evaluation.outcome,
+            &inc.report,
+            &affected,
+        );
+        (patched, report)
+    }
+
     fn trace_point(
         &self,
         started: Instant,
@@ -209,9 +302,11 @@ impl<'a> Optimizer<'a> {
         n.min(on_path)
     }
 
-    /// Scores one candidate on a scratch allocation (applied, evaluated,
-    /// reverted — the scratch's path set may grow, which is harmless).
-    fn score_candidate(&self, scratch: &mut Allocation, c: &Candidate) -> f64 {
+    /// Oracle scoring: applies the candidate to a scratch allocation,
+    /// rebuilds every bundle, re-runs full water-filling and the full
+    /// utility report, then reverts (the scratch's path set may grow,
+    /// which is harmless).
+    fn score_candidate_full(&self, scratch: &mut Allocation, c: &Candidate) -> f64 {
         let to = scratch.add_path(c.aggregate, c.alt.clone());
         let m = Move {
             aggregate: c.aggregate,
@@ -226,23 +321,58 @@ impl<'a> Optimizer<'a> {
         score
     }
 
+    /// Incremental scoring: builds the moved aggregate's post-move
+    /// bundle segment (no allocation mutation), splices it over the
+    /// incumbent cache as a [`BundleDelta`], and scores the patched
+    /// component without assembling a spliced outcome
+    /// (`FlowModel::score_delta` + `utility_report_delta`). Bitwise
+    /// identical to [`Optimizer::score_candidate_full`].
+    fn score_candidate_incremental(
+        &self,
+        alloc: &Allocation,
+        incumbent: &Incumbent,
+        c: &Candidate,
+    ) -> f64 {
+        let segment = alloc.bundles_after_move(self.tm, c.aggregate, c.from, &c.alt, c.count);
+        let (start, len) = incumbent.spans[c.aggregate.index()];
+        let delta = BundleDelta::new(&incumbent.bundles, start as usize, len as usize, &segment);
+        let score = self.model.score_delta(&incumbent.eval, &delta);
+        let report = utility_report_delta(
+            self.tm,
+            &delta,
+            &score,
+            &incumbent.eval.outcome,
+            &incumbent.report,
+            &[c.aggregate],
+        );
+        self.config.objective.score_with_links(
+            &report,
+            score
+                .link_demand
+                .iter()
+                .zip(&score.link_capacity)
+                .map(|(&d, &cap)| (d, cap)),
+        )
+    }
+
     /// Listing 2: one step focused on `link`. Tries all (flow path ×
-    /// alternative) moves and commits the best improving one. Returns
-    /// `true` on progress.
+    /// alternative) moves and returns the best improving one, if any.
     ///
     /// Candidate evaluations are independent, so with `threads > 1` they
-    /// run on scoped worker threads, each over its own scratch clone of
-    /// the allocation. The reduction (max score, earliest candidate on
-    /// ties) makes the result identical to the sequential order.
+    /// run on scoped worker threads — sharing the read-only incumbent
+    /// cache in incremental mode, each over its own scratch clone of the
+    /// allocation in oracle mode. The reduction (max score, earliest
+    /// candidate on ties) makes the result identical to the sequential
+    /// order at any thread count and in both scoring modes.
     fn step(
         &self,
-        alloc: &mut Allocation,
+        alloc: &Allocation,
+        incumbent: &Incumbent,
         link: LinkId,
-        outcome: &ModelOutcome,
-        report: &UtilityReport,
         escape_level: u32,
-    ) -> bool {
-        let initial_score = self.config.objective.score(report, outcome);
+    ) -> Option<Candidate> {
+        let outcome = &incumbent.eval.outcome;
+        let initial_score = self.config.objective.score(&incumbent.report, outcome);
 
         // Gather candidates without mutating the allocation.
         let mut candidates: Vec<Candidate> = Vec::new();
@@ -275,28 +405,48 @@ impl<'a> Optimizer<'a> {
             }
         }
         if candidates.is_empty() {
-            return false;
+            return None;
         }
 
         let threads = self.config.threads.max(1).min(candidates.len());
         let mut scores = vec![f64::NEG_INFINITY; candidates.len()];
-        if threads <= 1 {
-            let mut scratch = alloc.clone();
-            for (i, c) in candidates.iter().enumerate() {
-                scores[i] = self.score_candidate(&mut scratch, c);
-            }
-        } else {
-            let chunk = candidates.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (slot, cands) in scores.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-                    let mut scratch = alloc.clone();
-                    scope.spawn(move || {
-                        for (s, c) in slot.iter_mut().zip(cands) {
-                            *s = self.score_candidate(&mut scratch, c);
-                        }
-                    });
+        match (self.config.incremental, threads) {
+            (true, 1) => {
+                for (i, c) in candidates.iter().enumerate() {
+                    scores[i] = self.score_candidate_incremental(alloc, incumbent, c);
                 }
-            });
+            }
+            (true, _) => {
+                let chunk = candidates.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for (slot, cands) in scores.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
+                        scope.spawn(move || {
+                            for (s, c) in slot.iter_mut().zip(cands) {
+                                *s = self.score_candidate_incremental(alloc, incumbent, c);
+                            }
+                        });
+                    }
+                });
+            }
+            (false, 1) => {
+                let mut scratch = alloc.clone();
+                for (i, c) in candidates.iter().enumerate() {
+                    scores[i] = self.score_candidate_full(&mut scratch, c);
+                }
+            }
+            (false, _) => {
+                let chunk = candidates.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for (slot, cands) in scores.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
+                        let mut scratch = alloc.clone();
+                        scope.spawn(move || {
+                            for (s, c) in slot.iter_mut().zip(cands) {
+                                *s = self.score_candidate_full(&mut scratch, c);
+                            }
+                        });
+                    }
+                });
+            }
         }
 
         // Max score; ties keep the earliest candidate (the sequential
@@ -308,18 +458,45 @@ impl<'a> Optimizer<'a> {
             .expect("candidates is non-empty");
 
         if best_score > initial_score + self.config.improvement_eps {
-            let c = &candidates[best_idx];
-            let to = alloc.add_path(c.aggregate, c.alt.clone());
-            alloc.apply(Move {
-                aggregate: c.aggregate,
-                from: c.from,
-                to,
-                count: c.count,
-            });
-            true
+            Some(candidates.swap_remove(best_idx))
         } else {
-            false
+            None
         }
+    }
+
+    /// Commits the winning candidate: applies the move to the
+    /// allocation and refreshes the incumbent cache — one delta patch in
+    /// incremental mode, a full re-measurement in oracle mode.
+    fn commit(&self, alloc: &mut Allocation, incumbent: &mut Incumbent, c: &Candidate) -> Move {
+        if self.config.incremental {
+            let segment = alloc.bundles_after_move(self.tm, c.aggregate, c.from, &c.alt, c.count);
+            let (patched, report) = self.patch_incumbent(incumbent, c.aggregate, &segment);
+            let (start, len) = incumbent.spans[c.aggregate.index()];
+            incumbent.bundles =
+                BundleDelta::new(&incumbent.bundles, start as usize, len as usize, &segment)
+                    .materialize();
+            let shift = segment.len() as i64 - i64::from(len);
+            incumbent.spans[c.aggregate.index()].1 = segment.len() as u32;
+            if shift != 0 {
+                for s in &mut incumbent.spans[c.aggregate.index() + 1..] {
+                    s.0 = (i64::from(s.0) + shift) as u32;
+                }
+            }
+            incumbent.eval = patched.evaluation;
+            incumbent.report = report;
+        }
+        let to = alloc.add_path(c.aggregate, c.alt.clone());
+        let m = Move {
+            aggregate: c.aggregate,
+            from: c.from,
+            to,
+            count: c.count,
+        };
+        alloc.apply(m);
+        if !self.config.incremental {
+            *incumbent = self.incumbent_for(alloc);
+        }
+        m
     }
 
     /// Listing 1: the main loop. Runs to termination and returns the
@@ -352,14 +529,15 @@ impl<'a> Optimizer<'a> {
         let started = Instant::now();
         debug_assert!(initial.validate(self.tm).is_ok());
         let mut alloc = initial;
-        let (mut outcome, mut report) = self.eval(&alloc);
+        let mut incumbent = self.incumbent_for(&alloc);
         let mut trace = RunTrace::new();
         let mut commits = 0usize;
-        trace.push(self.trace_point(started, commits, &outcome, &report));
+        let mut moves: Vec<Move> = Vec::new();
+        trace.push(self.trace_point(started, commits, &incumbent.eval.outcome, &incumbent.report));
 
         let mut escape_level: u32 = 0;
         let termination = loop {
-            if !outcome.is_congested() {
+            if !incumbent.eval.outcome.is_congested() {
                 break Termination::NoCongestion;
             }
             if commits >= self.config.max_commits {
@@ -374,21 +552,25 @@ impl<'a> Optimizer<'a> {
             // Visit congested links from most to least oversubscribed;
             // stop at the first link where progress is made (Listing 1
             // lines 6-9).
-            let congested = outcome.congested.clone();
-            let mut progressed = false;
+            let congested = incumbent.eval.outcome.congested.clone();
+            let mut winner: Option<Candidate> = None;
             for link in congested {
-                if self.step(&mut alloc, link, &outcome, &report, escape_level) {
-                    progressed = true;
+                if let Some(c) = self.step(&alloc, &incumbent, link, escape_level) {
+                    winner = Some(c);
                     break;
                 }
             }
 
-            if progressed {
+            if let Some(c) = winner {
+                let m = self.commit(&mut alloc, &mut incumbent, &c);
                 commits += 1;
-                let (o, r) = self.eval(&alloc);
-                outcome = o;
-                report = r;
-                trace.push(self.trace_point(started, commits, &outcome, &report));
+                moves.push(m);
+                trace.push(self.trace_point(
+                    started,
+                    commits,
+                    &incumbent.eval.outcome,
+                    &incumbent.report,
+                ));
                 escape_level = 0;
                 continue;
             }
@@ -405,12 +587,14 @@ impl<'a> Optimizer<'a> {
         };
 
         debug_assert!(alloc.validate(self.tm).is_ok());
+        let Incumbent { eval, report, .. } = incumbent;
         OptimizeResult {
             allocation: alloc,
             trace,
             report,
-            outcome,
+            outcome: eval.outcome,
             commits,
+            moves,
             termination,
         }
     }

@@ -47,6 +47,13 @@ impl PathSet {
         self.paths.iter()
     }
 
+    /// The paths as a slice, in insertion order — the zero-cost view the
+    /// optimizer's incremental scorer walks per candidate.
+    #[inline]
+    pub fn as_slice(&self) -> &[Path] {
+        &self.paths
+    }
+
     /// Index of `path` if it is already present.
     pub fn position(&self, path: &Path) -> Option<usize> {
         self.paths.iter().position(|p| p == path)

@@ -1,8 +1,11 @@
 //! Property-based tests for the optimizer on random topologies and
 //! workloads: the invariants of §2.5 must hold on *every* instance, not
-//! just the paper's.
+//! just the paper's — including the incremental-scoring invariant: a
+//! run with incremental candidate scoring
+//! (`OptimizerConfig::incremental`, the default) must be
+//! **move-for-move, bitwise identical** to the full-recompute oracle.
 
-use fubar_core::{Optimizer, OptimizerConfig, Termination};
+use fubar_core::{Objective, OptimizeResult, Optimizer, OptimizerConfig, Termination};
 use fubar_topology::{generators, Bandwidth, Topology};
 use fubar_traffic::{workload, TrafficMatrix, WorkloadConfig};
 use proptest::prelude::*;
@@ -148,4 +151,271 @@ proptest! {
         let big0 = big.trace.initial().unwrap().network_utility;
         prop_assert!(big0 >= small0 - 1e-9);
     }
+}
+
+// ---------------------------------------------------------------------
+// Incremental candidate scoring ≡ full-recompute oracle, move for move.
+// ---------------------------------------------------------------------
+
+/// Runs the same instance in incremental and oracle scoring mode.
+fn run_both(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    cfg: OptimizerConfig,
+) -> (OptimizeResult, OptimizeResult) {
+    let inc_cfg = OptimizerConfig {
+        incremental: true,
+        ..cfg.clone()
+    };
+    let full_cfg = OptimizerConfig {
+        incremental: false,
+        ..cfg
+    };
+    (
+        Optimizer::new(topo, tm, inc_cfg).run(),
+        Optimizer::new(topo, tm, full_cfg).run(),
+    )
+}
+
+/// The invariant in its strictest form: the same accept/reject history
+/// (committed move sequence and termination), the same per-commit trace
+/// utilities bit for bit, and the same final allocation, outcome, and
+/// report bit for bit.
+fn assert_runs_identical(
+    name: &str,
+    inc: &OptimizeResult,
+    full: &OptimizeResult,
+    tm: &TrafficMatrix,
+) {
+    assert_eq!(inc.commits, full.commits, "{name}: commit count");
+    assert_eq!(inc.termination, full.termination, "{name}: termination");
+    assert_eq!(inc.moves, full.moves, "{name}: committed move sequence");
+
+    let ip = inc.trace.points();
+    let fp = full.trace.points();
+    assert_eq!(ip.len(), fp.len(), "{name}: trace length");
+    for (i, (a, b)) in ip.iter().zip(fp).enumerate() {
+        assert_eq!(
+            a.network_utility.to_bits(),
+            b.network_utility.to_bits(),
+            "{name}: trace point {i} network utility {} vs {}",
+            a.network_utility,
+            b.network_utility
+        );
+        assert_eq!(
+            a.actual_utilization.to_bits(),
+            b.actual_utilization.to_bits(),
+            "{name}: trace point {i} actual utilization"
+        );
+        assert_eq!(
+            a.congested_links, b.congested_links,
+            "{name}: trace point {i} congested links"
+        );
+        assert_eq!(
+            a.congested_bundles, b.congested_bundles,
+            "{name}: trace point {i} congested bundles"
+        );
+    }
+
+    if let Some(field) = inc.outcome.bitwise_mismatch(&full.outcome) {
+        panic!("{name}: final outcomes differ bitwise in {field}");
+    }
+    if let Some(field) = inc.report.bitwise_mismatch(&full.report) {
+        panic!("{name}: final reports differ bitwise in {field}");
+    }
+
+    for a in tm.iter() {
+        let pi = inc.allocation.path_set(a.id);
+        let pf = full.allocation.path_set(a.id);
+        assert_eq!(
+            pi.len(),
+            pf.len(),
+            "{name}: aggregate {} path set size",
+            a.id
+        );
+        for idx in 0..pi.len() {
+            assert_eq!(
+                pi.path(idx),
+                pf.path(idx),
+                "{name}: aggregate {} path {idx}",
+                a.id
+            );
+            assert_eq!(
+                inc.allocation.flows_on(a.id, idx),
+                full.allocation.flows_on(a.id, idx),
+                "{name}: aggregate {} flows on path {idx}",
+                a.id
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whole optimization runs on random congested instances must agree
+    /// between the two scoring modes.
+    #[test]
+    fn incremental_run_matches_oracle(i in instance()) {
+        let (topo, tm) = build(&i);
+        let (inc, full) = run_both(&topo, &tm, bounded_config());
+        assert_runs_identical("waxman", &inc, &full, &tm);
+    }
+
+    /// Warm starts (`Optimizer::run_from`) uphold the same invariant:
+    /// after a perturbation, the incremental warm run equals the oracle
+    /// warm run move for move.
+    #[test]
+    fn warm_start_matches_oracle_after_perturbation(i in instance(), bump in 1u32..4) {
+        let (topo, tm) = build(&i);
+        let cold = Optimizer::new(&topo, &tm, bounded_config()).run();
+        let mut tm2 = tm.clone();
+        for a in tm.iter().take(3) {
+            tm2.set_flow_count(a.id, a.flow_count + bump);
+        }
+        let inc = Optimizer::new(&topo, &tm2, OptimizerConfig {
+            incremental: true,
+            ..bounded_config()
+        }).run_from(&cold.allocation);
+        let full = Optimizer::new(&topo, &tm2, OptimizerConfig {
+            incremental: false,
+            ..bounded_config()
+        }).run_from(&cold.allocation);
+        assert_runs_identical("warm", &inc, &full, &tm2);
+    }
+}
+
+/// A medium real-topology instance (110 aggregates on Abilene) with
+/// enough scarcity for a long accept/reject history.
+#[test]
+fn incremental_run_matches_oracle_on_abilene() {
+    let topo = generators::abilene(Bandwidth::from_mbps(3.0));
+    let tm = workload::generate(
+        &topo,
+        &WorkloadConfig {
+            include_intra_pop: false,
+            flow_count: (3, 8),
+            ..Default::default()
+        },
+        5,
+    );
+    let cfg = OptimizerConfig {
+        max_commits: 25,
+        ..Default::default()
+    };
+    let (inc, full) = run_both(&topo, &tm, cfg);
+    assert!(inc.commits > 0, "instance must exercise the inner loop");
+    assert_runs_identical("abilene", &inc, &full, &tm);
+}
+
+/// The min-max objective reads the outcome's link-demand arrays rather
+/// than the utility report; the equality must hold there too.
+#[test]
+fn incremental_run_matches_oracle_with_minmax_objective() {
+    let topo = generators::ring(
+        6,
+        Bandwidth::from_kbps(500.0),
+        fubar_topology::Delay::from_ms(2.0),
+    );
+    let tm = workload::generate(
+        &topo,
+        &WorkloadConfig {
+            include_intra_pop: false,
+            flow_count: (2, 6),
+            ..Default::default()
+        },
+        11,
+    );
+    let cfg = OptimizerConfig {
+        objective: Objective::MinMaxUtilization,
+        max_commits: 40,
+        ..Default::default()
+    };
+    let (inc, full) = run_both(&topo, &tm, cfg);
+    assert_runs_identical("minmax", &inc, &full, &tm);
+}
+
+/// Tiny move fractions force the local-optimum escape ladder, where a
+/// long tail of rejected candidates stresses the patched scoring.
+#[test]
+fn incremental_run_matches_oracle_under_escape_pressure() {
+    let topo = generators::ring(
+        5,
+        Bandwidth::from_kbps(400.0),
+        fubar_topology::Delay::from_ms(2.0),
+    );
+    let tm = workload::generate(
+        &topo,
+        &WorkloadConfig {
+            include_intra_pop: false,
+            flow_count: (2, 6),
+            ..Default::default()
+        },
+        3,
+    );
+    let cfg = OptimizerConfig {
+        move_fraction: 0.05,
+        small_demand_threshold: Some(Bandwidth::from_kbps(1.0)),
+        max_commits: 80,
+        ..Default::default()
+    };
+    let (inc, full) = run_both(&topo, &tm, cfg);
+    assert_runs_identical("escape", &inc, &full, &tm);
+}
+
+/// `Optimizer::run_from` with a previous allocation whose aggregate ids
+/// were permuted/reassigned (a regenerated matrix attaches the same
+/// dense id to a different ingress/egress pair): the warm start must
+/// route every aggregate between its *own* endpoints — exercising
+/// `Allocation::rebase`'s endpoint check through the optimizer entry
+/// point — and still uphold the incremental ≡ oracle invariant.
+#[test]
+fn run_from_handles_permuted_and_reassigned_aggregates() {
+    use fubar_traffic::{Aggregate, AggregateId};
+    use fubar_utility::TrafficClass;
+
+    let topo = generators::ring(
+        6,
+        Bandwidth::from_kbps(500.0),
+        fubar_topology::Delay::from_ms(2.0),
+    );
+    let pair = |i: usize, flows: u32| {
+        Aggregate::new(
+            AggregateId(0), // reassigned densely by TrafficMatrix::new
+            fubar_graph::NodeId(i as u32),
+            fubar_graph::NodeId(((i + 3) % 6) as u32),
+            TrafficClass::BulkTransfer,
+            flows,
+        )
+    };
+    let tm1 = TrafficMatrix::new(vec![pair(0, 8), pair(1, 6), pair(2, 4)]);
+    let cold = Optimizer::with_defaults(&topo, &tm1).run();
+    assert!(
+        cold.allocation.active_path_count() > 3,
+        "instance must split traffic so inherited paths matter"
+    );
+
+    // Same pairs, permuted order, changed flow counts: every dense id
+    // now names a different pair than in `tm1`.
+    let tm2 = TrafficMatrix::new(vec![pair(2, 5), pair(0, 9), pair(1, 6)]);
+    let warm = Optimizer::with_defaults(&topo, &tm2).run_from(&cold.allocation);
+    warm.allocation.validate(&tm2).unwrap();
+    for a in tm2.iter() {
+        for (idx, p) in warm.allocation.path_set(a.id).iter().enumerate() {
+            if warm.allocation.flows_on(a.id, idx) > 0 {
+                assert_eq!(p.source(), a.ingress, "aggregate {} wrong source", a.id);
+                assert_eq!(p.destination(), a.egress, "aggregate {} wrong dest", a.id);
+            }
+        }
+    }
+    let oracle = Optimizer::new(
+        &topo,
+        &tm2,
+        OptimizerConfig {
+            incremental: false,
+            ..Default::default()
+        },
+    )
+    .run_from(&cold.allocation);
+    assert_runs_identical("permuted", &warm, &oracle, &tm2);
 }

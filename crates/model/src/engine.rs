@@ -29,18 +29,37 @@
 //! ### Incremental re-evaluation
 //!
 //! [`FlowModel::evaluate_from`] patches a previous [`Evaluation`] after a
-//! small change instead of re-running everything. The key observation:
-//! a link whose offered demand is strictly below its capacity can never
-//! saturate (the load is bounded by the demand at every water level), so
-//! it never freezes anyone and never couples bundles. Only *binding*
-//! links (demand ≥ capacity, in the previous or the new input) transmit
-//! influence. The affected set is the closure of the changed bundles
-//! over shared binding links — the "bottleneck component" — and only
-//! that subset is re-filled; everything else keeps its previous rate
-//! bitwise. Per-bundle freeze records ([`FreezeKey`]) let the patcher
-//! re-accumulate touched links' loads in exactly the order the full run
-//! would have used, so the patched outcome is bit-for-bit identical to a
-//! full recompute.
+//! small change instead of re-running everything; [`FlowModel::evaluate_delta`]
+//! does the same over a spliced [`BundleDelta`] view so per-candidate
+//! callers (the optimizer's inner loop) never materialize rejected
+//! inputs. Two observations bound the affected set:
+//!
+//! 1. a link whose offered demand is strictly below its capacity can
+//!    never saturate (the load is bounded by the demand at every water
+//!    level), so it never freezes anyone and never couples bundles;
+//! 2. a link that *never actually saturated* in the previous
+//!    equilibrium constrained nobody — removing demand from it cannot
+//!    make it saturate (its load only drops pointwise), so influence
+//!    propagates only through links that previously froze somebody.
+//!
+//! The affected set is therefore the closure of the changed bundles over
+//! shared *previously-saturating* links, and only that subset is
+//! re-filled; everything else keeps its previous rate bitwise. The one
+//! risk in rule 2 is a never-saturated link whose load *rises* because a
+//! re-filled crosser sped up — or because its capacity shrank or a
+//! bundle landed on it: after the fill, every binding
+//! (demand ≥ capacity) link partially crossed by the component or
+//! touched directly by the change is verified to end strictly below
+//! capacity (re-filled rates plus carried rates, with a
+//! [`BINDING_SLACK`] margin); if the optimism was wrong —
+//! the fill saturated it or the true load reaches the bar — the
+//! component absorbs that link's crossers and the fill re-runs. Since
+//! loads only grow with the water level, the final load is the
+//! trajectory maximum, so a passed check proves the link never fires and
+//! the spliced trajectory is exactly the full run's. Per-bundle freeze
+//! records ([`FreezeKey`]) then let the patcher re-accumulate touched
+//! links' loads in exactly the order the full run would have used, so
+//! the patched outcome is bit-for-bit identical to a full recompute.
 
 use crate::outcome::ModelOutcome;
 use crate::spec::{BundleSpec, BundleStatus};
@@ -130,8 +149,6 @@ struct LinkState {
     active_weight: f64,
     version: u32,
     saturated: bool,
-    /// Indices of bundles crossing this link.
-    crossing: Vec<u32>,
     /// Sum of unconstrained demands of crossing bundles.
     demand: f64,
 }
@@ -223,14 +240,181 @@ impl FreezeKey {
     }
 }
 
-/// A model outcome plus the freeze trace [`FlowModel::evaluate_from`]
-/// needs to patch it incrementally.
+/// Indexed read access to a bundle list — a plain slice or a
+/// [`BundleDelta`] splice. Lets the engine fill and patch spliced views
+/// without the caller materializing them.
+trait BundleView {
+    fn len(&self) -> usize;
+    fn get(&self, i: usize) -> &BundleSpec;
+}
+
+impl BundleView for [BundleSpec] {
+    fn len(&self) -> usize {
+        <[BundleSpec]>::len(self)
+    }
+    fn get(&self, i: usize) -> &BundleSpec {
+        &self[i]
+    }
+}
+
+impl BundleView for BundleDelta<'_> {
+    fn len(&self) -> usize {
+        BundleDelta::len(self)
+    }
+    fn get(&self, i: usize) -> &BundleSpec {
+        BundleDelta::get(self, i)
+    }
+}
+
+/// A one-segment splice over a previous bundle list: entries
+/// `[start, start + removed)` of `prev` are replaced by `replacement`,
+/// everything else is unchanged. [`FlowModel::evaluate_delta`] evaluates
+/// such a view directly, so a caller scoring many candidate changes
+/// (the optimizer: each candidate move perturbs exactly one aggregate's
+/// contiguous bundle segment) only materializes the winner.
+#[derive(Clone, Copy, Debug)]
+pub struct BundleDelta<'b> {
+    prev: &'b [BundleSpec],
+    start: usize,
+    removed: usize,
+    replacement: &'b [BundleSpec],
+}
+
+impl<'b> BundleDelta<'b> {
+    /// A splice replacing `prev[start..start + removed]` with
+    /// `replacement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start + removed` overruns `prev`.
+    pub fn new(
+        prev: &'b [BundleSpec],
+        start: usize,
+        removed: usize,
+        replacement: &'b [BundleSpec],
+    ) -> Self {
+        assert!(
+            start + removed <= prev.len(),
+            "spliced range {start}..{} overruns {} previous bundles",
+            start + removed,
+            prev.len()
+        );
+        BundleDelta {
+            prev,
+            start,
+            removed,
+            replacement,
+        }
+    }
+
+    /// Length of the spliced list.
+    pub fn len(&self) -> usize {
+        self.prev.len() - self.removed + self.replacement.len()
+    }
+
+    /// True when the spliced list holds no bundles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bundle at position `i` of the spliced list.
+    pub fn get(&self, i: usize) -> &'b BundleSpec {
+        if i < self.start {
+            &self.prev[i]
+        } else if i < self.start + self.replacement.len() {
+            &self.replacement[i - self.start]
+        } else {
+            &self.prev[i - self.replacement.len() + self.removed]
+        }
+    }
+
+    /// Where bundle `i` of the spliced list sat in the previous list
+    /// (`None` across the replacement segment) — exactly the
+    /// `prev_index` mapping [`FlowModel::evaluate_from`] takes.
+    pub fn prev_index(&self, i: usize) -> Option<u32> {
+        if i < self.start {
+            Some(i as u32)
+        } else if i < self.start + self.replacement.len() {
+            None
+        } else {
+            Some((i - self.replacement.len() + self.removed) as u32)
+        }
+    }
+
+    /// Every link crossed by a removed or replacement bundle — the
+    /// touched set the model patcher must re-derive loads for.
+    pub fn touched_links(&self) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        for b in &self.prev[self.start..self.start + self.removed] {
+            out.extend_from_slice(&b.links);
+        }
+        for b in self.replacement {
+            out.extend_from_slice(&b.links);
+        }
+        out
+    }
+
+    /// The spliced list as an owned vector (for committing a winner).
+    pub fn materialize(&self) -> Vec<BundleSpec> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend_from_slice(&self.prev[..self.start]);
+        out.extend_from_slice(self.replacement);
+        out.extend_from_slice(&self.prev[self.start + self.removed..]);
+        out
+    }
+
+    /// Iterates the spliced list in order (exact-size, so it plugs into
+    /// [`crate::utility_report_from`]).
+    pub fn iter(&self) -> BundleDeltaIter<'b> {
+        BundleDeltaIter { delta: *self, i: 0 }
+    }
+}
+
+/// Iterator over a [`BundleDelta`]'s spliced list.
+#[derive(Clone, Debug)]
+pub struct BundleDeltaIter<'b> {
+    delta: BundleDelta<'b>,
+    i: usize,
+}
+
+impl<'b> Iterator for BundleDeltaIter<'b> {
+    type Item = &'b BundleSpec;
+
+    fn next(&mut self) -> Option<&'b BundleSpec> {
+        if self.i >= self.delta.len() {
+            return None;
+        }
+        let b = self.delta.get(self.i);
+        self.i += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.delta.len() - self.i;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for BundleDeltaIter<'_> {}
+
+/// A model outcome plus the traces [`FlowModel::evaluate_from`] and
+/// [`FlowModel::score_delta`] need to patch it incrementally.
 #[derive(Clone, Debug)]
 pub struct Evaluation {
     /// The equilibrium, exactly as [`FlowModel::evaluate`] returns it.
     pub outcome: ModelOutcome,
     /// Per-bundle freeze records (same order as the input bundles).
     freeze_keys: Vec<FreezeKey>,
+    /// Per-bundle demands in bps — cached so delta scoring splices
+    /// instead of recomputing O(bundles) demands per candidate.
+    demands: Vec<f64>,
+    /// Crossing lists in CSR form: crossers of link `l`, ascending, at
+    /// `csr[csr_start[l]..csr_start[l + 1]]` — cached so delta scoring
+    /// merges per-link crossers lazily instead of rebuilding the whole
+    /// structure per candidate.
+    csr: Vec<u32>,
+    /// CSR row offsets, `link_count + 1` entries.
+    csr_start: Vec<u32>,
 }
 
 /// What [`FlowModel::evaluate_from`] produced.
@@ -307,18 +491,23 @@ impl<'a> FlowModel<'a> {
     /// Like [`FlowModel::evaluate`], but also records the freeze trace
     /// so a later [`FlowModel::evaluate_from`] can patch the result.
     pub fn evaluate_traced(&self, bundles: &[BundleSpec]) -> Evaluation {
+        self.evaluate_traced_view(bundles)
+    }
+
+    fn evaluate_traced_view<V: BundleView + ?Sized>(&self, bundles: &V) -> Evaluation {
         let caps = self.capacities();
-        let weights: Vec<f64> = bundles
-            .iter()
-            .map(|b| b.weight(self.config.min_rtt))
+        let n = bundles.len();
+        let weights: Vec<f64> = (0..n)
+            .map(|i| bundles.get(i).weight(self.config.min_rtt))
             .collect();
-        let demands: Vec<f64> = bundles.iter().map(|b| b.demand().bps()).collect();
-        let subset: Vec<u32> = (0..bundles.len() as u32).collect();
+        let demands: Vec<f64> = (0..n).map(|i| bundles.get(i).demand().bps()).collect();
+        let subset: Vec<u32> = (0..n as u32).collect();
         let fill = fill(bundles, &subset, &weights, &demands, &caps);
 
         let mut congested = fill.saturated;
         sort_congested(&mut congested, &fill.link_demand, &caps);
 
+        let (csr, csr_start) = build_csr(bundles, self.topology.link_count());
         Evaluation {
             outcome: ModelOutcome::new(
                 fill.rates.into_iter().map(Bandwidth::from_bps).collect(),
@@ -336,6 +525,9 @@ impl<'a> FlowModel<'a> {
                 congested,
             ),
             freeze_keys: fill.keys,
+            demands,
+            csr,
+            csr_start,
         }
     }
 
@@ -362,110 +554,103 @@ impl<'a> FlowModel<'a> {
         prev_index: &[Option<u32>],
         touched_links: &[LinkId],
     ) -> IncrementalEvaluation {
-        let n_links = self.topology.link_count();
-        let n = bundles.len();
-        assert_eq!(prev_index.len(), n, "prev_index must cover every bundle");
         assert_eq!(
-            prev.outcome.link_load.len(),
-            n_links,
-            "previous evaluation is for a different topology shape"
+            prev_index.len(),
+            bundles.len(),
+            "prev_index must cover every bundle"
         );
+        self.evaluate_from_view(prev, bundles, &|i| prev_index[i], touched_links, None)
+    }
 
-        let caps = self.capacities();
-        let weights: Vec<f64> = bundles
-            .iter()
-            .map(|b| b.weight(self.config.min_rtt))
-            .collect();
-        let demands: Vec<f64> = bundles.iter().map(|b| b.demand().bps()).collect();
+    /// Patches `prev` into the evaluation of `delta`'s spliced bundle
+    /// list *without materializing it* — the per-candidate entry point
+    /// for callers that score many one-segment changes against the same
+    /// incumbent (the optimizer: each candidate move replaces exactly
+    /// one aggregate's contiguous bundle segment). The result is bitwise
+    /// identical to `evaluate_from(prev, &delta.materialize(), ..)`,
+    /// which in turn is bitwise identical to a full recompute.
+    pub fn evaluate_delta(
+        &self,
+        prev: &Evaluation,
+        delta: &BundleDelta<'_>,
+    ) -> IncrementalEvaluation {
+        let touched = delta.touched_links();
+        self.evaluate_from_view(prev, delta, &|i| delta.prev_index(i), &touched, Some(delta))
+    }
 
-        // Crossing lists + offered demand, accumulated in input order —
-        // the same float-add order the full path uses, so `link_demand`
-        // is bitwise identical by construction.
-        let mut crossing: Vec<Vec<u32>> = vec![Vec::new(); n_links];
-        let mut link_demand = vec![0.0_f64; n_links];
-        for (bi, b) in bundles.iter().enumerate() {
-            debug_assert!(
-                b.links.iter().all(|l| l.index() < n_links),
-                "bundle {bi} references a link outside the topology"
-            );
-            for l in &b.links {
-                crossing[l.index()].push(bi as u32);
-                link_demand[l.index()] += demands[bi];
-            }
-        }
-
-        // Links that can transmit influence: binding in either input.
-        let binding: Vec<bool> = (0..n_links)
-            .map(|l| {
-                is_binding(link_demand[l], caps[l])
-                    || is_binding(
-                        prev.outcome.link_demand[l].bps(),
-                        prev.outcome.link_capacity[l].bps(),
-                    )
-            })
-            .collect();
-
-        // Seed the affected set: changed bundles, plus crossers of
-        // touched links that are (or were) binding.
-        let mut in_set = vec![false; n];
-        let mut queue: Vec<u32> = Vec::new();
-        for (i, p) in prev_index.iter().enumerate() {
-            if p.is_none() {
-                in_set[i] = true;
-                queue.push(i as u32);
-            }
-        }
-        let mut load_dirty = vec![false; n_links];
-        for &l in touched_links {
-            let li = l.index();
-            if li >= n_links || load_dirty[li] {
-                continue;
-            }
-            load_dirty[li] = true;
-            if binding[li] {
-                for &c in &crossing[li] {
-                    if !in_set[c as usize] {
-                        in_set[c as usize] = true;
-                        queue.push(c);
-                    }
-                }
-            }
-        }
-
-        // Closure over shared binding links: the bottleneck component.
-        let mut link_seen = vec![false; n_links];
-        while let Some(bi) = queue.pop() {
-            for l in &bundles[bi as usize].links {
-                let li = l.index();
-                if binding[li] && !link_seen[li] {
-                    link_seen[li] = true;
-                    for &c in &crossing[li] {
-                        if !in_set[c as usize] {
-                            in_set[c as usize] = true;
-                            queue.push(c);
-                        }
-                    }
-                }
-            }
-        }
-
-        let subset: Vec<u32> = (0..n as u32).filter(|&i| in_set[i as usize]).collect();
-        // A component covering almost all of the input gains nothing
-        // over a full run; fall back (also exercises the same code the
-        // oracle uses, trivially keeping the equality invariant).
-        if subset.len() * 10 >= n.max(1) * 9 {
-            return IncrementalEvaluation {
-                evaluation: self.evaluate_traced(bundles),
-                affected: (0..n as u32).collect(),
+    /// Evaluates `delta` just far enough to *score* it: the component
+    /// fill runs (with the same closure, verification, and fallback
+    /// logic as [`FlowModel::evaluate_delta`]), but no spliced outcome,
+    /// link-load, or congestion list is assembled. This is the
+    /// optimizer's per-candidate fast path — rejected candidates never
+    /// pay for assembly; the winning candidate is committed through
+    /// [`FlowModel::evaluate_delta`]. Every value returned is bitwise
+    /// identical to the corresponding field of a full recompute.
+    pub fn score_delta(&self, prev: &Evaluation, delta: &BundleDelta<'_>) -> DeltaScore {
+        let touched = delta.touched_links();
+        match self.delta_fill(prev, delta, &|i| delta.prev_index(i), &touched, Some(delta)) {
+            DeltaFill::Full(eval) => DeltaScore {
+                affected: (0..eval.outcome.bundle_rates.len() as u32).collect(),
+                rates: eval.outcome.bundle_rates.iter().map(|r| r.bps()).collect(),
+                link_demand: eval.outcome.link_demand.iter().map(|d| d.bps()).collect(),
+                link_capacity: eval.outcome.link_capacity.iter().map(|c| c.bps()).collect(),
                 full_recompute: true,
-            };
+            },
+            DeltaFill::Partial(p) => DeltaScore {
+                affected: p.subset,
+                rates: p.filled.rates,
+                link_demand: p.link_demand,
+                link_capacity: p.caps,
+                full_recompute: false,
+            },
         }
+    }
 
-        let fill = fill(bundles, &subset, &weights, &demands, &caps);
+    /// The shared incremental core behind [`FlowModel::evaluate_from`]
+    /// and [`FlowModel::evaluate_delta`], generic over how the new
+    /// bundle list is stored: assembles the full spliced evaluation on
+    /// top of [`FlowModel::delta_fill`].
+    fn evaluate_from_view<V: BundleView + ?Sized>(
+        &self,
+        prev: &Evaluation,
+        bundles: &V,
+        prev_index: &dyn Fn(usize) -> Option<u32>,
+        touched_links: &[LinkId],
+        splice: Option<&BundleDelta<'_>>,
+    ) -> IncrementalEvaluation {
+        let n = bundles.len();
+        let p = match self.delta_fill(prev, bundles, prev_index, touched_links, splice) {
+            DeltaFill::Full(evaluation) => {
+                return IncrementalEvaluation {
+                    evaluation,
+                    affected: (0..n as u32).collect(),
+                    full_recompute: true,
+                }
+            }
+            DeltaFill::Partial(p) => p,
+        };
+        let n_links = self.topology.link_count();
+        let PartialFill {
+            subset,
+            filled: fill,
+            link_demand,
+            caps,
+            touched,
+            demands,
+            built_csr,
+        } = p;
+        let (csr, csr_start) = built_csr.unwrap_or_else(|| build_csr(bundles, n_links));
+        let crossers =
+            |li: usize| -> &[u32] { &csr[csr_start[li] as usize..csr_start[li + 1] as usize] };
+        let mut load_dirty = touched;
 
         // Splice per-bundle results: re-filled values for the affected
         // component, previous values (with renumbered freeze keys) for
         // everything else.
+        let mut in_set = vec![false; n];
+        for &gi in &subset {
+            in_set[gi as usize] = true;
+        }
         let mut rates = vec![0.0_f64; n];
         let mut status = vec![BundleStatus::Satisfied; n];
         let mut keys = vec![FreezeKey::satisfied(0.0, 0); n];
@@ -474,11 +659,11 @@ impl<'a> FlowModel<'a> {
             status[gi as usize] = fill.status[local];
             keys[gi as usize] = fill.keys[local];
         }
-        for (i, p) in prev_index.iter().enumerate() {
+        for i in 0..n {
             if in_set[i] {
                 continue;
             }
-            let j = p.expect("unaffected bundles are mapped") as usize;
+            let j = prev_index(i).expect("unaffected bundles are mapped") as usize;
             rates[i] = prev.outcome.bundle_rates[j].bps();
             status[i] = prev.outcome.bundle_status[j];
             keys[i] = prev.freeze_keys[j].with_bundle(i as u32);
@@ -487,7 +672,7 @@ impl<'a> FlowModel<'a> {
         // Links whose load must be re-derived: touched ones plus every
         // link the affected component crosses.
         for &gi in &subset {
-            for l in &bundles[gi as usize].links {
+            for l in &bundles.get(gi as usize).links {
                 load_dirty[l.index()] = true;
             }
         }
@@ -502,7 +687,7 @@ impl<'a> FlowModel<'a> {
             }
             entries.clear();
             entries.extend(
-                crossing[li]
+                crossers(li)
                     .iter()
                     .map(|&bi| (keys[bi as usize], rates[bi as usize])),
             );
@@ -539,11 +724,416 @@ impl<'a> FlowModel<'a> {
                     congested,
                 ),
                 freeze_keys: keys,
+                demands,
+                csr,
+                csr_start,
             },
             affected: subset,
             full_recompute: false,
         }
     }
+
+    /// Runs the component analysis and fill shared by the assembling
+    /// ([`FlowModel::evaluate_from`]/[`FlowModel::evaluate_delta`]) and
+    /// scoring ([`FlowModel::score_delta`]) entry points. When `splice`
+    /// names the delta view that `bundles` is, per-bundle demands splice
+    /// from the previous evaluation's cache and per-link crossers merge
+    /// lazily from its CSR, instead of rebuilding O(bundles) structures.
+    fn delta_fill<V: BundleView + ?Sized>(
+        &self,
+        prev: &Evaluation,
+        bundles: &V,
+        prev_index: &dyn Fn(usize) -> Option<u32>,
+        touched_links: &[LinkId],
+        splice: Option<&BundleDelta<'_>>,
+    ) -> DeltaFill {
+        let n_links = self.topology.link_count();
+        let n = bundles.len();
+        assert_eq!(
+            prev.outcome.link_load.len(),
+            n_links,
+            "previous evaluation is for a different topology shape"
+        );
+
+        let caps = self.capacities();
+        #[cfg(debug_assertions)]
+        for bi in 0..n {
+            debug_assert!(
+                bundles.get(bi).links.iter().all(|l| l.index() < n_links),
+                "bundle {bi} references a link outside the topology"
+            );
+        }
+        // Per-bundle demands: spliced from the previous evaluation's
+        // cache when the input is a one-segment delta (a pure copy —
+        // demand is a pure function of the bundle), recomputed
+        // otherwise.
+        let demands: Vec<f64> = match splice {
+            Some(d) => {
+                assert_eq!(
+                    prev.demands.len(),
+                    d.prev.len(),
+                    "delta splices over a different bundle list than `prev` evaluated"
+                );
+                let mut v = Vec::with_capacity(n);
+                v.extend_from_slice(&prev.demands[..d.start]);
+                v.extend(d.replacement.iter().map(|b| b.demand().bps()));
+                v.extend_from_slice(&prev.demands[d.start + d.removed..]);
+                v
+            }
+            None => (0..n).map(|i| bundles.get(i).demand().bps()).collect(),
+        };
+        // Per-link crossers of the new list: merged lazily from the
+        // previous CSR for deltas, built directly otherwise.
+        let crossings = match splice {
+            Some(d) => Crossings::Spliced { prev, delta: d },
+            None => {
+                let (csr, csr_start) = build_csr(bundles, n_links);
+                Crossings::Built { csr, csr_start }
+            }
+        };
+        let mut cs_buf: Vec<u32> = Vec::new();
+
+        // Offered demand: links untouched by the delta keep their
+        // previous sums verbatim (same crossers, same demands, same
+        // input order ⇒ the same float sum); touched links re-accumulate
+        // over their crossers in input order — both bitwise identical to
+        // a full run's accumulation.
+        let mut touched = vec![false; n_links];
+        for &l in touched_links {
+            if l.index() < n_links {
+                touched[l.index()] = true;
+            }
+        }
+        let mut link_demand: Vec<f64> = (0..n_links)
+            .map(|li| prev.outcome.link_demand[li].bps())
+            .collect();
+        for li in 0..n_links {
+            if touched[li] {
+                crossings.collect_into(li, &mut cs_buf);
+                let mut sum = 0.0;
+                for &bi in cs_buf.iter() {
+                    sum += demands[bi as usize];
+                }
+                link_demand[li] = sum;
+            }
+        }
+
+        // Links that *actually constrained* the previous equilibrium —
+        // only these transmit influence during closure. A link that was
+        // merely binding (demand ≥ capacity) but never saturated froze
+        // nobody: losing demand cannot make it saturate, and gaining
+        // load is caught by the optimistic border check below.
+        let mut saturated_prev = vec![false; n_links];
+        for &l in &prev.outcome.congested {
+            if l.index() < n_links {
+                saturated_prev[l.index()] = true;
+            }
+        }
+        // Links that *could* saturate under the new demands; anything
+        // below this bar can never freeze anyone, wherever its
+        // crossers' rates move.
+        let binding_new: Vec<bool> = (0..n_links)
+            .map(|li| is_binding(link_demand[li], caps[li]))
+            .collect();
+
+        // Seed the affected set: changed bundles, plus the full crosser
+        // sets of touched links that saturated before (their frozen
+        // victims must re-fill to redistribute freed or re-claimed
+        // capacity).
+        let mut in_set = vec![false; n];
+        let mut queue: Vec<u32> = Vec::new();
+        for (i, dirty) in in_set.iter_mut().enumerate() {
+            if prev_index(i).is_none() {
+                *dirty = true;
+                queue.push(i as u32);
+            }
+        }
+        for li in 0..n_links {
+            if touched[li] && saturated_prev[li] {
+                crossings.collect_into(li, &mut cs_buf);
+                for &c in cs_buf.iter() {
+                    if !in_set[c as usize] {
+                        in_set[c as usize] = true;
+                        queue.push(c);
+                    }
+                }
+            }
+        }
+
+        // Closure over previously-saturating links only; the fill below
+        // is *optimistic* — links that never saturated are assumed to
+        // stay unsaturated, and the assumption is verified afterwards
+        // against the true final load (re-filled rates plus carried
+        // rates). Any border link that saturates in the fill or lands
+        // within BINDING_SLACK of its capacity expands the component and
+        // the fill re-runs, so the accepted result cannot diverge from a
+        // full recompute (see the module docs for the argument).
+        let mut link_seen = vec![false; n_links];
+        let close = |queue: &mut Vec<u32>,
+                     in_set: &mut [bool],
+                     link_seen: &mut [bool],
+                     cs_buf: &mut Vec<u32>| {
+            while let Some(bi) = queue.pop() {
+                for l in &bundles.get(bi as usize).links {
+                    let li = l.index();
+                    if saturated_prev[li] && !link_seen[li] {
+                        link_seen[li] = true;
+                        crossings.collect_into(li, cs_buf);
+                        for &c in cs_buf.iter() {
+                            if !in_set[c as usize] {
+                                in_set[c as usize] = true;
+                                queue.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        close(&mut queue, &mut in_set, &mut link_seen, &mut cs_buf);
+
+        let mut weights = vec![0.0_f64; n];
+        let mut local_of = vec![u32::MAX; n];
+        let (subset, filled) = loop {
+            let subset: Vec<u32> = (0..n as u32).filter(|&i| in_set[i as usize]).collect();
+            // A component covering almost all of the input gains nothing
+            // over a full run; fall back (also exercises the same code
+            // the oracle uses, trivially keeping the equality
+            // invariant).
+            if subset.len() * 10 >= n.max(1) * 9 {
+                return DeltaFill::Full(self.evaluate_traced_view(bundles));
+            }
+            for &gi in &subset {
+                weights[gi as usize] = bundles.get(gi as usize).weight(self.config.min_rtt);
+            }
+            let filled = fill(bundles, &subset, &weights, &demands, &caps);
+
+            // Border verification: every never-saturated binding link
+            // that the delta could have pushed over — partially crossed
+            // by the re-filled component, or touched directly (changed
+            // capacity, gained/lost a bundle) — must end strictly below
+            // capacity, or the optimism was wrong and the component
+            // grows. Fully-covered links need no check — the fill saw
+            // all their crossers and its verdict is authoritative.
+            let mut fill_saturated = vec![false; n_links];
+            for &l in &filled.saturated {
+                fill_saturated[l.index()] = true;
+            }
+            for (local, &gi) in subset.iter().enumerate() {
+                local_of[gi as usize] = local as u32;
+            }
+            let mut expanded = false;
+            let mut border_seen = vec![false; n_links];
+            let verify = |li: usize,
+                          in_set: &mut [bool],
+                          queue: &mut Vec<u32>,
+                          border_seen: &mut [bool],
+                          expanded: &mut bool,
+                          cs_buf: &mut Vec<u32>| {
+                if border_seen[li] || saturated_prev[li] {
+                    return;
+                }
+                border_seen[li] = true;
+                if !binding_new[li] {
+                    return;
+                }
+                crossings.collect_into(li, cs_buf);
+                if cs_buf.iter().all(|&c| in_set[c as usize]) {
+                    return;
+                }
+                let mut load = 0.0;
+                for &c in cs_buf.iter() {
+                    let ci = c as usize;
+                    // Bundles absorbed earlier in this same scan are in
+                    // `in_set` but not in this fill; they carried their
+                    // previous rate through it.
+                    load += if local_of[ci] != u32::MAX {
+                        filled.rates[local_of[ci] as usize]
+                    } else {
+                        prev.outcome.bundle_rates
+                            [prev_index(ci).expect("unaffected bundles are mapped") as usize]
+                            .bps()
+                    };
+                }
+                if fill_saturated[li] || load >= caps[li] * (1.0 - BINDING_SLACK) {
+                    *expanded = true;
+                    for &c in cs_buf.iter() {
+                        if !in_set[c as usize] {
+                            in_set[c as usize] = true;
+                            queue.push(c);
+                        }
+                    }
+                }
+            };
+            for &gi in &subset {
+                for l in &bundles.get(gi as usize).links {
+                    verify(
+                        l.index(),
+                        &mut in_set,
+                        &mut queue,
+                        &mut border_seen,
+                        &mut expanded,
+                        &mut cs_buf,
+                    );
+                }
+            }
+            for (li, &touched_link) in touched.iter().enumerate() {
+                if touched_link {
+                    verify(
+                        li,
+                        &mut in_set,
+                        &mut queue,
+                        &mut border_seen,
+                        &mut expanded,
+                        &mut cs_buf,
+                    );
+                }
+            }
+            if !expanded {
+                break (subset, filled);
+            }
+            close(&mut queue, &mut in_set, &mut link_seen, &mut cs_buf);
+        };
+
+        DeltaFill::Partial(PartialFill {
+            subset,
+            filled,
+            link_demand,
+            caps,
+            touched,
+            demands,
+            built_csr: match crossings {
+                Crossings::Built { csr, csr_start } => Some((csr, csr_start)),
+                Crossings::Spliced { .. } => None,
+            },
+        })
+    }
+}
+
+/// What [`FlowModel::delta_fill`] produced: either a full traced
+/// evaluation (fallback) or the re-filled component with the shared
+/// per-link arrays the assembly and scoring paths both need.
+enum DeltaFill {
+    Full(Evaluation),
+    Partial(PartialFill),
+}
+
+struct PartialFill {
+    /// Global indices of the re-filled component, ascending.
+    subset: Vec<u32>,
+    /// The component fill, parallel to `subset`.
+    filled: FillResult,
+    /// Offered demand per link (bps) under the new input.
+    link_demand: Vec<f64>,
+    /// Usable capacity per link (bps).
+    caps: Vec<f64>,
+    /// Touched-link mask (capacity changes + links of removed/added
+    /// bundles) — the assembly extends it with the component's links to
+    /// know which loads to re-derive.
+    touched: Vec<bool>,
+    /// Per-bundle demands in bps (new list order).
+    demands: Vec<f64>,
+    /// The new list's CSR when the query path already built it
+    /// (non-splice callers); the assembly reuses it instead of building
+    /// again.
+    built_csr: Option<(Vec<u32>, Vec<u32>)>,
+}
+
+/// Per-link crosser lists for the *new* bundle list: built directly, or
+/// merged lazily from the previous evaluation's cached CSR and a
+/// one-segment splice.
+enum Crossings<'a> {
+    Built {
+        csr: Vec<u32>,
+        csr_start: Vec<u32>,
+    },
+    Spliced {
+        prev: &'a Evaluation,
+        delta: &'a BundleDelta<'a>,
+    },
+}
+
+impl Crossings<'_> {
+    /// Writes the crossers of link `li` into `buf`: new-list indices,
+    /// ascending, with exactly the multiplicity and order a direct
+    /// build over the new list would produce.
+    fn collect_into(&self, li: usize, buf: &mut Vec<u32>) {
+        buf.clear();
+        match self {
+            Crossings::Built { csr, csr_start } => {
+                buf.extend_from_slice(&csr[csr_start[li] as usize..csr_start[li + 1] as usize]);
+            }
+            Crossings::Spliced { prev, delta } => {
+                let start = delta.start;
+                let removed = delta.removed;
+                let shift = delta.replacement.len() as i64 - removed as i64;
+                let prev_cs =
+                    &prev.csr[prev.csr_start[li] as usize..prev.csr_start[li + 1] as usize];
+                let mut i = 0;
+                while i < prev_cs.len() && (prev_cs[i] as usize) < start {
+                    buf.push(prev_cs[i]);
+                    i += 1;
+                }
+                for (k, b) in delta.replacement.iter().enumerate() {
+                    for l in &b.links {
+                        if l.index() == li {
+                            buf.push((start + k) as u32);
+                        }
+                    }
+                }
+                while i < prev_cs.len() && (prev_cs[i] as usize) < start + removed {
+                    i += 1;
+                }
+                for &j in &prev_cs[i..] {
+                    buf.push((i64::from(j) + shift) as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Builds per-link crossing lists in CSR form (crossers of link `l`,
+/// ascending bundle order, at `csr[csr_start[l]..csr_start[l + 1]]`).
+fn build_csr<V: BundleView + ?Sized>(bundles: &V, n_links: usize) -> (Vec<u32>, Vec<u32>) {
+    let n = bundles.len();
+    let mut csr_start = vec![0u32; n_links + 1];
+    for bi in 0..n {
+        for l in &bundles.get(bi).links {
+            csr_start[l.index() + 1] += 1;
+        }
+    }
+    for li in 0..n_links {
+        csr_start[li + 1] += csr_start[li];
+    }
+    let mut csr = vec![0u32; csr_start[n_links] as usize];
+    let mut pos: Vec<u32> = csr_start[..n_links].to_vec();
+    for bi in 0..n {
+        for l in &bundles.get(bi).links {
+            let p = &mut pos[l.index()];
+            csr[*p as usize] = bi as u32;
+            *p += 1;
+        }
+    }
+    (csr, csr_start)
+}
+
+/// The minimal product of a delta evaluation, for scoring: the
+/// re-filled component and its rates plus the per-link demand and
+/// capacity arrays — no spliced per-bundle outcome, no link loads, no
+/// congestion list. Produced by [`FlowModel::score_delta`]; every field
+/// is bitwise identical to the corresponding piece of a full recompute.
+#[derive(Clone, Debug)]
+pub struct DeltaScore {
+    /// Global (spliced-list) indices of re-filled bundles, ascending.
+    pub affected: Vec<u32>,
+    /// New rates in bps, parallel to `affected` (on fallback: every
+    /// bundle's rate).
+    pub rates: Vec<f64>,
+    /// Offered demand per link, bps.
+    pub link_demand: Vec<f64>,
+    /// Usable capacity per link, bps.
+    pub link_capacity: Vec<f64>,
+    /// True when the engine fell back to a plain full evaluation.
+    pub full_recompute: bool,
 }
 
 /// Sorts congested links by oversubscription (descending), the order
@@ -560,8 +1150,8 @@ fn sort_congested(congested: &mut [LinkId], link_demand: &[f64], caps: &[f64]) {
 /// Event tie-breaking uses global indices throughout, so filling a
 /// subset whose members don't share a binding link with the rest
 /// reproduces exactly what a full run computes for those bundles.
-fn fill(
-    bundles: &[BundleSpec],
+fn fill<V: BundleView + ?Sized>(
+    bundles: &V,
     subset: &[u32],
     weights: &[f64],
     demands: &[f64],
@@ -589,21 +1179,35 @@ fn fill(
             active_weight: 0.0,
             version: 0,
             saturated: false,
-            crossing: Vec::new(),
             demand: 0.0,
         })
         .collect();
+    // Subset crossing lists in CSR form (no per-link vectors): crossers
+    // of link `l`, ascending, at `cross[cross_start[l]..cross_start[l+1]]`.
+    let mut cross_start = vec![0u32; n_links + 1];
     for &gi in subset {
         let bi = gi as usize;
         debug_assert!(
-            bundles[bi].links.iter().all(|l| l.index() < n_links),
+            bundles.get(bi).links.iter().all(|l| l.index() < n_links),
             "bundle {bi} references a link outside the topology"
         );
-        for l in &bundles[bi].links {
+        for l in &bundles.get(bi).links {
             let ls = &mut links[l.index()];
             ls.active_weight += weights[bi];
             ls.demand += demands[bi];
-            ls.crossing.push(gi);
+            cross_start[l.index() + 1] += 1;
+        }
+    }
+    for li in 0..n_links {
+        cross_start[li + 1] += cross_start[li];
+    }
+    let mut cross = vec![0u32; cross_start[n_links] as usize];
+    let mut cross_pos: Vec<u32> = cross_start[..n_links].to_vec();
+    for &gi in subset {
+        for l in &bundles.get(gi as usize).links {
+            let p = &mut cross_pos[l.index()];
+            cross[*p as usize] = gi;
+            *p += 1;
         }
     }
 
@@ -633,7 +1237,7 @@ fn fill(
     let mut remaining = m;
 
     // Freezes bundle `gi` at water level `t` with the given status,
-    // updating all links it crosses and re-arming their events.
+    // updating all links it crosses (their events re-arm lazily on pop).
     let freeze = |gi: u32,
                   t: f64,
                   st: BundleStatus,
@@ -642,7 +1246,6 @@ fn fill(
                   keys: &mut [FreezeKey],
                   active: &mut [bool],
                   links: &mut [LinkState],
-                  heap: &mut BinaryHeap<Event>,
                   local_of: &[u32]| {
         let bi = gi as usize;
         let local = local_of[bi] as usize;
@@ -657,24 +1260,20 @@ fn fill(
             BundleStatus::Congested(l) => FreezeKey::congested(t, l.0, gi),
         };
         active[local] = false;
-        for l in &bundles[bi].links {
+        for l in &bundles.get(bi).links {
             let ls = &mut links[l.index()];
             ls.frozen_load += rate;
             ls.active_weight -= weights[bi];
             if ls.active_weight < 1e-9 {
                 ls.active_weight = 0.0;
             }
+            // Lazily re-armed: the link's stale heap entry is a lower
+            // bound on its true saturation time (each freeze lowers the
+            // load slope, so saturation only moves later), and the pop
+            // loop re-computes and re-pushes it when it surfaces. This
+            // keeps heap traffic at O(links + stale pops) instead of
+            // one push per (freeze × crossed link).
             ls.version += 1;
-            if !ls.saturated {
-                if let Some(nt) = ls.saturation_time() {
-                    heap.push(Event {
-                        time: nt.max(t),
-                        kind: 1,
-                        idx: l.0,
-                        version: ls.version,
-                    });
-                }
-            }
         }
     };
 
@@ -697,22 +1296,32 @@ fn fill(
                     &mut keys,
                     &mut active,
                     &mut links,
-                    &mut heap,
                     &local_of,
                 );
                 remaining -= 1;
             }
             _ => {
                 let li = ev.idx as usize;
-                if links[li].saturated
-                    || links[li].version != ev.version
-                    || links[li].active_weight <= 0.0
-                {
-                    continue; // stale
+                if links[li].saturated || links[li].active_weight <= 0.0 {
+                    continue; // dead: no active crossers left to freeze
+                }
+                if links[li].version != ev.version {
+                    // Stale lower bound surfaced: re-arm at the current
+                    // saturation time (clamped to the frontier so
+                    // processing stays monotone in time).
+                    if let Some(nt) = links[li].saturation_time() {
+                        heap.push(Event {
+                            time: nt.max(ev.time),
+                            kind: 1,
+                            idx: ev.idx,
+                            version: links[li].version,
+                        });
+                    }
+                    continue;
                 }
                 links[li].saturated = true;
-                let victims: Vec<u32> = links[li]
-                    .crossing
+                let victims: Vec<u32> = cross
+                    [cross_start[li] as usize..cross_start[li + 1] as usize]
                     .iter()
                     .copied()
                     .filter(|&gi| active[local_of[gi as usize] as usize])
@@ -732,7 +1341,6 @@ fn fill(
                         &mut keys,
                         &mut active,
                         &mut links,
-                        &mut heap,
                         &local_of,
                     );
                     remaining -= 1;

@@ -17,6 +17,10 @@
 //!   the incremental path: a traced [`Evaluation`] can be patched after
 //!   a small change by re-filling only the affected bottleneck
 //!   component, bitwise identical to a full recompute;
+//! * [`FlowModel::evaluate_delta`] / [`BundleDelta`] — the same patcher
+//!   over a *spliced view* of the previous bundle list, so a caller
+//!   scoring many one-segment candidate changes (the optimizer's inner
+//!   loop) never materializes the candidates it rejects;
 //! * [`utility_report`] — fold an outcome into per-aggregate and
 //!   network-wide utilities (paper §3's "total average");
 //!   [`utility_report_from`] is its incremental twin.
@@ -27,8 +31,11 @@ pub mod queueing;
 mod report;
 mod spec;
 
-pub use engine::{Evaluation, FlowModel, IncrementalEvaluation, ModelConfig};
+pub use engine::{
+    BundleDelta, BundleDeltaIter, DeltaScore, Evaluation, FlowModel, IncrementalEvaluation,
+    ModelConfig,
+};
 pub use outcome::{ModelOutcome, UtilizationSummary};
 pub use queueing::{queueing_report, QueueingConfig, QueueingReport};
-pub use report::{utility_report, utility_report_from, UtilityReport};
+pub use report::{utility_report, utility_report_delta, utility_report_from, UtilityReport};
 pub use spec::{BundleSpec, BundleStatus};

@@ -107,14 +107,22 @@ pub fn utility_report(
 /// bundles of `affected` aggregates, carrying every other aggregate's
 /// utility over from `prev` — bitwise identical to a full
 /// [`utility_report`] when the unaffected aggregates' bundles and rates
-/// are unchanged (which the fabric's dirty tracking guarantees).
-pub fn utility_report_from(
+/// are unchanged (which the fabric's dirty tracking and the optimizer's
+/// one-aggregate candidate deltas guarantee). `bundles` is any
+/// exact-size iterable of bundle refs parallel to `outcome` — a slice,
+/// or a [`crate::BundleDelta`] splice via its `iter()`.
+pub fn utility_report_from<'a, I>(
     tm: &TrafficMatrix,
-    bundles: &[BundleSpec],
+    bundles: I,
     outcome: &ModelOutcome,
     prev: &UtilityReport,
     affected: &[fubar_traffic::AggregateId],
-) -> UtilityReport {
+) -> UtilityReport
+where
+    I: IntoIterator<Item = &'a BundleSpec>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let bundles = bundles.into_iter();
     assert_eq!(
         bundles.len(),
         outcome.bundle_rates.len(),
@@ -133,7 +141,7 @@ pub fn utility_report_from(
 
     let mut weighted = vec![0.0_f64; n];
     let mut covered = vec![0u64; n];
-    for (i, b) in bundles.iter().enumerate() {
+    for (i, b) in bundles.enumerate() {
         if !mask[b.aggregate.index()] {
             continue;
         }
@@ -145,6 +153,87 @@ pub fn utility_report_from(
     }
 
     let mut per_aggregate = prev.per_aggregate.clone();
+    for a in tm.iter() {
+        if !mask[a.id.index()] {
+            continue;
+        }
+        debug_assert!(
+            covered[a.id.index()] <= u64::from(a.flow_count),
+            "aggregate {} has {} flows covered but only {} exist",
+            a.id,
+            covered[a.id.index()],
+            a.flow_count
+        );
+        per_aggregate[a.id.index()] = if a.flow_count == 0 {
+            0.0
+        } else {
+            weighted[a.id.index()] / f64::from(a.flow_count)
+        };
+    }
+
+    finalize(tm, per_aggregate)
+}
+
+/// Scores a candidate delta: the utility report of the spliced bundle
+/// list, computed from a [`crate::DeltaScore`] without materializing the
+/// list or its outcome. Utility curves re-evaluate only for aggregates
+/// owning a re-filled bundle (plus `always_masked`, typically the moved
+/// aggregate); everything else carries over from `prev_report` — the
+/// same contract as [`utility_report_from`], so the result is bitwise
+/// identical to a full [`utility_report`] of the materialized list.
+///
+/// `prev_outcome` must be the outcome `delta` splices over (it supplies
+/// the carried rates of unaffected bundles).
+pub fn utility_report_delta(
+    tm: &TrafficMatrix,
+    delta: &crate::BundleDelta<'_>,
+    score: &crate::DeltaScore,
+    prev_outcome: &ModelOutcome,
+    prev_report: &UtilityReport,
+    always_masked: &[fubar_traffic::AggregateId],
+) -> UtilityReport {
+    let n = tm.len();
+    assert_eq!(
+        prev_report.per_aggregate.len(),
+        n,
+        "previous report covers a different aggregate population"
+    );
+    let mut mask = vec![false; n];
+    for &a in always_masked {
+        mask[a.index()] = true;
+    }
+    for &bi in &score.affected {
+        mask[delta.get(bi as usize).aggregate.index()] = true;
+    }
+
+    // Same accumulation order as `utility_report_from`: every bundle in
+    // input order, unmasked aggregates skipped. Rates come from the
+    // re-fill for affected bundles (ascending, walked with a cursor)
+    // and from the previous outcome otherwise; `Bandwidth::from_bps`
+    // reconstructs the exact bits the materialized outcome would hold.
+    let mut weighted = vec![0.0_f64; n];
+    let mut covered = vec![0u64; n];
+    let mut cursor = 0usize;
+    for (i, b) in delta.iter().enumerate() {
+        let refilled = cursor < score.affected.len() && score.affected[cursor] == i as u32;
+        let rate = if refilled {
+            cursor += 1;
+            fubar_topology::Bandwidth::from_bps(score.rates[cursor - 1])
+        } else {
+            prev_outcome.bundle_rates
+                [delta.prev_index(i).expect("unaffected bundles are mapped") as usize]
+        };
+        if !mask[b.aggregate.index()] {
+            continue;
+        }
+        let a = tm.aggregate(b.aggregate);
+        let per_flow = rate / f64::from(b.flow_count);
+        let u = a.utility.eval(per_flow, b.path_delay);
+        weighted[b.aggregate.index()] += f64::from(b.flow_count) * u;
+        covered[b.aggregate.index()] += u64::from(b.flow_count);
+    }
+
+    let mut per_aggregate = prev_report.per_aggregate.clone();
     for a in tm.iter() {
         if !mask[a.id.index()] {
             continue;

@@ -12,9 +12,9 @@ use crate::event::{Event, EventKind};
 use crate::log::ScenarioLog;
 use crate::spec::{Action, Scenario, TopologySpec};
 use crate::stochastic::{ChurnSource, FailureSource};
-use fubar_core::{Allocation, Optimizer, OptimizerConfig};
+use fubar_core::Allocation;
 use fubar_graph::LinkId;
-use fubar_sdn::{Estimator, Fabric, MeasurementConfig, RuleSet};
+use fubar_sdn::{Estimator, Fabric, FubarController, MeasurementConfig};
 use fubar_topology::{generators, Delay, Topology};
 use fubar_traffic::{workload, AggregateId, WorkloadConfig};
 
@@ -22,8 +22,11 @@ use fubar_traffic::{workload, AggregateId, WorkloadConfig};
 pub struct SdnConsumer {
     fabric: Fabric,
     estimator: Estimator,
-    optimizer: OptimizerConfig,
-    warm_start: bool,
+    /// The re-optimization mechanics (optimizer config, warm-start
+    /// gating) — shared with `fubar_sdn::ClosedLoop` so the two loops
+    /// cannot drift apart; the event engine drives the cadence, so the
+    /// controller's epoch schedule fields are unused here.
+    controller: FubarController,
     previous: Option<Allocation>,
     /// Baseline flow counts from the generated workload.
     baseline: Vec<u32>,
@@ -41,8 +44,10 @@ impl SdnConsumer {
         SdnConsumer {
             fabric,
             estimator,
-            optimizer: OptimizerConfig::default(),
-            warm_start,
+            controller: FubarController {
+                warm_start,
+                ..Default::default()
+            },
             previous: None,
             baseline,
             surge: vec![1.0; n],
@@ -76,20 +81,12 @@ impl SdnConsumer {
 
     fn reoptimize(&mut self) -> (usize, bool) {
         let estimated = self.estimator.estimated_matrix(self.fabric.true_tm());
-        let view = self.fabric.topology_view();
-        let mut cfg = self.optimizer.clone();
-        cfg.excluded_links = self.fabric.failed_links().clone();
-        let optimizer = Optimizer::new(&view, &estimated, cfg);
-        let warm = self.warm_start && self.previous.is_some();
-        let result = match (&self.previous, warm) {
-            (Some(prev), true) => optimizer.run_from(prev),
-            _ => optimizer.run(),
-        };
-        self.fabric
-            .install(RuleSet::from_allocation(&result.allocation, &estimated));
-        let commits = result.commits;
-        self.previous = Some(result.allocation);
-        (commits, warm)
+        let r = self
+            .controller
+            .reoptimize(&self.fabric, &estimated, self.previous.as_ref());
+        self.fabric.install(r.rules);
+        self.previous = Some(r.allocation);
+        (r.commits, r.warm)
     }
 
     fn pair_name(&self, aggregate: AggregateId) -> String {
@@ -280,9 +277,11 @@ pub fn build(scenario: &Scenario, seed: u64) -> Result<Engine<SdnConsumer>, Buil
     build_with(scenario, seed, true)
 }
 
-/// Like [`build`], but selecting the fabric's measurement mode:
-/// incremental (the default) or full recompute on every probe — the
-/// oracle mode the equality property tests compare against.
+/// Like [`build`], but selecting the incremental/full-recompute mode
+/// for *both* hot paths: fabric measurement (every probe re-measures
+/// the world) and optimizer candidate scoring
+/// (`OptimizerConfig::incremental`). `false` is the oracle mode the
+/// equality property tests and the CI cross-mode `cmp` compare against.
 pub fn build_with(
     scenario: &Scenario,
     seed: u64,
@@ -336,7 +335,12 @@ pub fn build_with(
 
     let mut fabric = Fabric::new(topo, tm, scenario.epoch);
     fabric.set_incremental(incremental);
-    let consumer = SdnConsumer::new(fabric, seed ^ 0x5eed, scenario.reoptimize.warm_start);
+    let mut consumer = SdnConsumer::new(fabric, seed ^ 0x5eed, scenario.reoptimize.warm_start);
+    // Oracle mode covers *both* incremental hot paths: full-recompute
+    // fabric measurement and full-recompute candidate scoring in the
+    // optimizer — a cross-mode log `cmp` therefore checks the whole
+    // stack of bitwise-equality invariants end to end.
+    consumer.controller.optimizer.incremental = incremental;
 
     let churn = (scenario.arrivals.is_some() || scenario.departures.is_some()).then(|| {
         ChurnSource::new(
@@ -367,7 +371,7 @@ pub fn run(scenario: &Scenario, seed: u64) -> Result<ScenarioLog, BuildError> {
     run_with(scenario, seed, true)
 }
 
-/// Like [`run`], but selecting the fabric's measurement mode (see
+/// Like [`run`], but selecting the measurement + scoring mode (see
 /// [`build_with`]). Incremental and full runs of the same `(spec,
 /// seed)` must produce byte-identical logs.
 pub fn run_with(

@@ -6,12 +6,16 @@
 //! periodically adjust the distribution of traffic on paths" (abstract).
 //! [`ClosedLoop`] wires the simulated [`Fabric`], the noisy
 //! [`Estimator`], and the `fubar-core` optimizer into exactly that loop,
-//! with optional demand drift and link-failure injection.
+//! with optional demand drift and link-failure injection. Each
+//! re-optimization **warm-starts** from the previously installed
+//! allocation ([`Optimizer::run_from`]) so its path sets — typically
+//! grown over many earlier epochs — carry across epochs instead of being
+//! rediscovered from the shortest-path boot state every time.
 
 use crate::fabric::{EpochReport, Fabric};
 use crate::measurement::{Estimator, MeasurementConfig};
 use crate::rules::RuleSet;
-use fubar_core::{Optimizer, OptimizerConfig};
+use fubar_core::{Allocation, Optimizer, OptimizerConfig};
 use fubar_graph::LinkId;
 use fubar_traffic::{Aggregate, TrafficMatrix};
 use rand::rngs::StdRng;
@@ -25,6 +29,11 @@ pub struct FubarController {
     pub reoptimize_every: usize,
     /// Epochs of measurement to accumulate before the first run.
     pub warmup_epochs: usize,
+    /// Warm-start each run from the previously installed allocation
+    /// (the default). When false every re-optimization cold-starts from
+    /// shortest paths — the pre-warm-start behavior, kept for A/B
+    /// comparisons and tests.
+    pub warm_start: bool,
 }
 
 impl Default for FubarController {
@@ -33,19 +42,53 @@ impl Default for FubarController {
             optimizer: OptimizerConfig::default(),
             reoptimize_every: 5,
             warmup_epochs: 2,
+            warm_start: true,
         }
     }
 }
 
+/// What one controller run produced: the rules to install plus the
+/// allocation to warm-start the next run from.
+pub struct Reoptimization {
+    /// Installable rule set for the fabric.
+    pub rules: RuleSet,
+    /// The allocation behind `rules` — feed it back as `previous` on
+    /// the next call to carry path sets across epochs.
+    pub allocation: Allocation,
+    /// Moves the optimizer committed (warm starts after small
+    /// perturbations need far fewer than cold starts).
+    pub commits: usize,
+    /// Whether this run actually warm-started.
+    pub warm: bool,
+}
+
 impl FubarController {
     /// Runs the optimizer against the estimated matrix on the fabric's
-    /// (failure-aware) topology view and returns installable rules.
-    pub fn reoptimize(&self, fabric: &Fabric, estimated: &TrafficMatrix) -> RuleSet {
+    /// (failure-aware) topology view — warm-started from `previous`
+    /// when [`FubarController::warm_start`] is set and a previous
+    /// allocation exists — and returns installable rules plus the
+    /// allocation to seed the next run.
+    pub fn reoptimize(
+        &self,
+        fabric: &Fabric,
+        estimated: &TrafficMatrix,
+        previous: Option<&Allocation>,
+    ) -> Reoptimization {
         let view = fabric.topology_view();
         let mut cfg = self.optimizer.clone();
         cfg.excluded_links = fabric.failed_links().clone();
-        let result = Optimizer::new(&view, estimated, cfg).run();
-        RuleSet::from_allocation(&result.allocation, estimated)
+        let optimizer = Optimizer::new(&view, estimated, cfg);
+        let warm = self.warm_start && previous.is_some();
+        let result = match previous {
+            Some(prev) if warm => optimizer.run_from(prev),
+            _ => optimizer.run(),
+        };
+        Reoptimization {
+            rules: RuleSet::from_allocation(&result.allocation, estimated),
+            allocation: result.allocation,
+            commits: result.commits,
+            warm,
+        }
     }
 
     /// Whether this epoch index triggers a re-optimization.
@@ -112,6 +155,11 @@ pub struct LoopRecord {
     pub epoch: EpochReport,
     /// Whether the controller re-optimized after this epoch.
     pub reoptimized: bool,
+    /// Moves the optimizer committed, when it ran this epoch.
+    pub commits: Option<usize>,
+    /// Whether the re-optimization warm-started from the previous
+    /// allocation.
+    pub warm: bool,
     /// Links currently failed.
     pub failed_links: usize,
 }
@@ -122,6 +170,9 @@ pub struct ClosedLoop {
     estimator: Estimator,
     config: ClosedLoopConfig,
     rng: StdRng,
+    /// The last installed allocation — the warm-start seed carrying
+    /// path sets across epochs.
+    previous: Option<Allocation>,
 }
 
 impl ClosedLoop {
@@ -138,12 +189,18 @@ impl ClosedLoop {
             estimator,
             config,
             rng,
+            previous: None,
         }
     }
 
     /// Access to the fabric (e.g. for assertions after running).
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// The last installed allocation, if the controller has run.
+    pub fn previous_allocation(&self) -> Option<&Allocation> {
+        self.previous.as_ref()
     }
 
     fn apply_drift(&mut self) {
@@ -201,14 +258,25 @@ impl ClosedLoop {
                 .observe(self.fabric.counters(), self.fabric.epoch_duration());
 
             let reoptimized = self.config.controller.should_run(epoch);
+            let mut commits = None;
+            let mut warm = false;
             if reoptimized {
                 let estimated = self.estimator.estimated_matrix(self.fabric.true_tm());
-                let rules = self.config.controller.reoptimize(&self.fabric, &estimated);
-                self.fabric.install(rules);
+                let r = self.config.controller.reoptimize(
+                    &self.fabric,
+                    &estimated,
+                    self.previous.as_ref(),
+                );
+                self.fabric.install(r.rules);
+                self.previous = Some(r.allocation);
+                commits = Some(r.commits);
+                warm = r.warm;
             }
             log.push(LoopRecord {
                 epoch: report,
                 reoptimized,
+                commits,
+                warm,
                 failed_links: self.fabric.failed_links().len(),
             });
         }
@@ -346,6 +414,72 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6), "different seeds should drift differently");
+    }
+
+    #[test]
+    fn reoptimizations_warm_start_after_the_first() {
+        let fabric = small_fabric();
+        let cfg = ClosedLoopConfig {
+            controller: FubarController {
+                reoptimize_every: 2,
+                warmup_epochs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut looper = ClosedLoop::new(fabric, cfg);
+        let log = looper.run(8);
+        let reopts: Vec<&LoopRecord> = log.iter().filter(|r| r.reoptimized).collect();
+        assert!(reopts.len() >= 3);
+        assert!(!reopts[0].warm, "first run has nothing to warm from");
+        assert!(reopts[0].commits.is_some());
+        assert!(reopts[1..].iter().all(|r| r.warm), "later runs warm-start");
+        assert!(looper.previous_allocation().is_some());
+        // Steady state (no drift, no failures): warm-starting from the
+        // previous optimum is a no-op re-optimization.
+        let last = reopts.last().unwrap();
+        assert_eq!(last.commits, Some(0), "steady state needs no moves");
+    }
+
+    #[test]
+    fn warm_start_spends_no_more_commits_than_cold() {
+        let run = |warm_start: bool| {
+            let fabric = small_fabric();
+            let cfg = ClosedLoopConfig {
+                controller: FubarController {
+                    reoptimize_every: 2,
+                    warmup_epochs: 1,
+                    warm_start,
+                    ..Default::default()
+                },
+                drift: Some(DriftConfig {
+                    max_step: 2,
+                    min_flows: 2,
+                    max_flows: 20,
+                }),
+                seed: 9,
+                ..Default::default()
+            };
+            let mut looper = ClosedLoop::new(fabric, cfg);
+            let log = looper.run(10);
+            let commits: usize = log.iter().filter_map(|r| r.commits).sum();
+            let utility: f64 = log
+                .iter()
+                .map(|r| r.epoch.report.network_utility)
+                .sum::<f64>()
+                / log.len() as f64;
+            (commits, utility)
+        };
+        let (warm_commits, warm_u) = run(true);
+        let (cold_commits, cold_u) = run(false);
+        assert!(
+            warm_commits <= cold_commits,
+            "warm start must not work harder: {warm_commits} vs {cold_commits}"
+        );
+        assert!(
+            warm_u >= cold_u - 0.01,
+            "warm start must stay within 1% mean utility: {warm_u} vs {cold_u}"
+        );
     }
 
     #[test]

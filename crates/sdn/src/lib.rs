@@ -16,7 +16,8 @@
 //! * [`Estimator`] — the measurement pipeline: noisy counters, EWMA
 //!   smoothing, and demand-peak inference (paper §2.2);
 //! * [`FubarController`] / [`ClosedLoop`] — periodic re-optimization
-//!   with drift and scheduled failures.
+//!   with drift and scheduled failures; each run warm-starts from the
+//!   previously installed allocation so path sets carry across epochs.
 //!
 //! ```
 //! use fubar_sdn::{ClosedLoop, ClosedLoopConfig, Fabric};
@@ -48,6 +49,7 @@ pub use arrivals::{
 };
 pub use controller::{
     ClosedLoop, ClosedLoopConfig, DriftConfig, FailureEvent, FubarController, LoopRecord,
+    Reoptimization,
 };
 pub use fabric::{AggregateCounter, EpochReport, Fabric};
 pub use measurement::{AggregateEstimate, Estimator, MeasurementConfig};

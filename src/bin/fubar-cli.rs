@@ -20,11 +20,15 @@
 //!     Print a scenario spec (canonical serialization).
 //!
 //! fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt]
+//!                        [--oracle full|incremental]
 //!     Run a scenario and emit the per-event log on stdout (or to
 //!     --out). Same spec + same seed => byte-identical log. The
 //!     catalog scales up to `he_scale` (the paper's full 961-aggregate
 //!     HE matrix, ~3000 events): incremental fabric measurement keeps
-//!     the whole run in the seconds range.
+//!     the whole run in the seconds range. `--oracle full` forces
+//!     full-recompute measurement on every probe — the oracle mode CI
+//!     cross-checks against the (default) incremental mode, byte for
+//!     byte.
 //! ```
 
 use fubar::core::baselines;
@@ -43,7 +47,8 @@ fn usage() -> ExitCode {
          fubar-cli optimize <file.topo> <file.tm> [--minmax] [--trace out.csv]\n  \
          fubar-cli scenario list\n  \
          fubar-cli scenario show <name|file.scn>\n  \
-         fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt]"
+         fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt] \
+         [--oracle full|incremental]"
     );
     ExitCode::FAILURE
 }
@@ -209,11 +214,14 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
         }
         "run" => {
             if args.len() < 2 {
-                return Err("run needs <name|file.scn> [--seed N] [--out file]".into());
+                return Err(
+                    "run needs <name|file.scn> [--seed N] [--out file] [--oracle mode]".into(),
+                );
             }
             let spec = load_scenario(&args[1])?;
             let mut seed = spec.seed;
             let mut out: Option<String> = None;
+            let mut incremental = true;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -233,11 +241,28 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                                 .clone(),
                         );
                     }
+                    "--oracle" => {
+                        i += 1;
+                        incremental = match args
+                            .get(i)
+                            .ok_or_else(|| "--oracle needs full|incremental".to_string())?
+                            .as_str()
+                        {
+                            "incremental" => true,
+                            "full" => false,
+                            other => {
+                                return Err(format!(
+                                    "--oracle must be full or incremental, not {other:?}"
+                                ))
+                            }
+                        };
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
                 i += 1;
             }
-            let log = fubar::scenario::run(&spec, seed).map_err(|e| e.to_string())?;
+            let log =
+                fubar::scenario::run_with(&spec, seed, incremental).map_err(|e| e.to_string())?;
             match out {
                 Some(path) => {
                     std::fs::write(&path, log.to_text()).map_err(|e| e.to_string())?;
