@@ -282,6 +282,27 @@ impl Allocation {
         to_path: &Path,
         count: u32,
     ) -> Vec<BundleSpec> {
+        let mut out = Vec::new();
+        let len = self.bundles_after_move_into(tm, agg, from, to_path, count, &mut out);
+        debug_assert_eq!(len, out.len());
+        out
+    }
+
+    /// Like [`Allocation::bundles_after_move`], but writes the segment
+    /// into `buf`, reusing its entries (and their link buffers) in
+    /// place, and returns the segment length — `buf[..len]` is the
+    /// result. Entries past `len` are stale leftovers kept for reuse.
+    /// This is the optimizer's zero-allocation candidate path: after
+    /// warm-up, predicting a move's bundle segment allocates nothing.
+    pub fn bundles_after_move_into(
+        &self,
+        tm: &TrafficMatrix,
+        agg: AggregateId,
+        from: usize,
+        to_path: &Path,
+        count: u32,
+        buf: &mut Vec<BundleSpec>,
+    ) -> usize {
         let a = tm.aggregate(agg);
         let fs = &self.flows[agg.index()];
         let paths = self.path_sets[agg.index()].as_slice();
@@ -295,7 +316,15 @@ impl Allocation {
             "moving {count} flows but only {} present",
             fs[from]
         );
-        let mut out = Vec::with_capacity(paths.len() + 1);
+        let mut len = 0usize;
+        let emit = |buf: &mut Vec<BundleSpec>, len: &mut usize, path: &Path, n: u32| {
+            if *len < buf.len() {
+                buf[*len].assign(a, path, n);
+            } else {
+                buf.push(BundleSpec::new(a, path, n));
+            }
+            *len += 1;
+        };
         for (idx, (&n, path)) in fs.iter().zip(paths).enumerate() {
             let n = if idx == from {
                 n - count
@@ -305,13 +334,13 @@ impl Allocation {
                 n
             };
             if n > 0 {
-                out.push(BundleSpec::new(a, path, n));
+                emit(buf, &mut len, path, n);
             }
         }
         if to == paths.len() {
-            out.push(BundleSpec::new(a, to_path, count));
+            emit(buf, &mut len, to_path, count);
         }
-        out
+        len
     }
 
     /// The (aggregate, path index, flows) triples whose path crosses

@@ -26,6 +26,19 @@
 //! identical to full-recompute scoring**, move for move, over whole
 //! optimization runs. [`OptimizerConfig::incremental`] selects the
 //! full-recompute oracle the tests compare against.
+//!
+//! Scoring is also **O(component) in memory**: each evaluation thread
+//! owns a reusable scratch (the flow model's epoch-stamped
+//! [`Workspace`], the report fold scratch, and the candidate segment
+//! buffer), the candidate's network utility is folded through an
+//! O(log n) patch of the incumbent report's summation tree rather than
+//! a full re-fold, and the min-max objective reads a sparse
+//! changed-link overlay instead of a rebuilt link array. Past buffer
+//! warm-up, a scored move performs zero heap allocations
+//! (`tests/zero_alloc.rs` enforces it with a counting allocator), which
+//! is what keeps per-move cost flat as instances grow past HE-961 — the
+//! CI perf gate requires the incremental-vs-full speedup on the
+//! 4,096-aggregate hypergrowth tier to *exceed* the HE-961 one.
 
 use crate::allocation::{Allocation, Move};
 use crate::objective::Objective;
@@ -34,11 +47,13 @@ use crate::recorder::{RunTrace, TracePoint};
 use fubar_graph::Path;
 use fubar_graph::{LinkId, LinkSet};
 use fubar_model::{
-    utility_report, utility_report_delta, utility_report_from, BundleDelta, BundleSpec, Evaluation,
-    FlowModel, IncrementalEvaluation, ModelConfig, ModelOutcome, UtilityReport,
+    score_network_utility_delta, utility_report, utility_report_from, BundleDelta, BundleSpec,
+    DeltaScore, Evaluation, FlowModel, IncrementalEvaluation, ModelConfig, ModelOutcome,
+    ReportScratch, UtilityReport, Workspace, WorkspaceStats,
 };
 use fubar_topology::{Bandwidth, Topology};
 use fubar_traffic::{Aggregate, AggregateId, TrafficMatrix};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Why an optimization run stopped.
@@ -144,6 +159,18 @@ struct Candidate {
     alt: Path,
 }
 
+/// One evaluation thread's reusable scoring scratch: the flow-model
+/// [`Workspace`], the report-fold scratch, and the candidate bundle
+/// segment buffer. Past warm-up, scoring a candidate move allocates
+/// nothing (enforced by the counting-allocator test in
+/// `tests/zero_alloc.rs`).
+#[derive(Default)]
+struct ScoreScratch {
+    model: Workspace,
+    report: ReportScratch,
+    segment: Vec<BundleSpec>,
+}
+
 /// The result of one optimization run.
 #[derive(Clone, Debug)]
 pub struct OptimizeResult {
@@ -162,6 +189,10 @@ pub struct OptimizeResult {
     pub moves: Vec<Move>,
     /// Why the run stopped.
     pub termination: Termination,
+    /// High-water marks of the per-candidate scoring scratch (largest
+    /// re-filled component, most links touched by one fill, deepest
+    /// event heap) — `fubar-cli scenario run --stats` surfaces these.
+    pub scratch: WorkspaceStats,
 }
 
 /// The cached state of the incumbent allocation during a run: the
@@ -184,6 +215,10 @@ pub struct Optimizer<'a> {
     config: OptimizerConfig,
     model: FlowModel<'a>,
     small_threshold: Bandwidth,
+    /// One scoring scratch per evaluation thread, reused across every
+    /// candidate of the whole run (uncontended: worker `i` only ever
+    /// locks scratch `i`).
+    scratch: Vec<Mutex<ScoreScratch>>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -195,12 +230,16 @@ impl<'a> Optimizer<'a> {
             let links = topology.link_count().max(1) as f64;
             topology.total_capacity() / links * 0.02
         });
+        let scratch = (0..config.threads.max(1))
+            .map(|_| Mutex::new(ScoreScratch::default()))
+            .collect();
         Optimizer {
             topology,
             tm,
             config,
             model,
             small_threshold,
+            scratch,
         }
     }
 
@@ -321,60 +360,101 @@ impl<'a> Optimizer<'a> {
         score
     }
 
-    /// Incremental scoring: builds the moved aggregate's post-move
-    /// bundle segment (no allocation mutation), splices it over the
-    /// incumbent cache as a [`BundleDelta`], and scores the patched
-    /// component without assembling a spliced outcome
-    /// (`FlowModel::score_delta` + `utility_report_delta`). Bitwise
-    /// identical to [`Optimizer::score_candidate_full`].
+    /// Incremental scoring: rewrites the moved aggregate's post-move
+    /// bundle segment into the thread's scratch buffer (no allocation
+    /// mutation, no fresh vectors), splices it over the incumbent cache
+    /// as a [`BundleDelta`], runs the component-bound
+    /// [`FlowModel::score_delta`], and folds the objective from the
+    /// partial result — the network utility via an O(log n) fold-tree
+    /// patch, min-max via the sparse link-demand overlay. Past scratch
+    /// warm-up this path performs **zero heap allocations** per scored
+    /// move. Bitwise identical to [`Optimizer::score_candidate_full`].
     fn score_candidate_incremental(
         &self,
         alloc: &Allocation,
         incumbent: &Incumbent,
         c: &Candidate,
+        ws: &mut ScoreScratch,
     ) -> f64 {
-        let segment = alloc.bundles_after_move(self.tm, c.aggregate, c.from, &c.alt, c.count);
-        let (start, len) = incumbent.spans[c.aggregate.index()];
-        let delta = BundleDelta::new(&incumbent.bundles, start as usize, len as usize, &segment);
-        let score = self.model.score_delta(&incumbent.eval, &delta);
-        let report = utility_report_delta(
+        let seg_len = alloc.bundles_after_move_into(
             self.tm,
-            &delta,
-            &score,
-            &incumbent.eval.outcome,
-            &incumbent.report,
-            &[c.aggregate],
+            c.aggregate,
+            c.from,
+            &c.alt,
+            c.count,
+            &mut ws.segment,
         );
-        self.config.objective.score_with_links(
-            &report,
-            score
-                .link_demand
-                .iter()
-                .zip(&score.link_capacity)
-                .map(|(&d, &cap)| (d, cap)),
-        )
+        let (start, len) = incumbent.spans[c.aggregate.index()];
+        let delta = BundleDelta::new(
+            &incumbent.bundles,
+            start as usize,
+            len as usize,
+            &ws.segment[..seg_len],
+        );
+        match self
+            .model
+            .score_delta(&incumbent.eval, &delta, &mut ws.model)
+        {
+            DeltaScore::Partial {
+                affected,
+                rates,
+                changed_link_demand,
+            } => match self.config.objective {
+                Objective::NetworkUtility => score_network_utility_delta(
+                    self.tm,
+                    &delta,
+                    affected,
+                    rates,
+                    &incumbent.eval.outcome,
+                    &incumbent.report,
+                    c.aggregate,
+                    &incumbent.spans,
+                    &mut ws.report,
+                ),
+                Objective::MinMaxUtilization => {
+                    // Merge the sparse demand overlay over the incumbent's
+                    // per-link arrays — the same (demand, capacity) stream,
+                    // in the same order, a materialized outcome would feed
+                    // the objective.
+                    let prev_d = &incumbent.eval.outcome.link_demand;
+                    let prev_c = &incumbent.eval.outcome.link_capacity;
+                    let mut k = 0usize;
+                    self.config.objective.score_with_links(
+                        &incumbent.report,
+                        (0..prev_d.len()).map(|li| {
+                            let d = if k < changed_link_demand.len()
+                                && changed_link_demand[k].0 as usize == li
+                            {
+                                k += 1;
+                                changed_link_demand[k - 1].1
+                            } else {
+                                prev_d[li].bps()
+                            };
+                            (d, prev_c[li].bps())
+                        }),
+                    )
+                }
+            },
+            // Rare fallback (component ≈ whole instance): score exactly
+            // like the oracle over the full evaluation.
+            DeltaScore::Full(eval) => {
+                let bundles = delta.materialize();
+                let report = utility_report(self.tm, &bundles, &eval.outcome);
+                self.config.objective.score(&report, &eval.outcome)
+            }
+        }
     }
 
-    /// Listing 2: one step focused on `link`. Tries all (flow path ×
-    /// alternative) moves and returns the best improving one, if any.
-    ///
-    /// Candidate evaluations are independent, so with `threads > 1` they
-    /// run on scoped worker threads — sharing the read-only incumbent
-    /// cache in incremental mode, each over its own scratch clone of the
-    /// allocation in oracle mode. The reduction (max score, earliest
-    /// candidate on ties) makes the result identical to the sequential
-    /// order at any thread count and in both scoring modes.
-    fn step(
+    /// Listing 2's candidate enumeration: all (flow path × alternative)
+    /// moves off `link`, gathered without mutating the allocation.
+    fn gather_candidates(
         &self,
         alloc: &Allocation,
         incumbent: &Incumbent,
         link: LinkId,
         escape_level: u32,
-    ) -> Option<Candidate> {
+    ) -> Vec<Candidate> {
         let outcome = &incumbent.eval.outcome;
-        let initial_score = self.config.objective.score(&incumbent.report, outcome);
-
-        // Gather candidates without mutating the allocation.
         let mut candidates: Vec<Candidate> = Vec::new();
         for (agg_id, path_idx, on_path) in alloc.flow_paths_over(self.tm, link) {
             let agg = self.tm.aggregate(agg_id);
@@ -404,6 +484,30 @@ impl<'a> Optimizer<'a> {
                 });
             }
         }
+        candidates
+    }
+
+    /// Listing 2: one step focused on `link`. Tries all (flow path ×
+    /// alternative) moves and returns the best improving one, if any.
+    ///
+    /// Candidate evaluations are independent, so with `threads > 1` they
+    /// run on scoped worker threads — sharing the read-only incumbent
+    /// cache (each with its own reusable scoring scratch) in incremental
+    /// mode, each over its own scratch clone of the allocation in oracle
+    /// mode. The reduction (max score, earliest candidate on ties) makes
+    /// the result identical to the sequential order at any thread count
+    /// and in both scoring modes.
+    fn step(
+        &self,
+        alloc: &Allocation,
+        incumbent: &Incumbent,
+        link: LinkId,
+        escape_level: u32,
+    ) -> Option<Candidate> {
+        let outcome = &incumbent.eval.outcome;
+        let initial_score = self.config.objective.score(&incumbent.report, outcome);
+
+        let mut candidates = self.gather_candidates(alloc, incumbent, link, escape_level);
         if candidates.is_empty() {
             return None;
         }
@@ -412,17 +516,23 @@ impl<'a> Optimizer<'a> {
         let mut scores = vec![f64::NEG_INFINITY; candidates.len()];
         match (self.config.incremental, threads) {
             (true, 1) => {
+                let mut ws = self.scratch[0].lock().expect("scratch lock poisoned");
                 for (i, c) in candidates.iter().enumerate() {
-                    scores[i] = self.score_candidate_incremental(alloc, incumbent, c);
+                    scores[i] = self.score_candidate_incremental(alloc, incumbent, c, &mut ws);
                 }
             }
             (true, _) => {
                 let chunk = candidates.len().div_ceil(threads);
                 std::thread::scope(|scope| {
-                    for (slot, cands) in scores.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
+                    for ((slot, cands), scratch) in scores
+                        .chunks_mut(chunk)
+                        .zip(candidates.chunks(chunk))
+                        .zip(&self.scratch)
+                    {
                         scope.spawn(move || {
+                            let mut ws = scratch.lock().expect("scratch lock poisoned");
                             for (s, c) in slot.iter_mut().zip(cands) {
-                                *s = self.score_candidate_incremental(alloc, incumbent, c);
+                                *s = self.score_candidate_incremental(alloc, incumbent, c, &mut ws);
                             }
                         });
                     }
@@ -587,6 +697,10 @@ impl<'a> Optimizer<'a> {
         };
 
         debug_assert!(alloc.validate(self.tm).is_ok());
+        let mut scratch = WorkspaceStats::default();
+        for ws in &self.scratch {
+            scratch.merge(&ws.lock().expect("scratch lock poisoned").model.stats());
+        }
         let Incumbent { eval, report, .. } = incumbent;
         OptimizeResult {
             allocation: alloc,
@@ -596,6 +710,90 @@ impl<'a> Optimizer<'a> {
             commits,
             moves,
             termination,
+            scratch,
+        }
+    }
+}
+
+/// Internal scoring harness for the zero-allocation regression test
+/// (`tests/zero_alloc.rs`): builds an incumbent over a congested
+/// instance, gathers one step's candidates, and re-scores them on
+/// demand through the exact per-candidate path the inner loop uses.
+/// Not a public API — gated behind the `test-support`
+/// feature and hidden from docs.
+#[cfg(feature = "test-support")]
+#[doc(hidden)]
+pub mod test_support {
+    use super::*;
+
+    /// See the module docs.
+    pub struct ScoringHarness<'a> {
+        optimizer: Optimizer<'a>,
+        alloc: Allocation,
+        incumbent: Incumbent,
+        candidates: Vec<Candidate>,
+    }
+
+    impl<'a> ScoringHarness<'a> {
+        /// Builds the harness from the boot allocation of a congested
+        /// instance; candidates come from the most oversubscribed link.
+        ///
+        /// # Panics
+        ///
+        /// Panics when the instance is uncongested or yields no
+        /// candidate moves.
+        pub fn new(topology: &'a Topology, tm: &'a TrafficMatrix) -> Self {
+            let optimizer = Optimizer::new(
+                topology,
+                tm,
+                OptimizerConfig {
+                    threads: 1,
+                    ..OptimizerConfig::default()
+                },
+            );
+            let alloc = Allocation::all_on_shortest_paths(topology, tm);
+            let incumbent = optimizer.incumbent_for(&alloc);
+            let link = incumbent
+                .eval
+                .outcome
+                .congested
+                .first()
+                .copied()
+                .expect("harness instance must be congested");
+            let candidates = optimizer.gather_candidates(&alloc, &incumbent, link, 0);
+            assert!(!candidates.is_empty(), "harness needs candidate moves");
+            ScoringHarness {
+                optimizer,
+                alloc,
+                incumbent,
+                candidates,
+            }
+        }
+
+        /// How many candidate moves one call to
+        /// [`ScoringHarness::score_all`] scores.
+        pub fn candidate_count(&self) -> usize {
+            self.candidates.len()
+        }
+
+        /// Scores every candidate through the incremental path and
+        /// returns the best score. After the first call has warmed the
+        /// scratch buffers, this performs zero heap allocations.
+        pub fn score_all(&self) -> f64 {
+            let mut best = f64::NEG_INFINITY;
+            let mut ws = self.optimizer.scratch[0]
+                .lock()
+                .expect("scratch lock poisoned");
+            for c in &self.candidates {
+                let s = self.optimizer.score_candidate_incremental(
+                    &self.alloc,
+                    &self.incumbent,
+                    c,
+                    &mut ws,
+                );
+                best = best.max(s);
+            }
+            best
         }
     }
 }

@@ -42,6 +42,21 @@
 //!    make it saturate (its load only drops pointwise), so influence
 //!    propagates only through links that previously froze somebody.
 //!
+//! ### Memory model of candidate scoring
+//!
+//! [`FlowModel::score_delta`] is additionally **allocation-free in
+//! steady state**: per-bundle demands are read through the borrowed
+//! splice view (the previous evaluation's cached demand table plus the
+//! replacement segment), per-link capacities and the
+//! previously-saturated mask come straight from the cached
+//! [`Evaluation`], per-link offered demand changes are kept as a sparse
+//! overlay, and every mask, queue, heap, and per-link table lives in a
+//! caller-owned [`Workspace`] whose entries are *epoch-stamped* — a new
+//! candidate bumps a counter instead of clearing O(bundles + links)
+//! arrays. After warm-up, scoring a move costs O(component) time and
+//! zero heap allocations (a counting-allocator test in `fubar-core`
+//! enforces this).
+//!
 //! The affected set is therefore the closure of the changed bundles over
 //! shared *previously-saturating* links, and only that subset is
 //! re-filled; everything else keeps its previous rate bitwise. The one
@@ -143,6 +158,7 @@ impl Ord for Event {
     }
 }
 
+#[derive(Clone, Copy, Debug)]
 struct LinkState {
     capacity: f64,
     frozen_load: f64,
@@ -312,6 +328,21 @@ impl<'b> BundleDelta<'b> {
         self.prev.len() - self.removed + self.replacement.len()
     }
 
+    /// First index of the replaced range.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// How many previous bundles the splice removes.
+    pub fn removed(&self) -> usize {
+        self.removed
+    }
+
+    /// How many bundles the replacement segment holds.
+    pub fn replacement_len(&self) -> usize {
+        self.replacement.len()
+    }
+
     /// True when the spliced list holds no bundles.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -396,7 +427,6 @@ impl<'b> Iterator for BundleDeltaIter<'b> {
 }
 
 impl ExactSizeIterator for BundleDeltaIter<'_> {}
-
 /// A model outcome plus the traces [`FlowModel::evaluate_from`] and
 /// [`FlowModel::score_delta`] need to patch it incrementally.
 #[derive(Clone, Debug)]
@@ -415,6 +445,45 @@ pub struct Evaluation {
     csr: Vec<u32>,
     /// CSR row offsets, `link_count + 1` entries.
     csr_start: Vec<u32>,
+    /// Usable capacity per link in bps, exactly as the fill consumed it
+    /// — cached so delta scoring borrows capacities from the incumbent
+    /// instead of re-deriving (and re-allocating) them from the
+    /// topology per candidate.
+    caps: Vec<f64>,
+    /// Per-link "actually saturated in this equilibrium" mask (the
+    /// congested list, unpacked) — the closure test of the incremental
+    /// core reads it per link instead of re-building a mask per
+    /// candidate.
+    saturated: Vec<bool>,
+}
+
+impl Evaluation {
+    /// Builds an evaluation, deriving the per-link saturation mask from
+    /// the outcome's congested list.
+    fn assemble(
+        outcome: ModelOutcome,
+        freeze_keys: Vec<FreezeKey>,
+        demands: Vec<f64>,
+        csr: Vec<u32>,
+        csr_start: Vec<u32>,
+        caps: Vec<f64>,
+    ) -> Evaluation {
+        let mut saturated = vec![false; caps.len()];
+        for l in &outcome.congested {
+            if l.index() < saturated.len() {
+                saturated[l.index()] = true;
+            }
+        }
+        Evaluation {
+            outcome,
+            freeze_keys,
+            demands,
+            csr,
+            csr_start,
+            caps,
+            saturated,
+        }
+    }
 }
 
 /// What [`FlowModel::evaluate_from`] produced.
@@ -430,21 +499,263 @@ pub struct IncrementalEvaluation {
     pub full_recompute: bool,
 }
 
-/// Raw output of one progressive-filling run over a bundle subset.
-struct FillResult {
-    /// Per subset entry, parallel to the `subset` slice.
+/// High-water marks of a [`Workspace`] — how big the per-candidate
+/// scratch actually got over its lifetime (`fubar-cli scenario run
+/// --stats` surfaces these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Largest re-filled bottleneck component (bundles).
+    pub peak_component: usize,
+    /// Most links touched by one component fill.
+    pub peak_component_links: usize,
+    /// Largest event-heap population in one fill.
+    pub peak_heap: usize,
+}
+
+impl WorkspaceStats {
+    /// Folds another workspace's peaks into this one (per-field max).
+    pub fn merge(&mut self, other: &WorkspaceStats) {
+        self.peak_component = self.peak_component.max(other.peak_component);
+        self.peak_component_links = self.peak_component_links.max(other.peak_component_links);
+        self.peak_heap = self.peak_heap.max(other.peak_heap);
+    }
+}
+
+/// Reusable scratch for the incremental scoring core.
+///
+/// Every mask, queue, heap, and per-link table [`FlowModel::score_delta`]
+/// needs lives here and is *epoch-stamped*: instead of clearing an
+/// O(bundles) or O(links) array per candidate, each entry carries the
+/// stamp of the candidate (or fill) that last wrote it, and stale
+/// entries read as unset. After the first few candidates have grown the
+/// buffers to their steady-state capacity, scoring a move performs
+/// **zero heap allocations** (enforced by the counting-allocator test in
+/// `fubar-core`). One workspace serves one thread; the optimizer owns
+/// one per evaluation thread.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Candidate stamp: bumped once per `score_delta`/`evaluate_from`.
+    stamp: u32,
+    /// Per bundle: membership stamp of the affected set.
+    in_set: Vec<u32>,
+    /// Per bundle: growth weight (written for current-subset members
+    /// before every fill; never read stale).
+    weight: Vec<f64>,
+    /// Per link: stamp marking links touched by the change, and their
+    /// re-accumulated offered demand.
+    touched_stamp: Vec<u32>,
+    touched_demand: Vec<f64>,
+    /// Per link: closure already expanded through this link.
+    link_seen: Vec<u32>,
+    /// Closure work list.
+    queue: Vec<u32>,
+    /// The affected component (sorted ascending before each fill).
+    subset: Vec<u32>,
+    /// Crosser-list scratch.
+    cs_buf: Vec<u32>,
+    /// Demands of the replacement segment (splice path).
+    seg_demand: Vec<f64>,
+    /// Links touched by the change, as a list.
+    changed_links: Vec<u32>,
+    /// `(link, new offered demand)` pairs, ascending by link — the
+    /// sparse overlay minmax scoring merges over the incumbent.
+    changed_demand: Vec<(u32, f64)>,
+    /// The fill's own scratch.
+    fill: FillScratch,
+    /// The new list's CSR when the core built one (non-splice callers);
+    /// the assembly path takes it instead of building again.
+    built_csr: Option<(Vec<u32>, Vec<u32>)>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// The high-water marks accumulated so far.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            peak_component: self.fill.peak_component,
+            peak_component_links: self.fill.peak_links,
+            peak_heap: self.fill.peak_heap,
+        }
+    }
+
+    /// Starts a new candidate epoch, growing buffers if the instance
+    /// got bigger. Handles stamp wrap-around by a one-off reset.
+    fn begin(&mut self, n_bundles: usize, n_links: usize) {
+        if self.stamp == u32::MAX {
+            self.in_set.iter_mut().for_each(|s| *s = 0);
+            self.touched_stamp.iter_mut().for_each(|s| *s = 0);
+            self.link_seen.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        if self.in_set.len() < n_bundles {
+            self.in_set.resize(n_bundles, 0);
+            self.weight.resize(n_bundles, 0.0);
+        }
+        if self.touched_stamp.len() < n_links {
+            self.touched_stamp.resize(n_links, 0);
+            self.touched_demand.resize(n_links, 0.0);
+            self.link_seen.resize(n_links, 0);
+        }
+        self.queue.clear();
+        self.subset.clear();
+        self.seg_demand.clear();
+        self.changed_links.clear();
+        self.changed_demand.clear();
+        self.built_csr = None;
+        self.fill.ensure(n_bundles, n_links);
+    }
+
+    /// Marks link `li` as touched by the change (idempotent).
+    fn touch_link(&mut self, li: usize) {
+        if self.touched_stamp[li] != self.stamp {
+            self.touched_stamp[li] = self.stamp;
+            self.changed_links.push(li as u32);
+        }
+    }
+
+    /// The new offered demand of link `li` (touched links carry their
+    /// re-accumulated sum, everything else the previous value).
+    fn link_demand(&self, prev: &Evaluation, li: usize) -> f64 {
+        if self.touched_stamp[li] == self.stamp {
+            self.touched_demand[li]
+        } else {
+            prev.outcome.link_demand[li].bps()
+        }
+    }
+
+    /// Adds bundle `gi` to the affected set (idempotent).
+    fn absorb(&mut self, gi: u32) {
+        if self.in_set[gi as usize] != self.stamp {
+            self.in_set[gi as usize] = self.stamp;
+            self.queue.push(gi);
+            self.subset.push(gi);
+        }
+    }
+}
+
+/// Scratch owned by the progressive-filling procedure itself: per-link
+/// state and the component-local result arrays, all stamped per fill so
+/// nothing O(links) is cleared between candidates.
+#[derive(Debug, Default)]
+struct FillScratch {
+    /// Fill stamp: bumped once per `fill` run (several per candidate
+    /// when border verification expands the component).
+    stamp: u32,
+    /// Per bundle: position in the current subset (valid when
+    /// `local_stamp` matches).
+    local_of: Vec<u32>,
+    local_stamp: Vec<u32>,
+    /// Per link: lazily initialized water-filling state.
+    link_stamp: Vec<u32>,
+    links: Vec<LinkState>,
+    /// Per link: compact slot index into the fill's crossing CSR.
+    slot_of: Vec<u32>,
+    /// Per link: border verification already ran against this fill
+    /// (stamped with the fill stamp, so every re-fill re-verifies).
+    border_seen: Vec<u32>,
+    /// Links initialized by this fill, in first-touch order.
+    touched_links: Vec<u32>,
+    /// Component results, parallel to the subset.
     rates: Vec<f64>,
     status: Vec<BundleStatus>,
     keys: Vec<FreezeKey>,
+    active: Vec<bool>,
+    /// The event heap (capacity reused across fills).
+    heap: BinaryHeap<Event>,
     /// Links that saturated while starving a bundle, in saturation
-    /// order (callers sort by oversubscription).
+    /// order.
     saturated: Vec<LinkId>,
-    /// Frozen load per link — only meaningful for links all of whose
-    /// crossers are in the subset (always true for saturated links).
-    link_frozen: Vec<f64>,
-    /// Offered demand per link, accumulated over subset bundles in
-    /// input order.
-    link_demand: Vec<f64>,
+    /// Victim scratch for one saturation event.
+    victims: Vec<u32>,
+    /// Subset crossing lists in slot-CSR form.
+    cross_start: Vec<u32>,
+    cross_pos: Vec<u32>,
+    cross: Vec<u32>,
+    /// High-water marks (see [`WorkspaceStats`]).
+    peak_component: usize,
+    peak_links: usize,
+    peak_heap: usize,
+}
+
+impl FillScratch {
+    fn ensure(&mut self, n_bundles: usize, n_links: usize) {
+        if self.local_of.len() < n_bundles {
+            self.local_of.resize(n_bundles, u32::MAX);
+            self.local_stamp.resize(n_bundles, 0);
+        }
+        if self.link_stamp.len() < n_links {
+            self.link_stamp.resize(n_links, 0);
+            self.links.resize(
+                n_links,
+                LinkState {
+                    capacity: 0.0,
+                    frozen_load: 0.0,
+                    active_weight: 0.0,
+                    version: 0,
+                    saturated: false,
+                    demand: 0.0,
+                },
+            );
+            self.slot_of.resize(n_links, 0);
+            self.border_seen.resize(n_links, 0);
+        }
+    }
+
+    fn begin_fill(&mut self) -> u32 {
+        if self.stamp == u32::MAX {
+            self.local_stamp.iter_mut().for_each(|s| *s = 0);
+            self.link_stamp.iter_mut().for_each(|s| *s = 0);
+            self.border_seen.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.touched_links.clear();
+        self.saturated.clear();
+        self.heap.clear();
+        self.stamp
+    }
+
+    /// Whether `li` saturated in the current fill.
+    fn fill_saturated(&self, li: usize) -> bool {
+        self.link_stamp[li] == self.stamp && self.links[li].saturated
+    }
+
+    /// The just-filled rate of bundle `gi`, if it was in the subset.
+    fn filled_rate(&self, gi: usize) -> Option<f64> {
+        (self.local_stamp[gi] == self.stamp).then(|| self.rates[self.local_of[gi] as usize])
+    }
+}
+
+/// The minimal product of a delta evaluation, for scoring: the
+/// re-filled component, its rates, and the sparse per-link demand
+/// overlay — no spliced per-bundle outcome, no link loads, no
+/// congestion list, and (on the partial arm) no allocation: the slices
+/// borrow the caller's [`Workspace`]. Produced by
+/// [`FlowModel::score_delta`]; every value is bitwise identical to the
+/// corresponding piece of a full recompute.
+#[derive(Debug)]
+pub enum DeltaScore<'w> {
+    /// The common case: only the affected component re-filled.
+    Partial {
+        /// Global (spliced-list) indices of re-filled bundles,
+        /// ascending.
+        affected: &'w [u32],
+        /// New rates in bps, parallel to `affected`.
+        rates: &'w [f64],
+        /// `(link, new offered demand)` for links whose demand changed,
+        /// ascending by link id; every other link keeps the incumbent's
+        /// demand. Capacities are unchanged by a candidate move.
+        changed_link_demand: &'w [(u32, f64)],
+    },
+    /// The component crossed the fallback bar and the engine ran a
+    /// plain full evaluation instead (rare; allocates).
+    Full(Box<Evaluation>),
 }
 
 impl<'a> FlowModel<'a> {
@@ -497,38 +808,53 @@ impl<'a> FlowModel<'a> {
     fn evaluate_traced_view<V: BundleView + ?Sized>(&self, bundles: &V) -> Evaluation {
         let caps = self.capacities();
         let n = bundles.len();
+        let n_links = caps.len();
         let weights: Vec<f64> = (0..n)
             .map(|i| bundles.get(i).weight(self.config.min_rtt))
             .collect();
         let demands: Vec<f64> = (0..n).map(|i| bundles.get(i).demand().bps()).collect();
         let subset: Vec<u32> = (0..n as u32).collect();
-        let fill = fill(bundles, &subset, &weights, &demands, &caps);
+        let mut ws = Workspace::new();
+        ws.begin(n, n_links);
+        fill(
+            bundles,
+            &subset,
+            &weights,
+            &|i| demands[i],
+            &caps,
+            &mut ws.fill,
+        );
 
-        let mut congested = fill.saturated;
-        sort_congested(&mut congested, &fill.link_demand, &caps);
-
-        let (csr, csr_start) = build_csr(bundles, self.topology.link_count());
-        Evaluation {
-            outcome: ModelOutcome::new(
-                fill.rates.into_iter().map(Bandwidth::from_bps).collect(),
-                fill.status,
-                fill.link_frozen
-                    .iter()
-                    .zip(&caps)
-                    .map(|(&f, &c)| Bandwidth::from_bps(f.min(c)))
-                    .collect(),
-                fill.link_demand
-                    .into_iter()
-                    .map(Bandwidth::from_bps)
-                    .collect(),
-                caps.into_iter().map(Bandwidth::from_bps).collect(),
-                congested,
-            ),
-            freeze_keys: fill.keys,
-            demands,
-            csr,
-            csr_start,
+        let mut link_frozen = vec![0.0_f64; n_links];
+        let mut link_demand = vec![0.0_f64; n_links];
+        for li in 0..n_links {
+            if ws.fill.link_stamp[li] == ws.fill.stamp {
+                link_frozen[li] = ws.fill.links[li].frozen_load;
+                link_demand[li] = ws.fill.links[li].demand;
+            }
         }
+        let mut congested = ws.fill.saturated.clone();
+        sort_congested(&mut congested, &link_demand, &caps);
+
+        let (csr, csr_start) = build_csr(bundles, n_links);
+        let outcome = ModelOutcome::new(
+            ws.fill
+                .rates
+                .iter()
+                .copied()
+                .map(Bandwidth::from_bps)
+                .collect(),
+            ws.fill.status.clone(),
+            link_frozen
+                .iter()
+                .zip(&caps)
+                .map(|(&f, &c)| Bandwidth::from_bps(f.min(c)))
+                .collect(),
+            link_demand.into_iter().map(Bandwidth::from_bps).collect(),
+            caps.iter().copied().map(Bandwidth::from_bps).collect(),
+            congested,
+        );
+        Evaluation::assemble(outcome, ws.fill.keys.clone(), demands, csr, csr_start, caps)
     }
 
     /// Patches `prev` into the evaluation of `bundles`, re-running
@@ -559,90 +885,133 @@ impl<'a> FlowModel<'a> {
             bundles.len(),
             "prev_index must cover every bundle"
         );
-        self.evaluate_from_view(prev, bundles, &|i| prev_index[i], touched_links, None)
+        let mut ws = Workspace::new();
+        self.evaluate_from_view(
+            prev,
+            bundles,
+            &|i| prev_index[i],
+            Some(touched_links),
+            None,
+            &mut ws,
+        )
     }
 
     /// Patches `prev` into the evaluation of `delta`'s spliced bundle
-    /// list *without materializing it* — the per-candidate entry point
-    /// for callers that score many one-segment changes against the same
+    /// list *without materializing it* — the commit-time entry point for
+    /// callers whose candidates are one-segment changes against the same
     /// incumbent (the optimizer: each candidate move replaces exactly
     /// one aggregate's contiguous bundle segment). The result is bitwise
     /// identical to `evaluate_from(prev, &delta.materialize(), ..)`,
-    /// which in turn is bitwise identical to a full recompute.
+    /// which in turn is bitwise identical to a full recompute. The
+    /// topology must be unchanged since `prev` was computed.
     pub fn evaluate_delta(
         &self,
         prev: &Evaluation,
         delta: &BundleDelta<'_>,
     ) -> IncrementalEvaluation {
-        let touched = delta.touched_links();
-        self.evaluate_from_view(prev, delta, &|i| delta.prev_index(i), &touched, Some(delta))
+        let mut ws = Workspace::new();
+        self.evaluate_from_view(
+            prev,
+            delta,
+            &|i| delta.prev_index(i),
+            None,
+            Some(delta),
+            &mut ws,
+        )
     }
 
     /// Evaluates `delta` just far enough to *score* it: the component
     /// fill runs (with the same closure, verification, and fallback
     /// logic as [`FlowModel::evaluate_delta`]), but no spliced outcome,
-    /// link-load, or congestion list is assembled. This is the
-    /// optimizer's per-candidate fast path — rejected candidates never
-    /// pay for assembly; the winning candidate is committed through
-    /// [`FlowModel::evaluate_delta`]. Every value returned is bitwise
-    /// identical to the corresponding field of a full recompute.
-    pub fn score_delta(&self, prev: &Evaluation, delta: &BundleDelta<'_>) -> DeltaScore {
-        let touched = delta.touched_links();
-        match self.delta_fill(prev, delta, &|i| delta.prev_index(i), &touched, Some(delta)) {
-            DeltaFill::Full(eval) => DeltaScore {
-                affected: (0..eval.outcome.bundle_rates.len() as u32).collect(),
-                rates: eval.outcome.bundle_rates.iter().map(|r| r.bps()).collect(),
-                link_demand: eval.outcome.link_demand.iter().map(|d| d.bps()).collect(),
-                link_capacity: eval.outcome.link_capacity.iter().map(|c| c.bps()).collect(),
-                full_recompute: true,
-            },
-            DeltaFill::Partial(p) => DeltaScore {
-                affected: p.subset,
-                rates: p.filled.rates,
-                link_demand: p.link_demand,
-                link_capacity: p.caps,
-                full_recompute: false,
-            },
+    /// link-load, or congestion list is assembled, and — past buffer
+    /// warm-up — nothing is heap-allocated: demands read through the
+    /// splice view, capacities come from the incumbent's cache, and all
+    /// scratch lives in `ws`. This is the optimizer's per-candidate fast
+    /// path — rejected candidates never pay for assembly; the winning
+    /// candidate is committed through [`FlowModel::evaluate_delta`].
+    /// Every value returned is bitwise identical to the corresponding
+    /// piece of a full recompute. The topology must be unchanged since
+    /// `prev` was computed.
+    pub fn score_delta<'w>(
+        &self,
+        prev: &Evaluation,
+        delta: &BundleDelta<'_>,
+        ws: &'w mut Workspace,
+    ) -> DeltaScore<'w> {
+        if self.delta_fill_core(
+            prev,
+            delta,
+            &|i| delta.prev_index(i),
+            None,
+            Some(delta),
+            &prev.caps,
+            ws,
+        ) {
+            return DeltaScore::Full(Box::new(self.evaluate_traced_view(delta)));
+        }
+        ws.changed_demand.clear();
+        for k in 0..ws.changed_links.len() {
+            let li = ws.changed_links[k] as usize;
+            ws.changed_demand.push((li as u32, ws.touched_demand[li]));
+        }
+        ws.changed_demand.sort_unstable_by_key(|&(l, _)| l);
+        let ws = &*ws;
+        DeltaScore::Partial {
+            affected: &ws.subset,
+            rates: &ws.fill.rates,
+            changed_link_demand: &ws.changed_demand,
         }
     }
 
-    /// The shared incremental core behind [`FlowModel::evaluate_from`]
-    /// and [`FlowModel::evaluate_delta`], generic over how the new
-    /// bundle list is stored: assembles the full spliced evaluation on
-    /// top of [`FlowModel::delta_fill`].
+    /// The assembling incremental path behind [`FlowModel::evaluate_from`]
+    /// and [`FlowModel::evaluate_delta`]: runs the shared core, then
+    /// splices a full [`Evaluation`] together (this part allocates — it
+    /// runs once per accepted change, not per candidate).
     fn evaluate_from_view<V: BundleView + ?Sized>(
         &self,
         prev: &Evaluation,
         bundles: &V,
         prev_index: &dyn Fn(usize) -> Option<u32>,
-        touched_links: &[LinkId],
+        touched_links: Option<&[LinkId]>,
         splice: Option<&BundleDelta<'_>>,
+        ws: &mut Workspace,
     ) -> IncrementalEvaluation {
         let n = bundles.len();
-        let p = match self.delta_fill(prev, bundles, prev_index, touched_links, splice) {
-            DeltaFill::Full(evaluation) => {
-                return IncrementalEvaluation {
-                    evaluation,
-                    affected: (0..n as u32).collect(),
-                    full_recompute: true,
-                }
-            }
-            DeltaFill::Partial(p) => p,
-        };
         let n_links = self.topology.link_count();
-        let PartialFill {
-            subset,
-            filled: fill,
-            link_demand,
-            caps,
-            touched,
-            demands,
-            built_csr,
-        } = p;
-        let (csr, csr_start) = built_csr.unwrap_or_else(|| build_csr(bundles, n_links));
+        // A splice shares the incumbent's topology; other callers (the
+        // fabric) may have changed capacities, so re-derive.
+        let fresh_caps: Option<Vec<f64>> = if splice.is_some() {
+            None
+        } else {
+            Some(self.capacities())
+        };
+        let caps: &[f64] = fresh_caps.as_deref().unwrap_or(&prev.caps);
+        if self.delta_fill_core(prev, bundles, prev_index, touched_links, splice, caps, ws) {
+            return IncrementalEvaluation {
+                evaluation: self.evaluate_traced_view(bundles),
+                affected: (0..n as u32).collect(),
+                full_recompute: true,
+            };
+        }
+
+        let subset = ws.subset.clone();
+        // Full demand vector for the new evaluation.
+        let demands: Vec<f64> = match splice {
+            Some(d) => {
+                let mut v = Vec::with_capacity(n);
+                v.extend_from_slice(&prev.demands[..d.start]);
+                v.extend_from_slice(&ws.seg_demand);
+                v.extend_from_slice(&prev.demands[d.start + d.removed..]);
+                v
+            }
+            None => (0..n).map(|i| bundles.get(i).demand().bps()).collect(),
+        };
+        let (csr, csr_start) = ws
+            .built_csr
+            .take()
+            .unwrap_or_else(|| build_csr(bundles, n_links));
         let crossers =
             |li: usize| -> &[u32] { &csr[csr_start[li] as usize..csr_start[li + 1] as usize] };
-        let mut load_dirty = touched;
 
         // Splice per-bundle results: re-filled values for the affected
         // component, previous values (with renumbered freeze keys) for
@@ -655,9 +1024,9 @@ impl<'a> FlowModel<'a> {
         let mut status = vec![BundleStatus::Satisfied; n];
         let mut keys = vec![FreezeKey::satisfied(0.0, 0); n];
         for (local, &gi) in subset.iter().enumerate() {
-            rates[gi as usize] = fill.rates[local];
-            status[gi as usize] = fill.status[local];
-            keys[gi as usize] = fill.keys[local];
+            rates[gi as usize] = ws.fill.rates[local];
+            status[gi as usize] = ws.fill.status[local];
+            keys[gi as usize] = ws.fill.keys[local];
         }
         for i in 0..n {
             if in_set[i] {
@@ -671,11 +1040,17 @@ impl<'a> FlowModel<'a> {
 
         // Links whose load must be re-derived: touched ones plus every
         // link the affected component crosses.
+        let mut load_dirty = vec![false; n_links];
+        for &li in &ws.changed_links {
+            load_dirty[li as usize] = true;
+        }
         for &gi in &subset {
             for l in &bundles.get(gi as usize).links {
                 load_dirty[l.index()] = true;
             }
         }
+        // New offered demand per link.
+        let link_demand: Vec<f64> = (0..n_links).map(|li| ws.link_demand(prev, li)).collect();
         // Re-accumulate dirty links' loads in freeze order — the exact
         // order (and therefore the exact float sum) of a full run.
         let mut link_load = vec![0.0_f64; n_links];
@@ -710,43 +1085,44 @@ impl<'a> FlowModel<'a> {
             .copied()
             .filter(|l| !load_dirty[l.index()])
             .collect();
-        congested.extend(fill.saturated);
-        sort_congested(&mut congested, &link_demand, &caps);
+        congested.extend(ws.fill.saturated.iter().copied());
+        sort_congested(&mut congested, &link_demand, caps);
 
+        let outcome = ModelOutcome::new(
+            rates.into_iter().map(Bandwidth::from_bps).collect(),
+            status,
+            link_load.into_iter().map(Bandwidth::from_bps).collect(),
+            link_demand.into_iter().map(Bandwidth::from_bps).collect(),
+            caps.iter().copied().map(Bandwidth::from_bps).collect(),
+            congested,
+        );
         IncrementalEvaluation {
-            evaluation: Evaluation {
-                outcome: ModelOutcome::new(
-                    rates.into_iter().map(Bandwidth::from_bps).collect(),
-                    status,
-                    link_load.into_iter().map(Bandwidth::from_bps).collect(),
-                    link_demand.into_iter().map(Bandwidth::from_bps).collect(),
-                    caps.into_iter().map(Bandwidth::from_bps).collect(),
-                    congested,
-                ),
-                freeze_keys: keys,
-                demands,
-                csr,
-                csr_start,
-            },
+            evaluation: Evaluation::assemble(outcome, keys, demands, csr, csr_start, caps.to_vec()),
             affected: subset,
             full_recompute: false,
         }
     }
 
-    /// Runs the component analysis and fill shared by the assembling
-    /// ([`FlowModel::evaluate_from`]/[`FlowModel::evaluate_delta`]) and
-    /// scoring ([`FlowModel::score_delta`]) entry points. When `splice`
-    /// names the delta view that `bundles` is, per-bundle demands splice
-    /// from the previous evaluation's cache and per-link crossers merge
-    /// lazily from its CSR, instead of rebuilding O(bundles) structures.
-    fn delta_fill<V: BundleView + ?Sized>(
+    /// The shared incremental core: seeds the affected set from the
+    /// change, closes it over previously-saturating links, and runs the
+    /// optimistic component fill with border verification — all in
+    /// `ws`'s reusable, epoch-stamped scratch. Returns `true` when the
+    /// component crossed the fallback bar (the caller should run a full
+    /// evaluation); on `false` the results are left in `ws`: the sorted
+    /// `subset`, fill results parallel to it, the touched-link demand
+    /// overlay, the replacement demands (`seg_demand`, splice path), and
+    /// the freshly built CSR (non-splice path).
+    #[allow(clippy::too_many_arguments)]
+    fn delta_fill_core<V: BundleView + ?Sized>(
         &self,
         prev: &Evaluation,
         bundles: &V,
         prev_index: &dyn Fn(usize) -> Option<u32>,
-        touched_links: &[LinkId],
+        touched_links: Option<&[LinkId]>,
         splice: Option<&BundleDelta<'_>>,
-    ) -> DeltaFill {
+        caps: &[f64],
+        ws: &mut Workspace,
+    ) -> bool {
         let n_links = self.topology.link_count();
         let n = bundles.len();
         assert_eq!(
@@ -754,8 +1130,9 @@ impl<'a> FlowModel<'a> {
             n_links,
             "previous evaluation is for a different topology shape"
         );
+        assert_eq!(caps.len(), n_links, "capacity table must cover every link");
+        ws.begin(n, n_links);
 
-        let caps = self.capacities();
         #[cfg(debug_assertions)]
         for bi in 0..n {
             debug_assert!(
@@ -763,27 +1140,46 @@ impl<'a> FlowModel<'a> {
                 "bundle {bi} references a link outside the topology"
             );
         }
-        // Per-bundle demands: spliced from the previous evaluation's
-        // cache when the input is a one-segment delta (a pure copy —
-        // demand is a pure function of the bundle), recomputed
-        // otherwise.
-        let demands: Vec<f64> = match splice {
-            Some(d) => {
-                assert_eq!(
-                    prev.demands.len(),
-                    d.prev.len(),
-                    "delta splices over a different bundle list than `prev` evaluated"
-                );
-                let mut v = Vec::with_capacity(n);
-                v.extend_from_slice(&prev.demands[..d.start]);
-                v.extend(d.replacement.iter().map(|b| b.demand().bps()));
-                v.extend_from_slice(&prev.demands[d.start + d.removed..]);
-                v
+
+        // Per-bundle demands: read through a borrowed splice view (the
+        // previous evaluation's cache plus the replacement segment's
+        // demands) instead of materializing an O(bundles) vector per
+        // candidate; recomputed per access for non-splice callers
+        // (demand is a pure function of the bundle, so re-deriving it
+        // yields the same bits the cached value held).
+        if let Some(d) = splice {
+            assert_eq!(
+                prev.demands.len(),
+                d.prev.len(),
+                "delta splices over a different bundle list than `prev` evaluated"
+            );
+            for b in d.replacement {
+                ws.seg_demand.push(b.demand().bps());
             }
-            None => (0..n).map(|i| bundles.get(i).demand().bps()).collect(),
+        }
+        let seg_demand = std::mem::take(&mut ws.seg_demand);
+        let seg_ref: &[f64] = &seg_demand;
+        let spliced_demand = splice.map(|d| {
+            let (start, removed) = (d.start, d.removed);
+            let repl = seg_ref.len();
+            move |i: usize| -> f64 {
+                if i < start {
+                    prev.demands[i]
+                } else if i < start + repl {
+                    seg_ref[i - start]
+                } else {
+                    prev.demands[i - repl + removed]
+                }
+            }
+        });
+        let direct_demand = |i: usize| -> f64 { bundles.get(i).demand().bps() };
+        let demand: &dyn Fn(usize) -> f64 = match &spliced_demand {
+            Some(f) => f,
+            None => &direct_demand,
         };
+
         // Per-link crossers of the new list: merged lazily from the
-        // previous CSR for deltas, built directly otherwise.
+        // previous CSR for splices, built directly otherwise.
         let crossings = match splice {
             Some(d) => Crossings::Spliced { prev, delta: d },
             None => {
@@ -791,251 +1187,189 @@ impl<'a> FlowModel<'a> {
                 Crossings::Built { csr, csr_start }
             }
         };
-        let mut cs_buf: Vec<u32> = Vec::new();
 
-        // Offered demand: links untouched by the delta keep their
-        // previous sums verbatim (same crossers, same demands, same
-        // input order ⇒ the same float sum); touched links re-accumulate
-        // over their crossers in input order — both bitwise identical to
-        // a full run's accumulation.
-        let mut touched = vec![false; n_links];
-        for &l in touched_links {
-            if l.index() < n_links {
-                touched[l.index()] = true;
-            }
-        }
-        let mut link_demand: Vec<f64> = (0..n_links)
-            .map(|li| prev.outcome.link_demand[li].bps())
-            .collect();
-        for li in 0..n_links {
-            if touched[li] {
-                crossings.collect_into(li, &mut cs_buf);
-                let mut sum = 0.0;
-                for &bi in cs_buf.iter() {
-                    sum += demands[bi as usize];
+        // Touched links (capacity changes, links of removed/changed
+        // bundles) and their re-accumulated offered demand. Untouched
+        // links keep their previous sums verbatim (same crossers, same
+        // demands, same input order ⇒ the same float sum).
+        match touched_links {
+            Some(list) => {
+                for l in list {
+                    if l.index() < n_links {
+                        ws.touch_link(l.index());
+                    }
                 }
-                link_demand[li] = sum;
+            }
+            None => {
+                let d = splice.expect("touched links derive from the splice");
+                for b in &d.prev[d.start..d.start + d.removed] {
+                    for l in &b.links {
+                        ws.touch_link(l.index());
+                    }
+                }
+                for b in d.replacement {
+                    for l in &b.links {
+                        ws.touch_link(l.index());
+                    }
+                }
             }
         }
-
-        // Links that *actually constrained* the previous equilibrium —
-        // only these transmit influence during closure. A link that was
-        // merely binding (demand ≥ capacity) but never saturated froze
-        // nobody: losing demand cannot make it saturate, and gaining
-        // load is caught by the optimistic border check below.
-        let mut saturated_prev = vec![false; n_links];
-        for &l in &prev.outcome.congested {
-            if l.index() < n_links {
-                saturated_prev[l.index()] = true;
+        for k in 0..ws.changed_links.len() {
+            let li = ws.changed_links[k] as usize;
+            crossings.collect_into(li, &mut ws.cs_buf);
+            let mut sum = 0.0;
+            for &bi in ws.cs_buf.iter() {
+                sum += demand(bi as usize);
             }
+            ws.touched_demand[li] = sum;
         }
-        // Links that *could* saturate under the new demands; anything
-        // below this bar can never freeze anyone, wherever its
-        // crossers' rates move.
-        let binding_new: Vec<bool> = (0..n_links)
-            .map(|li| is_binding(link_demand[li], caps[li]))
-            .collect();
 
         // Seed the affected set: changed bundles, plus the full crosser
         // sets of touched links that saturated before (their frozen
         // victims must re-fill to redistribute freed or re-claimed
         // capacity).
-        let mut in_set = vec![false; n];
-        let mut queue: Vec<u32> = Vec::new();
-        for (i, dirty) in in_set.iter_mut().enumerate() {
-            if prev_index(i).is_none() {
-                *dirty = true;
-                queue.push(i as u32);
+        match splice {
+            Some(d) => {
+                for i in d.start..d.start + d.replacement.len() {
+                    ws.absorb(i as u32);
+                }
             }
-        }
-        for li in 0..n_links {
-            if touched[li] && saturated_prev[li] {
-                crossings.collect_into(li, &mut cs_buf);
-                for &c in cs_buf.iter() {
-                    if !in_set[c as usize] {
-                        in_set[c as usize] = true;
-                        queue.push(c);
+            None => {
+                for i in 0..n {
+                    if prev_index(i).is_none() {
+                        ws.absorb(i as u32);
                     }
                 }
             }
         }
-
-        // Closure over previously-saturating links only; the fill below
-        // is *optimistic* — links that never saturated are assumed to
-        // stay unsaturated, and the assumption is verified afterwards
-        // against the true final load (re-filled rates plus carried
-        // rates). Any border link that saturates in the fill or lands
-        // within BINDING_SLACK of its capacity expands the component and
-        // the fill re-runs, so the accepted result cannot diverge from a
-        // full recompute (see the module docs for the argument).
-        let mut link_seen = vec![false; n_links];
-        let close = |queue: &mut Vec<u32>,
-                     in_set: &mut [bool],
-                     link_seen: &mut [bool],
-                     cs_buf: &mut Vec<u32>| {
-            while let Some(bi) = queue.pop() {
-                for l in &bundles.get(bi as usize).links {
-                    let li = l.index();
-                    if saturated_prev[li] && !link_seen[li] {
-                        link_seen[li] = true;
-                        crossings.collect_into(li, cs_buf);
-                        for &c in cs_buf.iter() {
-                            if !in_set[c as usize] {
-                                in_set[c as usize] = true;
-                                queue.push(c);
-                            }
-                        }
-                    }
+        for k in 0..ws.changed_links.len() {
+            let li = ws.changed_links[k] as usize;
+            if prev.saturated[li] {
+                crossings.collect_into(li, &mut ws.cs_buf);
+                for idx in 0..ws.cs_buf.len() {
+                    let c = ws.cs_buf[idx];
+                    ws.absorb(c);
                 }
             }
-        };
-        close(&mut queue, &mut in_set, &mut link_seen, &mut cs_buf);
+        }
+        close_component(bundles, prev, &crossings, ws);
 
-        let mut weights = vec![0.0_f64; n];
-        let mut local_of = vec![u32::MAX; n];
-        let (subset, filled) = loop {
-            let subset: Vec<u32> = (0..n as u32).filter(|&i| in_set[i as usize]).collect();
-            // A component covering almost all of the input gains nothing
-            // over a full run; fall back (also exercises the same code
-            // the oracle uses, trivially keeping the equality
-            // invariant).
-            if subset.len() * 10 >= n.max(1) * 9 {
-                return DeltaFill::Full(self.evaluate_traced_view(bundles));
+        // The optimistic fill + border-verification loop (see the
+        // module docs for the correctness argument).
+        let fallback = loop {
+            if ws.subset.len() * 10 >= n.max(1) * 9 {
+                break true;
             }
-            for &gi in &subset {
-                weights[gi as usize] = bundles.get(gi as usize).weight(self.config.min_rtt);
+            ws.subset.sort_unstable();
+            for k in 0..ws.subset.len() {
+                let gi = ws.subset[k] as usize;
+                ws.weight[gi] = bundles.get(gi).weight(self.config.min_rtt);
             }
-            let filled = fill(bundles, &subset, &weights, &demands, &caps);
+            fill(bundles, &ws.subset, &ws.weight, demand, caps, &mut ws.fill);
 
             // Border verification: every never-saturated binding link
             // that the delta could have pushed over — partially crossed
-            // by the re-filled component, or touched directly (changed
-            // capacity, gained/lost a bundle) — must end strictly below
-            // capacity, or the optimism was wrong and the component
-            // grows. Fully-covered links need no check — the fill saw
-            // all their crossers and its verdict is authoritative.
-            let mut fill_saturated = vec![false; n_links];
-            for &l in &filled.saturated {
-                fill_saturated[l.index()] = true;
-            }
-            for (local, &gi) in subset.iter().enumerate() {
-                local_of[gi as usize] = local as u32;
-            }
+            // by the re-filled component, or touched directly — must end
+            // strictly below capacity, or the optimism was wrong and the
+            // component grows. Fully-covered links need no check.
             let mut expanded = false;
-            let mut border_seen = vec![false; n_links];
-            let verify = |li: usize,
-                          in_set: &mut [bool],
-                          queue: &mut Vec<u32>,
-                          border_seen: &mut [bool],
-                          expanded: &mut bool,
-                          cs_buf: &mut Vec<u32>| {
-                if border_seen[li] || saturated_prev[li] {
-                    return;
-                }
-                border_seen[li] = true;
-                if !binding_new[li] {
-                    return;
-                }
-                crossings.collect_into(li, cs_buf);
-                if cs_buf.iter().all(|&c| in_set[c as usize]) {
-                    return;
-                }
-                let mut load = 0.0;
-                for &c in cs_buf.iter() {
-                    let ci = c as usize;
-                    // Bundles absorbed earlier in this same scan are in
-                    // `in_set` but not in this fill; they carried their
-                    // previous rate through it.
-                    load += if local_of[ci] != u32::MAX {
-                        filled.rates[local_of[ci] as usize]
-                    } else {
-                        prev.outcome.bundle_rates
-                            [prev_index(ci).expect("unaffected bundles are mapped") as usize]
-                            .bps()
-                    };
-                }
-                if fill_saturated[li] || load >= caps[li] * (1.0 - BINDING_SLACK) {
-                    *expanded = true;
-                    for &c in cs_buf.iter() {
-                        if !in_set[c as usize] {
-                            in_set[c as usize] = true;
-                            queue.push(c);
-                        }
-                    }
-                }
-            };
-            for &gi in &subset {
-                for l in &bundles.get(gi as usize).links {
-                    verify(
-                        l.index(),
-                        &mut in_set,
-                        &mut queue,
-                        &mut border_seen,
-                        &mut expanded,
-                        &mut cs_buf,
-                    );
+            for k in 0..ws.subset.len() {
+                let gi = ws.subset[k] as usize;
+                for li_idx in 0..bundles.get(gi).links.len() {
+                    let li = bundles.get(gi).links[li_idx].index();
+                    self.verify_border(li, prev, prev_index, &crossings, caps, ws, &mut expanded);
                 }
             }
-            for (li, &touched_link) in touched.iter().enumerate() {
-                if touched_link {
-                    verify(
-                        li,
-                        &mut in_set,
-                        &mut queue,
-                        &mut border_seen,
-                        &mut expanded,
-                        &mut cs_buf,
-                    );
-                }
+            for k in 0..ws.changed_links.len() {
+                let li = ws.changed_links[k] as usize;
+                self.verify_border(li, prev, prev_index, &crossings, caps, ws, &mut expanded);
             }
             if !expanded {
-                break (subset, filled);
+                break false;
             }
-            close(&mut queue, &mut in_set, &mut link_seen, &mut cs_buf);
+            close_component(bundles, prev, &crossings, ws);
         };
 
-        DeltaFill::Partial(PartialFill {
-            subset,
-            filled,
-            link_demand,
-            caps,
-            touched,
-            demands,
-            built_csr: match crossings {
-                Crossings::Built { csr, csr_start } => Some((csr, csr_start)),
-                Crossings::Spliced { .. } => None,
-            },
-        })
+        ws.seg_demand = seg_demand;
+        if let Crossings::Built { csr, csr_start } = crossings {
+            ws.built_csr = Some((csr, csr_start));
+        }
+        fallback
+    }
+
+    /// One border-verification probe of link `li` (see
+    /// [`FlowModel::delta_fill_core`]): checks a never-saturated binding
+    /// link's true post-fill load and expands the component when the
+    /// optimistic assumption fails.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_border(
+        &self,
+        li: usize,
+        prev: &Evaluation,
+        prev_index: &dyn Fn(usize) -> Option<u32>,
+        crossings: &Crossings<'_>,
+        caps: &[f64],
+        ws: &mut Workspace,
+        expanded: &mut bool,
+    ) {
+        // Stamped with the *fill* stamp so every re-fill re-verifies.
+        if ws.fill.border_seen[li] == ws.fill.stamp || prev.saturated[li] {
+            return;
+        }
+        ws.fill.border_seen[li] = ws.fill.stamp;
+        if !is_binding(ws.link_demand(prev, li), caps[li]) {
+            return;
+        }
+        crossings.collect_into(li, &mut ws.cs_buf);
+        if ws.cs_buf.iter().all(|&c| ws.in_set[c as usize] == ws.stamp) {
+            return;
+        }
+        let mut load = 0.0;
+        for idx in 0..ws.cs_buf.len() {
+            let ci = ws.cs_buf[idx] as usize;
+            // Bundles absorbed earlier in this same scan are in the set
+            // but not in this fill; they carried their previous rate
+            // through it.
+            load += match ws.fill.filled_rate(ci) {
+                Some(r) => r,
+                None => prev.outcome.bundle_rates
+                    [prev_index(ci).expect("unaffected bundles are mapped") as usize]
+                    .bps(),
+            };
+        }
+        if ws.fill.fill_saturated(li) || load >= caps[li] * (1.0 - BINDING_SLACK) {
+            *expanded = true;
+            for idx in 0..ws.cs_buf.len() {
+                let c = ws.cs_buf[idx];
+                ws.absorb(c);
+            }
+        }
     }
 }
 
-/// What [`FlowModel::delta_fill`] produced: either a full traced
-/// evaluation (fallback) or the re-filled component with the shared
-/// per-link arrays the assembly and scoring paths both need.
-enum DeltaFill {
-    Full(Evaluation),
-    Partial(PartialFill),
-}
-
-struct PartialFill {
-    /// Global indices of the re-filled component, ascending.
-    subset: Vec<u32>,
-    /// The component fill, parallel to `subset`.
-    filled: FillResult,
-    /// Offered demand per link (bps) under the new input.
-    link_demand: Vec<f64>,
-    /// Usable capacity per link (bps).
-    caps: Vec<f64>,
-    /// Touched-link mask (capacity changes + links of removed/added
-    /// bundles) — the assembly extends it with the component's links to
-    /// know which loads to re-derive.
-    touched: Vec<bool>,
-    /// Per-bundle demands in bps (new list order).
-    demands: Vec<f64>,
-    /// The new list's CSR when the query path already built it
-    /// (non-splice callers); the assembly reuses it instead of building
-    /// again.
-    built_csr: Option<(Vec<u32>, Vec<u32>)>,
+/// Closes the affected set over previously-saturating links: any bundle
+/// in the set pulls in every crosser of every previously-saturating
+/// link it rides (influence propagates only through links that actually
+/// froze somebody — see the module docs).
+fn close_component<V: BundleView + ?Sized>(
+    bundles: &V,
+    prev: &Evaluation,
+    crossings: &Crossings<'_>,
+    ws: &mut Workspace,
+) {
+    while let Some(bi) = ws.queue.pop() {
+        for l in &bundles.get(bi as usize).links {
+            let li = l.index();
+            if prev.saturated[li] && ws.link_seen[li] != ws.stamp {
+                ws.link_seen[li] = ws.stamp;
+                crossings.collect_into(li, &mut ws.cs_buf);
+                for idx in 0..ws.cs_buf.len() {
+                    let c = ws.cs_buf[idx];
+                    ws.absorb(c);
+                }
+            }
+        }
+    }
 }
 
 /// Per-link crosser lists for the *new* bundle list: built directly, or
@@ -1116,26 +1450,6 @@ fn build_csr<V: BundleView + ?Sized>(bundles: &V, n_links: usize) -> (Vec<u32>, 
     (csr, csr_start)
 }
 
-/// The minimal product of a delta evaluation, for scoring: the
-/// re-filled component and its rates plus the per-link demand and
-/// capacity arrays — no spliced per-bundle outcome, no link loads, no
-/// congestion list. Produced by [`FlowModel::score_delta`]; every field
-/// is bitwise identical to the corresponding piece of a full recompute.
-#[derive(Clone, Debug)]
-pub struct DeltaScore {
-    /// Global (spliced-list) indices of re-filled bundles, ascending.
-    pub affected: Vec<u32>,
-    /// New rates in bps, parallel to `affected` (on fallback: every
-    /// bundle's rate).
-    pub rates: Vec<f64>,
-    /// Offered demand per link, bps.
-    pub link_demand: Vec<f64>,
-    /// Usable capacity per link, bps.
-    pub link_capacity: Vec<f64>,
-    /// True when the engine fell back to a plain full evaluation.
-    pub full_recompute: bool,
-}
-
 /// Sorts congested links by oversubscription (descending), the order
 /// Listing 1 visits them in; ties break on link id.
 fn sort_congested(congested: &mut [LinkId], link_demand: &[f64], caps: &[f64]) {
@@ -1146,202 +1460,250 @@ fn sort_congested(congested: &mut [LinkId], link_demand: &[f64], caps: &[f64]) {
     });
 }
 
+/// Freezes bundle `gi` at water level `t` with the given status,
+/// updating all links it crosses (their events re-arm lazily on pop).
+#[allow(clippy::too_many_arguments)]
+fn freeze_bundle<V: BundleView + ?Sized>(
+    bundles: &V,
+    weights: &[f64],
+    demand: &dyn Fn(usize) -> f64,
+    gi: u32,
+    t: f64,
+    st: BundleStatus,
+    local_of: &[u32],
+    rates: &mut [f64],
+    status: &mut [BundleStatus],
+    keys: &mut [FreezeKey],
+    active: &mut [bool],
+    links: &mut [LinkState],
+) {
+    let bi = gi as usize;
+    let local = local_of[bi] as usize;
+    let rate = match st {
+        BundleStatus::Satisfied => demand(bi),
+        BundleStatus::Congested(_) => (weights[bi] * t).min(demand(bi)),
+    };
+    rates[local] = rate;
+    status[local] = st;
+    keys[local] = match st {
+        BundleStatus::Satisfied => FreezeKey::satisfied(t, gi),
+        BundleStatus::Congested(l) => FreezeKey::congested(t, l.0, gi),
+    };
+    active[local] = false;
+    for l in &bundles.get(bi).links {
+        let ls = &mut links[l.index()];
+        ls.frozen_load += rate;
+        ls.active_weight -= weights[bi];
+        if ls.active_weight < 1e-9 {
+            ls.active_weight = 0.0;
+        }
+        // Lazily re-armed: the link's stale heap entry is a lower
+        // bound on its true saturation time (each freeze lowers the
+        // load slope, so saturation only moves later), and the pop
+        // loop re-computes and re-pushes it when it surfaces. This
+        // keeps heap traffic at O(links + stale pops) instead of
+        // one push per (freeze × crossed link).
+        ls.version += 1;
+    }
+}
+
 /// Progressive filling over `subset` (ascending global bundle indices).
 /// Event tie-breaking uses global indices throughout, so filling a
 /// subset whose members don't share a binding link with the rest
 /// reproduces exactly what a full run computes for those bundles.
+///
+/// All state lives in `ws` (epoch-stamped per-link tables, reused
+/// component arrays, the event heap), so steady-state fills allocate
+/// nothing and touch only the links the subset actually crosses.
 fn fill<V: BundleView + ?Sized>(
     bundles: &V,
     subset: &[u32],
     weights: &[f64],
-    demands: &[f64],
+    demand: &dyn Fn(usize) -> f64,
     caps: &[f64],
-) -> FillResult {
-    let n_links = caps.len();
+    ws: &mut FillScratch,
+) {
     let m = subset.len();
+    ws.ensure(bundles.len(), caps.len());
+    let stamp = ws.begin_fill();
+
+    ws.rates.clear();
+    ws.rates.resize(m, 0.0);
+    ws.status.clear();
+    ws.status.resize(m, BundleStatus::Satisfied);
+    ws.keys.clear();
+    ws.keys.resize(m, FreezeKey::satisfied(0.0, 0));
+    ws.active.clear();
+    ws.active.resize(m, true);
 
     // Global index -> position in `subset`.
-    let mut local_of = vec![u32::MAX; bundles.len()];
     for (local, &gi) in subset.iter().enumerate() {
-        local_of[gi as usize] = local as u32;
+        ws.local_of[gi as usize] = local as u32;
+        ws.local_stamp[gi as usize] = stamp;
     }
 
-    let mut rates = vec![0.0_f64; m];
-    let mut status = vec![BundleStatus::Satisfied; m];
-    let mut keys = vec![FreezeKey::satisfied(0.0, 0); m];
-    let mut active = vec![true; m];
-
-    let mut links: Vec<LinkState> = caps
-        .iter()
-        .map(|&capacity| LinkState {
-            capacity,
-            frozen_load: 0.0,
-            active_weight: 0.0,
-            version: 0,
-            saturated: false,
-            demand: 0.0,
-        })
-        .collect();
-    // Subset crossing lists in CSR form (no per-link vectors): crossers
-    // of link `l`, ascending, at `cross[cross_start[l]..cross_start[l+1]]`.
-    let mut cross_start = vec![0u32; n_links + 1];
+    // Per-link state, initialized lazily on first touch; accumulation
+    // runs in subset (= ascending input) order, reproducing a full
+    // run's float sums exactly.
     for &gi in subset {
         let bi = gi as usize;
         debug_assert!(
-            bundles.get(bi).links.iter().all(|l| l.index() < n_links),
+            bundles.get(bi).links.iter().all(|l| l.index() < caps.len()),
             "bundle {bi} references a link outside the topology"
         );
         for l in &bundles.get(bi).links {
-            let ls = &mut links[l.index()];
+            let li = l.index();
+            if ws.link_stamp[li] != stamp {
+                ws.link_stamp[li] = stamp;
+                ws.links[li] = LinkState {
+                    capacity: caps[li],
+                    frozen_load: 0.0,
+                    active_weight: 0.0,
+                    version: 0,
+                    saturated: false,
+                    demand: 0.0,
+                };
+                ws.slot_of[li] = ws.touched_links.len() as u32;
+                ws.touched_links.push(li as u32);
+            }
+            let ls = &mut ws.links[li];
             ls.active_weight += weights[bi];
-            ls.demand += demands[bi];
-            cross_start[l.index() + 1] += 1;
+            ls.demand += demand(bi);
         }
     }
-    for li in 0..n_links {
-        cross_start[li + 1] += cross_start[li];
-    }
-    let mut cross = vec![0u32; cross_start[n_links] as usize];
-    let mut cross_pos: Vec<u32> = cross_start[..n_links].to_vec();
+    let n_slots = ws.touched_links.len();
+
+    // Subset crossing lists in slot-CSR form (sized by the component's
+    // links, not the topology): crossers of the link in slot `s`,
+    // ascending, at `cross[cross_start[s]..cross_start[s + 1]]`.
+    ws.cross_start.clear();
+    ws.cross_start.resize(n_slots + 1, 0);
     for &gi in subset {
         for l in &bundles.get(gi as usize).links {
-            let p = &mut cross_pos[l.index()];
-            cross[*p as usize] = gi;
-            *p += 1;
+            ws.cross_start[ws.slot_of[l.index()] as usize + 1] += 1;
+        }
+    }
+    for s in 0..n_slots {
+        ws.cross_start[s + 1] += ws.cross_start[s];
+    }
+    ws.cross.clear();
+    ws.cross.resize(ws.cross_start[n_slots] as usize, 0);
+    ws.cross_pos.clear();
+    ws.cross_pos.extend_from_slice(&ws.cross_start[..n_slots]);
+    for &gi in subset {
+        for l in &bundles.get(gi as usize).links {
+            let slot = ws.slot_of[l.index()] as usize;
+            let p = ws.cross_pos[slot] as usize;
+            ws.cross[p] = gi;
+            ws.cross_pos[slot] += 1;
         }
     }
 
-    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(m + n_links);
     for &gi in subset {
         let bi = gi as usize;
-        debug_assert!(weights[bi] > 0.0 && demands[bi] > 0.0);
-        heap.push(Event {
-            time: demands[bi] / weights[bi],
+        debug_assert!(weights[bi] > 0.0 && demand(bi) > 0.0);
+        ws.heap.push(Event {
+            time: demand(bi) / weights[bi],
             kind: 0,
             idx: gi,
             version: 0,
         });
     }
-    for (li, ls) in links.iter().enumerate() {
-        if let Some(t) = ls.saturation_time() {
-            heap.push(Event {
+    for k in 0..n_slots {
+        let li = ws.touched_links[k] as usize;
+        if let Some(t) = ws.links[li].saturation_time() {
+            ws.heap.push(Event {
                 time: t,
                 kind: 1,
                 idx: li as u32,
-                version: ls.version,
+                version: ws.links[li].version,
             });
         }
     }
 
-    let mut saturated: Vec<LinkId> = Vec::new();
+    ws.peak_component = ws.peak_component.max(m);
+    ws.peak_links = ws.peak_links.max(n_slots);
+    ws.peak_heap = ws.peak_heap.max(ws.heap.len());
+
     let mut remaining = m;
-
-    // Freezes bundle `gi` at water level `t` with the given status,
-    // updating all links it crosses (their events re-arm lazily on pop).
-    let freeze = |gi: u32,
-                  t: f64,
-                  st: BundleStatus,
-                  rates: &mut [f64],
-                  status: &mut [BundleStatus],
-                  keys: &mut [FreezeKey],
-                  active: &mut [bool],
-                  links: &mut [LinkState],
-                  local_of: &[u32]| {
-        let bi = gi as usize;
-        let local = local_of[bi] as usize;
-        let rate = match st {
-            BundleStatus::Satisfied => demands[bi],
-            BundleStatus::Congested(_) => (weights[bi] * t).min(demands[bi]),
-        };
-        rates[local] = rate;
-        status[local] = st;
-        keys[local] = match st {
-            BundleStatus::Satisfied => FreezeKey::satisfied(t, gi),
-            BundleStatus::Congested(l) => FreezeKey::congested(t, l.0, gi),
-        };
-        active[local] = false;
-        for l in &bundles.get(bi).links {
-            let ls = &mut links[l.index()];
-            ls.frozen_load += rate;
-            ls.active_weight -= weights[bi];
-            if ls.active_weight < 1e-9 {
-                ls.active_weight = 0.0;
-            }
-            // Lazily re-armed: the link's stale heap entry is a lower
-            // bound on its true saturation time (each freeze lowers the
-            // load slope, so saturation only moves later), and the pop
-            // loop re-computes and re-pushes it when it surfaces. This
-            // keeps heap traffic at O(links + stale pops) instead of
-            // one push per (freeze × crossed link).
-            ls.version += 1;
-        }
-    };
-
-    while let Some(ev) = heap.pop() {
+    while let Some(ev) = ws.heap.pop() {
         if remaining == 0 {
             break;
         }
         match ev.kind {
             0 => {
-                let local = local_of[ev.idx as usize] as usize;
-                if !active[local] {
+                let local = ws.local_of[ev.idx as usize] as usize;
+                if !ws.active[local] {
                     continue; // frozen by an earlier link saturation
                 }
-                freeze(
+                freeze_bundle(
+                    bundles,
+                    weights,
+                    demand,
                     ev.idx,
                     ev.time,
                     BundleStatus::Satisfied,
-                    &mut rates,
-                    &mut status,
-                    &mut keys,
-                    &mut active,
-                    &mut links,
-                    &local_of,
+                    &ws.local_of,
+                    &mut ws.rates,
+                    &mut ws.status,
+                    &mut ws.keys,
+                    &mut ws.active,
+                    &mut ws.links,
                 );
                 remaining -= 1;
             }
             _ => {
                 let li = ev.idx as usize;
-                if links[li].saturated || links[li].active_weight <= 0.0 {
+                if ws.links[li].saturated || ws.links[li].active_weight <= 0.0 {
                     continue; // dead: no active crossers left to freeze
                 }
-                if links[li].version != ev.version {
+                if ws.links[li].version != ev.version {
                     // Stale lower bound surfaced: re-arm at the current
                     // saturation time (clamped to the frontier so
                     // processing stays monotone in time).
-                    if let Some(nt) = links[li].saturation_time() {
-                        heap.push(Event {
+                    if let Some(nt) = ws.links[li].saturation_time() {
+                        ws.heap.push(Event {
                             time: nt.max(ev.time),
                             kind: 1,
                             idx: ev.idx,
-                            version: links[li].version,
+                            version: ws.links[li].version,
                         });
                     }
                     continue;
                 }
-                links[li].saturated = true;
-                let victims: Vec<u32> = cross
-                    [cross_start[li] as usize..cross_start[li + 1] as usize]
-                    .iter()
-                    .copied()
-                    .filter(|&gi| active[local_of[gi as usize] as usize])
-                    .collect();
+                ws.links[li].saturated = true;
+                let slot = ws.slot_of[li] as usize;
+                let (s, e) = (
+                    ws.cross_start[slot] as usize,
+                    ws.cross_start[slot + 1] as usize,
+                );
+                ws.victims.clear();
+                for idx in s..e {
+                    let gi = ws.cross[idx];
+                    if ws.active[ws.local_of[gi as usize] as usize] {
+                        ws.victims.push(gi);
+                    }
+                }
                 debug_assert!(
-                    !victims.is_empty(),
+                    !ws.victims.is_empty(),
                     "a saturating link must have active crossers"
                 );
-                saturated.push(LinkId(li as u32));
-                for gi in victims {
-                    freeze(
+                ws.saturated.push(LinkId(li as u32));
+                for k in 0..ws.victims.len() {
+                    let gi = ws.victims[k];
+                    freeze_bundle(
+                        bundles,
+                        weights,
+                        demand,
                         gi,
                         ev.time,
                         BundleStatus::Congested(LinkId(li as u32)),
-                        &mut rates,
-                        &mut status,
-                        &mut keys,
-                        &mut active,
-                        &mut links,
-                        &local_of,
+                        &ws.local_of,
+                        &mut ws.rates,
+                        &mut ws.status,
+                        &mut ws.keys,
+                        &mut ws.active,
+                        &mut ws.links,
                     );
                     remaining -= 1;
                 }
@@ -1349,15 +1711,6 @@ fn fill<V: BundleView + ?Sized>(
         }
     }
     debug_assert_eq!(remaining, 0, "every bundle must terminate");
-
-    FillResult {
-        rates,
-        status,
-        keys,
-        saturated,
-        link_frozen: links.iter().map(|l| l.frozen_load).collect(),
-        link_demand: links.iter().map(|l| l.demand).collect(),
-    }
 }
 
 #[cfg(test)]

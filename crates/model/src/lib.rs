@@ -33,9 +33,11 @@ mod spec;
 
 pub use engine::{
     BundleDelta, BundleDeltaIter, DeltaScore, Evaluation, FlowModel, IncrementalEvaluation,
-    ModelConfig,
+    ModelConfig, Workspace, WorkspaceStats,
 };
 pub use outcome::{ModelOutcome, UtilizationSummary};
 pub use queueing::{queueing_report, QueueingConfig, QueueingReport};
-pub use report::{utility_report, utility_report_delta, utility_report_from, UtilityReport};
+pub use report::{
+    score_network_utility_delta, utility_report, utility_report_from, ReportScratch, UtilityReport,
+};
 pub use spec::{BundleSpec, BundleStatus};

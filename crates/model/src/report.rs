@@ -7,7 +7,126 @@
 
 use crate::outcome::ModelOutcome;
 use crate::spec::BundleSpec;
-use fubar_traffic::TrafficMatrix;
+use fubar_traffic::{Aggregate, AggregateId, TrafficMatrix};
+
+/// One aggregate's contribution to the network-wide folds: the
+/// numerators and denominators of the three averages `finalize`
+/// produces. Internal nodes of the [`FoldTree`] hold field-wise sums.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct FoldCell {
+    obj_num: f64,
+    obj_den: f64,
+    large_num: f64,
+    large_den: f64,
+    small_num: f64,
+    small_den: f64,
+}
+
+impl FoldCell {
+    fn leaf(a: &Aggregate, u: f64) -> FoldCell {
+        let w = a.objective_weight();
+        let flows = f64::from(a.flow_count);
+        let mut c = FoldCell {
+            obj_num: w * u,
+            obj_den: w,
+            ..FoldCell::default()
+        };
+        if a.is_large() {
+            c.large_num = flows * u;
+            c.large_den = flows;
+        } else {
+            c.small_num = flows * u;
+            c.small_den = flows;
+        }
+        c
+    }
+
+    fn combine(l: FoldCell, r: FoldCell) -> FoldCell {
+        FoldCell {
+            obj_num: l.obj_num + r.obj_num,
+            obj_den: l.obj_den + r.obj_den,
+            large_num: l.large_num + r.large_num,
+            large_den: l.large_den + r.large_den,
+            small_num: l.small_num + r.small_num,
+            small_den: l.small_den + r.small_den,
+        }
+    }
+}
+
+/// A fixed-shape pairwise summation tree over per-aggregate fold cells.
+///
+/// The network-wide averages are *defined* as this tree's root (both the
+/// full and the incremental report paths build the identical shape), so
+/// a point change to one aggregate's utility can be folded into the
+/// root by recombining only the `O(log n)` nodes on its leaf-to-root
+/// path — with a result bitwise identical to rebuilding the whole tree.
+/// That is what lets the optimizer score a candidate's network utility
+/// in O(component · log n) instead of re-folding every aggregate.
+#[derive(Clone, Debug)]
+struct FoldTree {
+    /// Leaf count rounded up to a power of two; leaves of aggregate `i`
+    /// sit at `base + i`, the root at node 1 (node 0 unused).
+    base: usize,
+    nodes: Vec<FoldCell>,
+}
+
+impl FoldTree {
+    fn build(tm: &TrafficMatrix, per_aggregate: &[f64]) -> FoldTree {
+        let base = tm.len().next_power_of_two().max(1);
+        let mut nodes = vec![FoldCell::default(); 2 * base];
+        for a in tm.iter() {
+            nodes[base + a.id.index()] = FoldCell::leaf(a, per_aggregate[a.id.index()]);
+        }
+        for i in (1..base).rev() {
+            nodes[i] = FoldCell::combine(nodes[2 * i], nodes[2 * i + 1]);
+        }
+        FoldTree { base, nodes }
+    }
+
+    fn root(&self) -> FoldCell {
+        self.nodes[1]
+    }
+
+    /// The root after replacing the given leaves, computed *without*
+    /// mutating the tree (candidate scoring shares the incumbent's tree
+    /// across threads). `changed` holds `(node index, new value)` pairs,
+    /// ascending and unique, starting at the leaf level; `spare` is the
+    /// sibling buffer. Both are caller scratch — no allocation past
+    /// their warm-up.
+    fn patched_root(
+        &self,
+        changed: &mut Vec<(u32, FoldCell)>,
+        spare: &mut Vec<(u32, FoldCell)>,
+    ) -> FoldCell {
+        debug_assert!(changed.windows(2).all(|w| w[0].0 < w[1].0));
+        if changed.is_empty() {
+            return self.root();
+        }
+        while changed[0].0 > 1 {
+            spare.clear();
+            let mut i = 0;
+            while i < changed.len() {
+                let (node, value) = changed[i];
+                let sibling = node ^ 1;
+                let (left, right) = if i + 1 < changed.len() && changed[i + 1].0 == sibling {
+                    i += 2;
+                    (value, changed[i - 1].1)
+                } else {
+                    i += 1;
+                    let sib_val = self.nodes[sibling as usize];
+                    if node & 1 == 0 {
+                        (value, sib_val)
+                    } else {
+                        (sib_val, value)
+                    }
+                };
+                spare.push((node / 2, FoldCell::combine(left, right)));
+            }
+            std::mem::swap(changed, spare);
+        }
+        changed[0].1
+    }
+}
 
 /// Utilities computed from one model evaluation.
 #[derive(Clone, Debug)]
@@ -24,6 +143,12 @@ pub struct UtilityReport {
     pub large_average: Option<f64>,
     /// Flow-weighted average utility of everything that is not large.
     pub small_average: Option<f64>,
+    /// The summation tree behind the averages — carried so candidate
+    /// scoring can patch single aggregates into the root in O(log n).
+    /// Shared (`Arc`), because reports ride hot clone paths — every
+    /// `Fabric::peek` clones the cached report into its `EpochReport` —
+    /// and the tree is immutable once built.
+    sums: std::sync::Arc<FoldTree>,
 }
 
 impl UtilityReport {
@@ -174,121 +299,181 @@ where
     finalize(tm, per_aggregate)
 }
 
-/// Scores a candidate delta: the utility report of the spliced bundle
-/// list, computed from a [`crate::DeltaScore`] without materializing the
-/// list or its outcome. Utility curves re-evaluate only for aggregates
-/// owning a re-filled bundle (plus `always_masked`, typically the moved
-/// aggregate); everything else carries over from `prev_report` — the
-/// same contract as [`utility_report_from`], so the result is bitwise
-/// identical to a full [`utility_report`] of the materialized list.
+/// Reusable scratch for [`score_network_utility_delta`]: aggregate
+/// dedup stamps and the fold-tree patch buffers. Past warm-up, scoring
+/// a candidate allocates nothing.
+#[derive(Debug, Default)]
+pub struct ReportScratch {
+    stamp: u32,
+    agg_stamp: Vec<u32>,
+    affected_aggs: Vec<u32>,
+    changed: Vec<(u32, FoldCell)>,
+    spare: Vec<(u32, FoldCell)>,
+}
+
+impl ReportScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ReportScratch::default()
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.stamp == u32::MAX {
+            self.agg_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        if self.agg_stamp.len() < n {
+            self.agg_stamp.resize(n, 0);
+        }
+        self.affected_aggs.clear();
+        self.changed.clear();
+    }
+
+    fn mark(&mut self, agg: usize) {
+        if self.agg_stamp[agg] != self.stamp {
+            self.agg_stamp[agg] = self.stamp;
+            self.affected_aggs.push(agg as u32);
+        }
+    }
+}
+
+/// Scores a candidate delta's **network utility** without materializing
+/// the spliced list, its outcome, or a report — and, past scratch
+/// warm-up, without allocating. Utility curves re-evaluate only for the
+/// bundles of aggregates owning a re-filled bundle (plus `moved`);
+/// every other aggregate's fold-tree leaf carries over from
+/// `prev_report`, and the patched root is bitwise identical to the one
+/// a full [`utility_report`] of the materialized list would compute.
 ///
-/// `prev_outcome` must be the outcome `delta` splices over (it supplies
-/// the carried rates of unaffected bundles).
-pub fn utility_report_delta(
+/// `affected`/`rates` are the partial fill's product (ascending spliced
+/// indices and their new rates, from
+/// [`crate::DeltaScore::Partial`]); `prev_outcome` must be the outcome
+/// `delta` splices over; `prev_spans` maps each aggregate to its
+/// `(start, len)` bundle span in the *previous* list, with `moved`'s
+/// span equal to the delta's replaced range.
+#[allow(clippy::too_many_arguments)]
+pub fn score_network_utility_delta(
     tm: &TrafficMatrix,
     delta: &crate::BundleDelta<'_>,
-    score: &crate::DeltaScore,
+    affected: &[u32],
+    rates: &[f64],
     prev_outcome: &ModelOutcome,
     prev_report: &UtilityReport,
-    always_masked: &[fubar_traffic::AggregateId],
-) -> UtilityReport {
+    moved: AggregateId,
+    prev_spans: &[(u32, u32)],
+    ws: &mut ReportScratch,
+) -> f64 {
     let n = tm.len();
+    // Hard input checks (O(1), nothing allocated on the pass path): a
+    // mismatched report or span table must fail fast, not silently
+    // index the wrong fold-tree leaves.
     assert_eq!(
         prev_report.per_aggregate.len(),
         n,
         "previous report covers a different aggregate population"
     );
-    let mut mask = vec![false; n];
-    for &a in always_masked {
-        mask[a.index()] = true;
-    }
-    for &bi in &score.affected {
-        mask[delta.get(bi as usize).aggregate.index()] = true;
+    assert_eq!(prev_spans.len(), n, "spans must cover every aggregate");
+    assert_eq!(
+        prev_spans[moved.index()].0 as usize,
+        delta.start(),
+        "moved aggregate's span must equal the delta's replaced range"
+    );
+    assert_eq!(
+        prev_spans[moved.index()].1 as usize,
+        delta.removed(),
+        "moved aggregate's span must equal the delta's replaced range"
+    );
+    ws.begin(n);
+
+    ws.mark(moved.index());
+    for &bi in affected {
+        ws.mark(delta.get(bi as usize).aggregate.index());
     }
 
-    // Same accumulation order as `utility_report_from`: every bundle in
-    // input order, unmasked aggregates skipped. Rates come from the
-    // re-fill for affected bundles (ascending, walked with a cursor)
-    // and from the previous outcome otherwise; `Bandwidth::from_bps`
-    // reconstructs the exact bits the materialized outcome would hold.
-    let mut weighted = vec![0.0_f64; n];
-    let mut covered = vec![0u64; n];
-    let mut cursor = 0usize;
-    for (i, b) in delta.iter().enumerate() {
-        let refilled = cursor < score.affected.len() && score.affected[cursor] == i as u32;
-        let rate = if refilled {
-            cursor += 1;
-            fubar_topology::Bandwidth::from_bps(score.rates[cursor - 1])
+    let shift = delta.replacement_len() as i64 - delta.removed() as i64;
+    let base = prev_report.sums.base;
+    for k in 0..ws.affected_aggs.len() {
+        let ai = ws.affected_aggs[k] as usize;
+        let a = tm.aggregate(AggregateId(ai as u32));
+        // The aggregate's bundle span in the *spliced* list: the moved
+        // aggregate owns the replacement segment; spans after it shift.
+        let (ps, pl) = prev_spans[ai];
+        let (s, l) = if ai == moved.index() {
+            (delta.start(), delta.replacement_len())
+        } else if ps as usize >= delta.start() + delta.removed() {
+            ((i64::from(ps) + shift) as usize, pl as usize)
         } else {
-            prev_outcome.bundle_rates
-                [delta.prev_index(i).expect("unaffected bundles are mapped") as usize]
+            (ps as usize, pl as usize)
         };
-        if !mask[b.aggregate.index()] {
-            continue;
+        // Flow-weighted utility over the span, in bundle order — the
+        // exact accumulation a full report performs for this aggregate.
+        let mut cursor = affected.partition_point(|&bi| (bi as usize) < s);
+        let mut weighted = 0.0_f64;
+        #[cfg(debug_assertions)]
+        let mut covered = 0u64;
+        for i in s..s + l {
+            let b = delta.get(i);
+            debug_assert_eq!(b.aggregate.index(), ai, "span owns foreign bundle");
+            let rate = if cursor < affected.len() && affected[cursor] as usize == i {
+                cursor += 1;
+                fubar_topology::Bandwidth::from_bps(rates[cursor - 1])
+            } else {
+                prev_outcome.bundle_rates
+                    [delta.prev_index(i).expect("unaffected bundles are mapped") as usize]
+            };
+            let per_flow = rate / f64::from(b.flow_count);
+            let u = a.utility.eval(per_flow, b.path_delay);
+            weighted += f64::from(b.flow_count) * u;
+            #[cfg(debug_assertions)]
+            {
+                covered += u64::from(b.flow_count);
+            }
         }
-        let a = tm.aggregate(b.aggregate);
-        let per_flow = rate / f64::from(b.flow_count);
-        let u = a.utility.eval(per_flow, b.path_delay);
-        weighted[b.aggregate.index()] += f64::from(b.flow_count) * u;
-        covered[b.aggregate.index()] += u64::from(b.flow_count);
-    }
-
-    let mut per_aggregate = prev_report.per_aggregate.clone();
-    for a in tm.iter() {
-        if !mask[a.id.index()] {
-            continue;
-        }
+        #[cfg(debug_assertions)]
         debug_assert!(
-            covered[a.id.index()] <= u64::from(a.flow_count),
-            "aggregate {} has {} flows covered but only {} exist",
+            covered <= u64::from(a.flow_count),
+            "aggregate {} has {covered} flows covered but only {} exist",
             a.id,
-            covered[a.id.index()],
             a.flow_count
         );
-        per_aggregate[a.id.index()] = if a.flow_count == 0 {
+        let u_agg = if a.flow_count == 0 {
             0.0
         } else {
-            weighted[a.id.index()] / f64::from(a.flow_count)
+            weighted / f64::from(a.flow_count)
         };
+        ws.changed
+            .push(((base + ai) as u32, FoldCell::leaf(a, u_agg)));
     }
-
-    finalize(tm, per_aggregate)
+    ws.changed.sort_unstable_by_key(|&(i, _)| i);
+    let root = prev_report
+        .sums
+        .patched_root(&mut ws.changed, &mut ws.spare);
+    if root.obj_den > 0.0 {
+        root.obj_num / root.obj_den
+    } else {
+        0.0
+    }
 }
 
 /// Folds per-aggregate utilities into the network-wide averages — the
-/// shared tail of the full and incremental report paths (identical code
-/// so the two stay bitwise interchangeable).
+/// shared tail of the full and incremental report paths. The averages
+/// are the root of a fixed-shape pairwise [`FoldTree`] (identical code
+/// and shape on every path, so full rebuilds and O(log n) patches stay
+/// bitwise interchangeable).
 fn finalize(tm: &TrafficMatrix, per_aggregate: Vec<f64>) -> UtilityReport {
-    let mut obj_num = 0.0;
-    let mut obj_den = 0.0;
-    let mut large_num = 0.0;
-    let mut large_den = 0.0;
-    let mut small_num = 0.0;
-    let mut small_den = 0.0;
-    for a in tm.iter() {
-        let u = per_aggregate[a.id.index()];
-        let w = a.objective_weight();
-        obj_num += w * u;
-        obj_den += w;
-        let flows = f64::from(a.flow_count);
-        if a.is_large() {
-            large_num += flows * u;
-            large_den += flows;
-        } else {
-            small_num += flows * u;
-            small_den += flows;
-        }
-    }
-
+    let sums = std::sync::Arc::new(FoldTree::build(tm, &per_aggregate));
+    let r = sums.root();
     UtilityReport {
-        network_utility: if obj_den > 0.0 {
-            obj_num / obj_den
+        network_utility: if r.obj_den > 0.0 {
+            r.obj_num / r.obj_den
         } else {
             0.0
         },
         per_aggregate,
-        large_average: (large_den > 0.0).then(|| large_num / large_den),
-        small_average: (small_den > 0.0).then(|| small_num / small_den),
+        large_average: (r.large_den > 0.0).then(|| r.large_num / r.large_den),
+        small_average: (r.small_den > 0.0).then(|| r.small_num / r.small_den),
+        sums,
     }
 }
 

@@ -40,6 +40,24 @@ impl BundleSpec {
         }
     }
 
+    /// Overwrites this bundle in place, reusing its link buffer — the
+    /// optimizer's zero-allocation candidate path rewrites a scratch
+    /// segment with this instead of constructing fresh bundles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flow_count` is zero (same contract as
+    /// [`BundleSpec::new`]).
+    pub fn assign(&mut self, aggregate: &Aggregate, path: &Path, flow_count: u32) {
+        assert!(flow_count > 0, "bundle must carry at least one flow");
+        self.aggregate = aggregate.id;
+        self.flow_count = flow_count;
+        self.links.clear();
+        self.links.extend_from_slice(path.links());
+        self.path_delay = Delay::from_secs(path.cost());
+        self.per_flow_demand = aggregate.per_flow_demand();
+    }
+
     /// Total demand of the bundle if fully satisfied.
     pub fn demand(&self) -> Bandwidth {
         self.per_flow_demand * f64::from(self.flow_count)

@@ -8,7 +8,7 @@
 use crate::spec::Scenario;
 
 /// `(name, spec text)` for every bundled scenario.
-pub const CATALOG: [(&str, &str); 6] = [
+pub const CATALOG: [(&str, &str); 8] = [
     (
         "flash_crowd",
         include_str!("../../../scenarios/flash_crowd.scn"),
@@ -30,6 +30,14 @@ pub const CATALOG: [(&str, &str); 6] = [
         include_str!("../../../scenarios/priority_surge.scn"),
     ),
     ("he_scale", include_str!("../../../scenarios/he_scale.scn")),
+    (
+        "pop_churn",
+        include_str!("../../../scenarios/pop_churn.scn"),
+    ),
+    (
+        "hypergrowth",
+        include_str!("../../../scenarios/hypergrowth.scn"),
+    ),
 ];
 
 /// The names of all bundled scenarios.
@@ -54,7 +62,7 @@ mod tests {
             let s = load(name).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(s.name, name, "file name and `scenario` directive agree");
         }
-        assert_eq!(names().len(), 6);
+        assert_eq!(names().len(), 8);
         assert!(load("no_such_scenario").is_none());
     }
 

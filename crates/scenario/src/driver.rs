@@ -14,7 +14,8 @@ use crate::spec::{Action, Scenario, TopologySpec};
 use crate::stochastic::{ChurnSource, FailureSource};
 use fubar_core::Allocation;
 use fubar_graph::LinkId;
-use fubar_sdn::{Estimator, Fabric, FubarController, MeasurementConfig};
+use fubar_model::WorkspaceStats;
+use fubar_sdn::{Estimator, Fabric, FubarController, GroupEntry, MeasurementConfig};
 use fubar_topology::{generators, Delay, Topology};
 use fubar_traffic::{workload, AggregateId, WorkloadConfig};
 
@@ -28,10 +29,14 @@ pub struct SdnConsumer {
     /// controller's epoch schedule fields are unused here.
     controller: FubarController,
     previous: Option<Allocation>,
-    /// Baseline flow counts from the generated workload.
+    /// Baseline flow counts from the generated workload (zeroed while
+    /// an aggregate has departed, so stochastic churn leaves it alone).
     baseline: Vec<u32>,
     /// Active surge factor per aggregate (1.0 = baseline).
     surge: Vec<f64>,
+    /// High-water marks of the optimizer scoring scratch across every
+    /// re-optimization so far (`scenario run --stats`).
+    scratch: WorkspaceStats,
 }
 
 impl SdnConsumer {
@@ -51,6 +56,7 @@ impl SdnConsumer {
             previous: None,
             baseline,
             surge: vec![1.0; n],
+            scratch: WorkspaceStats::default(),
         }
     }
 
@@ -62,6 +68,12 @@ impl SdnConsumer {
     /// The last installed allocation, if any re-optimization ran.
     pub fn previous_allocation(&self) -> Option<&Allocation> {
         self.previous.as_ref()
+    }
+
+    /// Peak optimizer scoring-scratch sizes across the run's
+    /// re-optimizations.
+    pub fn scratch_stats(&self) -> WorkspaceStats {
+        self.scratch
     }
 
     fn total_flows(&self) -> u64 {
@@ -86,6 +98,7 @@ impl SdnConsumer {
             .reoptimize(&self.fabric, &estimated, self.previous.as_ref());
         self.fabric.install(r.rules);
         self.previous = Some(r.allocation);
+        self.scratch.merge(&r.scratch);
         (r.commits, r.warm)
     }
 
@@ -105,14 +118,25 @@ impl SdnConsumer {
 impl EventConsumer for SdnConsumer {
     fn on_event(&mut self, event: &Event) -> Measure {
         match &event.kind {
+            // Flow churn and surges target *live* aggregates; a
+            // departed pair (baseline parked at zero by
+            // `AggregateDeparture`) stays idle until an explicit
+            // `arrive`. The guard matters because churn windows are
+            // sampled an epoch ahead: arrivals queued before a
+            // mid-window depart must not resurrect the pair, and a
+            // surge's 1-flow floor must not either.
             EventKind::FlowArrival { aggregate, count } => {
-                let now = self.fabric.flow_count(*aggregate);
-                self.fabric.set_flow_count(*aggregate, now + count);
+                if self.baseline[aggregate.index()] > 0 {
+                    let now = self.fabric.flow_count(*aggregate);
+                    self.fabric.set_flow_count(*aggregate, now + count);
+                }
             }
             EventKind::FlowDeparture { aggregate, count } => {
-                let now = self.fabric.flow_count(*aggregate);
-                self.fabric
-                    .set_flow_count(*aggregate, now.saturating_sub(*count));
+                if self.baseline[aggregate.index()] > 0 {
+                    let now = self.fabric.flow_count(*aggregate);
+                    self.fabric
+                        .set_flow_count(*aggregate, now.saturating_sub(*count));
+                }
             }
             EventKind::LinkFailure { link } => self.fabric.fail_link(*link),
             EventKind::LinkRecovery { link } => self.fabric.repair_link(*link),
@@ -121,13 +145,51 @@ impl EventConsumer for SdnConsumer {
             }
             EventKind::Surge { aggregate, factor } => {
                 self.surge[aggregate.index()] = *factor;
-                let target = (f64::from(self.baseline[aggregate.index()]) * factor).round() as u32;
-                self.fabric.set_flow_count(*aggregate, target.max(1));
+                if self.baseline[aggregate.index()] > 0 {
+                    let target =
+                        (f64::from(self.baseline[aggregate.index()]) * factor).round() as u32;
+                    self.fabric.set_flow_count(*aggregate, target.max(1));
+                }
             }
             EventKind::Relax { aggregate } => {
                 self.surge[aggregate.index()] = 1.0;
                 self.fabric
                     .set_flow_count(*aggregate, self.baseline[aggregate.index()]);
+            }
+            EventKind::AggregateArrival { aggregate, flows } => {
+                // Aggregate-level (re)admission: the new population
+                // becomes the churn baseline, and the data plane gets a
+                // single-aggregate rule update (`set_group`) pointing at
+                // the live shortest path — the controller re-plans it
+                // properly at the next re-optimization.
+                self.surge[aggregate.index()] = 1.0;
+                self.baseline[aggregate.index()] = *flows;
+                self.fabric.set_flow_count(*aggregate, *flows);
+                let a = self.fabric.true_tm().aggregate(*aggregate);
+                let (ingress, egress) = (a.ingress, a.egress);
+                let path = self.fabric.topology().graph().shortest_path(
+                    ingress,
+                    egress,
+                    self.fabric.failed_links(),
+                );
+                match path {
+                    Some(p) => self
+                        .fabric
+                        .set_group(*aggregate, GroupEntry::single(p, *flows)),
+                    // Partitioned: leave the group empty; the fabric
+                    // black-holes the traffic exactly as a full install
+                    // would.
+                    None => self.fabric.clear_group(*aggregate),
+                }
+            }
+            EventKind::AggregateDeparture { aggregate } => {
+                // Aggregate-level departure: clear the installed group
+                // (`clear_group`) and park the pair idle; zero baseline
+                // stops the stochastic churn from resurrecting it.
+                self.surge[aggregate.index()] = 1.0;
+                self.baseline[aggregate.index()] = 0;
+                self.fabric.set_flow_count(*aggregate, 0);
+                self.fabric.clear_group(*aggregate);
             }
             EventKind::Reoptimize => {
                 let (commits, warm) = self.reoptimize();
@@ -170,6 +232,12 @@ impl EventConsumer for SdnConsumer {
                 format!("surge {} x{}", self.pair_name(*aggregate), factor)
             }
             EventKind::Relax { aggregate } => format!("relax {}", self.pair_name(*aggregate)),
+            EventKind::AggregateArrival { aggregate, flows } => {
+                format!("agg-arrive {} ={}", self.pair_name(*aggregate), flows)
+            }
+            EventKind::AggregateDeparture { aggregate } => {
+                format!("agg-depart {}", self.pair_name(*aggregate))
+            }
             EventKind::Reoptimize => "reoptimize".to_string(),
             EventKind::MeasurementEpoch => format!("epoch {}", self.fabric.epochs_run()),
         }
@@ -219,6 +287,7 @@ fn build_topology(spec: &TopologySpec) -> Topology {
             capacity,
             hop_delay,
         } => generators::ring(*nodes, *capacity, *hop_delay),
+        TopologySpec::Hypergrowth { capacity } => generators::hypergrowth(8, 8, *capacity),
     }
 }
 
@@ -329,6 +398,22 @@ pub fn build_with(
                     timeline.push((e.at, EventKind::Relax { aggregate: id }));
                 }
             }
+            Action::Arrive { src, dst, flows } => {
+                for id in aggregates_on(&tm, &topo, src, dst)? {
+                    timeline.push((
+                        e.at,
+                        EventKind::AggregateArrival {
+                            aggregate: id,
+                            flows: *flows,
+                        },
+                    ));
+                }
+            }
+            Action::Depart { src, dst } => {
+                for id in aggregates_on(&tm, &topo, src, dst)? {
+                    timeline.push((e.at, EventKind::AggregateDeparture { aggregate: id }));
+                }
+            }
             Action::Reoptimize => timeline.push((e.at, EventKind::Reoptimize)),
         }
     }
@@ -380,6 +465,21 @@ pub fn run_with(
     incremental: bool,
 ) -> Result<ScenarioLog, BuildError> {
     Ok(build_with(scenario, seed, incremental)?.run(&scenario.name, seed))
+}
+
+/// Like [`run_with`], but also returns the run's performance
+/// statistics: per-event measurement/re-optimization timing percentiles
+/// and the optimizer's peak scratch sizes (`fubar-cli scenario run
+/// --stats`). The log is identical to [`run_with`]'s.
+pub fn run_with_stats(
+    scenario: &Scenario,
+    seed: u64,
+    incremental: bool,
+) -> Result<(ScenarioLog, crate::stats::RunStats), BuildError> {
+    let engine = build_with(scenario, seed, incremental)?;
+    let (log, mut stats, consumer) = engine.run_instrumented(&scenario.name, seed);
+    stats.scratch = consumer.scratch_stats();
+    Ok((log, stats))
 }
 
 #[cfg(test)]
@@ -456,6 +556,38 @@ mod tests {
         assert!(reopts.len() >= 2);
         assert!(!reopts[0].warm, "first run has nothing to warm from");
         assert!(reopts[1..].iter().all(|r| r.warm));
+    }
+
+    #[test]
+    fn aggregate_departure_and_arrival_round_trip() {
+        let spec = ring_spec("at 20s depart n0 n2\nat 60s arrive n0 n2 8\n");
+        let log = run(&spec, 4).unwrap();
+        let first = log.records.first().unwrap().live_flows;
+        let depart = log
+            .records
+            .iter()
+            .find(|r| r.what.starts_with("agg-depart"))
+            .unwrap();
+        let arrive = log
+            .records
+            .iter()
+            .find(|r| r.what.starts_with("agg-arrive"))
+            .unwrap();
+        assert!(
+            depart.live_flows < first,
+            "departure must drop the population: {} vs {first}",
+            depart.live_flows
+        );
+        assert!(
+            arrive.live_flows > depart.live_flows,
+            "arrival must restore flows: {} vs {}",
+            arrive.live_flows,
+            depart.live_flows
+        );
+        // The single-aggregate group plumbing upholds the whole-stack
+        // bitwise invariant: the oracle run's log is byte-identical.
+        let full = run_with(&spec, 4, false).unwrap();
+        assert_eq!(log.to_text(), full.to_text());
     }
 
     #[test]

@@ -206,8 +206,22 @@ impl<C: EventConsumer> Engine<C> {
     }
 
     /// Runs to the configured horizon and returns the per-event log.
-    pub fn run(mut self, scenario: &str, seed: u64) -> ScenarioLog {
+    pub fn run(self, scenario: &str, seed: u64) -> ScenarioLog {
+        self.run_instrumented(scenario, seed).0
+    }
+
+    /// Like [`Engine::run`], but also returns per-event timing
+    /// statistics and the consumer (so callers can read its post-run
+    /// state, e.g. optimizer scratch peaks). The log itself is
+    /// identical to [`Engine::run`]'s — wall-clock numbers never enter
+    /// the determinism contract.
+    pub fn run_instrumented(
+        mut self,
+        scenario: &str,
+        seed: u64,
+    ) -> (ScenarioLog, crate::stats::RunStats, C) {
         let mut records = Vec::new();
+        let mut stats = crate::stats::RunStats::default();
         loop {
             // Materialize stochastic failures due before the next queued
             // event, so they enter the heap before we pop it.
@@ -254,7 +268,9 @@ impl<C: EventConsumer> Engine<C> {
             }
 
             let what = self.consumer.describe(&event.kind);
+            let applied_at = std::time::Instant::now();
             let m = self.consumer.on_event(&event);
+            stats.record(&event.kind, applied_at.elapsed().as_secs_f64());
             records.push(EventRecord {
                 time_s: event.time.secs(),
                 seq: event.seq,
@@ -267,11 +283,15 @@ impl<C: EventConsumer> Engine<C> {
                 warm: m.warm,
             });
         }
-        ScenarioLog {
-            scenario: scenario.to_string(),
-            seed,
-            records,
-        }
+        (
+            ScenarioLog {
+                scenario: scenario.to_string(),
+                seed,
+                records,
+            },
+            stats,
+            self.consumer,
+        )
     }
 }
 

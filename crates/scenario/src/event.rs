@@ -62,6 +62,20 @@ pub enum EventKind {
         /// The relaxing aggregate.
         aggregate: AggregateId,
     },
+    /// An aggregate (re)joined mid-run: its live flow count is set and
+    /// a shortest-path group installed (`Fabric::set_group`).
+    AggregateArrival {
+        /// The arriving aggregate.
+        aggregate: AggregateId,
+        /// Live flows after the arrival.
+        flows: u32,
+    },
+    /// An aggregate left mid-run: its installed group is cleared
+    /// (`Fabric::clear_group`) and it parks idle at zero flows.
+    AggregateDeparture {
+        /// The departing aggregate.
+        aggregate: AggregateId,
+    },
     /// The offline controller re-optimizes and installs fresh rules.
     Reoptimize,
     /// A measurement epoch closes: the data plane integrates counters
@@ -80,6 +94,8 @@ impl EventKind {
             EventKind::CapacityChange { .. } => "capacity",
             EventKind::Surge { .. } => "surge",
             EventKind::Relax { .. } => "relax",
+            EventKind::AggregateArrival { .. } => "agg-arrive",
+            EventKind::AggregateDeparture { .. } => "agg-depart",
             EventKind::Reoptimize => "reoptimize",
             EventKind::MeasurementEpoch => "epoch",
         }

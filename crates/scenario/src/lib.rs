@@ -44,9 +44,10 @@ pub mod engine;
 pub mod event;
 pub mod log;
 pub mod spec;
+pub mod stats;
 pub mod stochastic;
 
-pub use driver::{build, build_with, run, run_with, BuildError, SdnConsumer};
+pub use driver::{build, build_with, run, run_with, run_with_stats, BuildError, SdnConsumer};
 pub use engine::{Engine, EventConsumer, Measure};
 pub use event::{Event, EventKind, EventQueue};
 pub use log::{EventRecord, ScenarioLog};
@@ -54,4 +55,5 @@ pub use spec::{
     Action, ArrivalSpec, DepartureSpec, DiurnalSpec, FailureSpec, ParseError, ReoptimizeSpec,
     Scenario, TimelineEvent, TopologySpec, WorkloadSpec,
 };
+pub use stats::{Percentiles, RunStats};
 pub use stochastic::{diurnal_factor, sample_weibull, ChurnSource, FailureSource};

@@ -10,6 +10,7 @@
 //! topology he <capacity>                   # 31-POP HE core
 //! topology abilene <capacity>              # 11-POP Abilene
 //! topology ring <n> <capacity> <delay>     # n-node ring
+//! topology hypergrowth <capacity>          # 64-POP beyond-HE tier
 //! duration <delay>                         # simulated horizon (default 300s)
 //! epoch <delay>                            # measurement cadence (default 10s)
 //! seed <u64>                               # default run seed (default 1)
@@ -25,8 +26,16 @@
 //! at <delay> capacity <a> <b> <bandwidth>
 //! at <delay> surge <src> <dst> x<factor>
 //! at <delay> relax <src> <dst>
+//! at <delay> arrive <src> <dst> <flows>    # aggregate (re)joins mid-run
+//! at <delay> depart <src> <dst>            # aggregate leaves mid-run
 //! at <delay> reoptimize
 //! ```
+//!
+//! `arrive`/`depart` drive *aggregate-level* churn through the fabric's
+//! single-aggregate rule plumbing: `depart` clears the pair's installed
+//! group (`Fabric::clear_group`) and parks it idle at zero flows;
+//! `arrive` sets the live flow count and installs a shortest-path group
+//! (`Fabric::set_group`) until the next re-optimization re-plans it.
 //!
 //! `arrivals rate` is *per baseline flow per epoch*: an aggregate whose
 //! baseline is `f` flows sees Poisson(`rate · f · diurnal(t)`) arrivals
@@ -82,6 +91,12 @@ pub enum TopologySpec {
         capacity: Bandwidth,
         /// Per-hop one-way delay.
         hop_delay: Delay,
+    },
+    /// The 64-POP beyond-HE "hypergrowth" tier (8 regions × 8 POPs,
+    /// 4,096 aggregates with intra-POP pairs).
+    Hypergrowth {
+        /// Uniform link capacity.
+        capacity: Bandwidth,
     },
 }
 
@@ -214,6 +229,24 @@ pub enum Action {
         /// Egress node name.
         dst: String,
     },
+    /// An aggregate (re)joins mid-run: its pair's live flow count is
+    /// set and a shortest-path group is installed for it.
+    Arrive {
+        /// Ingress node name.
+        src: String,
+        /// Egress node name.
+        dst: String,
+        /// Live flows after the arrival.
+        flows: u32,
+    },
+    /// An aggregate leaves mid-run: its installed group is cleared and
+    /// it parks idle at zero flows (keeping its id for a later return).
+    Depart {
+        /// Ingress node name.
+        src: String,
+        /// Egress node name.
+        dst: String,
+    },
     /// Force an unscheduled re-optimization.
     Reoptimize,
 }
@@ -309,24 +342,27 @@ impl Scenario {
                 .ok_or_else(|| err(lineno, format!("`{}` before `scenario`", t[0])))?;
             match t[0] {
                 "topology" => {
-                    s.topology =
-                        match t.get(1).copied() {
-                            Some("he") if t.len() == 3 => TopologySpec::He {
-                                capacity: parse_num(lineno, t[2], "capacity")?,
-                            },
-                            Some("abilene") if t.len() == 3 => TopologySpec::Abilene {
-                                capacity: parse_num(lineno, t[2], "capacity")?,
-                            },
-                            Some("ring") if t.len() == 5 => TopologySpec::Ring {
-                                nodes: parse_num(lineno, t[2], "node count")?,
-                                capacity: parse_num(lineno, t[3], "capacity")?,
-                                hop_delay: parse_num(lineno, t[4], "delay")?,
-                            },
-                            _ => return Err(err(
-                                lineno,
-                                "usage: topology he <cap> | abilene <cap> | ring <n> <cap> <delay>",
-                            )),
-                        };
+                    s.topology = match t.get(1).copied() {
+                        Some("he") if t.len() == 3 => TopologySpec::He {
+                            capacity: parse_num(lineno, t[2], "capacity")?,
+                        },
+                        Some("abilene") if t.len() == 3 => TopologySpec::Abilene {
+                            capacity: parse_num(lineno, t[2], "capacity")?,
+                        },
+                        Some("ring") if t.len() == 5 => TopologySpec::Ring {
+                            nodes: parse_num(lineno, t[2], "node count")?,
+                            capacity: parse_num(lineno, t[3], "capacity")?,
+                            hop_delay: parse_num(lineno, t[4], "delay")?,
+                        },
+                        Some("hypergrowth") if t.len() == 3 => TopologySpec::Hypergrowth {
+                            capacity: parse_num(lineno, t[2], "capacity")?,
+                        },
+                        _ => return Err(err(
+                            lineno,
+                            "usage: topology he <cap> | abilene <cap> | ring <n> <cap> <delay> \
+                                 | hypergrowth <cap>",
+                        )),
+                    };
                     if let TopologySpec::Ring { nodes, .. } = s.topology {
                         if nodes < 3 {
                             return Err(err(lineno, "ring needs at least 3 nodes"));
@@ -534,13 +570,28 @@ impl Scenario {
                             src: t[3].to_string(),
                             dst: t[4].to_string(),
                         },
+                        ("arrive", 6) => {
+                            let flows: u32 = parse_num(lineno, t[5], "flow count")?;
+                            if flows == 0 {
+                                return Err(err(lineno, "arrive needs at least one flow"));
+                            }
+                            Action::Arrive {
+                                src: t[3].to_string(),
+                                dst: t[4].to_string(),
+                                flows,
+                            }
+                        }
+                        ("depart", 5) => Action::Depart {
+                            src: t[3].to_string(),
+                            dst: t[4].to_string(),
+                        },
                         ("reoptimize", 3) => Action::Reoptimize,
                         (other, _) => {
                             return Err(err(
                                 lineno,
                                 format!(
                                     "unknown or malformed action {other:?} \
-                                     (fail/repair/capacity/surge/relax/reoptimize)"
+                                     (fail/repair/capacity/surge/relax/arrive/depart/reoptimize)"
                                 ),
                             ))
                         }
@@ -582,6 +633,9 @@ impl fmt::Display for Scenario {
                 fmt_bw(*capacity),
                 fmt_delay(*hop_delay)
             )?,
+            TopologySpec::Hypergrowth { capacity } => {
+                writeln!(f, "topology hypergrowth {}", fmt_bw(*capacity))?
+            }
         }
         writeln!(f, "duration {}", fmt_delay(self.duration))?;
         writeln!(f, "epoch {}", fmt_delay(self.epoch))?;
@@ -646,6 +700,8 @@ impl fmt::Display for Scenario {
                 }
                 Action::Surge { src, dst, factor } => writeln!(f, "surge {src} {dst} x{factor}")?,
                 Action::Relax { src, dst } => writeln!(f, "relax {src} {dst}")?,
+                Action::Arrive { src, dst, flows } => writeln!(f, "arrive {src} {dst} {flows}")?,
+                Action::Depart { src, dst } => writeln!(f, "depart {src} {dst}")?,
                 Action::Reoptimize => writeln!(f, "reoptimize")?,
             }
         }
@@ -676,6 +732,8 @@ at 40s repair n0 n1
 at 50s capacity n2 n3 200kbps
 at 60s surge n0 n3 x5
 at 80s relax n0 n3
+at 85s depart n1 n4
+at 88s arrive n1 n4 7
 at 90s reoptimize
 ";
 
@@ -699,7 +757,7 @@ at 90s reoptimize
         assert_eq!(s.arrivals.as_ref().unwrap().max_flows, 50);
         assert_eq!(s.failures.as_ref().unwrap().max_down, 2);
         assert_eq!(s.large_priority, Some(4.0));
-        assert_eq!(s.timeline.len(), 6);
+        assert_eq!(s.timeline.len(), 8);
         assert_eq!(
             s.timeline[3].action,
             Action::Surge {
@@ -708,6 +766,33 @@ at 90s reoptimize
                 factor: 5.0
             }
         );
+        assert_eq!(
+            s.timeline[6].action,
+            Action::Arrive {
+                src: "n1".into(),
+                dst: "n4".into(),
+                flows: 7
+            }
+        );
+    }
+
+    #[test]
+    fn hypergrowth_topology_round_trips() {
+        let s = Scenario::parse("scenario hg\ntopology hypergrowth 200Mbps\n").unwrap();
+        assert_eq!(
+            s.topology,
+            TopologySpec::Hypergrowth {
+                capacity: Bandwidth::from_mbps(200.0)
+            }
+        );
+        let back = Scenario::parse(&s.to_string()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn zero_flow_arrive_rejected() {
+        let e = Scenario::parse("scenario a\nat 5s arrive n0 n1 0\n").unwrap_err();
+        assert!(e.message.contains("at least one flow"), "{}", e.message);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Per-run performance statistics — `fubar-cli scenario run --stats`.
+//!
+//! The engine times every applied event; this module buckets the
+//! samples into the two cost classes that matter for controller-scale
+//! operation — *measurement* (every non-reoptimization event triggers
+//! an incremental fabric probe) and *re-optimization* — and renders
+//! timing percentiles plus the optimizer's peak scratch sizes. The
+//! statistics ride **outside** the scenario log: logs stay byte-exact
+//! per (spec, seed), wall-clock numbers do not.
+
+use crate::event::EventKind;
+use fubar_model::WorkspaceStats;
+
+/// Timing and scratch statistics for one scenario run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Seconds spent applying each non-reoptimization event (churn,
+    /// failures, epochs — each ends in an incremental measurement).
+    measurement_s: Vec<f64>,
+    /// Seconds spent in each re-optimization event.
+    reoptimize_s: Vec<f64>,
+    /// Peak optimizer scoring-scratch sizes across the run.
+    pub scratch: WorkspaceStats,
+}
+
+/// Percentiles of a sample set (nearest-rank).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Sample count.
+    pub count: usize,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+fn percentiles(samples: &[f64]) -> Percentiles {
+    if samples.is_empty() {
+        return Percentiles::default();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pick = |q: f64| {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    };
+    Percentiles {
+        count: sorted.len(),
+        p50: pick(0.50),
+        p90: pick(0.90),
+        p99: pick(0.99),
+        max: sorted[sorted.len() - 1],
+    }
+}
+
+impl RunStats {
+    /// Records one applied event's wall-clock cost.
+    pub fn record(&mut self, kind: &EventKind, secs: f64) {
+        match kind {
+            EventKind::Reoptimize => self.reoptimize_s.push(secs),
+            _ => self.measurement_s.push(secs),
+        }
+    }
+
+    /// Measurement-event timing percentiles.
+    pub fn measurement(&self) -> Percentiles {
+        percentiles(&self.measurement_s)
+    }
+
+    /// Re-optimization timing percentiles.
+    pub fn reoptimize(&self) -> Percentiles {
+        percentiles(&self.reoptimize_s)
+    }
+
+    /// The human-readable block the CLI prints (to stderr, never into
+    /// the log).
+    pub fn render(&self) -> String {
+        let line = |name: &str, p: Percentiles| {
+            format!(
+                "{name:<14} n={:<5} p50={:>9.3}ms p90={:>9.3}ms p99={:>9.3}ms max={:>9.3}ms",
+                p.count,
+                p.p50 * 1e3,
+                p.p90 * 1e3,
+                p.p99 * 1e3,
+                p.max * 1e3,
+            )
+        };
+        format!(
+            "# per-event timing\n{}\n{}\n# peak optimizer scratch\n\
+             component={} bundles, component-links={}, event-heap={}",
+            line("measurement", self.measurement()),
+            line("reoptimize", self.reoptimize()),
+            self.scratch.peak_component,
+            self.scratch.peak_component_links,
+            self.scratch.peak_heap,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fubar_traffic::AggregateId;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let p = percentiles(&[0.4, 0.1, 0.2, 0.3]);
+        assert_eq!(p.count, 4);
+        assert_eq!(p.p50, 0.2);
+        assert_eq!(p.p90, 0.4);
+        assert_eq!(p.max, 0.4);
+        assert_eq!(percentiles(&[]), Percentiles::default());
+    }
+
+    #[test]
+    fn record_buckets_by_event_class() {
+        let mut s = RunStats::default();
+        s.record(&EventKind::Reoptimize, 1.0);
+        s.record(&EventKind::MeasurementEpoch, 0.5);
+        s.record(
+            &EventKind::FlowArrival {
+                aggregate: AggregateId(0),
+                count: 1,
+            },
+            0.25,
+        );
+        assert_eq!(s.reoptimize().count, 1);
+        assert_eq!(s.measurement().count, 2);
+        let text = s.render();
+        assert!(text.contains("measurement"), "{text}");
+        assert!(text.contains("reoptimize"), "{text}");
+        assert!(text.contains("peak optimizer scratch"), "{text}");
+    }
+}

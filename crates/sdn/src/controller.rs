@@ -17,6 +17,7 @@ use crate::measurement::{Estimator, MeasurementConfig};
 use crate::rules::RuleSet;
 use fubar_core::{Allocation, Optimizer, OptimizerConfig};
 use fubar_graph::LinkId;
+use fubar_model::WorkspaceStats;
 use fubar_traffic::{Aggregate, TrafficMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +61,9 @@ pub struct Reoptimization {
     pub commits: usize,
     /// Whether this run actually warm-started.
     pub warm: bool,
+    /// High-water marks of the optimizer's per-candidate scoring
+    /// scratch during this run (`fubar-cli scenario run --stats`).
+    pub scratch: WorkspaceStats,
 }
 
 impl FubarController {
@@ -88,6 +92,7 @@ impl FubarController {
             allocation: result.allocation,
             commits: result.commits,
             warm,
+            scratch: result.scratch,
         }
     }
 

@@ -138,6 +138,79 @@ pub fn he_core(capacity: Bandwidth) -> Topology {
     b.build()
 }
 
+/// The "hypergrowth" scale tier: a synthesized backbone one growth
+/// generation past the paper's 31-POP Hurricane Electric core. `regions`
+/// metro regions sit on a great circle; each holds a ring of
+/// `pops_per_region` POPs with a cross-chord, adjacent regions are
+/// joined by two trunks (through their first and middle POPs), and
+/// antipodal regions by an express link. Positions are synthetic but
+/// geographic, so delays derive from fiber distance exactly like
+/// [`he_core`]. The default tier (8 × 8 = 64 POPs, 92 duplex links)
+/// yields a 4,096-aggregate full matrix with intra-POP pairs — the
+/// beyond-HE instance the `perf_gate` hypergrowth gate and the
+/// `hypergrowth` catalog scenario run on, where per-move optimizer cost
+/// must stay component-bound rather than instance-bound.
+///
+/// # Panics
+///
+/// Panics when `regions < 3` or `pops_per_region < 3` (the rings
+/// degenerate).
+pub fn hypergrowth(regions: usize, pops_per_region: usize, capacity: Bandwidth) -> Topology {
+    assert!(regions >= 3, "hypergrowth needs at least three regions");
+    assert!(
+        pops_per_region >= 3,
+        "hypergrowth needs at least three POPs per region"
+    );
+    let name = |r: usize, p: usize| format!("pop{r}_{p}");
+    let mut b = TopologyBuilder::new(format!("hypergrowth-{}", regions * pops_per_region));
+    for r in 0..regions {
+        // Region centers on a great circle, latitudes within the
+        // temperate band so geo math stays well-conditioned.
+        let theta = 2.0 * std::f64::consts::PI * r as f64 / regions as f64;
+        let (clat, clon) = (35.0 * theta.sin(), 170.0 * theta.cos());
+        for p in 0..pops_per_region {
+            // Metro ring ~2° across around the region center.
+            let phi = 2.0 * std::f64::consts::PI * p as f64 / pops_per_region as f64;
+            let (lat, lon) = (clat + 2.0 * phi.sin(), clon + 2.0 * phi.cos());
+            b.add_node_at(name(r, p), GeoPoint::new(lat, lon))
+                .expect("hypergrowth POP names are unique");
+        }
+    }
+    for r in 0..regions {
+        // Intra-region ring + one cross-chord (skipped for 3-POP
+        // regions, where the "chord" would duplicate a ring edge).
+        for p in 0..pops_per_region {
+            b.add_duplex_link_geo(&name(r, p), &name(r, (p + 1) % pops_per_region), capacity)
+                .expect("ring endpoints exist");
+        }
+        if pops_per_region >= 4 {
+            b.add_duplex_link_geo(&name(r, 0), &name(r, pops_per_region / 2), capacity)
+                .expect("chord endpoints exist");
+        }
+        // Two trunks to the next region.
+        let next = (r + 1) % regions;
+        b.add_duplex_link_geo(&name(r, 0), &name(next, 0), capacity)
+            .expect("trunk endpoints exist");
+        b.add_duplex_link_geo(
+            &name(r, pops_per_region / 2),
+            &name(next, pops_per_region / 2),
+            capacity,
+        )
+        .expect("trunk endpoints exist");
+    }
+    // Express links between antipodal regions — only when the
+    // antipodal offset lands on a non-adjacent region (offset >= 2,
+    // i.e. regions >= 4); with 3 regions the "antipode" is the next
+    // region over and the trunk loop already covers it.
+    if regions / 2 >= 2 {
+        for r in 0..regions / 2 {
+            b.add_duplex_link_geo(&name(r, 0), &name(r + regions / 2, 0), capacity)
+                .expect("express endpoints exist");
+        }
+    }
+    b.build()
+}
+
 /// The historical Abilene (Internet2) research backbone: 11 POPs, 14
 /// duplex links, geo-derived delays. A well-known mid-size benchmark
 /// topology.
@@ -426,6 +499,56 @@ mod tests {
             let key = if a < z { (a, z) } else { (z, a) };
             assert!(seen.insert(key), "duplicate HE link {a}-{z}");
         }
+    }
+
+    #[test]
+    fn hypergrowth_shape_and_delays() {
+        let t = hypergrowth(8, 8, cap());
+        assert_eq!(t.node_count(), 64, "8 regions x 8 POPs");
+        // 8 rings x 8 + 8 chords + 16 trunks + 4 express = 92 duplex.
+        assert_eq!(t.duplex_count(), 92);
+        assert!(t.is_connected());
+        let mut max_ms: f64 = 0.0;
+        for l in t.links() {
+            max_ms = max_ms.max(t.delay(l).ms());
+        }
+        assert!(
+            (10.0..200.0).contains(&max_ms),
+            "longest hypergrowth link should be a long-haul trunk, got {max_ms}ms"
+        );
+        // Deterministic: same call, same graph.
+        let t2 = hypergrowth(8, 8, cap());
+        assert_eq!(t.link_count(), t2.link_count());
+        for l in t.links() {
+            assert_eq!(t.delay(l), t2.delay(l));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three regions")]
+    fn tiny_hypergrowth_rejected() {
+        hypergrowth(2, 8, cap());
+    }
+
+    #[test]
+    fn three_region_hypergrowth_skips_degenerate_express_links() {
+        // With 3 regions the antipodal offset is 1 (covered by the
+        // trunk loop) and a 3-POP ring's chord would duplicate a ring
+        // edge — both degenerate extras must be skipped, leaving every
+        // adjacency unique.
+        let t = hypergrowth(3, 3, cap());
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for l in t.links() {
+            let link = t.graph().link(l);
+            assert!(
+                seen.insert((link.src, link.dst)),
+                "duplicate directed link {:?}->{:?}",
+                link.src,
+                link.dst
+            );
+        }
+        assert!(t.is_connected());
     }
 
     #[test]

@@ -20,15 +20,20 @@
 //!     Print a scenario spec (canonical serialization).
 //!
 //! fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt]
-//!                        [--oracle full|incremental]
+//!                        [--oracle full|incremental] [--stats]
 //!     Run a scenario and emit the per-event log on stdout (or to
 //!     --out). Same spec + same seed => byte-identical log. The
 //!     catalog scales up to `he_scale` (the paper's full 961-aggregate
-//!     HE matrix, ~3000 events): incremental fabric measurement keeps
-//!     the whole run in the seconds range. `--oracle full` forces
-//!     full-recompute measurement on every probe — the oracle mode CI
-//!     cross-checks against the (default) incremental mode, byte for
-//!     byte.
+//!     HE matrix, ~3000 events) and `hypergrowth` (4,096 aggregates on
+//!     the 64-POP tier): incremental fabric measurement and
+//!     allocation-free candidate scoring keep whole runs in the
+//!     seconds range. `--oracle full` forces full-recompute
+//!     measurement *and* full-recompute candidate scoring on every
+//!     probe — the oracle mode CI cross-checks against the (default)
+//!     incremental mode, byte for byte. `--stats` prints per-event
+//!     measurement/re-optimization timing percentiles and the
+//!     optimizer's peak scratch sizes to stderr (never into the log,
+//!     which stays byte-deterministic).
 //! ```
 
 use fubar::core::baselines;
@@ -48,7 +53,7 @@ fn usage() -> ExitCode {
          fubar-cli scenario list\n  \
          fubar-cli scenario show <name|file.scn>\n  \
          fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt] \
-         [--oracle full|incremental]"
+         [--oracle full|incremental] [--stats]"
     );
     ExitCode::FAILURE
 }
@@ -215,16 +220,19 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
         "run" => {
             if args.len() < 2 {
                 return Err(
-                    "run needs <name|file.scn> [--seed N] [--out file] [--oracle mode]".into(),
+                    "run needs <name|file.scn> [--seed N] [--out file] [--oracle mode] [--stats]"
+                        .into(),
                 );
             }
             let spec = load_scenario(&args[1])?;
             let mut seed = spec.seed;
             let mut out: Option<String> = None;
             let mut incremental = true;
+            let mut stats = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--stats" => stats = true,
                     "--seed" => {
                         i += 1;
                         seed = args
@@ -261,8 +269,17 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                 }
                 i += 1;
             }
-            let log =
-                fubar::scenario::run_with(&spec, seed, incremental).map_err(|e| e.to_string())?;
+            let (log, run_stats) = if stats {
+                let (log, s) = fubar::scenario::run_with_stats(&spec, seed, incremental)
+                    .map_err(|e| e.to_string())?;
+                (log, Some(s))
+            } else {
+                (
+                    fubar::scenario::run_with(&spec, seed, incremental)
+                        .map_err(|e| e.to_string())?,
+                    None,
+                )
+            };
             match out {
                 Some(path) => {
                     std::fs::write(&path, log.to_text()).map_err(|e| e.to_string())?;
@@ -271,6 +288,9 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                 None => print!("{}", log.to_text()),
             }
             eprintln!("{}", log.summary());
+            if let Some(s) = run_stats {
+                eprintln!("{}", s.render());
+            }
             Ok(())
         }
         other => Err(format!("unknown scenario subcommand {other:?}")),
