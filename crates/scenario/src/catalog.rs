@@ -8,7 +8,7 @@
 use crate::spec::Scenario;
 
 /// `(name, spec text)` for every bundled scenario.
-pub const CATALOG: [(&str, &str); 8] = [
+pub const CATALOG: [(&str, &str); 9] = [
     (
         "flash_crowd",
         include_str!("../../../scenarios/flash_crowd.scn"),
@@ -38,6 +38,10 @@ pub const CATALOG: [(&str, &str); 8] = [
         "hypergrowth",
         include_str!("../../../scenarios/hypergrowth.scn"),
     ),
+    (
+        "nren_churn",
+        include_str!("../../../scenarios/nren_churn.scn"),
+    ),
 ];
 
 /// The names of all bundled scenarios.
@@ -62,7 +66,7 @@ mod tests {
             let s = load(name).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(s.name, name, "file name and `scenario` directive agree");
         }
-        assert_eq!(names().len(), 8);
+        assert_eq!(names().len(), 9);
         assert!(load("no_such_scenario").is_none());
     }
 

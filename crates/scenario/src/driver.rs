@@ -16,8 +16,9 @@ use fubar_core::Allocation;
 use fubar_graph::LinkId;
 use fubar_model::WorkspaceStats;
 use fubar_sdn::{Estimator, Fabric, FubarController, GroupEntry, MeasurementConfig};
-use fubar_topology::{generators, Delay, Topology};
+use fubar_topology::{catalog as topo_catalog, format as topo_format, generators, Delay, Topology};
 use fubar_traffic::{workload, AggregateId, WorkloadConfig};
+use std::path::Path;
 
 /// The fabric-driving consumer.
 pub struct SdnConsumer {
@@ -266,7 +267,10 @@ impl EventConsumer for SdnConsumer {
     }
 }
 
-/// A scenario that does not resolve against its own topology.
+/// A scenario that does not resolve against its own topology (or whose
+/// topology file cannot be loaded). When the failure is attributable to
+/// a specific `.scn` line — an unknown node name in a timeline event —
+/// the message carries it, `ParseError`-style.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BuildError(pub String);
 
@@ -278,8 +282,45 @@ impl std::fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
-fn build_topology(spec: &TopologySpec) -> Topology {
-    match spec {
+/// Prefixes a resolution failure with the `.scn` line it came from
+/// (line 0 marks programmatically built events, which have no source).
+fn at_line(line: usize, e: BuildError) -> BuildError {
+    if line == 0 {
+        e
+    } else {
+        BuildError(format!("scenario line {line}: {}", e.0))
+    }
+}
+
+/// Loads the topology a `topology file <path>` directive names.
+/// Resolution order: `base`-relative (the `.scn` file's directory),
+/// then the path as given (working directory), then the bundled
+/// `fubar_topology::catalog` by file stem — so committed catalog
+/// scenarios referencing `topologies/*.topo` run from anywhere, and an
+/// on-disk file always wins over the embedded copy.
+pub fn load_file_topology(path: &str, base: Option<&Path>) -> Result<Topology, BuildError> {
+    let candidates = [base.map(|b| b.join(path)), Some(path.into())];
+    for candidate in candidates.into_iter().flatten() {
+        if candidate.is_file() {
+            let text = std::fs::read_to_string(&candidate)
+                .map_err(|e| BuildError(format!("{}: {e}", candidate.display())))?;
+            return topo_format::parse(&text)
+                .map_err(|e| BuildError(format!("{}: {e}", candidate.display())));
+        }
+    }
+    if let Some(text) = topo_catalog::find(path) {
+        return topo_format::parse(text)
+            .map_err(|e| BuildError(format!("bundled topology {path}: {e}")));
+    }
+    Err(BuildError(format!(
+        "topology file {path:?} not found (tried the scenario directory, the working \
+         directory, and the bundled catalog: {})",
+        topo_catalog::names().join(", ")
+    )))
+}
+
+fn build_topology(spec: &TopologySpec, base: Option<&Path>) -> Result<Topology, BuildError> {
+    Ok(match spec {
         TopologySpec::He { capacity } => generators::he_core(*capacity),
         TopologySpec::Abilene { capacity } => generators::abilene(*capacity),
         TopologySpec::Ring {
@@ -288,7 +329,8 @@ fn build_topology(spec: &TopologySpec) -> Topology {
             hop_delay,
         } => generators::ring(*nodes, *capacity, *hop_delay),
         TopologySpec::Hypergrowth { capacity } => generators::hypergrowth(8, 8, *capacity),
-    }
+        TopologySpec::File { path } => load_file_topology(path, base)?,
+    })
 }
 
 fn duplex_between(topo: &Topology, a: &str, b: &str) -> Result<LinkId, BuildError> {
@@ -316,9 +358,24 @@ fn aggregates_on(
 
 /// The concrete `(topology, traffic matrix)` a scenario resolves to for
 /// one seed — exposed so tests and tools can probe the same inputs the
-/// engine runs on.
-pub fn inputs(scenario: &Scenario, seed: u64) -> (Topology, fubar_traffic::TrafficMatrix) {
-    let topo = build_topology(&scenario.topology);
+/// engine runs on. File topologies resolve as in [`inputs_at`] with no
+/// scenario directory.
+pub fn inputs(
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<(Topology, fubar_traffic::TrafficMatrix), BuildError> {
+    inputs_at(scenario, seed, None)
+}
+
+/// Like [`inputs`], resolving `topology file` paths relative to `base`
+/// (the directory the `.scn` file was loaded from) before the working
+/// directory and the bundled catalog.
+pub fn inputs_at(
+    scenario: &Scenario,
+    seed: u64,
+    base: Option<&Path>,
+) -> Result<(Topology, fubar_traffic::TrafficMatrix), BuildError> {
+    let topo = build_topology(&scenario.topology, base)?;
     let mut tm = workload::generate(
         &topo,
         &WorkloadConfig {
@@ -336,7 +393,7 @@ pub fn inputs(scenario: &Scenario, seed: u64) -> (Topology, fubar_traffic::Traff
     if let Some(w) = scenario.large_priority {
         tm = tm.with_large_priority(w);
     }
-    (topo, tm)
+    Ok((topo, tm))
 }
 
 /// Builds the engine for `scenario`, overriding its default seed with
@@ -356,34 +413,49 @@ pub fn build_with(
     seed: u64,
     incremental: bool,
 ) -> Result<Engine<SdnConsumer>, BuildError> {
-    let (topo, tm) = inputs(scenario, seed);
+    build_at(scenario, seed, incremental, None)
+}
+
+/// Like [`build_with`], resolving `topology file` paths relative to
+/// `base` (the `.scn` file's directory). The timeline is validated
+/// eagerly here, as soon as the topology is known — unknown `surge` /
+/// `fail` / `arrive` / `depart` endpoints fail the build with the
+/// offending `.scn` line number instead of an opaque late failure.
+pub fn build_at(
+    scenario: &Scenario,
+    seed: u64,
+    incremental: bool,
+    base: Option<&Path>,
+) -> Result<Engine<SdnConsumer>, BuildError> {
+    let (topo, tm) = inputs_at(scenario, seed, base)?;
 
     // Resolve the timeline against the concrete topology and matrix
     // before anything is consumed by the fabric.
     let mut timeline: Vec<(Delay, EventKind)> = Vec::new();
     for e in &scenario.timeline {
+        let line = e.line;
         match &e.action {
             Action::Fail { a, b } => timeline.push((
                 e.at,
                 EventKind::LinkFailure {
-                    link: duplex_between(&topo, a, b)?,
+                    link: duplex_between(&topo, a, b).map_err(|err| at_line(line, err))?,
                 },
             )),
             Action::Repair { a, b } => timeline.push((
                 e.at,
                 EventKind::LinkRecovery {
-                    link: duplex_between(&topo, a, b)?,
+                    link: duplex_between(&topo, a, b).map_err(|err| at_line(line, err))?,
                 },
             )),
             Action::Capacity { a, b, capacity } => timeline.push((
                 e.at,
                 EventKind::CapacityChange {
-                    link: duplex_between(&topo, a, b)?,
+                    link: duplex_between(&topo, a, b).map_err(|err| at_line(line, err))?,
                     capacity: *capacity,
                 },
             )),
             Action::Surge { src, dst, factor } => {
-                for id in aggregates_on(&tm, &topo, src, dst)? {
+                for id in aggregates_on(&tm, &topo, src, dst).map_err(|err| at_line(line, err))? {
                     timeline.push((
                         e.at,
                         EventKind::Surge {
@@ -394,12 +466,12 @@ pub fn build_with(
                 }
             }
             Action::Relax { src, dst } => {
-                for id in aggregates_on(&tm, &topo, src, dst)? {
+                for id in aggregates_on(&tm, &topo, src, dst).map_err(|err| at_line(line, err))? {
                     timeline.push((e.at, EventKind::Relax { aggregate: id }));
                 }
             }
             Action::Arrive { src, dst, flows } => {
-                for id in aggregates_on(&tm, &topo, src, dst)? {
+                for id in aggregates_on(&tm, &topo, src, dst).map_err(|err| at_line(line, err))? {
                     timeline.push((
                         e.at,
                         EventKind::AggregateArrival {
@@ -410,7 +482,7 @@ pub fn build_with(
                 }
             }
             Action::Depart { src, dst } => {
-                for id in aggregates_on(&tm, &topo, src, dst)? {
+                for id in aggregates_on(&tm, &topo, src, dst).map_err(|err| at_line(line, err))? {
                     timeline.push((e.at, EventKind::AggregateDeparture { aggregate: id }));
                 }
             }
@@ -464,7 +536,18 @@ pub fn run_with(
     seed: u64,
     incremental: bool,
 ) -> Result<ScenarioLog, BuildError> {
-    Ok(build_with(scenario, seed, incremental)?.run(&scenario.name, seed))
+    run_at(scenario, seed, incremental, None)
+}
+
+/// Like [`run_with`], resolving `topology file` paths relative to
+/// `base` (see [`build_at`]).
+pub fn run_at(
+    scenario: &Scenario,
+    seed: u64,
+    incremental: bool,
+    base: Option<&Path>,
+) -> Result<ScenarioLog, BuildError> {
+    Ok(build_at(scenario, seed, incremental, base)?.run(&scenario.name, seed))
 }
 
 /// Like [`run_with`], but also returns the run's performance
@@ -476,7 +559,18 @@ pub fn run_with_stats(
     seed: u64,
     incremental: bool,
 ) -> Result<(ScenarioLog, crate::stats::RunStats), BuildError> {
-    let engine = build_with(scenario, seed, incremental)?;
+    run_with_stats_at(scenario, seed, incremental, None)
+}
+
+/// Like [`run_with_stats`], resolving `topology file` paths relative
+/// to `base` (see [`build_at`]).
+pub fn run_with_stats_at(
+    scenario: &Scenario,
+    seed: u64,
+    incremental: bool,
+    base: Option<&Path>,
+) -> Result<(ScenarioLog, crate::stats::RunStats), BuildError> {
+    let engine = build_at(scenario, seed, incremental, base)?;
     let (log, mut stats, consumer) = engine.run_instrumented(&scenario.name, seed);
     stats.scratch = consumer.scratch_stats();
     Ok((log, stats))
@@ -597,5 +691,109 @@ mod tests {
         assert!(e.0.contains("nope"), "{e}");
         let spec = ring_spec("at 10s surge n0 n0 x2\n");
         assert!(run(&spec, 1).is_err(), "intra-pop pair absent by default");
+    }
+
+    #[test]
+    fn unknown_names_carry_their_scn_line() {
+        // The bad event is the 7th non-empty line of the assembled spec
+        // text; the diagnostic must point at it, ParseError-style, and
+        // must fire at build time — before any event runs.
+        let spec = ring_spec("at 10s surge n0 zzz x2\n");
+        let bad = &spec.timeline[0];
+        assert!(bad.line > 0);
+        let Err(e) = build(&spec, 1) else {
+            panic!("unknown surge endpoint must fail the build")
+        };
+        assert!(
+            e.0.contains(&format!("scenario line {}", bad.line)),
+            "diagnostic {e:?} must carry line {}",
+            bad.line
+        );
+        assert!(e.0.contains("zzz"), "{e}");
+        // Programmatic events (line 0) keep the bare message.
+        let mut spec = ring_spec("");
+        spec.timeline.push(crate::spec::TimelineEvent {
+            at: Delay::from_secs(10.0),
+            action: Action::Fail {
+                a: "n0".into(),
+                b: "ghost".into(),
+            },
+            line: 0,
+        });
+        let Err(e) = build(&spec, 1) else {
+            panic!("programmatic ghost endpoint must fail the build")
+        };
+        assert!(!e.0.contains("scenario line"), "{e}");
+        assert!(e.0.contains("ghost"), "{e}");
+    }
+
+    #[test]
+    fn file_topology_scenarios_build_and_replay_bitwise() {
+        // A scenario on a catalog-resolved file topology: events resolve
+        // against the file's node names, the run is seed-deterministic,
+        // and the whole incremental stack stays bitwise-equal to the
+        // full-recompute oracle on a substrate no generator produced.
+        let spec = Scenario::parse(
+            "scenario nren_smoke\n\
+             topology file topologies/nren-eu.topo\n\
+             duration 60s\n\
+             epoch 10s\n\
+             workload flows 2 4\n\
+             reoptimize every 30s warmup 15s\n\
+             at 20s fail Frankfurt Zurich\n\
+             at 25s surge London Athens x5\n\
+             at 45s repair Frankfurt Zurich\n",
+        )
+        .unwrap();
+        let a = run(&spec, 9).unwrap();
+        let b = run(&spec, 9).unwrap();
+        assert_eq!(a.to_text(), b.to_text());
+        let full = run_with(&spec, 9, false).unwrap();
+        assert_eq!(a.to_text(), full.to_text());
+        assert!(a.records.iter().any(|r| r.what.starts_with("fail")));
+
+        // Unknown node names on a *file* topology also carry the line.
+        let bad = Scenario::parse(
+            "scenario nren_bad\ntopology file topologies/nren-eu.topo\nat 5s fail London Narnia\n",
+        )
+        .unwrap();
+        let Err(e) = build(&bad, 1) else {
+            panic!("unknown node on a file topology must fail the build")
+        };
+        assert!(e.0.contains("scenario line 3"), "{e}");
+        assert!(e.0.contains("Narnia"), "{e}");
+
+        // A missing file is a clean build error naming the path.
+        let missing = Scenario::parse("scenario m\ntopology file no/such/thing.topo\n").unwrap();
+        let Err(e) = build(&missing, 1) else {
+            panic!("missing topology file must fail the build")
+        };
+        assert!(e.0.contains("no/such/thing.topo"), "{e}");
+    }
+
+    #[test]
+    fn base_dir_resolution_prefers_the_scenario_directory() {
+        // A .topo next to the .scn wins over the bundled catalog even
+        // when the file stem collides with a catalog name.
+        let dir = std::env::temp_dir().join(format!("fubar-scn-base-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let topo = fubar_topology::generators::ring(
+            4,
+            fubar_topology::Bandwidth::from_kbps(700.0),
+            Delay::from_ms(2.0),
+        );
+        std::fs::write(dir.join("nren-eu.topo"), topo_format::serialize(&topo)).unwrap();
+        let spec = Scenario::parse(
+            "scenario based\ntopology file nren-eu.topo\nduration 30s\nworkload flows 1 3\n",
+        )
+        .unwrap();
+        // With the base dir: the 4-node ring (names n0..n3).
+        let (t, _) = inputs_at(&spec, 1, Some(&dir)).unwrap();
+        assert_eq!(t.node_count(), 4);
+        assert!(t.node("n0").is_ok());
+        // Without it: falls back to the bundled 25-node NREN.
+        let (t, _) = inputs(&spec, 1).unwrap();
+        assert_eq!(t.node_count(), 25);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -47,7 +47,10 @@ pub mod spec;
 pub mod stats;
 pub mod stochastic;
 
-pub use driver::{build, build_with, run, run_with, run_with_stats, BuildError, SdnConsumer};
+pub use driver::{
+    build, build_at, build_with, load_file_topology, run, run_at, run_with, run_with_stats,
+    run_with_stats_at, BuildError, SdnConsumer,
+};
 pub use engine::{Engine, EventConsumer, Measure};
 pub use event::{Event, EventKind, EventQueue};
 pub use log::{EventRecord, ScenarioLog};

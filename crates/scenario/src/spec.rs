@@ -11,6 +11,7 @@
 //! topology abilene <capacity>              # 11-POP Abilene
 //! topology ring <n> <capacity> <delay>     # n-node ring
 //! topology hypergrowth <capacity>          # 64-POP beyond-HE tier
+//! topology file <path.topo>                # parsed topology file
 //! duration <delay>                         # simulated horizon (default 300s)
 //! epoch <delay>                            # measurement cadence (default 10s)
 //! seed <u64>                               # default run seed (default 1)
@@ -30,6 +31,14 @@
 //! at <delay> depart <src> <dst>            # aggregate leaves mid-run
 //! at <delay> reoptimize
 //! ```
+//!
+//! `topology file` runs the scenario on a parsed `.topo` file (grammar
+//! in `fubar_topology::format`): the driver resolves the path relative
+//! to the `.scn` file's directory first, then the working directory,
+//! then the bundled `fubar_topology::catalog` (so catalog scenarios
+//! referencing `topologies/*.topo` run anywhere). Timeline events name
+//! whatever nodes the file defines; unknown names are reported with the
+//! `.scn` line number at build time, before anything runs.
 //!
 //! `arrive`/`depart` drive *aggregate-level* churn through the fabric's
 //! single-aggregate rule plumbing: `depart` clears the pair's installed
@@ -97,6 +106,15 @@ pub enum TopologySpec {
     Hypergrowth {
         /// Uniform link capacity.
         capacity: Bandwidth,
+    },
+    /// A parsed `.topo` file — any substrate the generators never
+    /// produced, with its own (possibly heterogeneous) capacities.
+    File {
+        /// The path exactly as written in the spec (token-oriented
+        /// format: no whitespace). Resolution order: relative to the
+        /// `.scn` file, then the working directory, then the bundled
+        /// topology catalog.
+        path: String,
     },
 }
 
@@ -252,12 +270,25 @@ pub enum Action {
 }
 
 /// One timeline entry: an action at a time.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct TimelineEvent {
     /// When the action fires.
     pub at: Delay,
     /// What happens.
     pub action: Action,
+    /// 1-based `.scn` line the event was parsed from, carried so the
+    /// driver can report unresolvable node names with their source
+    /// location (0 for programmatically built events).
+    pub line: usize,
+}
+
+/// Equality ignores [`TimelineEvent::line`]: the `Display` round trip
+/// re-derives line numbers from the canonical layout, and two events
+/// that fire the same action at the same time are the same event.
+impl PartialEq for TimelineEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.action == other.action
+    }
 }
 
 /// A complete declarative scenario.
@@ -357,10 +388,13 @@ impl Scenario {
                         Some("hypergrowth") if t.len() == 3 => TopologySpec::Hypergrowth {
                             capacity: parse_num(lineno, t[2], "capacity")?,
                         },
+                        Some("file") if t.len() == 3 => TopologySpec::File {
+                            path: t[2].to_string(),
+                        },
                         _ => return Err(err(
                             lineno,
                             "usage: topology he <cap> | abilene <cap> | ring <n> <cap> <delay> \
-                                 | hypergrowth <cap>",
+                                 | hypergrowth <cap> | file <path.topo>",
                         )),
                     };
                     if let TopologySpec::Ring { nodes, .. } = s.topology {
@@ -596,7 +630,11 @@ impl Scenario {
                             ))
                         }
                     };
-                    s.timeline.push(TimelineEvent { at, action });
+                    s.timeline.push(TimelineEvent {
+                        at,
+                        action,
+                        line: lineno,
+                    });
                 }
                 other => return Err(err(lineno, format!("unknown directive {other:?}"))),
             }
@@ -636,6 +674,7 @@ impl fmt::Display for Scenario {
             TopologySpec::Hypergrowth { capacity } => {
                 writeln!(f, "topology hypergrowth {}", fmt_bw(*capacity))?
             }
+            TopologySpec::File { path } => writeln!(f, "topology file {path}")?,
         }
         writeln!(f, "duration {}", fmt_delay(self.duration))?;
         writeln!(f, "epoch {}", fmt_delay(self.epoch))?;
@@ -787,6 +826,52 @@ at 90s reoptimize
         );
         let back = Scenario::parse(&s.to_string()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn file_topology_round_trips() {
+        let s = Scenario::parse("scenario f\ntopology file topologies/nren-eu.topo\n").unwrap();
+        assert_eq!(
+            s.topology,
+            TopologySpec::File {
+                path: "topologies/nren-eu.topo".into()
+            }
+        );
+        let text = s.to_string();
+        assert!(text.contains("topology file topologies/nren-eu.topo\n"));
+        let back = Scenario::parse(&text).unwrap();
+        assert_eq!(s, back);
+        // Wrong arity is a usage error.
+        let e = Scenario::parse("scenario f\ntopology file\n").unwrap_err();
+        assert!(e.message.contains("usage"), "{}", e.message);
+        let e = Scenario::parse("scenario f\ntopology file a.topo b.topo\n").unwrap_err();
+        assert!(e.message.contains("usage"), "{}", e.message);
+    }
+
+    #[test]
+    fn timeline_events_remember_their_source_line() {
+        let s = Scenario::parse(FULL).unwrap();
+        // `at 20s fail n0 n1` is on line 18 of the FULL fixture (the
+        // leading newline makes the `scenario` directive line 3).
+        let fail = &s.timeline[0];
+        assert_eq!(
+            fail.action,
+            Action::Fail {
+                a: "n0".into(),
+                b: "n1".into()
+            }
+        );
+        assert!(fail.line > 0, "parsed events carry their line");
+        assert_eq!(
+            FULL.lines().nth(fail.line - 1).unwrap().trim(),
+            "at 20s fail n0 n1"
+        );
+        // Equality ignores the line: a Display round trip relocates
+        // events but must still compare equal (checked in
+        // round_trips_exactly), and an explicit witness here:
+        let mut moved = fail.clone();
+        moved.line = 999;
+        assert_eq!(*fail, moved);
     }
 
     #[test]

@@ -174,7 +174,7 @@ fn incremental_peek_matches_full_recompute_across_catalog_inputs() {
             _ => 120,
         };
         for seed in [spec.seed, spec.seed + 1, spec.seed + 2] {
-            let (topo, tm) = driver::inputs(&spec, seed);
+            let (topo, tm) = driver::inputs(&spec, seed).unwrap();
             let n = tm.len() as u64;
             let n_links = topo.link_count() as u64;
             let base_caps: Vec<Bandwidth> = topo.links().map(|l| topo.capacity(l)).collect();

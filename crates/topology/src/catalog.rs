@@ -1,0 +1,116 @@
+//! The bundled topology catalog.
+//!
+//! The `.topo` files live as plain-text artifacts in the repository's
+//! `topologies/` directory (the single source of truth — embedded here
+//! at compile time, same philosophy as the scenario catalog) so they
+//! diff like code and load identically from the CLI, scenario specs
+//! (`topology file <path.topo>`), benches, and tests.
+//!
+//! Three entries are canonical exports of the generators
+//! (`fubar-cli topology export` writes them); two are hand-maintained
+//! real-world-shaped backbones with geo-derived delays. CI runs
+//! `fubar-cli topology validate` over every committed file, which
+//! checks the bitwise `serialize ∘ parse` round trip.
+
+use crate::format;
+use crate::topology::Topology;
+
+/// `(name, file text)` for every bundled topology.
+pub const CATALOG: [(&str, &str); 5] = [
+    (
+        "he-core-31",
+        include_str!("../../../topologies/he-core-31.topo"),
+    ),
+    ("abilene", include_str!("../../../topologies/abilene.topo")),
+    (
+        "hypergrowth-64",
+        include_str!("../../../topologies/hypergrowth-64.topo"),
+    ),
+    ("nren-eu", include_str!("../../../topologies/nren-eu.topo")),
+    (
+        "us-backbone-40",
+        include_str!("../../../topologies/us-backbone-40.topo"),
+    ),
+];
+
+/// The names of all bundled topologies.
+pub fn names() -> Vec<&'static str> {
+    CATALOG.iter().map(|&(n, _)| n).collect()
+}
+
+/// The raw file text of a bundled topology, by exact name.
+pub fn text(name: &str) -> Option<&'static str> {
+    CATALOG.iter().find(|&&(n, _)| n == name).map(|&(_, t)| t)
+}
+
+/// Looks a bundled topology up by name, `<name>.topo`, or
+/// `topologies/<name>.topo` — the resolution scenario specs fall back
+/// on when the referenced path does not exist on disk (catalog
+/// scenarios reference `topologies/*.topo` and must run outside the
+/// repo too). Deliberately *not* matched: any other directory prefix.
+/// A missing user path like `experiments/nren-eu.topo` must stay a
+/// hard error, not silently resolve to the bundled (possibly
+/// different) copy because the file stem happens to collide.
+pub fn find(path_or_name: &str) -> Option<&'static str> {
+    let rest = path_or_name
+        .strip_prefix("topologies/")
+        .unwrap_or(path_or_name);
+    if rest.contains(['/', '\\']) {
+        return None;
+    }
+    let stem = rest.strip_suffix(".topo").unwrap_or(rest);
+    text(stem)
+}
+
+/// Loads a bundled topology by name.
+///
+/// # Panics
+///
+/// Panics when a bundled file fails to parse — committed catalog
+/// artifacts must always be well-formed (CI validates them).
+pub fn load(name: &str) -> Option<Topology> {
+    text(name).map(|t| {
+        format::parse(t).unwrap_or_else(|e| panic!("bundled topology {name:?} must parse: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bundled_topology_parses_and_matches_its_name() {
+        for (name, _) in CATALOG {
+            let t = load(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(t.name(), name, "file name and `topology` directive agree");
+            assert!(t.is_connected(), "{name} must be strongly connected");
+        }
+        assert_eq!(names().len(), 5);
+        assert!(load("no_such_topology").is_none());
+    }
+
+    #[test]
+    fn every_bundled_topology_round_trips_bitwise() {
+        for (name, _) in CATALOG {
+            let t = load(name).unwrap();
+            let back = format::parse(&format::serialize(&t))
+                .unwrap_or_else(|e| panic!("{name} reserialization must parse: {e}"));
+            assert_eq!(t, back, "{name} must round-trip bitwise");
+        }
+    }
+
+    #[test]
+    fn find_accepts_names_and_canonical_paths_only() {
+        for key in ["nren-eu", "nren-eu.topo", "topologies/nren-eu.topo"] {
+            assert!(find(key).is_some(), "{key} should resolve");
+        }
+        assert!(find("nope").is_none());
+        assert!(find("topologies/nope.topo").is_none());
+        // A stem collision under a different directory must NOT fall
+        // back to the bundled copy: a missing user file stays an error
+        // instead of silently running on the wrong substrate.
+        assert!(find("experiments/nren-eu.topo").is_none());
+        assert!(find("some/deep/dir/nren-eu.topo").is_none());
+        assert!(find("topologies/sub/nren-eu.topo").is_none());
+    }
+}

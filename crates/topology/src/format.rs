@@ -11,6 +11,15 @@
 //! link <a> <b> <capacity> geo         # delay derived from coordinates
 //! simplex <a> <b> <capacity> <delay>  # one-directional
 //! ```
+//!
+//! [`serialize`] ∘ [`parse`] is **bitwise exact**: capacities are written
+//! in raw `bps` and delays in raw seconds (`s`), the two unit suffixes
+//! whose parse multiplier is exactly 1.0, and Rust's shortest-round-trip
+//! `f64` formatting guarantees the printed decimal reparses to the same
+//! bits. (Writing delays in `ms` — the obvious human-friendly choice —
+//! breaks exactness: `0.1s` prints as `100.00000000000001ms` and reparses
+//! to `0.10000000000000002s`.) Hand-written files are free to use any
+//! unit; only the canonical serialization is constrained.
 
 use crate::geo::GeoPoint;
 use crate::topology::{Topology, TopologyBuilder};
@@ -129,8 +138,11 @@ pub fn parse(text: &str) -> Result<Topology, ParseError> {
 }
 
 /// Serializes a topology into the text format. Delays are written
-/// explicitly (in ms) even for geo-built links, so the round trip is
-/// exact regardless of coordinate availability.
+/// explicitly (in raw seconds) even for geo-built links, so the round
+/// trip is exact — bitwise — regardless of coordinate availability: the
+/// `s` and `bps` suffixes are the ones whose parse multiplier is exactly
+/// 1.0, and `f64`'s `Display` prints the shortest decimal that reparses
+/// to the same bits.
 pub fn serialize(t: &Topology) -> String {
     let mut out = String::new();
     out.push_str(&format!("topology {}\n", t.name()));
@@ -154,12 +166,12 @@ pub fn serialize(t: &Topology) -> String {
             None => "simplex",
         };
         out.push_str(&format!(
-            "{} {} {} {}bps {}ms\n",
+            "{} {} {} {}bps {}s\n",
             kind,
             t.node_name(link.src),
             t.node_name(link.dst),
             t.capacity(l).bps(),
-            t.delay(l).ms(),
+            t.delay(l).secs(),
         ));
     }
     out
@@ -213,18 +225,59 @@ simplex a c 10Mbps 1ms
             assert_eq!(back.node_count(), t.node_count());
             assert_eq!(back.link_count(), t.link_count());
             for l in t.links() {
-                assert!(
-                    (back.capacity(l).bps() - t.capacity(l).bps()).abs() < 1e-6,
+                assert_eq!(
+                    back.capacity(l).bps().to_bits(),
+                    t.capacity(l).bps().to_bits(),
                     "capacity mismatch on {}",
                     t.link_label(l)
                 );
-                assert!(
-                    (back.delay(l).secs() - t.delay(l).secs()).abs() < 1e-12,
+                assert_eq!(
+                    back.delay(l).secs().to_bits(),
+                    t.delay(l).secs().to_bits(),
                     "delay mismatch on {}",
                     t.link_label(l)
                 );
             }
         }
+    }
+
+    /// Regression: serializing `0.1s` used to print `100.00000000000001ms`
+    /// which reparsed (via `* 1e-3`) to `0.10000000000000002s` — an
+    /// inexact round trip despite the docstring's promise. Raw-seconds
+    /// serialization makes the parse multiplier exactly 1.0.
+    #[test]
+    fn awkward_delays_round_trip_bitwise() {
+        let mut b = TopologyBuilder::new("awkward");
+        b.add_node("a").unwrap();
+        b.add_node("b").unwrap();
+        // 0.1 is the canonical non-representable decimal; the geo delay
+        // is a typical irrational-ish fiber latency.
+        b.add_duplex_link("a", "b", Bandwidth::from_mbps(100.0), Delay::from_secs(0.1))
+            .unwrap();
+        b.add_node_at("x", crate::geo::GeoPoint::new(40.71, -74.01))
+            .unwrap();
+        b.add_node_at("y", crate::geo::GeoPoint::new(51.51, -0.13))
+            .unwrap();
+        b.add_duplex_link_geo("x", "y", Bandwidth::from_bps(1e6 / 3.0))
+            .unwrap();
+        let t = b.build();
+        let back = parse(&serialize(&t)).unwrap();
+        for l in t.links() {
+            assert_eq!(
+                back.delay(l).secs().to_bits(),
+                t.delay(l).secs().to_bits(),
+                "delay on {} must survive the round trip bitwise",
+                t.link_label(l)
+            );
+            assert_eq!(
+                back.capacity(l).bps().to_bits(),
+                t.capacity(l).bps().to_bits(),
+                "capacity on {} must survive the round trip bitwise",
+                t.link_label(l)
+            );
+        }
+        // And the canonical serialization is a fixed point.
+        assert_eq!(serialize(&t), serialize(&back));
     }
 
     #[test]

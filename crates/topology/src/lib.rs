@@ -20,6 +20,7 @@
 //! assert!(topo.is_connected());
 //! ```
 
+pub mod catalog;
 pub mod format;
 pub mod generators;
 mod geo;

@@ -21,6 +21,9 @@ use std::fmt;
 pub enum TopologyError {
     /// A node with this name already exists.
     DuplicateNode(String),
+    /// The node name is empty or contains characters the text format
+    /// cannot represent (whitespace splits tokens, `#` starts a comment).
+    InvalidName(String),
     /// No node with this name exists.
     UnknownNode(String),
     /// Links from a node to itself are not meaningful in a backbone.
@@ -35,6 +38,10 @@ impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopologyError::DuplicateNode(n) => write!(f, "duplicate node name {n:?}"),
+            TopologyError::InvalidName(n) => write!(
+                f,
+                "invalid node name {n:?}: must be non-empty, without whitespace or '#'"
+            ),
             TopologyError::UnknownNode(n) => write!(f, "unknown node name {n:?}"),
             TopologyError::SelfLoop(n) => write!(f, "self-loop at node {n:?}"),
             TopologyError::MissingCoordinates(n) => {
@@ -61,9 +68,22 @@ pub struct TopologyBuilder {
 
 impl TopologyBuilder {
     /// Starts a new topology with the given display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name cannot survive the `.topo` text format
+    /// (empty, whitespace, or `#`) — the same constraint node names get
+    /// via [`TopologyError::InvalidName`], enforced here as an assert
+    /// because every call site uses a literal or generated name.
     pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(
+            !name.is_empty() && !name.chars().any(|c| c.is_whitespace() || c == '#'),
+            "invalid topology name {name:?}: must be non-empty, without whitespace or '#' \
+             (it would serialize into a `.topo` line `parse` cannot read back)"
+        );
         TopologyBuilder {
-            name: name.into(),
+            name,
             ..Default::default()
         }
     }
@@ -87,6 +107,13 @@ impl TopologyBuilder {
         name: String,
         at: Option<GeoPoint>,
     ) -> Result<NodeId, TopologyError> {
+        // Names must survive the `.topo` text format: whitespace would
+        // split one token into several and `#` starts a comment, so a
+        // builder that accepted them would serialize files `parse` can
+        // never read back.
+        if name.is_empty() || name.chars().any(|c| c.is_whitespace() || c == '#') {
+            return Err(TopologyError::InvalidName(name));
+        }
         if self.by_name.contains_key(&name) {
             return Err(TopologyError::DuplicateNode(name));
         }
@@ -197,6 +224,38 @@ pub struct Topology {
     by_name: HashMap<String, NodeId>,
     capacities: Vec<Bandwidth>,
     reverse: Vec<Option<LinkId>>,
+}
+
+/// Structural equality, bitwise on every float: names, coordinates,
+/// capacities, delays, and the full directed-link structure including
+/// duplex pairing. This is the equality the `serialize ∘ parse`
+/// round-trip invariant is stated in — `-0.0 != 0.0` here, unlike plain
+/// `f64` comparison, so "equal" really means "same bits".
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        let geo_bits = |g: Option<GeoPoint>| g.map(|p| (p.lat.to_bits(), p.lon.to_bits()));
+        self.name == other.name
+            && self.node_names == other.node_names
+            && self.node_geo.len() == other.node_geo.len()
+            && self
+                .node_geo
+                .iter()
+                .zip(&other.node_geo)
+                .all(|(&a, &b)| geo_bits(a) == geo_bits(b))
+            && self.capacities.len() == other.capacities.len()
+            && self
+                .capacities
+                .iter()
+                .zip(&other.capacities)
+                .all(|(a, b)| a.bps().to_bits() == b.bps().to_bits())
+            && self.reverse == other.reverse
+            && self.graph.link_count() == other.graph.link_count()
+            && self.graph.node_count() == other.graph.node_count()
+            && self.links().all(|l| {
+                let (a, b) = (self.graph.link(l), other.graph.link(l));
+                a.src == b.src && a.dst == b.dst && a.cost.to_bits() == b.cost.to_bits()
+            })
+    }
 }
 
 impl Topology {
@@ -440,6 +499,56 @@ mod tests {
             b.add_node("x").unwrap_err(),
             TopologyError::DuplicateNode("x".into())
         );
+    }
+
+    #[test]
+    fn unrepresentable_node_names_rejected() {
+        // Regression: these used to be accepted, and `format::serialize`
+        // then emitted `.topo` lines `format::parse` rejects ("a b"
+        // splits into two tokens) or mis-tokenizes ("x#y" truncates at
+        // the comment marker).
+        let mut b = TopologyBuilder::new("t");
+        for bad in ["", "a b", "x#y", "tab\tname", "trailing ", "line\nbreak"] {
+            assert_eq!(
+                b.add_node(bad).unwrap_err(),
+                TopologyError::InvalidName(bad.into()),
+                "{bad:?} must be rejected"
+            );
+            assert_eq!(
+                b.add_node_at(bad, GeoPoint::new(0.0, 0.0)).unwrap_err(),
+                TopologyError::InvalidName(bad.into()),
+                "{bad:?} must be rejected with coordinates too"
+            );
+        }
+        // Ordinary names still work, including punctuation the format
+        // tokenizer is fine with.
+        for ok in ["a", "NewYork", "pop0_1", "fra-1", "n.y.c"] {
+            b.add_node(ok).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology name")]
+    fn unrepresentable_topology_name_rejected() {
+        TopologyBuilder::new("euro core");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology name")]
+    fn empty_topology_name_rejected() {
+        TopologyBuilder::new("");
+    }
+
+    #[test]
+    fn structural_equality_is_bitwise() {
+        let t = triangle();
+        assert_eq!(t, t.clone());
+        let mut other = t.clone();
+        other.set_capacity(LinkId(0), Bandwidth::from_mbps(11.0));
+        assert_ne!(t, other);
+        let mut other = t.clone();
+        other.set_delay(LinkId(2), Delay::from_ms(9.0));
+        assert_ne!(t, other);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property tests for the `.topo` text format's headline contract:
+//!
+//! **`parse(serialize(t)) == t`, bitwise** — for arbitrary topologies,
+//! with and without geo coordinates, mixed duplex/simplex links,
+//! geo-derived and explicit delays, and awkward floating-point
+//! capacities/delays/coordinates. Equality here is `Topology`'s
+//! structural `PartialEq`, which compares every float by its bits, so a
+//! pass means names, coordinates, capacities, delays, link order, and
+//! duplex pairing all survive the text round trip exactly.
+//!
+//! This is the invariant the delay-serialization bug violated (ms
+//! formatting reparsed through `* 1e-3` drifts by an ulp); the
+//! regression test for that specific case lives in `format::tests`.
+
+use fubar_topology::{format, Bandwidth, Delay, GeoPoint, TopologyBuilder};
+use proptest::prelude::*;
+
+/// One randomly drawn link: endpoints by index, duplex/simplex, whether
+/// to derive the delay from geo coordinates, raw capacity and delay.
+type LinkDraw = (usize, usize, bool, bool, f64, f64);
+
+/// Deterministically builds a topology from the drawn raw material.
+/// Returns `None` when the draw degenerates (no usable links).
+fn build(
+    node_count: usize,
+    geo_draws: &[(bool, f64, f64)],
+    link_draws: &[LinkDraw],
+) -> fubar_topology::Topology {
+    let mut b = TopologyBuilder::new("prop");
+    for i in 0..node_count {
+        let (has_geo, lat, lon) = geo_draws[i % geo_draws.len()];
+        if has_geo {
+            b.add_node_at(format!("n{i}"), GeoPoint::new(lat, lon))
+                .unwrap();
+        } else {
+            b.add_node(format!("n{i}")).unwrap();
+        }
+    }
+    for &(a, z, duplex, use_geo, cap, delay) in link_draws {
+        let (a, z) = (a % node_count, z % node_count);
+        if a == z {
+            continue; // self-loops are rejected by the builder
+        }
+        let (na, nz) = (format!("n{a}"), format!("n{z}"));
+        let cap = Bandwidth::from_bps(cap);
+        if duplex {
+            if use_geo && b.add_duplex_link_geo(&na, &nz, cap).is_ok() {
+                continue; // both endpoints had coordinates
+            }
+            b.add_duplex_link(&na, &nz, cap, Delay::from_secs(delay))
+                .unwrap();
+        } else {
+            b.add_simplex_link(&na, &nz, cap, Delay::from_secs(delay))
+                .unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The headline invariant: arbitrary topologies survive
+    /// `parse(serialize(t))` with bitwise-identical everything, and the
+    /// canonical serialization is a fixed point.
+    #[test]
+    fn serialize_parse_round_trip_is_bitwise_exact(
+        node_count in 2usize..12,
+        geo_draws in proptest::collection::vec(
+            (any::<bool>(), -90.0f64..90.0, -180.0f64..180.0), 12),
+        link_draws in proptest::collection::vec(
+            (0usize..12, 0usize..12, any::<bool>(), any::<bool>(),
+             1e-3f64..1e12, 0.0f64..0.5),
+            1..40),
+    ) {
+        let t = build(node_count, &geo_draws, &link_draws);
+        let text = format::serialize(&t);
+        let back = match format::parse(&text) {
+            Ok(b) => b,
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "serialized topology failed to reparse: {e}\n{text}"))),
+        };
+        // Structural equality is bitwise on every float (capacities,
+        // delays/link costs, coordinates) and covers names, link order,
+        // and duplex pairing.
+        prop_assert_eq!(&t, &back, "round trip must be bitwise-exact");
+        // Serialization is a fixed point: canonical text re-serializes
+        // to itself.
+        prop_assert_eq!(&text, &format::serialize(&back));
+        // Spot-check the individual bit patterns too, so a future
+        // PartialEq regression cannot silently weaken this test.
+        for l in t.links() {
+            prop_assert_eq!(
+                t.capacity(l).bps().to_bits(),
+                back.capacity(l).bps().to_bits()
+            );
+            prop_assert_eq!(
+                t.delay(l).secs().to_bits(),
+                back.delay(l).secs().to_bits()
+            );
+        }
+        for n in t.nodes() {
+            prop_assert_eq!(t.node_name(n), back.node_name(n));
+        }
+    }
+}

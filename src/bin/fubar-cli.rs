@@ -13,6 +13,23 @@
 //! fubar-cli optimize <file.topo> <file.tm> [--minmax] [--trace out.csv]
 //!     Run FUBAR and print the computed path splits.
 //!
+//! fubar-cli topology list
+//!     Name and summarize the bundled topology catalog (`topologies/`).
+//!
+//! fubar-cli topology show <name|file.topo>
+//!     Print a topology (canonical serialization: raw-seconds delays,
+//!     raw-bps capacities — the exactly round-tripping form).
+//!
+//! fubar-cli topology export <he|abilene|hypergrowth> <capacity_mbps> [out.topo]
+//!     Export a generator topology to its canonical `.topo` form — how
+//!     the generated entries of `topologies/` are produced.
+//!
+//! fubar-cli topology validate <name|file.topo>...
+//!     Parse each topology, require strong connectivity, and prove the
+//!     `serialize ∘ parse` round trip is bitwise-exact (capacities,
+//!     delays, names, link structure). CI runs this over every
+//!     committed `.topo`.
+//!
 //! fubar-cli scenario list
 //!     Name and describe the bundled scenario catalog.
 //!
@@ -39,6 +56,7 @@
 use fubar::core::baselines;
 use fubar::prelude::*;
 use fubar::scenario::catalog;
+use fubar::topology::catalog as topo_catalog;
 use fubar::topology::format as topo_format;
 use fubar::topology::generators;
 use fubar::traffic::format as tm_format;
@@ -50,6 +68,10 @@ fn usage() -> ExitCode {
         "usage:\n  fubar-cli generate <he|abilene> <capacity_mbps> <seed>\n  \
          fubar-cli evaluate <file.topo> <file.tm>\n  \
          fubar-cli optimize <file.topo> <file.tm> [--minmax] [--trace out.csv]\n  \
+         fubar-cli topology list\n  \
+         fubar-cli topology show <name|file.topo>\n  \
+         fubar-cli topology export <he|abilene|hypergrowth> <capacity_mbps> [out.topo]\n  \
+         fubar-cli topology validate <name|file.topo>...\n  \
          fubar-cli scenario list\n  \
          fubar-cli scenario show <name|file.scn>\n  \
          fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt] \
@@ -178,14 +200,113 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads a scenario by catalog name or from a spec file.
-fn load_scenario(what: &str) -> Result<Scenario, String> {
-    if let Some(s) = catalog::load(what) {
-        return Ok(s);
+/// Loads a topology by catalog name or from a `.topo` file.
+fn load_topology(what: &str) -> Result<Topology, String> {
+    if let Some(t) = topo_catalog::load(what) {
+        return Ok(t);
     }
     if std::path::Path::new(what).exists() {
         let text = std::fs::read_to_string(what).map_err(|e| format!("{what}: {e}"))?;
-        return Scenario::parse(&text).map_err(|e| format!("{what}: {e}"));
+        return topo_format::parse(&text).map_err(|e| format!("{what}: {e}"));
+    }
+    if let Some(text) = topo_catalog::find(what) {
+        return topo_format::parse(text).map_err(|e| format!("{what}: {e}"));
+    }
+    Err(format!(
+        "{what:?} is neither a bundled topology ({}) nor a .topo file",
+        topo_catalog::names().join(", ")
+    ))
+}
+
+fn cmd_topology(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err("topology needs a subcommand: list, show, export, or validate".into());
+    };
+    match sub.as_str() {
+        "list" => {
+            for name in topo_catalog::names() {
+                let t = topo_catalog::load(name).expect("catalog names load");
+                println!("{}", t.summary());
+            }
+            Ok(())
+        }
+        "show" => {
+            let [what] = &args[1..] else {
+                return Err("show needs <name|file.topo>".into());
+            };
+            print!("{}", topo_format::serialize(&load_topology(what)?));
+            Ok(())
+        }
+        "export" => {
+            let (kind, mbps, out) = match &args[1..] {
+                [kind, mbps] => (kind, mbps, None),
+                [kind, mbps, out] => (kind, mbps, Some(out.clone())),
+                _ => {
+                    return Err(
+                        "export needs <he|abilene|hypergrowth> <capacity_mbps> [out.topo]".into(),
+                    )
+                }
+            };
+            let mbps: f64 = mbps.parse().map_err(|e| format!("bad capacity: {e}"))?;
+            let cap = Bandwidth::from_mbps(mbps);
+            let topo = match kind.as_str() {
+                "he" => generators::he_core(cap),
+                "abilene" => generators::abilene(cap),
+                "hypergrowth" => generators::hypergrowth(8, 8, cap),
+                other => return Err(format!("unknown topology kind {other:?}")),
+            };
+            let out = out.unwrap_or_else(|| format!("{}.topo", topo.name()));
+            std::fs::write(&out, topo_format::serialize(&topo)).map_err(|e| e.to_string())?;
+            println!("wrote {out} ({})", topo.summary());
+            Ok(())
+        }
+        "validate" => {
+            if args.len() < 2 {
+                return Err("validate needs at least one <name|file.topo>".into());
+            }
+            for what in &args[1..] {
+                let t = load_topology(what)?;
+                if !t.is_connected() {
+                    return Err(format!("{what}: not strongly connected"));
+                }
+                // The round-trip invariant, proven on the actual artifact:
+                // parse(serialize(t)) must be bitwise-identical (names,
+                // coordinates, capacities, delays, link structure), and
+                // the canonical serialization must be a fixed point.
+                let text = topo_format::serialize(&t);
+                let back = topo_format::parse(&text)
+                    .map_err(|e| format!("{what}: canonical form failed to reparse: {e}"))?;
+                if back != t {
+                    return Err(format!(
+                        "{what}: serialize∘parse round trip is not bitwise-exact"
+                    ));
+                }
+                if topo_format::serialize(&back) != text {
+                    return Err(format!(
+                        "{what}: canonical serialization is not a fixed point"
+                    ));
+                }
+                println!("ok {what}: {} (round trip bitwise-exact)", t.summary());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown topology subcommand {other:?}")),
+    }
+}
+
+/// Loads a scenario by catalog name or from a spec file. For file
+/// specs, also returns the `.scn` file's directory so `topology file`
+/// paths inside it resolve relative to the spec, not the working
+/// directory.
+fn load_scenario(what: &str) -> Result<(Scenario, Option<std::path::PathBuf>), String> {
+    if let Some(s) = catalog::load(what) {
+        return Ok((s, None));
+    }
+    let path = std::path::Path::new(what);
+    if path.exists() {
+        let text = std::fs::read_to_string(what).map_err(|e| format!("{what}: {e}"))?;
+        let s = Scenario::parse(&text).map_err(|e| format!("{what}: {e}"))?;
+        return Ok((s, path.parent().map(|p| p.to_path_buf())));
     }
     Err(format!(
         "{what:?} is neither a bundled scenario ({}) nor a spec file",
@@ -214,7 +335,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
             let [what] = &args[1..] else {
                 return Err("show needs <name|file.scn>".into());
             };
-            print!("{}", load_scenario(what)?);
+            print!("{}", load_scenario(what)?.0);
             Ok(())
         }
         "run" => {
@@ -224,7 +345,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                         .into(),
                 );
             }
-            let spec = load_scenario(&args[1])?;
+            let (spec, base) = load_scenario(&args[1])?;
             let mut seed = spec.seed;
             let mut out: Option<String> = None;
             let mut incremental = true;
@@ -269,13 +390,14 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                 }
                 i += 1;
             }
+            let base = base.as_deref();
             let (log, run_stats) = if stats {
-                let (log, s) = fubar::scenario::run_with_stats(&spec, seed, incremental)
+                let (log, s) = fubar::scenario::run_with_stats_at(&spec, seed, incremental, base)
                     .map_err(|e| e.to_string())?;
                 (log, Some(s))
             } else {
                 (
-                    fubar::scenario::run_with(&spec, seed, incremental)
+                    fubar::scenario::run_at(&spec, seed, incremental, base)
                         .map_err(|e| e.to_string())?,
                     None,
                 )
@@ -306,6 +428,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args[1..]),
         "evaluate" => cmd_evaluate(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
+        "topology" => cmd_topology(&args[1..]),
         "scenario" => cmd_scenario(&args[1..]),
         _ => return usage(),
     };
