@@ -54,6 +54,7 @@ pub mod optimizer;
 pub mod pathgen;
 pub mod pathset;
 pub mod recorder;
+pub mod shard;
 
 pub use allocation::{Allocation, Move};
 pub use analysis::{certify_allocation, cut_certificates, CutCertificate};
@@ -62,3 +63,4 @@ pub use optimizer::{OptimizeResult, Optimizer, OptimizerConfig, Termination};
 pub use pathgen::PathPolicy;
 pub use pathset::PathSet;
 pub use recorder::{RunTrace, TracePoint};
+pub use shard::{RegionPartition, ShardRunStats, Sharding};

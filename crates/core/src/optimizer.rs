@@ -44,6 +44,7 @@ use crate::allocation::{Allocation, Move};
 use crate::objective::Objective;
 use crate::pathgen::{alternatives, PathPolicy};
 use crate::recorder::{RunTrace, TracePoint};
+use crate::shard::{self, ShardRunStats, Sharding};
 use fubar_graph::Path;
 use fubar_graph::{LinkId, LinkSet};
 use fubar_model::{
@@ -108,8 +109,18 @@ pub struct OptimizerConfig {
     pub excluded_links: LinkSet,
     /// Worker threads for candidate evaluation inside a step. Results
     /// are identical at any thread count; 1 disables threading. The
-    /// default uses the available parallelism, capped at 8.
+    /// default uses the available parallelism. Validated (≥ 1), never
+    /// silently clamped.
     pub threads: usize,
+    /// Hierarchical sharded execution (see [`crate::shard`]): partition
+    /// the instance by region, run the greedy loop over per-shard
+    /// sparse aggregate→link indices and scratch, stitch commits
+    /// globally. Results are **bitwise identical** to the flat loop at
+    /// any shard count; [`Sharding::Off`] selects the flat loop (the
+    /// `--oracle flat` mode the property tests compare against).
+    /// Sharding applies only to incremental scoring; the full-recompute
+    /// oracle is always flat.
+    pub sharding: Sharding,
     /// Incremental candidate scoring (the default): score each move as
     /// a one-aggregate bundle delta patched over the cached incumbent
     /// evaluation. When false, every candidate rebuilds all bundles and
@@ -133,8 +144,9 @@ impl Default for OptimizerConfig {
             model: ModelConfig::default(),
             time_limit: None,
             excluded_links: LinkSet::new(),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             incremental: true,
+            sharding: Sharding::Auto,
         }
     }
 }
@@ -148,15 +160,18 @@ impl OptimizerConfig {
         assert!(self.escape_growth > 1.0, "escape growth must exceed 1");
         assert!(self.improvement_eps >= 0.0);
         assert!(self.threads >= 1, "at least one evaluation thread");
+        if let Sharding::Shards(n) = self.sharding {
+            assert!(n >= 1, "at least one shard");
+        }
     }
 }
 
 /// One tentative move under evaluation.
-struct Candidate {
-    aggregate: fubar_traffic::AggregateId,
-    from: usize,
-    count: u32,
-    alt: Path,
+pub(crate) struct Candidate {
+    pub(crate) aggregate: fubar_traffic::AggregateId,
+    pub(crate) from: usize,
+    pub(crate) count: u32,
+    pub(crate) alt: Path,
 }
 
 /// One evaluation thread's reusable scoring scratch: the flow-model
@@ -165,8 +180,8 @@ struct Candidate {
 /// nothing (enforced by the counting-allocator test in
 /// `tests/zero_alloc.rs`).
 #[derive(Default)]
-struct ScoreScratch {
-    model: Workspace,
+pub(crate) struct ScoreScratch {
+    pub(crate) model: Workspace,
     report: ReportScratch,
     segment: Vec<BundleSpec>,
 }
@@ -193,6 +208,11 @@ pub struct OptimizeResult {
     /// re-filled component, most links touched by one fill, deepest
     /// event heap) — `fubar-cli scenario run --stats` surfaces these.
     pub scratch: WorkspaceStats,
+    /// Per-shard execution statistics when the run used the sharded
+    /// loop ([`Sharding`]); empty for flat runs. The last entry is the
+    /// trunk-core shard. Wall-clock fields ride outside the
+    /// byte-exact replay surface, like `scratch`.
+    pub shards: Vec<ShardRunStats>,
 }
 
 /// The cached state of the incumbent allocation during a run: the
@@ -201,18 +221,18 @@ pub struct OptimizeResult {
 /// mode candidates are scored as one-aggregate [`BundleDelta`] splices
 /// against this cache; in full (oracle) mode it merely memoizes the
 /// incumbent's measurement between commits.
-struct Incumbent {
+pub(crate) struct Incumbent {
     bundles: Vec<BundleSpec>,
     spans: Vec<(u32, u32)>,
-    eval: Evaluation,
-    report: UtilityReport,
+    pub(crate) eval: Evaluation,
+    pub(crate) report: UtilityReport,
 }
 
 /// The optimizer, bound to one topology and one traffic matrix.
 pub struct Optimizer<'a> {
-    topology: &'a Topology,
-    tm: &'a TrafficMatrix,
-    config: OptimizerConfig,
+    pub(crate) topology: &'a Topology,
+    pub(crate) tm: &'a TrafficMatrix,
+    pub(crate) config: OptimizerConfig,
     model: FlowModel<'a>,
     small_threshold: Bandwidth,
     /// One scoring scratch per evaluation thread, reused across every
@@ -262,7 +282,7 @@ impl<'a> Optimizer<'a> {
 
     /// Measures `alloc` from scratch into an incumbent cache (run start
     /// and, in oracle mode, after every commit).
-    fn incumbent_for(&self, alloc: &Allocation) -> Incumbent {
+    pub(crate) fn incumbent_for(&self, alloc: &Allocation) -> Incumbent {
         let (bundles, spans) = alloc.bundles_with_spans(self.tm);
         let eval = self.model.evaluate_traced(&bundles);
         let report = utility_report(self.tm, &bundles, &eval.outcome);
@@ -288,15 +308,18 @@ impl<'a> Optimizer<'a> {
         let (start, len) = inc.spans[agg.index()];
         let delta = BundleDelta::new(&inc.bundles, start as usize, len as usize, segment);
         let patched = self.model.evaluate_delta(&inc.eval, &delta);
-        let mut mask = vec![false; self.tm.len()];
-        mask[agg.index()] = true;
+        // Touched aggregates in ascending id order, O(touched log
+        // touched) — a dense boolean mask over the whole matrix would
+        // make every commit O(instance), which dominates at planetary
+        // scale.
+        let mut touched: Vec<u32> = Vec::with_capacity(patched.affected.len() + 1);
+        touched.push(agg.index() as u32);
         for &bi in &patched.affected {
-            mask[delta.get(bi as usize).aggregate.index()] = true;
+            touched.push(delta.get(bi as usize).aggregate.index() as u32);
         }
-        let affected: Vec<AggregateId> = (0..mask.len())
-            .filter(|&i| mask[i])
-            .map(|i| AggregateId(i as u32))
-            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let affected: Vec<AggregateId> = touched.into_iter().map(AggregateId).collect();
         let report = utility_report_from(
             self.tm,
             delta.iter(),
@@ -307,7 +330,7 @@ impl<'a> Optimizer<'a> {
         (patched, report)
     }
 
-    fn trace_point(
+    pub(crate) fn trace_point(
         &self,
         started: Instant,
         commits: usize,
@@ -331,7 +354,7 @@ impl<'a> Optimizer<'a> {
     /// How many flows of `agg`'s flow path (currently `on_path` flows) to
     /// move at escape level `level` (Listing 2 line 3, plus the escape
     /// tweak). Small aggregates move whole.
-    fn flows_to_move(&self, agg: &Aggregate, on_path: u32, level: u32) -> u32 {
+    pub(crate) fn flows_to_move(&self, agg: &Aggregate, on_path: u32, level: u32) -> u32 {
         if agg.total_demand() <= self.small_threshold {
             return on_path;
         }
@@ -369,7 +392,7 @@ impl<'a> Optimizer<'a> {
     /// patch, min-max via the sparse link-demand overlay. Past scratch
     /// warm-up this path performs **zero heap allocations** per scored
     /// move. Bitwise identical to [`Optimizer::score_candidate_full`].
-    fn score_candidate_incremental(
+    pub(crate) fn score_candidate_incremental(
         &self,
         alloc: &Allocation,
         incumbent: &Incumbent,
@@ -577,7 +600,12 @@ impl<'a> Optimizer<'a> {
     /// Commits the winning candidate: applies the move to the
     /// allocation and refreshes the incumbent cache — one delta patch in
     /// incremental mode, a full re-measurement in oracle mode.
-    fn commit(&self, alloc: &mut Allocation, incumbent: &mut Incumbent, c: &Candidate) -> Move {
+    pub(crate) fn commit(
+        &self,
+        alloc: &mut Allocation,
+        incumbent: &mut Incumbent,
+        c: &Candidate,
+    ) -> Move {
         if self.config.incremental {
             let segment = alloc.bundles_after_move(self.tm, c.aggregate, c.from, &c.alt, c.count);
             let (patched, report) = self.patch_incumbent(incumbent, c.aggregate, &segment);
@@ -635,7 +663,25 @@ impl<'a> Optimizer<'a> {
 
     /// The main loop from an explicit starting allocation (which must
     /// already satisfy `validate` against this optimizer's matrix).
+    /// Dispatches to the hierarchical sharded loop when configured —
+    /// the sharded and flat loops are bitwise interchangeable, so the
+    /// dispatch never changes results, only data organization.
     fn run_with(&self, initial: Allocation) -> OptimizeResult {
+        if self.config.incremental {
+            if let Some(n) = self
+                .config
+                .sharding
+                .shard_count(shard::region_count(self.topology))
+            {
+                return shard::run_sharded(self, initial, n);
+            }
+        }
+        self.run_flat(initial)
+    }
+
+    /// The flat (unsharded) greedy loop — `--oracle flat` and the
+    /// full-recompute oracle both land here.
+    pub(crate) fn run_flat(&self, initial: Allocation) -> OptimizeResult {
         let started = Instant::now();
         debug_assert!(initial.validate(self.tm).is_ok());
         let mut alloc = initial;
@@ -711,6 +757,7 @@ impl<'a> Optimizer<'a> {
             moves,
             termination,
             scratch,
+            shards: Vec::new(),
         }
     }
 }

@@ -5,7 +5,9 @@
 //! (`OptimizerConfig::incremental`, the default) must be
 //! **move-for-move, bitwise identical** to the full-recompute oracle.
 
-use fubar_core::{Objective, OptimizeResult, Optimizer, OptimizerConfig, Termination};
+use fubar_core::{
+    Objective, OptimizeResult, Optimizer, OptimizerConfig, RegionPartition, Sharding, Termination,
+};
 use fubar_topology::{generators, Bandwidth, Topology};
 use fubar_traffic::{workload, TrafficMatrix, WorkloadConfig};
 use proptest::prelude::*;
@@ -361,6 +363,153 @@ fn incremental_run_matches_oracle_under_escape_pressure() {
     };
     let (inc, full) = run_both(&topo, &tm, cfg);
     assert_runs_identical("escape", &inc, &full, &tm);
+}
+
+// ---------------------------------------------------------------------
+// Hierarchical sharded execution ≡ flat, move for move, bitwise — the
+// signature invariant one level up: the sharded loop reorganizes the
+// same computation (sparse crossing indices, per-shard scratch) and
+// must never change a single decision or bit.
+// ---------------------------------------------------------------------
+
+/// Runs the same instance through the sharded loop and the flat
+/// (`--oracle flat`) loop, both with incremental scoring.
+fn run_sharded_and_flat(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    cfg: OptimizerConfig,
+    shards: usize,
+) -> (OptimizeResult, OptimizeResult) {
+    let sharded_cfg = OptimizerConfig {
+        sharding: Sharding::Shards(shards),
+        ..cfg.clone()
+    };
+    let flat_cfg = OptimizerConfig {
+        sharding: Sharding::Off,
+        ..cfg
+    };
+    (
+        Optimizer::new(topo, tm, sharded_cfg).run(),
+        Optimizer::new(topo, tm, flat_cfg).run(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whole optimization runs on random congested instances must agree
+    /// between the sharded and flat loops at any shard count.
+    #[test]
+    fn sharded_run_matches_flat(i in instance(), shards in 1usize..6) {
+        let (topo, tm) = build(&i);
+        let (sharded, flat) = run_sharded_and_flat(&topo, &tm, bounded_config(), shards);
+        assert_runs_identical("sharded-waxman", &sharded, &flat, &tm);
+        prop_assert_eq!(
+            sharded.shards.len(),
+            shards + 1,
+            "one stats entry per shard plus the trunk core"
+        );
+        prop_assert!(flat.shards.is_empty(), "flat runs carry no shard stats");
+        let shard_commits: usize = sharded.shards.iter().map(|s| s.commits).sum();
+        prop_assert_eq!(shard_commits, sharded.commits, "commits attribute to shards");
+    }
+
+    /// The shard partitioner is a true partition on random
+    /// planetary/hypergrowth instances: every aggregate in exactly one
+    /// shard, every intra-shard link with both endpoints in that shard,
+    /// the trunk set disjoint from every shard's links, everything
+    /// covered.
+    #[test]
+    fn region_partition_is_a_true_partition(
+        regions in 3usize..8,
+        pops in 3usize..6,
+        shards in 1usize..6,
+        seed in any::<u64>(),
+        planetary in any::<bool>(),
+    ) {
+        let cap = Bandwidth::from_mbps(10.0);
+        let topo = if planetary {
+            generators::planetary(regions, pops, cap)
+        } else {
+            generators::hypergrowth(regions, pops, cap)
+        };
+        let tm = workload::generate(
+            &topo,
+            &WorkloadConfig { flow_count: (1, 3), ..Default::default() },
+            seed,
+        );
+        let p = RegionPartition::new(&topo, &tm, shards);
+        prop_assert_eq!(p.region_count(), regions);
+        let core = p.core_shard();
+
+        // Every aggregate lands in exactly one shard, and in the core
+        // iff its endpoint regions' shards disagree.
+        let mut agg_total = 0usize;
+        for a in tm.iter() {
+            let s = p.shard_of_aggregate(a.id);
+            prop_assert!(s <= core);
+            agg_total += 1;
+            let si = p.region_of_node(a.ingress) % shards;
+            let se = p.region_of_node(a.egress) % shards;
+            if si == se {
+                prop_assert_eq!(s, si, "intra-shard aggregate owned by its region shard");
+            } else {
+                prop_assert_eq!(s, core, "cross-shard aggregate owned by the core");
+            }
+        }
+        prop_assert_eq!(agg_total, (0..=core).map(|s| p.aggregates_in(s)).sum::<usize>());
+
+        // Every link is owned once: by the shard both endpoints map to,
+        // or by the trunk core when they disagree — so the trunk set is
+        // disjoint from every shard's links by construction, and the
+        // union covers the topology.
+        let mut link_total = 0usize;
+        for l in topo.links() {
+            let s = p.shard_of_link(l);
+            link_total += 1;
+            let link = topo.graph().link(l);
+            let ss = p.region_of_node(link.src) % shards;
+            let sd = p.region_of_node(link.dst) % shards;
+            if ss == sd {
+                prop_assert_eq!(s, ss, "intra-shard link endpoints agree on the owner");
+                prop_assert!(!p.is_trunk(l));
+            } else {
+                prop_assert_eq!(s, core, "inter-shard link is a trunk");
+                prop_assert!(p.is_trunk(l));
+            }
+        }
+        prop_assert_eq!(link_total, (0..=core).map(|s| p.links_in(s)).sum::<usize>());
+    }
+}
+
+/// The acceptance-criteria instance: the full 4,096-aggregate
+/// hypergrowth tier (the largest size where the flat loop is still
+/// CI-feasible), bitwise across two different shard counts. The
+/// workload mirrors `perf_gate`'s hypergrowth entry so the instance is
+/// genuinely congested.
+#[test]
+fn sharded_matches_flat_on_hypergrowth_4096() {
+    let topo = generators::hypergrowth(8, 8, Bandwidth::from_mbps(60.0));
+    let tm = workload::generate(
+        &topo,
+        &WorkloadConfig {
+            flow_count: (2, 6),
+            large_flow_count: (2, 4),
+            ..WorkloadConfig::default()
+        },
+        1,
+    );
+    assert_eq!(tm.len(), 4096, "the hypergrowth tier is 64^2 aggregates");
+    let cfg = OptimizerConfig {
+        max_commits: 6, // debug-profile budget; every commit cross-checks
+        threads: 1,
+        ..OptimizerConfig::default()
+    };
+    for shards in [2usize, 8] {
+        let (sharded, flat) = run_sharded_and_flat(&topo, &tm, cfg.clone(), shards);
+        assert!(sharded.commits > 0, "instance must exercise the inner loop");
+        assert_runs_identical(&format!("hypergrowth-4096 x{shards}"), &sharded, &flat, &tm);
+    }
 }
 
 /// `Optimizer::run_from` with a previous allocation whose aggregate ids

@@ -510,14 +510,21 @@ pub struct WorkspaceStats {
     pub peak_component_links: usize,
     /// Largest event-heap population in one fill.
     pub peak_heap: usize,
+    /// Total component fills performed — the number of water-filling
+    /// passes this workspace ran. Unlike the peaks this is a *count*:
+    /// merging sums it, so per-shard fill totals expose load imbalance
+    /// in the sharded optimizer.
+    pub fills: usize,
 }
 
 impl WorkspaceStats {
-    /// Folds another workspace's peaks into this one (per-field max).
+    /// Folds another workspace's marks into this one: peaks by
+    /// per-field max, fill counts by sum.
     pub fn merge(&mut self, other: &WorkspaceStats) {
         self.peak_component = self.peak_component.max(other.peak_component);
         self.peak_component_links = self.peak_component_links.max(other.peak_component_links);
         self.peak_heap = self.peak_heap.max(other.peak_heap);
+        self.fills += other.fills;
     }
 }
 
@@ -580,6 +587,7 @@ impl Workspace {
             peak_component: self.fill.peak_component,
             peak_component_links: self.fill.peak_links,
             peak_heap: self.fill.peak_heap,
+            fills: self.fill.fills,
         }
     }
 
@@ -681,6 +689,8 @@ struct FillScratch {
     peak_component: usize,
     peak_links: usize,
     peak_heap: usize,
+    /// Fill counter (see [`WorkspaceStats::fills`]).
+    fills: usize,
 }
 
 impl FillScratch {
@@ -715,6 +725,7 @@ impl FillScratch {
             self.stamp = 0;
         }
         self.stamp += 1;
+        self.fills += 1;
         self.touched_links.clear();
         self.saturated.clear();
         self.heap.clear();

@@ -8,7 +8,7 @@
 use crate::spec::Scenario;
 
 /// `(name, spec text)` for every bundled scenario.
-pub const CATALOG: [(&str, &str); 9] = [
+pub const CATALOG: [(&str, &str); 10] = [
     (
         "flash_crowd",
         include_str!("../../../scenarios/flash_crowd.scn"),
@@ -39,6 +39,10 @@ pub const CATALOG: [(&str, &str); 9] = [
         include_str!("../../../scenarios/hypergrowth.scn"),
     ),
     (
+        "planetary",
+        include_str!("../../../scenarios/planetary.scn"),
+    ),
+    (
         "nren_churn",
         include_str!("../../../scenarios/nren_churn.scn"),
     ),
@@ -66,7 +70,7 @@ mod tests {
             let s = load(name).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(s.name, name, "file name and `scenario` directive agree");
         }
-        assert_eq!(names().len(), 9);
+        assert_eq!(names().len(), 10);
         assert!(load("no_such_scenario").is_none());
     }
 

@@ -12,7 +12,7 @@ use crate::event::{Event, EventKind};
 use crate::log::ScenarioLog;
 use crate::spec::{Action, Scenario, TopologySpec};
 use crate::stochastic::{ChurnSource, FailureSource};
-use fubar_core::Allocation;
+use fubar_core::{Allocation, ShardRunStats, Sharding};
 use fubar_graph::LinkId;
 use fubar_model::WorkspaceStats;
 use fubar_sdn::{Estimator, Fabric, FubarController, GroupEntry, MeasurementConfig};
@@ -38,6 +38,9 @@ pub struct SdnConsumer {
     /// High-water marks of the optimizer scoring scratch across every
     /// re-optimization so far (`scenario run --stats`).
     scratch: WorkspaceStats,
+    /// Per-shard accumulators across every re-optimization (empty when
+    /// the optimizer ran flat) — `scenario run --stats`.
+    shards: Vec<ShardRunStats>,
 }
 
 impl SdnConsumer {
@@ -58,6 +61,7 @@ impl SdnConsumer {
             baseline,
             surge: vec![1.0; n],
             scratch: WorkspaceStats::default(),
+            shards: Vec::new(),
         }
     }
 
@@ -75,6 +79,13 @@ impl SdnConsumer {
     /// re-optimizations.
     pub fn scratch_stats(&self) -> WorkspaceStats {
         self.scratch
+    }
+
+    /// Per-shard commit/score/scratch accumulators across the run's
+    /// re-optimizations (empty when the optimizer ran flat). The last
+    /// entry is the inter-region trunk core.
+    pub fn shard_stats(&self) -> &[ShardRunStats] {
+        &self.shards
     }
 
     fn total_flows(&self) -> u64 {
@@ -100,6 +111,7 @@ impl SdnConsumer {
         self.fabric.install(r.rules);
         self.previous = Some(r.allocation);
         self.scratch.merge(&r.scratch);
+        fubar_core::shard::merge_shard_stats(&mut self.shards, &r.shards);
         (r.commits, r.warm)
     }
 
@@ -329,6 +341,7 @@ fn build_topology(spec: &TopologySpec, base: Option<&Path>) -> Result<Topology, 
             hop_delay,
         } => generators::ring(*nodes, *capacity, *hop_delay),
         TopologySpec::Hypergrowth { capacity } => generators::hypergrowth(8, 8, *capacity),
+        TopologySpec::Planetary { capacity } => generators::planetary(16, 16, *capacity),
         TopologySpec::File { path } => load_file_topology(path, base)?,
     })
 }
@@ -396,6 +409,36 @@ pub fn inputs_at(
     Ok((topo, tm))
 }
 
+/// Which execution path drives a scenario run. All three modes produce
+/// byte-identical logs for the same `(spec, seed)` — that equality is
+/// the repo's standing whole-stack invariant, checked by the property
+/// tests and the CI cross-mode `cmp`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OracleMode {
+    /// Incremental measurement + incremental scoring through the
+    /// region-sharded optimizer (the default production path).
+    #[default]
+    Sharded,
+    /// Incremental measurement + incremental scoring through the flat
+    /// (unsharded) loop — the `sharded ≡ flat` oracle.
+    Flat,
+    /// Full-recompute measurement and scoring — the original oracle.
+    Full,
+}
+
+impl OracleMode {
+    fn incremental(self) -> bool {
+        self != OracleMode::Full
+    }
+
+    fn sharding(self) -> Sharding {
+        match self {
+            OracleMode::Sharded => Sharding::Auto,
+            OracleMode::Flat | OracleMode::Full => Sharding::Off,
+        }
+    }
+}
+
 /// Builds the engine for `scenario`, overriding its default seed with
 /// `seed`. Everything downstream (workload, measurement noise, churn,
 /// failures) derives deterministically from that one number.
@@ -408,6 +451,8 @@ pub fn build(scenario: &Scenario, seed: u64) -> Result<Engine<SdnConsumer>, Buil
 /// the world) and optimizer candidate scoring
 /// (`OptimizerConfig::incremental`). `false` is the oracle mode the
 /// equality property tests and the CI cross-mode `cmp` compare against.
+/// `true` maps to [`OracleMode::Sharded`] — legal because sharded and
+/// flat runs are bitwise identical.
 pub fn build_with(
     scenario: &Scenario,
     seed: u64,
@@ -417,14 +462,30 @@ pub fn build_with(
 }
 
 /// Like [`build_with`], resolving `topology file` paths relative to
-/// `base` (the `.scn` file's directory). The timeline is validated
-/// eagerly here, as soon as the topology is known — unknown `surge` /
-/// `fail` / `arrive` / `depart` endpoints fail the build with the
-/// offending `.scn` line number instead of an opaque late failure.
+/// `base` (the `.scn` file's directory).
 pub fn build_at(
     scenario: &Scenario,
     seed: u64,
     incremental: bool,
+    base: Option<&Path>,
+) -> Result<Engine<SdnConsumer>, BuildError> {
+    let mode = if incremental {
+        OracleMode::Sharded
+    } else {
+        OracleMode::Full
+    };
+    build_oracle_at(scenario, seed, mode, base)
+}
+
+/// Like [`build_at`], with the full three-way oracle selection. The
+/// timeline is validated eagerly here, as soon as the topology is
+/// known — unknown `surge` / `fail` / `arrive` / `depart` endpoints
+/// fail the build with the offending `.scn` line number instead of an
+/// opaque late failure.
+pub fn build_oracle_at(
+    scenario: &Scenario,
+    seed: u64,
+    mode: OracleMode,
     base: Option<&Path>,
 ) -> Result<Engine<SdnConsumer>, BuildError> {
     let (topo, tm) = inputs_at(scenario, seed, base)?;
@@ -491,13 +552,16 @@ pub fn build_at(
     }
 
     let mut fabric = Fabric::new(topo, tm, scenario.epoch);
-    fabric.set_incremental(incremental);
+    fabric.set_incremental(mode.incremental());
     let mut consumer = SdnConsumer::new(fabric, seed ^ 0x5eed, scenario.reoptimize.warm_start);
     // Oracle mode covers *both* incremental hot paths: full-recompute
     // fabric measurement and full-recompute candidate scoring in the
     // optimizer — a cross-mode log `cmp` therefore checks the whole
-    // stack of bitwise-equality invariants end to end.
-    consumer.controller.optimizer.incremental = incremental;
+    // stack of bitwise-equality invariants end to end. Sharding is a
+    // third axis on the scoring path only: `Sharded` routes the same
+    // greedy loop through per-region subproblems.
+    consumer.controller.optimizer.incremental = mode.incremental();
+    consumer.controller.optimizer.sharding = mode.sharding();
 
     let churn = (scenario.arrivals.is_some() || scenario.departures.is_some()).then(|| {
         ChurnSource::new(
@@ -550,6 +614,17 @@ pub fn run_at(
     Ok(build_at(scenario, seed, incremental, base)?.run(&scenario.name, seed))
 }
 
+/// Like [`run_at`], with the full three-way oracle selection
+/// (`fubar-cli scenario run --oracle sharded|flat|full`).
+pub fn run_oracle_at(
+    scenario: &Scenario,
+    seed: u64,
+    mode: OracleMode,
+    base: Option<&Path>,
+) -> Result<ScenarioLog, BuildError> {
+    Ok(build_oracle_at(scenario, seed, mode, base)?.run(&scenario.name, seed))
+}
+
 /// Like [`run_with`], but also returns the run's performance
 /// statistics: per-event measurement/re-optimization timing percentiles
 /// and the optimizer's peak scratch sizes (`fubar-cli scenario run
@@ -570,9 +645,28 @@ pub fn run_with_stats_at(
     incremental: bool,
     base: Option<&Path>,
 ) -> Result<(ScenarioLog, crate::stats::RunStats), BuildError> {
-    let engine = build_at(scenario, seed, incremental, base)?;
+    let mode = if incremental {
+        OracleMode::Sharded
+    } else {
+        OracleMode::Full
+    };
+    run_with_stats_oracle_at(scenario, seed, mode, base)
+}
+
+/// Like [`run_with_stats_at`], with the full three-way oracle
+/// selection. Under [`OracleMode::Sharded`] the returned stats carry
+/// per-shard commit counts, score timings, and scratch peaks (the last
+/// entry is the inter-region trunk core).
+pub fn run_with_stats_oracle_at(
+    scenario: &Scenario,
+    seed: u64,
+    mode: OracleMode,
+    base: Option<&Path>,
+) -> Result<(ScenarioLog, crate::stats::RunStats), BuildError> {
+    let engine = build_oracle_at(scenario, seed, mode, base)?;
     let (log, mut stats, consumer) = engine.run_instrumented(&scenario.name, seed);
     stats.scratch = consumer.scratch_stats();
+    stats.shards = consumer.shard_stats().to_vec();
     Ok((log, stats))
 }
 

@@ -48,8 +48,9 @@ pub mod stats;
 pub mod stochastic;
 
 pub use driver::{
-    build, build_at, build_with, load_file_topology, run, run_at, run_with, run_with_stats,
-    run_with_stats_at, BuildError, SdnConsumer,
+    build, build_at, build_oracle_at, build_with, load_file_topology, run, run_at, run_oracle_at,
+    run_with, run_with_stats, run_with_stats_at, run_with_stats_oracle_at, BuildError, OracleMode,
+    SdnConsumer,
 };
 pub use engine::{Engine, EventConsumer, Measure};
 pub use event::{Event, EventKind, EventQueue};

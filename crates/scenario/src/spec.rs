@@ -11,6 +11,7 @@
 //! topology abilene <capacity>              # 11-POP Abilene
 //! topology ring <n> <capacity> <delay>     # n-node ring
 //! topology hypergrowth <capacity>          # 64-POP beyond-HE tier
+//! topology planetary <capacity>            # 256-POP sharded tier (trunks 4x)
 //! topology file <path.topo>                # parsed topology file
 //! duration <delay>                         # simulated horizon (default 300s)
 //! epoch <delay>                            # measurement cadence (default 10s)
@@ -105,6 +106,14 @@ pub enum TopologySpec {
     /// 4,096 aggregates with intra-POP pairs).
     Hypergrowth {
         /// Uniform link capacity.
+        capacity: Bandwidth,
+    },
+    /// The 256-POP "planetary" tier (16 regions × 16 POPs, 65,536
+    /// aggregates with intra-POP pairs) — hierarchical capacities
+    /// (inter-region trunks carry 4×) and the sharded optimizer's home
+    /// turf.
+    Planetary {
+        /// Intra-region link capacity (trunks get 4×).
         capacity: Bandwidth,
     },
     /// A parsed `.topo` file — any substrate the generators never
@@ -388,13 +397,16 @@ impl Scenario {
                         Some("hypergrowth") if t.len() == 3 => TopologySpec::Hypergrowth {
                             capacity: parse_num(lineno, t[2], "capacity")?,
                         },
+                        Some("planetary") if t.len() == 3 => TopologySpec::Planetary {
+                            capacity: parse_num(lineno, t[2], "capacity")?,
+                        },
                         Some("file") if t.len() == 3 => TopologySpec::File {
                             path: t[2].to_string(),
                         },
                         _ => return Err(err(
                             lineno,
                             "usage: topology he <cap> | abilene <cap> | ring <n> <cap> <delay> \
-                                 | hypergrowth <cap> | file <path.topo>",
+                                 | hypergrowth <cap> | planetary <cap> | file <path.topo>",
                         )),
                     };
                     if let TopologySpec::Ring { nodes, .. } = s.topology {
@@ -674,6 +686,9 @@ impl fmt::Display for Scenario {
             TopologySpec::Hypergrowth { capacity } => {
                 writeln!(f, "topology hypergrowth {}", fmt_bw(*capacity))?
             }
+            TopologySpec::Planetary { capacity } => {
+                writeln!(f, "topology planetary {}", fmt_bw(*capacity))?
+            }
             TopologySpec::File { path } => writeln!(f, "topology file {path}")?,
         }
         writeln!(f, "duration {}", fmt_delay(self.duration))?;
@@ -822,6 +837,19 @@ at 90s reoptimize
             s.topology,
             TopologySpec::Hypergrowth {
                 capacity: Bandwidth::from_mbps(200.0)
+            }
+        );
+        let back = Scenario::parse(&s.to_string()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn planetary_topology_round_trips() {
+        let s = Scenario::parse("scenario pl\ntopology planetary 150Mbps\n").unwrap();
+        assert_eq!(
+            s.topology,
+            TopologySpec::Planetary {
+                capacity: Bandwidth::from_mbps(150.0)
             }
         );
         let back = Scenario::parse(&s.to_string()).unwrap();

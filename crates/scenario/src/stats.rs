@@ -9,6 +9,7 @@
 //! per (spec, seed), wall-clock numbers do not.
 
 use crate::event::EventKind;
+use fubar_core::ShardRunStats;
 use fubar_model::WorkspaceStats;
 
 /// Timing and scratch statistics for one scenario run.
@@ -21,6 +22,10 @@ pub struct RunStats {
     reoptimize_s: Vec<f64>,
     /// Peak optimizer scoring-scratch sizes across the run.
     pub scratch: WorkspaceStats,
+    /// Per-shard accumulators across the run's re-optimizations (empty
+    /// when the optimizer ran flat; the last entry is the inter-region
+    /// trunk core).
+    pub shards: Vec<ShardRunStats>,
 }
 
 /// Percentiles of a sample set (nearest-rank).
@@ -89,7 +94,7 @@ impl RunStats {
                 p.max * 1e3,
             )
         };
-        format!(
+        let mut out = format!(
             "# per-event timing\n{}\n{}\n# peak optimizer scratch\n\
              component={} bundles, component-links={}, event-heap={}",
             line("measurement", self.measurement()),
@@ -97,7 +102,29 @@ impl RunStats {
             self.scratch.peak_component,
             self.scratch.peak_component_links,
             self.scratch.peak_heap,
-        )
+        );
+        if !self.shards.is_empty() {
+            let score_s: Vec<f64> = self.shards.iter().map(|s| s.score_s).collect();
+            let p = percentiles(&score_s);
+            out.push_str(&format!(
+                "\n# per-shard (last = trunk core)\n{}",
+                line("shard score", p)
+            ));
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "\nshard {:>3}: aggregates={} links={} commits={} score={:.3}ms \
+                     fills={} peak-component={}",
+                    s.shard,
+                    s.aggregates,
+                    s.links,
+                    s.commits,
+                    s.score_s * 1e3,
+                    s.scratch.fills,
+                    s.scratch.peak_component,
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -134,5 +161,39 @@ mod tests {
         assert!(text.contains("measurement"), "{text}");
         assert!(text.contains("reoptimize"), "{text}");
         assert!(text.contains("peak optimizer scratch"), "{text}");
+        assert!(
+            !text.contains("per-shard"),
+            "flat runs must not print a shard block: {text}"
+        );
+    }
+
+    #[test]
+    fn shard_block_renders_when_present() {
+        let s = RunStats {
+            shards: vec![
+                ShardRunStats {
+                    shard: 0,
+                    aggregates: 10,
+                    links: 4,
+                    commits: 3,
+                    score_s: 0.002,
+                    ..Default::default()
+                },
+                ShardRunStats {
+                    shard: 1,
+                    aggregates: 2,
+                    links: 1,
+                    commits: 1,
+                    score_s: 0.001,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        let text = s.render();
+        assert!(text.contains("per-shard"), "{text}");
+        assert!(text.contains("shard score"), "{text}");
+        assert!(text.contains("shard   0: aggregates=10"), "{text}");
+        assert!(text.contains("shard   1: aggregates=2"), "{text}");
     }
 }

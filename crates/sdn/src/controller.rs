@@ -15,7 +15,7 @@
 use crate::fabric::{EpochReport, Fabric};
 use crate::measurement::{Estimator, MeasurementConfig};
 use crate::rules::RuleSet;
-use fubar_core::{Allocation, Optimizer, OptimizerConfig};
+use fubar_core::{Allocation, Optimizer, OptimizerConfig, ShardRunStats};
 use fubar_graph::LinkId;
 use fubar_model::WorkspaceStats;
 use fubar_traffic::{Aggregate, TrafficMatrix};
@@ -64,6 +64,10 @@ pub struct Reoptimization {
     /// High-water marks of the optimizer's per-candidate scoring
     /// scratch during this run (`fubar-cli scenario run --stats`).
     pub scratch: WorkspaceStats,
+    /// Per-shard execution statistics when the optimizer ran the
+    /// hierarchical sharded loop (empty for flat runs); the last entry
+    /// is the trunk core.
+    pub shards: Vec<ShardRunStats>,
 }
 
 impl FubarController {
@@ -93,6 +97,7 @@ impl FubarController {
             commits: result.commits,
             warm,
             scratch: result.scratch,
+            shards: result.shards,
         }
     }
 
@@ -178,6 +183,9 @@ pub struct ClosedLoop {
     /// The last installed allocation — the warm-start seed carrying
     /// path sets across epochs.
     previous: Option<Allocation>,
+    /// Per-shard statistics accumulated across every re-optimization
+    /// (sums of work, maxes of peaks).
+    shards: Vec<ShardRunStats>,
 }
 
 impl ClosedLoop {
@@ -195,6 +203,7 @@ impl ClosedLoop {
             config,
             rng,
             previous: None,
+            shards: Vec::new(),
         }
     }
 
@@ -206,6 +215,12 @@ impl ClosedLoop {
     /// The last installed allocation, if the controller has run.
     pub fn previous_allocation(&self) -> Option<&Allocation> {
         self.previous.as_ref()
+    }
+
+    /// Per-shard optimizer statistics accumulated over every
+    /// re-optimization so far (empty when the optimizer ran flat).
+    pub fn shard_stats(&self) -> &[ShardRunStats] {
+        &self.shards
     }
 
     fn apply_drift(&mut self) {
@@ -276,6 +291,7 @@ impl ClosedLoop {
                 self.previous = Some(r.allocation);
                 commits = Some(r.commits);
                 warm = r.warm;
+                fubar_core::shard::merge_shard_stats(&mut self.shards, &r.shards);
             }
             log.push(LoopRecord {
                 epoch: report,

@@ -6,7 +6,7 @@
 //! diff like code and load identically from the CLI, scenario specs
 //! (`topology file <path.topo>`), benches, and tests.
 //!
-//! Three entries are canonical exports of the generators
+//! Four entries are canonical exports of the generators
 //! (`fubar-cli topology export` writes them); two are hand-maintained
 //! real-world-shaped backbones with geo-derived delays. CI runs
 //! `fubar-cli topology validate` over every committed file, which
@@ -16,7 +16,7 @@ use crate::format;
 use crate::topology::Topology;
 
 /// `(name, file text)` for every bundled topology.
-pub const CATALOG: [(&str, &str); 5] = [
+pub const CATALOG: [(&str, &str); 6] = [
     (
         "he-core-31",
         include_str!("../../../topologies/he-core-31.topo"),
@@ -25,6 +25,10 @@ pub const CATALOG: [(&str, &str); 5] = [
     (
         "hypergrowth-64",
         include_str!("../../../topologies/hypergrowth-64.topo"),
+    ),
+    (
+        "planetary-256",
+        include_str!("../../../topologies/planetary-256.topo"),
     ),
     ("nren-eu", include_str!("../../../topologies/nren-eu.topo")),
     (
@@ -85,7 +89,7 @@ mod tests {
             assert_eq!(t.name(), name, "file name and `topology` directive agree");
             assert!(t.is_connected(), "{name} must be strongly connected");
         }
-        assert_eq!(names().len(), 5);
+        assert_eq!(names().len(), 6);
         assert!(load("no_such_topology").is_none());
     }
 

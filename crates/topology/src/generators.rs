@@ -211,6 +211,90 @@ pub fn hypergrowth(regions: usize, pops_per_region: usize, capacity: Bandwidth) 
     b.build()
 }
 
+/// The "planetary" scale tier: the rung past [`hypergrowth`], shaped
+/// for hierarchical (sharded) optimization. Like `hypergrowth`, `regions`
+/// metro regions sit on a great circle, each a ring of `pops_per_region`
+/// POPs with a cross-chord; regions are joined by two next-region
+/// trunks, a skip-2 link, and an antipodal express. Unlike
+/// `hypergrowth`, the capacity plan is **hierarchical**: intra-region
+/// links carry `capacity` while every inter-region link (trunk, skip-2,
+/// express) carries `4 × capacity` — the core is provisioned as a trunk
+/// layer over local enclaves, so region boundaries are where shard
+/// partitioning cuts. Node names are `pop{r}_{p}`; the region prefix
+/// before `_` is what `fubar-core`'s region partitioner keys on. The
+/// default tier (16 × 16 = 256 POPs, 328 duplex links) yields a
+/// 65,536-aggregate full matrix with intra-POP pairs — the
+/// `ShardedOptimizer` target where the flat oracle is no longer
+/// feasible per-epoch.
+///
+/// # Panics
+///
+/// Panics when `regions < 3` or `pops_per_region < 3` (the rings
+/// degenerate).
+pub fn planetary(regions: usize, pops_per_region: usize, capacity: Bandwidth) -> Topology {
+    assert!(regions >= 3, "planetary needs at least three regions");
+    assert!(
+        pops_per_region >= 3,
+        "planetary needs at least three POPs per region"
+    );
+    let name = |r: usize, p: usize| format!("pop{r}_{p}");
+    let trunk = Bandwidth::from_bps(capacity.bps() * 4.0);
+    let mut b = TopologyBuilder::new(format!("planetary-{}", regions * pops_per_region));
+    for r in 0..regions {
+        // Region centers on a great circle, latitudes within the
+        // temperate band so geo math stays well-conditioned.
+        let theta = 2.0 * std::f64::consts::PI * r as f64 / regions as f64;
+        let (clat, clon) = (35.0 * theta.sin(), 170.0 * theta.cos());
+        for p in 0..pops_per_region {
+            // Metro ring ~2° across around the region center.
+            let phi = 2.0 * std::f64::consts::PI * p as f64 / pops_per_region as f64;
+            let (lat, lon) = (clat + 2.0 * phi.sin(), clon + 2.0 * phi.cos());
+            b.add_node_at(name(r, p), GeoPoint::new(lat, lon))
+                .expect("planetary POP names are unique");
+        }
+    }
+    for r in 0..regions {
+        // Intra-region ring + one cross-chord (skipped for 3-POP
+        // regions, where the "chord" would duplicate a ring edge).
+        for p in 0..pops_per_region {
+            b.add_duplex_link_geo(&name(r, p), &name(r, (p + 1) % pops_per_region), capacity)
+                .expect("ring endpoints exist");
+        }
+        if pops_per_region >= 4 {
+            b.add_duplex_link_geo(&name(r, 0), &name(r, pops_per_region / 2), capacity)
+                .expect("chord endpoints exist");
+        }
+        // Two trunks to the next region.
+        let next = (r + 1) % regions;
+        b.add_duplex_link_geo(&name(r, 0), &name(next, 0), trunk)
+            .expect("trunk endpoints exist");
+        b.add_duplex_link_geo(
+            &name(r, pops_per_region / 2),
+            &name(next, pops_per_region / 2),
+            trunk,
+        )
+        .expect("trunk endpoints exist");
+        // Skip-2 links (through the second POP, spreading trunk degree
+        // off POP 0) — only when the offset-2 region is neither the
+        // adjacent one (regions >= 5) nor the antipode it would
+        // duplicate at regions == 4.
+        if regions >= 5 {
+            b.add_duplex_link_geo(&name(r, 1), &name((r + 2) % regions, 1), trunk)
+                .expect("skip endpoints exist");
+        }
+    }
+    // Express links between antipodal regions — only when the antipodal
+    // offset exceeds the skip-2 offset, otherwise the express would
+    // duplicate a skip-2 (regions 4..6) or trunk (regions 3) link.
+    if regions / 2 >= 3 {
+        for r in 0..regions / 2 {
+            b.add_duplex_link_geo(&name(r, 0), &name(r + regions / 2, 0), trunk)
+                .expect("express endpoints exist");
+        }
+    }
+    b.build()
+}
+
 /// The historical Abilene (Internet2) research backbone: 11 POPs, 14
 /// duplex links, geo-derived delays. A well-known mid-size benchmark
 /// topology.
@@ -549,6 +633,62 @@ mod tests {
             );
         }
         assert!(t.is_connected());
+    }
+
+    #[test]
+    fn planetary_shape_and_hierarchical_capacities() {
+        let t = planetary(16, 16, cap());
+        assert_eq!(t.node_count(), 256, "16 regions x 16 POPs");
+        // 16 rings x 16 + 16 chords + 32 trunks + 16 skip-2 + 8 express
+        // = 328 duplex.
+        assert_eq!(t.duplex_count(), 328);
+        assert!(t.is_connected());
+        // Hierarchical capacity plan: inter-region links carry 4x.
+        let intra = t
+            .graph()
+            .find_link(t.node("pop0_0").unwrap(), t.node("pop0_1").unwrap())
+            .unwrap();
+        let inter = t
+            .graph()
+            .find_link(t.node("pop0_0").unwrap(), t.node("pop1_0").unwrap())
+            .unwrap();
+        assert_eq!(t.capacity(intra), cap());
+        assert_eq!(t.capacity(inter).bps(), cap().bps() * 4.0);
+        // Deterministic: same call, same graph.
+        let t2 = planetary(16, 16, cap());
+        assert_eq!(t.link_count(), t2.link_count());
+        for l in t.links() {
+            assert_eq!(t.delay(l), t2.delay(l));
+            assert_eq!(t.capacity(l), t2.capacity(l));
+        }
+    }
+
+    #[test]
+    fn small_planetary_tiers_have_unique_adjacencies() {
+        // The degenerate-extras gating (no chord at 3 POPs, no skip-2
+        // under 5 regions, no express under 6) must leave every
+        // adjacency unique at every small size.
+        use std::collections::HashSet;
+        for (regions, pops) in [(3, 3), (4, 4), (5, 3), (6, 4), (7, 5)] {
+            let t = planetary(regions, pops, cap());
+            let mut seen = HashSet::new();
+            for l in t.links() {
+                let link = t.graph().link(l);
+                assert!(
+                    seen.insert((link.src, link.dst)),
+                    "planetary({regions},{pops}): duplicate directed link {:?}->{:?}",
+                    link.src,
+                    link.dst
+                );
+            }
+            assert!(t.is_connected(), "planetary({regions},{pops}) disconnected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three regions")]
+    fn tiny_planetary_rejected() {
+        planetary(2, 16, cap());
     }
 
     #[test]

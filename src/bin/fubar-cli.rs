@@ -20,9 +20,11 @@
 //!     Print a topology (canonical serialization: raw-seconds delays,
 //!     raw-bps capacities — the exactly round-tripping form).
 //!
-//! fubar-cli topology export <he|abilene|hypergrowth> <capacity_mbps> [out.topo]
+//! fubar-cli topology export <he|abilene|hypergrowth|planetary> <capacity_mbps> [out.topo]
 //!     Export a generator topology to its canonical `.topo` form — how
-//!     the generated entries of `topologies/` are produced.
+//!     the generated entries of `topologies/` are produced. `planetary`
+//!     is the 256-POP hierarchical tier (inter-region trunks at 4× the
+//!     given capacity).
 //!
 //! fubar-cli topology validate <name|file.topo>...
 //!     Parse each topology, require strong connectivity, and prove the
@@ -37,20 +39,24 @@
 //!     Print a scenario spec (canonical serialization).
 //!
 //! fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt]
-//!                        [--oracle full|incremental] [--stats]
+//!                        [--oracle sharded|flat|full] [--stats]
 //!     Run a scenario and emit the per-event log on stdout (or to
 //!     --out). Same spec + same seed => byte-identical log. The
-//!     catalog scales up to `he_scale` (the paper's full 961-aggregate
-//!     HE matrix, ~3000 events) and `hypergrowth` (4,096 aggregates on
-//!     the 64-POP tier): incremental fabric measurement and
-//!     allocation-free candidate scoring keep whole runs in the
-//!     seconds range. `--oracle full` forces full-recompute
-//!     measurement *and* full-recompute candidate scoring on every
-//!     probe — the oracle mode CI cross-checks against the (default)
-//!     incremental mode, byte for byte. `--stats` prints per-event
-//!     measurement/re-optimization timing percentiles and the
-//!     optimizer's peak scratch sizes to stderr (never into the log,
-//!     which stays byte-deterministic).
+//!     catalog scales up to `hypergrowth` (4,096 aggregates on the
+//!     64-POP tier) and `planetary` (65,536 aggregates on the 256-POP
+//!     tier): incremental fabric measurement and the region-sharded
+//!     optimizer keep whole runs tractable. `--oracle` picks the
+//!     execution path: `sharded` (default) routes candidate scoring
+//!     through per-region subproblems, `flat` runs the same
+//!     incremental loop unsharded (the `sharded ≡ flat` oracle), and
+//!     `full` forces full-recompute measurement *and* scoring on every
+//!     probe. All three produce byte-identical logs — CI cross-checks
+//!     them with `cmp`. (`incremental` is accepted as a legacy
+//!     spelling of `sharded`.) `--stats` prints per-event
+//!     measurement/re-optimization timing percentiles, the optimizer's
+//!     peak scratch sizes, and — under the sharded path — per-shard
+//!     commit/score/scratch accumulators to stderr (never into the
+//!     log, which stays byte-deterministic).
 //! ```
 
 use fubar::core::baselines;
@@ -70,12 +76,12 @@ fn usage() -> ExitCode {
          fubar-cli optimize <file.topo> <file.tm> [--minmax] [--trace out.csv]\n  \
          fubar-cli topology list\n  \
          fubar-cli topology show <name|file.topo>\n  \
-         fubar-cli topology export <he|abilene|hypergrowth> <capacity_mbps> [out.topo]\n  \
+         fubar-cli topology export <he|abilene|hypergrowth|planetary> <capacity_mbps> [out.topo]\n  \
          fubar-cli topology validate <name|file.topo>...\n  \
          fubar-cli scenario list\n  \
          fubar-cli scenario show <name|file.scn>\n  \
          fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt] \
-         [--oracle full|incremental] [--stats]"
+         [--oracle sharded|flat|full] [--stats]"
     );
     ExitCode::FAILURE
 }
@@ -243,7 +249,9 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
                 [kind, mbps, out] => (kind, mbps, Some(out.clone())),
                 _ => {
                     return Err(
-                        "export needs <he|abilene|hypergrowth> <capacity_mbps> [out.topo]".into(),
+                        "export needs <he|abilene|hypergrowth|planetary> <capacity_mbps> \
+                         [out.topo]"
+                            .into(),
                     )
                 }
             };
@@ -253,6 +261,7 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
                 "he" => generators::he_core(cap),
                 "abilene" => generators::abilene(cap),
                 "hypergrowth" => generators::hypergrowth(8, 8, cap),
+                "planetary" => generators::planetary(16, 16, cap),
                 other => return Err(format!("unknown topology kind {other:?}")),
             };
             let out = out.unwrap_or_else(|| format!("{}.topo", topo.name()));
@@ -348,7 +357,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
             let (spec, base) = load_scenario(&args[1])?;
             let mut seed = spec.seed;
             let mut out: Option<String> = None;
-            let mut incremental = true;
+            let mut mode = fubar::scenario::OracleMode::Sharded;
             let mut stats = false;
             let mut i = 2;
             while i < args.len() {
@@ -372,16 +381,20 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
                     }
                     "--oracle" => {
                         i += 1;
-                        incremental = match args
+                        mode = match args
                             .get(i)
-                            .ok_or_else(|| "--oracle needs full|incremental".to_string())?
+                            .ok_or_else(|| "--oracle needs sharded|flat|full".to_string())?
                             .as_str()
                         {
-                            "incremental" => true,
-                            "full" => false,
+                            // "incremental" predates the sharded loop;
+                            // it keeps selecting the default
+                            // incremental path, which now shards.
+                            "sharded" | "incremental" => fubar::scenario::OracleMode::Sharded,
+                            "flat" => fubar::scenario::OracleMode::Flat,
+                            "full" => fubar::scenario::OracleMode::Full,
                             other => {
                                 return Err(format!(
-                                    "--oracle must be full or incremental, not {other:?}"
+                                    "--oracle must be sharded, flat, or full, not {other:?}"
                                 ))
                             }
                         };
@@ -392,12 +405,12 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
             }
             let base = base.as_deref();
             let (log, run_stats) = if stats {
-                let (log, s) = fubar::scenario::run_with_stats_at(&spec, seed, incremental, base)
+                let (log, s) = fubar::scenario::run_with_stats_oracle_at(&spec, seed, mode, base)
                     .map_err(|e| e.to_string())?;
                 (log, Some(s))
             } else {
                 (
-                    fubar::scenario::run_at(&spec, seed, incremental, base)
+                    fubar::scenario::run_oracle_at(&spec, seed, mode, base)
                         .map_err(|e| e.to_string())?,
                     None,
                 )
