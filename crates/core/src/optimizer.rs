@@ -50,7 +50,7 @@ use fubar_graph::{LinkId, LinkSet};
 use fubar_model::{
     score_network_utility_delta, utility_report, utility_report_from, BundleDelta, BundleSpec,
     DeltaScore, Evaluation, FlowModel, IncrementalEvaluation, ModelConfig, ModelOutcome,
-    ReportScratch, UtilityReport, Workspace, WorkspaceStats,
+    ParallelWorkspace, ReportScratch, UtilityReport, Workspace, WorkspaceStats,
 };
 use fubar_topology::{Bandwidth, Topology};
 use fubar_traffic::{Aggregate, AggregateId, TrafficMatrix};
@@ -128,6 +128,28 @@ pub struct OptimizerConfig {
     /// `Fabric::peek_full`) whose runs the incremental path must match
     /// move for move, bitwise.
     pub incremental: bool,
+    /// Worker threads for the incumbent's water-filling measurement
+    /// ([`ParallelWorkspace`], see `fubar-model`): disjoint bottleneck
+    /// components fill concurrently. Results are **bitwise identical**
+    /// at any count; 1 (the default) keeps the serial fill.
+    pub fill_threads: usize,
+    /// Per-component optimizer passes (see
+    /// [`crate::shard`]): region shards whose aggregates and congested
+    /// links are *isolated* — no allocated path crosses their boundary —
+    /// run their own greedy pass concurrently, the commit sequences are
+    /// merged shard-ascending, and a global residual run finishes the
+    /// job. Results depend only on the configuration, **not** on
+    /// [`OptimizerConfig::pass_threads`] (bitwise invariant,
+    /// property-tested). Requires incremental scoring and the
+    /// [`Objective::NetworkUtility`] objective (the min-max objective
+    /// does not decompose across components); otherwise the regular
+    /// dispatch applies. `max_commits` bounds each pass and the
+    /// residual individually.
+    pub parallel_passes: bool,
+    /// Worker threads running per-component passes concurrently when
+    /// [`OptimizerConfig::parallel_passes`] is on. Never changes
+    /// results, only wall-clock. Validated (≥ 1).
+    pub pass_threads: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -147,6 +169,9 @@ impl Default for OptimizerConfig {
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             incremental: true,
             sharding: Sharding::Auto,
+            fill_threads: 1,
+            parallel_passes: false,
+            pass_threads: 1,
         }
     }
 }
@@ -160,6 +185,8 @@ impl OptimizerConfig {
         assert!(self.escape_growth > 1.0, "escape growth must exceed 1");
         assert!(self.improvement_eps >= 0.0);
         assert!(self.threads >= 1, "at least one evaluation thread");
+        assert!(self.fill_threads >= 1, "at least one fill thread");
+        assert!(self.pass_threads >= 1, "at least one pass thread");
         if let Sharding::Shards(n) = self.sharding {
             assert!(n >= 1, "at least one shard");
         }
@@ -220,7 +247,9 @@ pub struct OptimizeResult {
 /// traced flow-model evaluation, and its utility report. In incremental
 /// mode candidates are scored as one-aggregate [`BundleDelta`] splices
 /// against this cache; in full (oracle) mode it merely memoizes the
-/// incumbent's measurement between commits.
+/// incumbent's measurement between commits. Cloneable so per-component
+/// passes can branch it (see [`crate::shard`]).
+#[derive(Clone)]
 pub(crate) struct Incumbent {
     bundles: Vec<BundleSpec>,
     spans: Vec<(u32, u32)>,
@@ -239,6 +268,10 @@ pub struct Optimizer<'a> {
     /// candidate of the whole run (uncontended: worker `i` only ever
     /// locks scratch `i`).
     scratch: Vec<Mutex<ScoreScratch>>,
+    /// The parallel fill workspace for incumbent measurements when
+    /// `config.fill_threads > 1` (bitwise identical to the serial
+    /// fill, see `fubar-model`).
+    fill: Option<Mutex<ParallelWorkspace>>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -253,6 +286,8 @@ impl<'a> Optimizer<'a> {
         let scratch = (0..config.threads.max(1))
             .map(|_| Mutex::new(ScoreScratch::default()))
             .collect();
+        let fill = (config.fill_threads > 1)
+            .then(|| Mutex::new(ParallelWorkspace::new(config.fill_threads)));
         Optimizer {
             topology,
             tm,
@@ -260,6 +295,7 @@ impl<'a> Optimizer<'a> {
             model,
             small_threshold,
             scratch,
+            fill,
         }
     }
 
@@ -284,7 +320,13 @@ impl<'a> Optimizer<'a> {
     /// and, in oracle mode, after every commit).
     pub(crate) fn incumbent_for(&self, alloc: &Allocation) -> Incumbent {
         let (bundles, spans) = alloc.bundles_with_spans(self.tm);
-        let eval = self.model.evaluate_traced(&bundles);
+        let eval = match &self.fill {
+            Some(pw) => {
+                let mut pw = pw.lock().expect("fill workspace lock poisoned");
+                self.model.evaluate_traced_parallel(&bundles, &mut pw)
+            }
+            None => self.model.evaluate_traced(&bundles),
+        };
         let report = utility_report(self.tm, &bundles, &eval.outcome);
         Incumbent {
             bundles,
@@ -470,12 +512,16 @@ impl<'a> Optimizer<'a> {
 
     /// Listing 2's candidate enumeration: all (flow path × alternative)
     /// moves off `link`, gathered without mutating the allocation.
-    fn gather_candidates(
+    /// `excluded` is normally the configured exclusion set; per-component
+    /// passes (see [`crate::shard`]) widen it so alternatives never
+    /// leave the pass's shard.
+    pub(crate) fn gather_candidates(
         &self,
         alloc: &Allocation,
         incumbent: &Incumbent,
         link: LinkId,
         escape_level: u32,
+        excluded: &LinkSet,
     ) -> Vec<Candidate> {
         let outcome = &incumbent.eval.outcome;
         let mut candidates: Vec<Candidate> = Vec::new();
@@ -491,7 +537,7 @@ impl<'a> Optimizer<'a> {
                 alloc,
                 outcome,
                 self.config.path_policy,
-                &self.config.excluded_links,
+                excluded,
             );
             for alt in alts {
                 // The alternate path must exclude the congested link and
@@ -530,7 +576,13 @@ impl<'a> Optimizer<'a> {
         let outcome = &incumbent.eval.outcome;
         let initial_score = self.config.objective.score(&incumbent.report, outcome);
 
-        let mut candidates = self.gather_candidates(alloc, incumbent, link, escape_level);
+        let mut candidates = self.gather_candidates(
+            alloc,
+            incumbent,
+            link,
+            escape_level,
+            &self.config.excluded_links,
+        );
         if candidates.is_empty() {
             return None;
         }
@@ -639,6 +691,21 @@ impl<'a> Optimizer<'a> {
 
     /// Listing 1: the main loop. Runs to termination and returns the
     /// final allocation with its full progress trace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fubar_core::{Optimizer, OptimizerConfig};
+    /// use fubar_topology::{generators, Bandwidth};
+    /// use fubar_traffic::{workload, WorkloadConfig};
+    ///
+    /// let topo = generators::abilene(Bandwidth::from_mbps(3.0));
+    /// let tm = workload::generate(&topo, &WorkloadConfig::default(), 7);
+    /// let opt = Optimizer::new(&topo, &tm, OptimizerConfig::default());
+    /// let result = opt.run();
+    /// // The trace never regresses: each commit weakly improves utility.
+    /// assert!(result.trace.is_monotone());
+    /// ```
     pub fn run(&self) -> OptimizeResult {
         self.run_with(Allocation::all_on_shortest_paths_avoiding(
             self.topology,
@@ -668,11 +735,15 @@ impl<'a> Optimizer<'a> {
     /// dispatch never changes results, only data organization.
     fn run_with(&self, initial: Allocation) -> OptimizeResult {
         if self.config.incremental {
-            if let Some(n) = self
-                .config
-                .sharding
-                .shard_count(shard::region_count(self.topology))
-            {
+            let regions = shard::region_count(self.topology);
+            let resolved = self.config.sharding.shard_count(regions);
+            if self.config.parallel_passes && self.config.objective == Objective::NetworkUtility {
+                // Per-component passes need a partition even when the
+                // residual runs flat (`Sharding::Off`).
+                let n = resolved.unwrap_or_else(|| regions.clamp(1, 16));
+                return shard::run_parallel_passes(self, initial, n);
+            }
+            if let Some(n) = resolved {
                 return shard::run_sharded(self, initial, n);
             }
         }
@@ -807,7 +878,13 @@ pub mod test_support {
                 .first()
                 .copied()
                 .expect("harness instance must be congested");
-            let candidates = optimizer.gather_candidates(&alloc, &incumbent, link, 0);
+            let candidates = optimizer.gather_candidates(
+                &alloc,
+                &incumbent,
+                link,
+                0,
+                &optimizer.config.excluded_links,
+            );
             assert!(!candidates.is_empty(), "harness needs candidate moves");
             ScoringHarness {
                 optimizer,

@@ -552,9 +552,290 @@ pub(crate) fn run_sharded(
     }
 }
 
+/// One per-component pass's recorded outcome: the committed candidates
+/// in commit order (replayed verbatim onto the master state during the
+/// merge), plus the pass's observability counters.
+struct PassRecord {
+    shard: usize,
+    commits: Vec<(Candidate, Move)>,
+    score_s: f64,
+    scratch: WorkspaceStats,
+}
+
+/// Runs one isolated shard's greedy pass from a private clone of the
+/// initial state: only `shard`-owned congested links are visited (in
+/// the global most-oversubscribed-first order), and the exclusion set
+/// is widened to every link the shard does not own, so alternatives
+/// never leave the component. Scoring is single-threaded — the
+/// parallelism lives one level up, across passes — and the decision
+/// rule (strict improvement, earliest candidate on ties) is the flat
+/// loop's.
+fn run_pass(
+    opt: &Optimizer<'_>,
+    partition: &RegionPartition,
+    shard: usize,
+    alloc0: &Allocation,
+    inc0: &Incumbent,
+    started: Instant,
+) -> PassRecord {
+    let t0 = Instant::now();
+    let mut alloc = alloc0.clone();
+    let mut incumbent = inc0.clone();
+    let mut excluded = opt.config.excluded_links.clone();
+    for l in opt.topology.links() {
+        if partition.shard_of_link(l) != shard {
+            excluded.insert(l);
+        }
+    }
+    let mut ws = ScoreScratch::default();
+    let mut commits: Vec<(Candidate, Move)> = Vec::new();
+    let mut escape_level: u32 = 0;
+    loop {
+        if commits.len() >= opt.config.max_commits {
+            break;
+        }
+        if let Some(limit) = opt.config.time_limit {
+            if started.elapsed() >= limit {
+                break;
+            }
+        }
+        let congested: Vec<LinkId> = incumbent
+            .eval
+            .outcome
+            .congested
+            .iter()
+            .copied()
+            .filter(|&l| partition.shard_of_link(l) == shard)
+            .collect();
+        if congested.is_empty() {
+            break;
+        }
+
+        let mut winner: Option<Candidate> = None;
+        for link in congested {
+            let initial_score = opt
+                .config
+                .objective
+                .score(&incumbent.report, &incumbent.eval.outcome);
+            let mut candidates =
+                opt.gather_candidates(&alloc, &incumbent, link, escape_level, &excluded);
+            if candidates.is_empty() {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in candidates.iter().enumerate() {
+                let s = opt.score_candidate_incremental(&alloc, &incumbent, c, &mut ws);
+                // Strict `>` keeps the earliest candidate on ties, the
+                // flat reduction's rule.
+                if best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((i, s));
+                }
+            }
+            let (best_idx, best_score) = best.expect("candidates is non-empty");
+            if best_score > initial_score + opt.config.improvement_eps {
+                winner = Some(candidates.swap_remove(best_idx));
+                break;
+            }
+        }
+
+        if let Some(c) = winner {
+            let m = opt.commit(&mut alloc, &mut incumbent, &c);
+            commits.push((c, m));
+            escape_level = 0;
+            continue;
+        }
+        let fraction_maxed =
+            (opt.config.move_fraction * opt.config.escape_growth.powi(escape_level as i32)) >= 1.0;
+        if !opt.config.escape || fraction_maxed {
+            break;
+        }
+        escape_level += 1;
+    }
+    PassRecord {
+        shard,
+        commits,
+        score_s: t0.elapsed().as_secs_f64(),
+        scratch: ws.model.stats(),
+    }
+}
+
+/// Per-component optimizer passes
+/// ([`crate::optimizer::OptimizerConfig::parallel_passes`]): region
+/// shards that are **isolated** — no allocated flow path crosses a
+/// shard boundary involving them — optimize their own congested links
+/// concurrently from private clones of the initial state, their commit
+/// sequences are replayed onto the master state shard-ascending, and a
+/// global residual run (the regular sharded loop, or the flat loop
+/// under [`Sharding::Off`]) finishes whatever congestion remains.
+///
+/// Determinism: every pass depends only on `(config, initial state,
+/// shard id)` and the merge order is fixed (ascending shard id, commit
+/// order within a shard), so the result is **bitwise identical at any
+/// [`pass_threads`](crate::optimizer::OptimizerConfig::pass_threads)
+/// count** — the worker assignment decides only which thread runs which
+/// pass, never what a pass computes. Because isolated components share
+/// no links *and no aggregates* with the rest of the instance, a
+/// pass's network-utility improvements carry over exactly to the
+/// merged state (the utility objective is a weighted sum over
+/// aggregates), which is why this path requires that objective.
+///
+/// With no isolated congested shard, this degrades to exactly the
+/// regular dispatch plus one no-op scan.
+pub(crate) fn run_parallel_passes(
+    opt: &Optimizer<'_>,
+    initial: Allocation,
+    shard_count: usize,
+) -> OptimizeResult {
+    let started = Instant::now();
+    debug_assert!(initial.validate(opt.tm).is_ok());
+    let partition = RegionPartition::new(opt.topology, opt.tm, shard_count);
+    let incumbent0 = opt.incumbent_for(&initial);
+
+    // Isolation scan: any allocated (flows > 0) path with a link owned
+    // by a shard other than the aggregate's owner couples both shards
+    // to the rest of the instance. Cross-shard aggregates (owner =
+    // core) likewise de-isolate every shard whose links they ride.
+    let mut isolated = vec![true; shard_count];
+    for a in opt.tm.iter() {
+        let owner = partition.shard_of_aggregate(a.id);
+        let ps = initial.path_set(a.id);
+        for idx in 0..ps.len() {
+            if initial.flows_on(a.id, idx) == 0 {
+                continue;
+            }
+            for &l in ps.path(idx).links() {
+                let ls = partition.shard_of_link(l);
+                if ls != owner {
+                    if owner < shard_count {
+                        isolated[owner] = false;
+                    }
+                    if ls < shard_count {
+                        isolated[ls] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    // A pass is only worth launching where there is shard-local
+    // congestion to fix.
+    let jobs: Vec<usize> = (0..shard_count)
+        .filter(|&s| {
+            isolated[s]
+                && incumbent0
+                    .eval
+                    .outcome
+                    .congested
+                    .iter()
+                    .any(|&l| partition.shard_of_link(l) == s)
+        })
+        .collect();
+
+    let mut records: Vec<Option<PassRecord>> = jobs.iter().map(|_| None).collect();
+    if !jobs.is_empty() {
+        let workers = opt.config.pass_threads.max(1).min(jobs.len());
+        if workers == 1 {
+            for (slot, &s) in records.iter_mut().zip(&jobs) {
+                *slot = Some(run_pass(opt, &partition, s, &initial, &incumbent0, started));
+            }
+        } else {
+            let chunk = jobs.len().div_ceil(workers);
+            let (partition_ref, initial_ref, inc_ref) = (&partition, &initial, &incumbent0);
+            std::thread::scope(|scope| {
+                for (slot, js) in records.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (r, &s) in slot.iter_mut().zip(js) {
+                            *r = Some(run_pass(
+                                opt,
+                                partition_ref,
+                                s,
+                                initial_ref,
+                                inc_ref,
+                                started,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    // Merge: replay every pass's commit sequence onto the master state,
+    // shard-ascending. Path-set growth per aggregate is confined to its
+    // owning shard's pass, so each replayed `add_path` lands on exactly
+    // the index the pass recorded.
+    let mut alloc = initial;
+    let mut incumbent = incumbent0;
+    let mut trace = RunTrace::new();
+    let mut commits = 0usize;
+    let mut moves: Vec<Move> = Vec::new();
+    trace.push(opt.trace_point(started, commits, &incumbent.eval.outcome, &incumbent.report));
+
+    let mut shard_stats: Vec<ShardRunStats> = (0..=shard_count)
+        .map(|i| ShardRunStats {
+            shard: i,
+            aggregates: partition.aggregates_in(i),
+            links: partition.links_in(i),
+            ..Default::default()
+        })
+        .collect();
+    let mut scratch = WorkspaceStats::default();
+    for rec in records.into_iter().flatten() {
+        shard_stats[rec.shard].commits += rec.commits.len();
+        shard_stats[rec.shard].score_s += rec.score_s;
+        shard_stats[rec.shard].scratch.merge(&rec.scratch);
+        scratch.merge(&rec.scratch);
+        for (c, recorded) in rec.commits {
+            let m = opt.commit(&mut alloc, &mut incumbent, &c);
+            debug_assert_eq!(m, recorded, "pass replay must reproduce the recorded move");
+            commits += 1;
+            moves.push(m);
+            trace.push(opt.trace_point(
+                started,
+                commits,
+                &incumbent.eval.outcome,
+                &incumbent.report,
+            ));
+        }
+    }
+    drop(incumbent);
+
+    // Residual: whatever congestion the passes could not own — trunk
+    // links, coupled shards, cross-shard aggregates — is finished by
+    // the regular loop from the merged state.
+    let pass_commits = commits;
+    let residual = match opt.config.sharding.shard_count(partition.region_count()) {
+        Some(n) => run_sharded(opt, alloc, n),
+        None => opt.run_flat(alloc),
+    };
+    // The residual's initial trace point duplicates the merged state the
+    // replay already recorded; skip it and re-stamp commit counts.
+    for p in residual.trace.points().iter().skip(1) {
+        let mut p = *p;
+        p.commits += pass_commits;
+        trace.push(p);
+    }
+    moves.extend(residual.moves);
+    scratch.merge(&residual.scratch);
+    merge_shard_stats(&mut shard_stats, &residual.shards);
+
+    OptimizeResult {
+        allocation: residual.allocation,
+        trace,
+        report: residual.report,
+        outcome: residual.outcome,
+        commits: pass_commits + residual.commits,
+        moves,
+        termination: residual.termination,
+        scratch,
+        shards: shard_stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::optimizer::OptimizerConfig;
     use fubar_topology::{generators, Bandwidth};
     use fubar_traffic::{workload, WorkloadConfig};
 
@@ -598,6 +879,102 @@ mod tests {
         // links exist.
         assert!(p.links_in(p.core_shard()) > 0, "no trunks found");
         assert!(p.links_in(0) > 0, "no shard-local links found");
+    }
+
+    /// A structurally congested hypergrowth instance whose traffic
+    /// never leaves its region: every region is an isolated congestion
+    /// component, the shape per-component passes exist for.
+    fn isolated_regions_instance() -> (fubar_topology::Topology, fubar_traffic::TrafficMatrix) {
+        let topo = generators::hypergrowth(4, 4, Bandwidth::from_mbps(2.0));
+        let tm = workload::generate(
+            &topo,
+            &WorkloadConfig {
+                intra_region_only: true,
+                ..Default::default()
+            },
+            7,
+        );
+        (topo, tm)
+    }
+
+    fn run_with_passes(
+        topo: &fubar_topology::Topology,
+        tm: &fubar_traffic::TrafficMatrix,
+        pass_threads: usize,
+        sharding: Sharding,
+    ) -> OptimizeResult {
+        let cfg = OptimizerConfig {
+            parallel_passes: true,
+            pass_threads,
+            sharding,
+            threads: 1,
+            ..Default::default()
+        };
+        Optimizer::new(topo, tm, cfg).run()
+    }
+
+    #[test]
+    fn parallel_passes_fire_on_isolated_regions() {
+        let (topo, tm) = isolated_regions_instance();
+        // `Sharding::Off` makes the residual run flat, so every entry
+        // in `shards` with commits > 0 was written by a pass.
+        let result = run_with_passes(&topo, &tm, 2, Sharding::Off);
+        assert!(result.commits > 0, "instance must be optimizable");
+        let pass_commits: usize = result.shards.iter().map(|s| s.commits).sum();
+        assert!(pass_commits > 0, "isolated regions should run passes");
+        assert_eq!(
+            result.shards[result.shards.len() - 1].commits,
+            0,
+            "intra-region traffic must not commit on the trunk core"
+        );
+        result.allocation.validate(&tm).unwrap();
+        assert!(result.trace.is_monotone());
+        assert_eq!(result.commits, result.moves.len());
+    }
+
+    #[test]
+    fn parallel_passes_are_invariant_under_pass_thread_count() {
+        let (topo, tm) = isolated_regions_instance();
+        let base = run_with_passes(&topo, &tm, 1, Sharding::Auto);
+        for pass_threads in [2, 4] {
+            let run = run_with_passes(&topo, &tm, pass_threads, Sharding::Auto);
+            assert_eq!(run.moves, base.moves, "pass_threads={pass_threads}");
+            assert_eq!(run.commits, base.commits);
+            assert_eq!(
+                run.report.network_utility.to_bits(),
+                base.report.network_utility.to_bits()
+            );
+            assert_eq!(run.outcome.congested, base.outcome.congested);
+            assert_eq!(run.trace.points().len(), base.trace.points().len());
+            for (a, b) in run.trace.points().iter().zip(base.trace.points()) {
+                assert_eq!(a.commits, b.commits);
+                assert_eq!(a.network_utility.to_bits(), b.network_utility.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_passes_degrade_to_sharded_without_isolation() {
+        // All-pairs traffic rides the trunks, so no shard is isolated
+        // and the pass layer must change nothing.
+        let topo = generators::hypergrowth(4, 4, Bandwidth::from_mbps(2.0));
+        let tm = workload::generate(&topo, &WorkloadConfig::default(), 7);
+        let with_passes = run_with_passes(&topo, &tm, 4, Sharding::Auto);
+        let without = Optimizer::new(
+            &topo,
+            &tm,
+            OptimizerConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(with_passes.moves, without.moves);
+        assert_eq!(
+            with_passes.report.network_utility.to_bits(),
+            without.report.network_utility.to_bits()
+        );
+        assert_eq!(with_passes.termination, without.termination);
     }
 
     #[test]

@@ -480,6 +480,49 @@ proptest! {
         }
         prop_assert_eq!(link_total, (0..=core).map(|s| p.links_in(s)).sum::<usize>());
     }
+
+    /// Per-component parallel passes are bitwise invariant under the
+    /// pass-thread count: on random intra-region workloads (every
+    /// region an isolated bottleneck component) the full run — passes
+    /// plus residual — must be move-for-move, bit-for-bit identical at
+    /// 1, 2, and 4 workers. The fill-thread count must not matter
+    /// either, in any combination.
+    #[test]
+    fn parallel_passes_invariant_under_thread_counts(
+        regions in 3usize..5,
+        pops in 3usize..5,
+        seed in any::<u64>(),
+    ) {
+        let topo = generators::hypergrowth(regions, pops, Bandwidth::from_mbps(2.0));
+        let tm = workload::generate(
+            &topo,
+            &WorkloadConfig {
+                intra_region_only: true,
+                flow_count: (1, 3),
+                ..Default::default()
+            },
+            seed,
+        );
+        let run = |pass_threads: usize, fill_threads: usize| {
+            Optimizer::new(&topo, &tm, OptimizerConfig {
+                parallel_passes: true,
+                pass_threads,
+                fill_threads,
+                threads: 1,
+                ..bounded_config()
+            }).run()
+        };
+        let one = run(1, 1);
+        for (pass, fill) in [(2, 1), (4, 1), (1, 4), (4, 4)] {
+            let many = run(pass, fill);
+            assert_runs_identical(
+                &format!("parallel-passes pass_threads={pass} fill_threads={fill}"),
+                &one,
+                &many,
+                &tm,
+            );
+        }
+    }
 }
 
 /// The acceptance-criteria instance: the full 4,096-aggregate

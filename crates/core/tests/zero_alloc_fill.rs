@@ -1,0 +1,111 @@
+//! The zero-allocation regression test for the **parallel** fill path:
+//! once a [`fubar_model::ParallelWorkspace`] has warmed up on an
+//! instance, repeating the same partition + fill must perform **zero
+//! heap allocations** — the union-find tables, per-worker component
+//! queues, event heaps, and the merged rate table all live in reused
+//! buffers. The workspace is built with
+//! [`fubar_model::ParallelWorkspace::new_inline`] so the worker loops
+//! run on the calling thread: thread spawning allocates by necessity,
+//! and the inline mode is documented to be bitwise identical to the
+//! threaded one (the bitwise claim itself is proven by the property
+//! suites and the engine's own tests). A counting global allocator
+//! enforces the zero-allocation claim on the paper's congested HE-961
+//! instance.
+
+use fubar_model::{BundleSpec, FlowModel, ParallelWorkspace};
+use fubar_topology::{generators, Bandwidth};
+use fubar_traffic::{workload, WorkloadConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counts allocations (and growth reallocations) while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// This file holds exactly one test so nothing else can allocate inside
+/// the armed window.
+#[test]
+fn steady_state_parallel_fill_performs_zero_heap_allocations() {
+    // The paper's underprovisioned HE-961 instance on shortest paths:
+    // congested, with several disjoint bottleneck components.
+    let topo = generators::he_core(Bandwidth::from_mbps(75.0));
+    let tm = workload::generate(&topo, &WorkloadConfig::default(), 1);
+    let mut bundles = Vec::new();
+    for a in tm.iter() {
+        let path = topo
+            .graph()
+            .shortest_path(a.ingress, a.egress, &fubar_graph::LinkSet::new())
+            .expect("HE core is connected");
+        bundles.push(BundleSpec::new(a, &path, a.flow_count));
+    }
+    let model = FlowModel::with_defaults(&topo);
+
+    // Warm-up: the first fill grows the union-find tables, worker
+    // queues, event heaps, and the merged rate table to steady-state
+    // capacity (and is allowed to allocate doing so).
+    let mut pw = ParallelWorkspace::new_inline(4);
+    model.fill_parallel(&bundles, &mut pw);
+    assert!(
+        pw.component_count() > 1,
+        "instance must decompose into multiple components, got {}",
+        pw.component_count()
+    );
+    let warm_rates: Vec<u64> = pw.rates().iter().map(|r| r.to_bits()).collect();
+
+    // Steady state: repartitioning + refilling the same instance must
+    // not touch the heap at all.
+    const ROUNDS: usize = 3;
+    ARMED.store(true, Ordering::SeqCst);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..ROUNDS {
+        model.fill_parallel(&bundles, &mut pw);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state parallel fill allocated {} times across {ROUNDS} fills of {} bundles",
+        after - before,
+        bundles.len()
+    );
+    // And refilling is exact: identical inputs, identical rate bits.
+    let rates: Vec<u64> = pw.rates().iter().map(|r| r.to_bits()).collect();
+    assert_eq!(
+        rates, warm_rates,
+        "refilling the same instance must reproduce the same rates"
+    );
+}

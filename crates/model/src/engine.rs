@@ -258,8 +258,9 @@ impl FreezeKey {
 
 /// Indexed read access to a bundle list — a plain slice or a
 /// [`BundleDelta`] splice. Lets the engine fill and patch spliced views
-/// without the caller materializing them.
-trait BundleView {
+/// without the caller materializing them. `Sync` so the parallel fill
+/// can share one view across its scoped workers.
+trait BundleView: Sync {
     fn len(&self) -> usize;
     fn get(&self, i: usize) -> &BundleSpec;
 }
@@ -769,6 +770,284 @@ pub enum DeltaScore<'w> {
     Full(Box<Evaluation>),
 }
 
+/// One worker's slice of a parallel fill: its own [`FillScratch`] plus
+/// append-only component outputs that the deterministic merge scatters
+/// back into the global result arrays after the join.
+#[derive(Debug, Default)]
+struct FillWorker {
+    /// The worker's private fill scratch (stamped like [`Workspace`]'s).
+    fill: FillScratch,
+    /// `(global bundle index, rate, status, freeze key)` per filled
+    /// bundle, in the order this worker's components produced them.
+    out_bundles: Vec<(u32, f64, BundleStatus, FreezeKey)>,
+    /// `(link, frozen load, offered demand, saturated)` per link touched
+    /// by this worker's components.
+    out_links: Vec<(u32, f64, f64, bool)>,
+}
+
+impl FillWorker {
+    fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            peak_component: self.fill.peak_component,
+            peak_component_links: self.fill.peak_links,
+            peak_heap: self.fill.peak_heap,
+            fills: self.fill.fills,
+        }
+    }
+}
+
+/// Reusable scratch for [`FlowModel::evaluate_traced_parallel`] — the
+/// deterministic parallel water-filling path.
+///
+/// A parallel fill partitions the bundle list into *bottleneck
+/// components* (connected components of the bundle–link graph: two
+/// bundles sharing **any** link are coupled, because the shared link's
+/// load and demand sums depend on both) and fills each component
+/// independently. Determinism is structural, not scheduled:
+///
+/// * component ids are assigned by first appearance over ascending
+///   bundle index, so the partition is a pure function of the input;
+/// * component → worker assignment is `id % workers`, each worker
+///   processing its components in ascending id order — never by
+///   scheduling order;
+/// * per-link and per-bundle results are written by exactly one
+///   component, so the merge is a scatter with **no cross-worker float
+///   accumulation** — no sum is ever reassociated;
+/// * the merged congested list is sorted by the same total order
+///   (oversubscription descending, then link id) the serial path uses.
+///
+/// Together with the serial fill's global-index event tie-breaking this makes
+/// the result **bitwise identical to the serial fill at any worker
+/// count** (property-tested in `crates/model/tests/properties.rs`).
+/// Buffers are epoch-reused like [`Workspace`]'s: after warm-up a fill
+/// through [`ParallelWorkspace::new_inline`] performs zero heap
+/// allocations (enforced by `crates/core/tests/zero_alloc_fill.rs`;
+/// spawning scoped threads allocates, so the threaded mode is outside
+/// that guarantee).
+#[derive(Debug)]
+pub struct ParallelWorkspace {
+    workers: Vec<FillWorker>,
+    /// When set, worker loops run sequentially on the calling thread —
+    /// bitwise identical output, no thread spawns.
+    inline: bool,
+    /// Union–find parent per link, rebuilt per fill.
+    parent: Vec<u32>,
+    /// Per bundle: normalized component id.
+    comp_of: Vec<u32>,
+    /// Per link: component id of the link's DSU root (`u32::MAX` =
+    /// unassigned), rebuilt per fill.
+    root_comp: Vec<u32>,
+    comp_count: usize,
+    /// Bundle indices grouped by component (ascending within each), CSR.
+    members: Vec<u32>,
+    member_start: Vec<u32>,
+    member_pos: Vec<u32>,
+    /// Global input tables, identical to the serial path's.
+    weights: Vec<f64>,
+    demands: Vec<f64>,
+    caps: Vec<f64>,
+    /// Merged outputs (indexed globally).
+    rates: Vec<f64>,
+    status: Vec<BundleStatus>,
+    keys: Vec<FreezeKey>,
+    link_frozen: Vec<f64>,
+    link_demand: Vec<f64>,
+    congested: Vec<LinkId>,
+}
+
+impl ParallelWorkspace {
+    /// A workspace with `workers` fill workers (clamped to at least 1).
+    /// Fills spawn scoped threads when more than one worker exists and
+    /// the instance has more than one component.
+    pub fn new(workers: usize) -> Self {
+        Self::build(workers, false)
+    }
+
+    /// Like [`ParallelWorkspace::new`], but worker loops always run
+    /// sequentially on the calling thread. The output is bitwise
+    /// identical to the threaded mode (same partition, same per-worker
+    /// component order, same merge); used where thread spawning is
+    /// unwanted — the zero-allocation test harness and single-core
+    /// deployments.
+    pub fn new_inline(workers: usize) -> Self {
+        Self::build(workers, true)
+    }
+
+    fn build(workers: usize, inline: bool) -> Self {
+        let workers = workers.max(1);
+        ParallelWorkspace {
+            workers: (0..workers).map(|_| FillWorker::default()).collect(),
+            inline,
+            parent: Vec::new(),
+            comp_of: Vec::new(),
+            root_comp: Vec::new(),
+            comp_count: 0,
+            members: Vec::new(),
+            member_start: Vec::new(),
+            member_pos: Vec::new(),
+            weights: Vec::new(),
+            demands: Vec::new(),
+            caps: Vec::new(),
+            rates: Vec::new(),
+            status: Vec::new(),
+            keys: Vec::new(),
+            link_frozen: Vec::new(),
+            link_demand: Vec::new(),
+            congested: Vec::new(),
+        }
+    }
+
+    /// Number of fill workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of disjoint bottleneck components the last fill found.
+    pub fn component_count(&self) -> usize {
+        self.comp_count
+    }
+
+    /// Merged high-water marks across all workers (peaks by max, fill
+    /// counts by sum).
+    pub fn stats(&self) -> WorkspaceStats {
+        let mut out = WorkspaceStats::default();
+        for w in &self.workers {
+            out.merge(&w.stats());
+        }
+        out
+    }
+
+    /// Per-worker high-water marks, worker 0 first — `fubar-cli
+    /// scenario run --stats` renders these as the per-worker fill block.
+    pub fn worker_stats(&self) -> Vec<WorkspaceStats> {
+        self.workers.iter().map(FillWorker::stats).collect()
+    }
+
+    /// Merged per-bundle rates (bps) of the last fill, indexed globally.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let g = parent[parent[x as usize] as usize];
+            parent[x as usize] = g;
+            x = g;
+        }
+        x
+    }
+
+    /// Partitions `bundles` into bottleneck components: union–find over
+    /// links (two links crossed by one bundle are coupled), component
+    /// ids normalized by first appearance over ascending bundle index.
+    /// Bundles with no links are singleton components.
+    fn partition<V: BundleView + ?Sized>(&mut self, bundles: &V, n_links: usize) {
+        let n = bundles.len();
+        self.parent.clear();
+        self.parent.extend(0..n_links as u32);
+        for bi in 0..n {
+            let links = &bundles.get(bi).links;
+            for w in links.windows(2) {
+                let ra = Self::find(&mut self.parent, w[0].index() as u32);
+                let rb = Self::find(&mut self.parent, w[1].index() as u32);
+                if ra != rb {
+                    // Union by smaller root id: deterministic and keeps
+                    // find paths shallow enough with path halving.
+                    let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                    self.parent[hi as usize] = lo;
+                }
+            }
+        }
+        self.root_comp.clear();
+        self.root_comp.resize(n_links, u32::MAX);
+        self.comp_of.clear();
+        let mut count = 0u32;
+        for bi in 0..n {
+            let links = &bundles.get(bi).links;
+            let id = match links.first() {
+                None => {
+                    // Trivial path: crosses nothing, couples with
+                    // nothing — its own component.
+                    count += 1;
+                    count - 1
+                }
+                Some(l) => {
+                    let r = Self::find(&mut self.parent, l.index() as u32) as usize;
+                    if self.root_comp[r] == u32::MAX {
+                        self.root_comp[r] = count;
+                        count += 1;
+                    }
+                    self.root_comp[r]
+                }
+            };
+            self.comp_of.push(id);
+        }
+        self.comp_count = count as usize;
+
+        // Member lists in CSR form, ascending bundle index within each
+        // component (the scatter below preserves input order).
+        self.member_start.clear();
+        self.member_start.resize(self.comp_count + 1, 0);
+        for &c in &self.comp_of {
+            self.member_start[c as usize + 1] += 1;
+        }
+        for c in 0..self.comp_count {
+            self.member_start[c + 1] += self.member_start[c];
+        }
+        self.members.clear();
+        self.members.resize(n, 0);
+        self.member_pos.clear();
+        self.member_pos
+            .extend_from_slice(&self.member_start[..self.comp_count]);
+        for (bi, &c) in self.comp_of.iter().enumerate() {
+            let p = &mut self.member_pos[c as usize];
+            self.members[*p as usize] = bi as u32;
+            *p += 1;
+        }
+    }
+}
+
+/// One worker's share of a parallel fill: components `wi, wi + stride,
+/// wi + 2·stride, …` in ascending id order. A free function so scoped
+/// threads can borrow one worker mutably while sharing the read-only
+/// partition and input tables.
+#[allow(clippy::too_many_arguments)]
+fn run_fill_worker<V: BundleView + ?Sized>(
+    w: &mut FillWorker,
+    wi: usize,
+    stride: usize,
+    bundles: &V,
+    members: &[u32],
+    member_start: &[u32],
+    comp_count: usize,
+    weights: &[f64],
+    demands: &[f64],
+    caps: &[f64],
+) {
+    w.out_bundles.clear();
+    w.out_links.clear();
+    let demand = |i: usize| demands[i];
+    let mut c = wi;
+    while c < comp_count {
+        let subset = &members[member_start[c] as usize..member_start[c + 1] as usize];
+        fill(bundles, subset, weights, &demand, caps, &mut w.fill);
+        for (local, &gi) in subset.iter().enumerate() {
+            w.out_bundles.push((
+                gi,
+                w.fill.rates[local],
+                w.fill.status[local],
+                w.fill.keys[local],
+            ));
+        }
+        for &li in &w.fill.touched_links {
+            let ls = &w.fill.links[li as usize];
+            w.out_links
+                .push((li, ls.frozen_load, ls.demand, ls.saturated));
+        }
+        c += stride;
+    }
+}
+
 impl<'a> FlowModel<'a> {
     /// Creates a model over `topology` with the given configuration.
     pub fn new(topology: &'a Topology, config: ModelConfig) -> Self {
@@ -868,6 +1147,243 @@ impl<'a> FlowModel<'a> {
         Evaluation::assemble(outcome, ws.fill.keys.clone(), demands, csr, csr_start, caps)
     }
 
+    /// Like [`FlowModel::evaluate_traced`], but water-fills disjoint
+    /// bottleneck components concurrently on `pw`'s workers. The result
+    /// is **bitwise identical** to the serial path at any worker count:
+    /// the partition, component → worker assignment, and merge are all
+    /// pure functions of the input (see [`ParallelWorkspace`]), and
+    /// the serial fill's event tie-breaking uses global indices throughout.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fubar_model::{FlowModel, ParallelWorkspace};
+    /// use fubar_topology::{generators, Bandwidth};
+    /// use fubar_traffic::{workload, WorkloadConfig};
+    /// use fubar_model::BundleSpec;
+    ///
+    /// let topo = generators::he_core(Bandwidth::from_mbps(50.0));
+    /// let tm = workload::generate(&topo, &WorkloadConfig::default(), 7);
+    /// let bundles: Vec<BundleSpec> = tm
+    ///     .iter()
+    ///     .map(|a| {
+    ///         let p = topo
+    ///             .graph()
+    ///             .shortest_path(a.ingress, a.egress, &fubar_graph::LinkSet::new())
+    ///             .unwrap();
+    ///         BundleSpec::new(a, &p, a.flow_count)
+    ///     })
+    ///     .collect();
+    /// let model = FlowModel::with_defaults(&topo);
+    /// let mut pw = ParallelWorkspace::new(4);
+    /// let parallel = model.evaluate_traced_parallel(&bundles, &mut pw);
+    /// let serial = model.evaluate_traced(&bundles);
+    /// assert!(parallel
+    ///     .outcome
+    ///     .bitwise_mismatch(&serial.outcome)
+    ///     .is_none());
+    /// ```
+    pub fn evaluate_traced_parallel(
+        &self,
+        bundles: &[BundleSpec],
+        pw: &mut ParallelWorkspace,
+    ) -> Evaluation {
+        self.evaluate_traced_parallel_view(bundles, pw)
+    }
+
+    fn evaluate_traced_parallel_view<V: BundleView + ?Sized>(
+        &self,
+        bundles: &V,
+        pw: &mut ParallelWorkspace,
+    ) -> Evaluation {
+        self.fill_parallel_view(bundles, pw);
+        let n_links = pw.caps.len();
+        let (csr, csr_start) = build_csr(bundles, n_links);
+        let caps = pw.caps.clone();
+        let outcome = ModelOutcome::new(
+            pw.rates.iter().copied().map(Bandwidth::from_bps).collect(),
+            pw.status.clone(),
+            pw.link_frozen
+                .iter()
+                .zip(&caps)
+                .map(|(&f, &c)| Bandwidth::from_bps(f.min(c)))
+                .collect(),
+            pw.link_demand
+                .iter()
+                .copied()
+                .map(Bandwidth::from_bps)
+                .collect(),
+            caps.iter().copied().map(Bandwidth::from_bps).collect(),
+            pw.congested.clone(),
+        );
+        Evaluation::assemble(
+            outcome,
+            pw.keys.clone(),
+            pw.demands.clone(),
+            csr,
+            csr_start,
+            caps,
+        )
+    }
+
+    /// The non-assembling parallel fill: partitions `bundles` into
+    /// bottleneck components, fills them on `pw`'s workers, and leaves
+    /// the merged results in `pw` (rates, statuses, freeze keys,
+    /// per-link loads/demands, sorted congested list). Allocation-free
+    /// in steady state when `pw` runs inline — the timing kernel
+    /// `perf_gate`'s `parallel_fill_*` gates and the zero-allocation
+    /// test drive directly.
+    pub fn fill_parallel(&self, bundles: &[BundleSpec], pw: &mut ParallelWorkspace) {
+        self.fill_parallel_view(bundles, pw)
+    }
+
+    fn fill_parallel_view<V: BundleView + ?Sized>(&self, bundles: &V, pw: &mut ParallelWorkspace) {
+        let n = bundles.len();
+        let n_links = self.topology.link_count();
+        // Global input tables, computed exactly as the serial path does.
+        pw.caps.clear();
+        pw.caps.extend(
+            (0..n_links).map(|i| {
+                self.topology.capacity(LinkId(i as u32)).bps() * self.config.usable_capacity
+            }),
+        );
+        pw.weights.clear();
+        pw.weights
+            .extend((0..n).map(|i| bundles.get(i).weight(self.config.min_rtt)));
+        pw.demands.clear();
+        pw.demands
+            .extend((0..n).map(|i| bundles.get(i).demand().bps()));
+        pw.partition(bundles, n_links);
+
+        let stride = pw.workers.len();
+        // Threads only pay off when there is work to split; either way
+        // the iteration shape (worker wi takes components ≡ wi mod
+        // stride, ascending) is identical, so so is the output.
+        let threaded = !pw.inline && stride > 1 && pw.comp_count > 1;
+        {
+            let ParallelWorkspace {
+                workers,
+                members,
+                member_start,
+                comp_count,
+                weights,
+                demands,
+                caps,
+                ..
+            } = &mut *pw;
+            let (members, member_start) = (&*members, &*member_start);
+            let (weights, demands, caps) = (&*weights, &*demands, &*caps);
+            let comp_count = *comp_count;
+            if threaded {
+                std::thread::scope(|s| {
+                    for (wi, w) in workers.iter_mut().enumerate() {
+                        s.spawn(move || {
+                            run_fill_worker(
+                                w,
+                                wi,
+                                stride,
+                                bundles,
+                                members,
+                                member_start,
+                                comp_count,
+                                weights,
+                                demands,
+                                caps,
+                            )
+                        });
+                    }
+                });
+            } else {
+                for (wi, w) in workers.iter_mut().enumerate() {
+                    run_fill_worker(
+                        w,
+                        wi,
+                        stride,
+                        bundles,
+                        members,
+                        member_start,
+                        comp_count,
+                        weights,
+                        demands,
+                        caps,
+                    );
+                }
+            }
+        }
+
+        // Deterministic merge: every bundle and every touched link
+        // belongs to exactly one component, so this is a scatter — no
+        // float sum ever crosses a worker boundary.
+        pw.rates.clear();
+        pw.rates.resize(n, 0.0);
+        pw.status.clear();
+        pw.status.resize(n, BundleStatus::Satisfied);
+        pw.keys.clear();
+        pw.keys.resize(n, FreezeKey::satisfied(0.0, 0));
+        pw.link_frozen.clear();
+        pw.link_frozen.resize(n_links, 0.0);
+        pw.link_demand.clear();
+        pw.link_demand.resize(n_links, 0.0);
+        pw.congested.clear();
+        for w in &pw.workers {
+            for &(gi, rate, st, key) in &w.out_bundles {
+                pw.rates[gi as usize] = rate;
+                pw.status[gi as usize] = st;
+                pw.keys[gi as usize] = key;
+            }
+            for &(li, frozen, demand, saturated) in &w.out_links {
+                pw.link_frozen[li as usize] = frozen;
+                pw.link_demand[li as usize] = demand;
+                if saturated {
+                    pw.congested.push(LinkId(li));
+                }
+            }
+        }
+        // The serial path sorts one fill's saturation-order list with a
+        // stable sort; the key (oversubscription desc, link id asc) is a
+        // total order over distinct links, so an unstable in-place sort
+        // of the concatenation reaches the same unique permutation —
+        // independent of worker count, and allocation-free.
+        let (link_demand, caps) = (&pw.link_demand, &pw.caps);
+        pw.congested.sort_unstable_by(|&a, &b| {
+            let oa = link_demand[a.index()] / caps[a.index()].max(1e-9);
+            let ob = link_demand[b.index()] / caps[b.index()].max(1e-9);
+            ob.total_cmp(&oa).then(a.0.cmp(&b.0))
+        });
+    }
+
+    /// Like [`FlowModel::evaluate_from`], but when the affected
+    /// component crosses the fallback bar and the engine re-evaluates
+    /// everything, the recompute runs through the parallel fill on
+    /// `pw`'s workers. Bitwise identical to [`FlowModel::evaluate_from`]
+    /// at any worker count; the incremental arm itself stays serial (a
+    /// component fill interleaved with border verification has no
+    /// disjoint sub-parts to split).
+    pub fn evaluate_from_parallel(
+        &self,
+        prev: &Evaluation,
+        bundles: &[BundleSpec],
+        prev_index: &[Option<u32>],
+        touched_links: &[LinkId],
+        pw: &mut ParallelWorkspace,
+    ) -> IncrementalEvaluation {
+        assert_eq!(
+            prev_index.len(),
+            bundles.len(),
+            "prev_index must cover every bundle"
+        );
+        let mut ws = Workspace::new();
+        self.evaluate_from_view(
+            prev,
+            bundles,
+            &|i| prev_index[i],
+            Some(touched_links),
+            None,
+            Some(pw),
+            &mut ws,
+        )
+    }
+
     /// Patches `prev` into the evaluation of `bundles`, re-running
     /// water-filling only on the affected bottleneck component.
     ///
@@ -903,6 +1419,7 @@ impl<'a> FlowModel<'a> {
             &|i| prev_index[i],
             Some(touched_links),
             None,
+            None,
             &mut ws,
         )
     }
@@ -927,6 +1444,7 @@ impl<'a> FlowModel<'a> {
             &|i| delta.prev_index(i),
             None,
             Some(delta),
+            None,
             &mut ws,
         )
     }
@@ -978,6 +1496,7 @@ impl<'a> FlowModel<'a> {
     /// and [`FlowModel::evaluate_delta`]: runs the shared core, then
     /// splices a full [`Evaluation`] together (this part allocates — it
     /// runs once per accepted change, not per candidate).
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_from_view<V: BundleView + ?Sized>(
         &self,
         prev: &Evaluation,
@@ -985,6 +1504,7 @@ impl<'a> FlowModel<'a> {
         prev_index: &dyn Fn(usize) -> Option<u32>,
         touched_links: Option<&[LinkId]>,
         splice: Option<&BundleDelta<'_>>,
+        par: Option<&mut ParallelWorkspace>,
         ws: &mut Workspace,
     ) -> IncrementalEvaluation {
         let n = bundles.len();
@@ -998,8 +1518,12 @@ impl<'a> FlowModel<'a> {
         };
         let caps: &[f64] = fresh_caps.as_deref().unwrap_or(&prev.caps);
         if self.delta_fill_core(prev, bundles, prev_index, touched_links, splice, caps, ws) {
+            let evaluation = match par {
+                Some(pw) => self.evaluate_traced_parallel_view(bundles, pw),
+                None => self.evaluate_traced_view(bundles),
+            };
             return IncrementalEvaluation {
-                evaluation: self.evaluate_traced_view(bundles),
+                evaluation,
                 affected: (0..n as u32).collect(),
                 full_recompute: true,
             };
@@ -2144,6 +2668,87 @@ mod tests {
             incremental_hits > 0,
             "the incremental path must actually run on HE"
         );
+    }
+
+    /// HE-core bundle table on shortest paths — the shared parallel-fill
+    /// fixture: many independent pipes ⇒ many components.
+    fn he_bundles(cap: Bandwidth, seed: u64) -> (Topology, Vec<BundleSpec>) {
+        use fubar_traffic::{workload, WorkloadConfig};
+        let topo = generators::he_core(cap);
+        let tm = workload::generate(&topo, &WorkloadConfig::default(), seed);
+        let mut bundles = Vec::new();
+        for a in tm.iter() {
+            let path = topo
+                .graph()
+                .shortest_path(a.ingress, a.egress, &fubar_graph::LinkSet::new())
+                .expect("HE core is connected");
+            bundles.push(BundleSpec::new(a, &path, a.flow_count));
+        }
+        (topo, bundles)
+    }
+
+    #[test]
+    fn parallel_fill_matches_serial_at_any_worker_count() {
+        let (topo, bundles) = he_bundles(mbps(5.0), 3); // scarce: congested
+        let m = FlowModel::with_defaults(&topo);
+        let serial = m.evaluate_traced(&bundles);
+        assert!(serial.outcome.is_congested(), "fixture must contend");
+        for workers in [1, 2, 4, 8] {
+            let mut pw = ParallelWorkspace::new(workers);
+            let par = m.evaluate_traced_parallel(&bundles, &mut pw);
+            assert_outcomes_identical(&par.outcome, &serial.outcome);
+            assert_eq!(par.freeze_keys, serial.freeze_keys, "workers={workers}");
+            assert_eq!(par.demands, serial.demands, "workers={workers}");
+            assert!(pw.component_count() > 1, "HE must decompose");
+            assert_eq!(pw.stats().fills, pw.component_count());
+        }
+    }
+
+    #[test]
+    fn parallel_fill_inline_matches_threaded() {
+        let (topo, bundles) = he_bundles(mbps(5.0), 9);
+        let m = FlowModel::with_defaults(&topo);
+        let mut threaded = ParallelWorkspace::new(4);
+        let mut inline = ParallelWorkspace::new_inline(4);
+        let a = m.evaluate_traced_parallel(&bundles, &mut threaded);
+        let b = m.evaluate_traced_parallel(&bundles, &mut inline);
+        assert_outcomes_identical(&a.outcome, &b.outcome);
+    }
+
+    #[test]
+    fn parallel_fill_handles_empty_and_trivial_bundles() {
+        let t = pipe(kbps(300.0), ms(5.0));
+        let m = FlowModel::with_defaults(&t);
+        let mut pw = ParallelWorkspace::new(4);
+        let empty = m.evaluate_traced_parallel(&[], &mut pw);
+        assert!(empty.outcome.bundle_rates.is_empty());
+        // A linkless bundle is its own singleton component.
+        let bundles = vec![
+            bundle(0, 10, vec![LinkId(0)], ms(5.0), kbps(50.0)),
+            bundle(1, 100, vec![], Delay::ZERO, mbps(10.0)),
+        ];
+        let par = m.evaluate_traced_parallel(&bundles, &mut pw);
+        assert_outcomes_identical(&par.outcome, &m.evaluate(&bundles));
+        assert_eq!(pw.component_count(), 2);
+    }
+
+    #[test]
+    fn evaluate_from_parallel_matches_serial_on_fallback() {
+        let (topo, mut bundles) = he_bundles(mbps(5.0), 5);
+        let m = FlowModel::with_defaults(&topo);
+        let prev = m.evaluate_traced(&bundles);
+        // Change every bundle: the affected set covers the input and the
+        // engine falls back to a full recompute — the parallel arm.
+        for b in &mut bundles {
+            b.flow_count += 1;
+        }
+        let prev_index: Vec<Option<u32>> = vec![None; bundles.len()];
+        let touched: Vec<LinkId> = topo.links().collect();
+        let mut pw = ParallelWorkspace::new(4);
+        let par = m.evaluate_from_parallel(&prev, &bundles, &prev_index, &touched, &mut pw);
+        let ser = m.evaluate_from(&prev, &bundles, &prev_index, &touched);
+        assert!(par.full_recompute, "all-dirty must fall back");
+        assert_outcomes_identical(&par.evaluation.outcome, &ser.evaluation.outcome);
     }
 
     #[test]

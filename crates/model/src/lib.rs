@@ -17,6 +17,10 @@
 //!   the incremental path: a traced [`Evaluation`] can be patched after
 //!   a small change by re-filling only the affected bottleneck
 //!   component, bitwise identical to a full recompute;
+//! * [`FlowModel::evaluate_traced_parallel`] / [`ParallelWorkspace`] —
+//!   the deterministic parallel path: disjoint bottleneck components
+//!   fill concurrently on a fixed-shape work split, bitwise identical
+//!   to the serial fill at any worker count;
 //! * [`FlowModel::evaluate_delta`] / [`BundleDelta`] — the same patcher
 //!   over a *spliced view* of the previous bundle list, so a caller
 //!   scoring many one-segment candidate changes (the optimizer's inner
@@ -33,7 +37,7 @@ mod spec;
 
 pub use engine::{
     BundleDelta, BundleDeltaIter, DeltaScore, Evaluation, FlowModel, IncrementalEvaluation,
-    ModelConfig, Workspace, WorkspaceStats,
+    ModelConfig, ParallelWorkspace, Workspace, WorkspaceStats,
 };
 pub use outcome::{ModelOutcome, UtilizationSummary};
 pub use queueing::{queueing_report, QueueingConfig, QueueingReport};

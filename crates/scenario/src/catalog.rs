@@ -8,7 +8,7 @@
 use crate::spec::Scenario;
 
 /// `(name, spec text)` for every bundled scenario.
-pub const CATALOG: [(&str, &str); 10] = [
+pub const CATALOG: [(&str, &str); 11] = [
     (
         "flash_crowd",
         include_str!("../../../scenarios/flash_crowd.scn"),
@@ -43,6 +43,10 @@ pub const CATALOG: [(&str, &str); 10] = [
         include_str!("../../../scenarios/planetary.scn"),
     ),
     (
+        "planetary_deep",
+        include_str!("../../../scenarios/planetary_deep.scn"),
+    ),
+    (
         "nren_churn",
         include_str!("../../../scenarios/nren_churn.scn"),
     ),
@@ -70,7 +74,7 @@ mod tests {
             let s = load(name).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(s.name, name, "file name and `scenario` directive agree");
         }
-        assert_eq!(names().len(), 10);
+        assert_eq!(names().len(), 11);
         assert!(load("no_such_scenario").is_none());
     }
 

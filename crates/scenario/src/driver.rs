@@ -393,6 +393,7 @@ pub fn inputs_at(
         &topo,
         &WorkloadConfig {
             include_intra_pop: scenario.workload.intra_pop,
+            intra_region_only: scenario.workload.intra_region_only,
             flow_count: scenario.workload.flows,
             large_probability: scenario.workload.large_probability,
             large_flow_count: (
@@ -435,6 +436,39 @@ impl OracleMode {
         match self {
             OracleMode::Sharded => Sharding::Auto,
             OracleMode::Flat | OracleMode::Full => Sharding::Off,
+        }
+    }
+}
+
+/// Execution-parallelism knobs for a scenario run (`fubar-cli scenario
+/// run --fill-threads/--parallel-passes/--pass-threads`). These select
+/// *how* the work is scheduled, never *what* is computed: the parallel
+/// water-filling merge is bitwise identical to the serial fill, and
+/// per-component optimizer passes are bitwise invariant under
+/// `pass_threads` — so the log for a given `(spec, seed, oracle,
+/// parallel_passes)` is byte-identical at **any** thread count, an
+/// invariant the CI catalog replay `cmp`s end to end. (Turning
+/// `parallel_passes` itself on or off legitimately changes the commit
+/// sequence; the threads never do.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelKnobs {
+    /// Worker threads for fabric measurement *and* optimizer incumbent
+    /// water-filling; 1 keeps the serial fill.
+    pub fill_threads: usize,
+    /// Run isolated region shards' optimizer passes concurrently
+    /// (requires incremental scoring and the network-utility
+    /// objective; see `fubar_core::OptimizerConfig::parallel_passes`).
+    pub parallel_passes: bool,
+    /// Worker threads for those passes; 1 runs them sequentially.
+    pub pass_threads: usize,
+}
+
+impl Default for ParallelKnobs {
+    fn default() -> Self {
+        ParallelKnobs {
+            fill_threads: 1,
+            parallel_passes: false,
+            pass_threads: 1,
         }
     }
 }
@@ -487,6 +521,19 @@ pub fn build_oracle_at(
     seed: u64,
     mode: OracleMode,
     base: Option<&Path>,
+) -> Result<Engine<SdnConsumer>, BuildError> {
+    build_oracle_knobs_at(scenario, seed, mode, base, ParallelKnobs::default())
+}
+
+/// Like [`build_oracle_at`], additionally applying execution
+/// [`ParallelKnobs`] to the fabric's measurement path and the
+/// optimizer.
+pub fn build_oracle_knobs_at(
+    scenario: &Scenario,
+    seed: u64,
+    mode: OracleMode,
+    base: Option<&Path>,
+    knobs: ParallelKnobs,
 ) -> Result<Engine<SdnConsumer>, BuildError> {
     let (topo, tm) = inputs_at(scenario, seed, base)?;
 
@@ -553,15 +600,21 @@ pub fn build_oracle_at(
 
     let mut fabric = Fabric::new(topo, tm, scenario.epoch);
     fabric.set_incremental(mode.incremental());
+    fabric.set_fill_threads(knobs.fill_threads);
     let mut consumer = SdnConsumer::new(fabric, seed ^ 0x5eed, scenario.reoptimize.warm_start);
     // Oracle mode covers *both* incremental hot paths: full-recompute
     // fabric measurement and full-recompute candidate scoring in the
     // optimizer — a cross-mode log `cmp` therefore checks the whole
     // stack of bitwise-equality invariants end to end. Sharding is a
     // third axis on the scoring path only: `Sharded` routes the same
-    // greedy loop through per-region subproblems.
+    // greedy loop through per-region subproblems. The parallel knobs
+    // are a fourth: they reschedule the same computation across worker
+    // threads without changing a byte of the log.
     consumer.controller.optimizer.incremental = mode.incremental();
     consumer.controller.optimizer.sharding = mode.sharding();
+    consumer.controller.optimizer.fill_threads = knobs.fill_threads.max(1);
+    consumer.controller.optimizer.parallel_passes = knobs.parallel_passes;
+    consumer.controller.optimizer.pass_threads = knobs.pass_threads.max(1);
 
     let churn = (scenario.arrivals.is_some() || scenario.departures.is_some()).then(|| {
         ChurnSource::new(
@@ -625,6 +678,19 @@ pub fn run_oracle_at(
     Ok(build_oracle_at(scenario, seed, mode, base)?.run(&scenario.name, seed))
 }
 
+/// Like [`run_oracle_at`], additionally applying [`ParallelKnobs`].
+/// For a fixed `(spec, seed, mode, parallel_passes)` the log is
+/// byte-identical at any `fill_threads`/`pass_threads` count.
+pub fn run_oracle_knobs_at(
+    scenario: &Scenario,
+    seed: u64,
+    mode: OracleMode,
+    base: Option<&Path>,
+    knobs: ParallelKnobs,
+) -> Result<ScenarioLog, BuildError> {
+    Ok(build_oracle_knobs_at(scenario, seed, mode, base, knobs)?.run(&scenario.name, seed))
+}
+
 /// Like [`run_with`], but also returns the run's performance
 /// statistics: per-event measurement/re-optimization timing percentiles
 /// and the optimizer's peak scratch sizes (`fubar-cli scenario run
@@ -663,10 +729,25 @@ pub fn run_with_stats_oracle_at(
     mode: OracleMode,
     base: Option<&Path>,
 ) -> Result<(ScenarioLog, crate::stats::RunStats), BuildError> {
-    let engine = build_oracle_at(scenario, seed, mode, base)?;
+    run_with_stats_oracle_knobs_at(scenario, seed, mode, base, ParallelKnobs::default())
+}
+
+/// Like [`run_with_stats_oracle_at`], additionally applying
+/// [`ParallelKnobs`]; with `fill_threads > 1` the stats carry
+/// per-worker parallel-fill blocks (fills run and peak component
+/// sizes per fill worker).
+pub fn run_with_stats_oracle_knobs_at(
+    scenario: &Scenario,
+    seed: u64,
+    mode: OracleMode,
+    base: Option<&Path>,
+    knobs: ParallelKnobs,
+) -> Result<(ScenarioLog, crate::stats::RunStats), BuildError> {
+    let engine = build_oracle_knobs_at(scenario, seed, mode, base, knobs)?;
     let (log, mut stats, consumer) = engine.run_instrumented(&scenario.name, seed);
     stats.scratch = consumer.scratch_stats();
     stats.shards = consumer.shard_stats().to_vec();
+    stats.fill_workers = consumer.fabric().fill_worker_stats();
     Ok((log, stats))
 }
 
@@ -776,6 +857,70 @@ mod tests {
         // bitwise invariant: the oracle run's log is byte-identical.
         let full = run_with(&spec, 4, false).unwrap();
         assert_eq!(log.to_text(), full.to_text());
+    }
+
+    #[test]
+    fn parallel_knobs_leave_the_log_byte_identical() {
+        // Fill-thread count must never alter a log: the parallel fill
+        // is bitwise-equal to the serial one, event by event.
+        let spec = ring_spec("arrivals rate 0.2 max-flows 30\ndepartures prob 0.2\n");
+        let serial = run_oracle_knobs_at(&spec, 7, OracleMode::Sharded, None, Default::default())
+            .unwrap()
+            .to_text();
+        let filled = run_oracle_knobs_at(
+            &spec,
+            7,
+            OracleMode::Sharded,
+            None,
+            ParallelKnobs {
+                fill_threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .to_text();
+        assert_eq!(serial, filled);
+
+        // With per-component passes enabled, the pass-worker count must
+        // not matter either: same flag, different thread counts, same
+        // bytes. (Toggling the flag itself may legitimately change the
+        // commit sequence, so both runs keep it on.)
+        let spec = Scenario::parse(
+            "scenario deep\n\
+             topology hypergrowth 1Mbps\n\
+             duration 30s\n\
+             epoch 10s\n\
+             workload flows 1 3 intra-region\n\
+             reoptimize every 15s warmup 5s\n",
+        )
+        .unwrap();
+        let wide = run_oracle_knobs_at(
+            &spec,
+            11,
+            OracleMode::Sharded,
+            None,
+            ParallelKnobs {
+                fill_threads: 4,
+                parallel_passes: true,
+                pass_threads: 4,
+            },
+        )
+        .unwrap()
+        .to_text();
+        let narrow = run_oracle_knobs_at(
+            &spec,
+            11,
+            OracleMode::Sharded,
+            None,
+            ParallelKnobs {
+                fill_threads: 1,
+                parallel_passes: true,
+                pass_threads: 1,
+            },
+        )
+        .unwrap()
+        .to_text();
+        assert_eq!(wide, narrow);
     }
 
     #[test]

@@ -48,9 +48,10 @@ pub mod stats;
 pub mod stochastic;
 
 pub use driver::{
-    build, build_at, build_oracle_at, build_with, load_file_topology, run, run_at, run_oracle_at,
-    run_with, run_with_stats, run_with_stats_at, run_with_stats_oracle_at, BuildError, OracleMode,
-    SdnConsumer,
+    build, build_at, build_oracle_at, build_oracle_knobs_at, build_with, load_file_topology, run,
+    run_at, run_oracle_at, run_oracle_knobs_at, run_with, run_with_stats, run_with_stats_at,
+    run_with_stats_oracle_at, run_with_stats_oracle_knobs_at, BuildError, OracleMode,
+    ParallelKnobs, SdnConsumer,
 };
 pub use engine::{Engine, EventConsumer, Measure};
 pub use event::{Event, EventKind, EventQueue};

@@ -16,7 +16,7 @@
 //! duration <delay>                         # simulated horizon (default 300s)
 //! epoch <delay>                            # measurement cadence (default 10s)
 //! seed <u64>                               # default run seed (default 1)
-//! workload flows <min> <max> [intra-pop] [large-prob <p>]
+//! workload flows <min> <max> [intra-pop] [intra-region] [large-prob <p>]
 //! reoptimize every <delay> warmup <delay> [cold-start]
 //! arrivals rate <r> [max-flows <n>]        # Poisson flow arrivals
 //! departures prob <p>                      # per-flow departure probability
@@ -134,6 +134,11 @@ pub struct WorkloadSpec {
     pub flows: (u32, u32),
     /// Generate aggregates for src == dst pairs.
     pub intra_pop: bool,
+    /// Restrict aggregates to same-region pairs (node-name prefix
+    /// before `_`): traffic never rides inter-region trunks, making
+    /// every region an independent congestion component — the
+    /// deep-congestion shape per-component optimizer passes exploit.
+    pub intra_region_only: bool,
     /// Probability an aggregate is a heavy file transfer.
     pub large_probability: f64,
 }
@@ -143,6 +148,7 @@ impl Default for WorkloadSpec {
         WorkloadSpec {
             flows: (2, 6),
             intra_pop: false,
+            intra_region_only: false,
             large_probability: 0.02,
         }
     }
@@ -440,7 +446,8 @@ impl Scenario {
                     if t.len() < 4 || t[1] != "flows" {
                         return Err(err(
                             lineno,
-                            "usage: workload flows <min> <max> [intra-pop] [large-prob <p>]",
+                            "usage: workload flows <min> <max> [intra-pop] [intra-region] \
+                             [large-prob <p>]",
                         ));
                     }
                     let mut w = WorkloadSpec {
@@ -457,6 +464,7 @@ impl Scenario {
                     while k < t.len() {
                         match t[k] {
                             "intra-pop" => w.intra_pop = true,
+                            "intra-region" => w.intra_region_only = true,
                             "large-prob" => {
                                 k += 1;
                                 let p = t
@@ -702,6 +710,9 @@ impl fmt::Display for Scenario {
         if self.workload.intra_pop {
             write!(f, " intra-pop")?;
         }
+        if self.workload.intra_region_only {
+            write!(f, " intra-region")?;
+        }
         if self.workload.large_probability != WorkloadSpec::default().large_probability {
             write!(f, " large-prob {}", self.workload.large_probability)?;
         }
@@ -774,7 +785,7 @@ topology ring 6 800kbps 2ms
 duration 120s
 epoch 5s
 seed 42
-workload flows 3 9 intra-pop large-prob 0.1
+workload flows 3 9 intra-pop intra-region large-prob 0.1
 reoptimize every 30s warmup 10s cold-start
 arrivals rate 0.25 max-flows 50
 departures prob 0.1
@@ -807,6 +818,7 @@ at 90s reoptimize
         assert_eq!(s.seed, 42);
         assert_eq!(s.workload.flows, (3, 9));
         assert!(s.workload.intra_pop);
+        assert!(s.workload.intra_region_only);
         assert!(!s.reoptimize.warm_start);
         assert_eq!(s.arrivals.as_ref().unwrap().max_flows, 50);
         assert_eq!(s.failures.as_ref().unwrap().max_down, 2);

@@ -76,6 +76,37 @@ proptest! {
         let c = run(&spec, seed ^ 0xDEAD_BEEF).unwrap().to_text();
         prop_assert_ne!(&a, &c, "different seeds must diverge");
     }
+
+    /// The fill-thread knob never changes a log: on any well-formed
+    /// ring scenario, a run with the parallel fill enabled (at any
+    /// worker count) is byte-identical to the serial default — the
+    /// whole-stack `parallel ≡ serial` invariant.
+    #[test]
+    fn fill_threads_leave_any_log_byte_identical(
+        seed in any::<u64>(),
+        rate in 0.05f64..0.5,
+        nodes in 4usize..7,
+        fill_threads in 2usize..6,
+    ) {
+        let spec = Scenario::parse(&format!(
+            "scenario prop_fill\n\
+             topology ring {nodes} 600kbps 2ms\n\
+             duration 60s\n\
+             epoch 10s\n\
+             workload flows 2 5\n\
+             reoptimize every 30s warmup 15s\n\
+             arrivals rate {rate} max-flows 30\n\
+             departures prob 0.2\n"
+        )).unwrap();
+        let serial = driver::run_oracle_knobs_at(
+            &spec, seed, driver::OracleMode::Sharded, None, driver::ParallelKnobs::default(),
+        ).unwrap().to_text();
+        let parallel = driver::run_oracle_knobs_at(
+            &spec, seed, driver::OracleMode::Sharded, None,
+            driver::ParallelKnobs { fill_threads, ..Default::default() },
+        ).unwrap().to_text();
+        prop_assert_eq!(&serial, &parallel, "fill_threads={} changed the log", fill_threads);
+    }
 }
 
 /// Warm start vs cold start on every catalog scenario (horizon capped
@@ -83,10 +114,12 @@ proptest! {
 #[test]
 fn warm_start_matches_cold_start_on_the_catalog() {
     for name in catalog::names() {
-        // planetary's 65,536-aggregate runs belong to the release
-        // profile: CI replays the scenario (and cross-checks the flat
-        // and sharded paths with `cmp`) on the release binary instead.
-        if name == "planetary" {
+        // planetary's 65,536-aggregate runs — and planetary_deep's
+        // structurally congested optimizer work — belong to the release
+        // profile: CI replays both scenarios (and cross-checks the flat
+        // path and the parallel knobs with `cmp`) on the release binary
+        // instead.
+        if name == "planetary" || name == "planetary_deep" {
             continue;
         }
         let mut spec = catalog::load(name).unwrap();
@@ -173,9 +206,10 @@ fn assert_reports_identical(name: &str, step: usize, a: &EpochReport, b: &EpochR
 #[test]
 fn incremental_peek_matches_full_recompute_across_catalog_inputs() {
     for name in catalog::names() {
-        // peek_full over planetary's 65,536 aggregates is a
+        // peek_full over planetary's 65,536 aggregates (and
+        // planetary_deep's 3,840 deeply congested ones) is a
         // release-profile job; CI's release replay covers that tier.
-        if name == "planetary" {
+        if name == "planetary" || name == "planetary_deep" {
             continue;
         }
         let spec = catalog::load(name).unwrap();
@@ -259,10 +293,10 @@ fn incremental_peek_matches_full_recompute_across_catalog_inputs() {
 #[test]
 fn incremental_and_full_measurement_logs_are_identical() {
     for name in catalog::names() {
-        // One full-recompute probe per event over planetary's 65,536
-        // aggregates is out of debug-profile reach; the release-mode CI
-        // replay cross-checks planetary's flat and full oracles by cmp.
-        if name == "planetary" {
+        // One full-recompute probe per event over the planetary tiers
+        // is out of debug-profile reach; the release-mode CI replay
+        // cross-checks their oracles (and parallel knobs) by cmp.
+        if name == "planetary" || name == "planetary_deep" {
             continue;
         }
         let mut spec = catalog::load(name).unwrap();

@@ -23,7 +23,10 @@
 
 use crate::rules::{GroupEntry, RuleSet};
 use fubar_graph::{LinkSet, Path};
-use fubar_model::{BundleSpec, Evaluation, FlowModel, ModelConfig, ModelOutcome, UtilityReport};
+use fubar_model::{
+    BundleSpec, Evaluation, FlowModel, ModelConfig, ModelOutcome, ParallelWorkspace, UtilityReport,
+    WorkspaceStats,
+};
 use fubar_topology::{Bandwidth, Delay, Topology};
 use fubar_traffic::{Aggregate, AggregateId, TrafficMatrix};
 
@@ -121,6 +124,11 @@ pub struct Fabric {
     /// When false, every measurement recomputes from scratch (the
     /// oracle mode the equality property tests compare against).
     incremental: bool,
+    /// Parallel fill workspace, present when more than one fill worker
+    /// is configured. Full recomputes (and the incremental path's
+    /// fallback arm) then water-fill disjoint bottleneck components
+    /// concurrently — bitwise identical to the serial fill.
+    fill: Option<ParallelWorkspace>,
     cache: Option<MeasureCache>,
     dirty_aggs: Vec<bool>,
     dirty_list: Vec<u32>,
@@ -149,6 +157,7 @@ impl Fabric {
             epoch_duration,
             model: ModelConfig::default(),
             incremental: true,
+            fill: None,
             cache: None,
             dirty_aggs: vec![false; n],
             dirty_list: Vec::new(),
@@ -176,6 +185,23 @@ impl Fabric {
         if !on {
             self.cache = None;
         }
+    }
+
+    /// Sets how many workers full-recompute measurements water-fill
+    /// with (1 = the serial path). Any count yields bitwise-identical
+    /// measurements — see [`fubar_model::ParallelWorkspace`] — so this
+    /// is purely a wall-clock knob.
+    pub fn set_fill_threads(&mut self, threads: usize) {
+        self.fill = (threads > 1).then(|| ParallelWorkspace::new(threads));
+    }
+
+    /// Per-worker fill statistics, when parallel fill is configured
+    /// (worker 0 first) — `scenario run --stats` renders these.
+    pub fn fill_worker_stats(&self) -> Vec<WorkspaceStats> {
+        self.fill
+            .as_ref()
+            .map(ParallelWorkspace::worker_stats)
+            .unwrap_or_default()
     }
 
     /// Replaces the ground-truth traffic matrix (demand drift).
@@ -439,7 +465,10 @@ impl Fabric {
         if full {
             let (routes, bundles, fallback_count, blackholed_flows) = self.build_all();
             let model = FlowModel::new(&self.topology, self.model);
-            let eval = model.evaluate_traced(&bundles);
+            let eval = match &mut self.fill {
+                Some(pw) => model.evaluate_traced_parallel(&bundles, pw),
+                None => model.evaluate_traced(&bundles),
+            };
             let report = fubar_model::utility_report(&self.true_tm, &bundles, &eval.outcome);
             self.cache = Some(MeasureCache {
                 routes,
@@ -503,7 +532,12 @@ impl Fabric {
         debug_assert!(old_iter.next().is_none(), "cache bundle count drifted");
 
         let model = FlowModel::new(&self.topology, self.model);
-        let inc = model.evaluate_from(&cache.eval, &bundles, &prev_index, &touched);
+        let inc = match &mut self.fill {
+            Some(pw) => {
+                model.evaluate_from_parallel(&cache.eval, &bundles, &prev_index, &touched, pw)
+            }
+            None => model.evaluate_from(&cache.eval, &bundles, &prev_index, &touched),
+        };
         let report = if inc.full_recompute {
             fubar_model::utility_report(&self.true_tm, &bundles, &inc.evaluation.outcome)
         } else {
@@ -888,6 +922,42 @@ mod tests {
         assert_eq!(r.outcome.link_load[p0.links()[0].index()], Bandwidth::ZERO);
         assert!(r.outcome.link_load[p1.links()[0].index()] > Bandwidth::ZERO);
         assert_reports_identical(&r, &f.peek_full());
+    }
+
+    #[test]
+    fn parallel_fill_measurement_matches_serial_bitwise() {
+        let build = || {
+            let topo = generators::he_core(Bandwidth::from_mbps(5.0));
+            let tm = fubar_traffic::workload::generate(
+                &topo,
+                &fubar_traffic::WorkloadConfig::default(),
+                3,
+            );
+            Fabric::new(topo, tm, Delay::from_secs(10.0))
+        };
+        let mut serial = build();
+        let mut parallel = build();
+        parallel.set_fill_threads(4);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let n = u64::from(serial.true_tm().len() as u32);
+        for _ in 0..30 {
+            let id = AggregateId((next() % n) as u32);
+            let flows = (next() % 12) as u32;
+            serial.set_flow_count(id, flows);
+            parallel.set_flow_count(id, flows);
+            assert_reports_identical(&serial.peek(), &parallel.peek());
+        }
+        assert!(
+            parallel.fill_worker_stats().iter().any(|s| s.fills > 0)
+                || parallel.fill_worker_stats().is_empty(),
+            "worker stats surface when the parallel arm ran"
+        );
     }
 
     #[test]

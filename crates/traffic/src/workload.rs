@@ -31,6 +31,16 @@ pub struct WorkloadConfig {
     /// Generate an aggregate for src == dst pairs (31² = 961 aggregates
     /// on the HE topology, matching the paper's count).
     pub include_intra_pop: bool,
+    /// Only generate aggregates whose endpoints share a region (the
+    /// node-name prefix before `_`, e.g. `pop3_7` → region `pop3` —
+    /// the same convention the optimizer's region sharding uses). On
+    /// hierarchical topologies this yields traffic that never rides the
+    /// inter-region trunks, so every region is an independent
+    /// congestion component — the workload shape that exercises
+    /// per-component optimizer passes and deep intra-region
+    /// congestion. Nodes without `_` are their own region, so on flat
+    /// topologies this keeps only intra-POP pairs.
+    pub intra_region_only: bool,
     /// Probability a (non-large) aggregate is real-time rather than bulk.
     pub real_time_fraction: f64,
     /// Probability an aggregate is a heavy file-transfer one (paper: 2%).
@@ -48,6 +58,7 @@ impl Default for WorkloadConfig {
     fn default() -> Self {
         WorkloadConfig {
             include_intra_pop: true,
+            intra_region_only: false,
             real_time_fraction: 0.5,
             large_probability: 0.02,
             large_peaks_mbps: vec![1.0, 2.0],
@@ -82,8 +93,16 @@ impl WorkloadConfig {
     }
 }
 
+/// The region label of a node name: the prefix before the first `_`,
+/// or the whole name when there is none (mirrors the optimizer's
+/// region-sharding convention).
+fn region_label(name: &str) -> &str {
+    name.split_once('_').map_or(name, |(region, _)| region)
+}
+
 /// Generates the paper's §3 workload on `topology`, deterministically
-/// from `seed`. One aggregate per ordered POP pair.
+/// from `seed`. One aggregate per ordered POP pair (restricted to
+/// same-region pairs under [`WorkloadConfig::intra_region_only`]).
 pub fn generate(topology: &Topology, config: &WorkloadConfig, seed: u64) -> TrafficMatrix {
     config.validate();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -91,6 +110,13 @@ pub fn generate(topology: &Topology, config: &WorkloadConfig, seed: u64) -> Traf
     for src in topology.nodes() {
         for dst in topology.nodes() {
             if src == dst && !config.include_intra_pop {
+                continue;
+            }
+            // Skipping *before* any RNG draw keeps the generated pairs
+            // deterministic per (config, seed).
+            if config.intra_region_only
+                && region_label(topology.node_name(src)) != region_label(topology.node_name(dst))
+            {
                 continue;
             }
             let (class, flows) = if rng.gen::<f64>() < config.large_probability {
@@ -221,6 +247,28 @@ mod tests {
         let m = generate(&he(), &cfg, 1);
         assert_eq!(m.len(), 930);
         assert!(m.iter().all(|a| !a.is_intra_pop()));
+    }
+
+    #[test]
+    fn intra_region_only_keeps_pairs_inside_regions() {
+        let topo = generators::hypergrowth(4, 4, Bandwidth::from_mbps(10.0));
+        let cfg = WorkloadConfig {
+            intra_region_only: true,
+            ..Default::default()
+        };
+        let m = generate(&topo, &cfg, 3);
+        // 4 regions × 4² ordered intra-region pairs.
+        assert_eq!(m.len(), 4 * 16);
+        for a in m.iter() {
+            let s = topo.node_name(a.ingress);
+            let d = topo.node_name(a.egress);
+            assert_eq!(s.split('_').next(), d.split('_').next(), "{s} -> {d}");
+        }
+        // On a flat topology (no `_` in names) only intra-POP pairs
+        // survive.
+        let flat = generate(&he(), &cfg, 3);
+        assert_eq!(flat.len(), 31);
+        assert!(flat.iter().all(|a| a.is_intra_pop()));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //!
 //! fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt]
 //!                        [--oracle sharded|flat|full] [--stats]
+//!                        [--fill-threads N] [--parallel-passes] [--pass-threads N]
 //!     Run a scenario and emit the per-event log on stdout (or to
 //!     --out). Same spec + same seed => byte-identical log. The
 //!     catalog scales up to `hypergrowth` (4,096 aggregates on the
@@ -56,7 +57,13 @@
 //!     measurement/re-optimization timing percentiles, the optimizer's
 //!     peak scratch sizes, and — under the sharded path — per-shard
 //!     commit/score/scratch accumulators to stderr (never into the
-//!     log, which stays byte-deterministic).
+//!     log, which stays byte-deterministic). `--fill-threads N` splits
+//!     every water-filling evaluation across N workers (bitwise-equal
+//!     to serial, so logs do not change; with `--stats` a per-worker
+//!     fill block is printed). `--parallel-passes` runs independent
+//!     greedy passes over isolated bottleneck components before the
+//!     global loop, on `--pass-threads N` workers: for a fixed flag
+//!     setting the log is byte-identical at any thread count.
 //! ```
 
 use fubar::core::baselines;
@@ -81,7 +88,8 @@ fn usage() -> ExitCode {
          fubar-cli scenario list\n  \
          fubar-cli scenario show <name|file.scn>\n  \
          fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt] \
-         [--oracle sharded|flat|full] [--stats]"
+         [--oracle sharded|flat|full] [--stats] \
+         [--fill-threads N] [--parallel-passes] [--pass-threads N]"
     );
     ExitCode::FAILURE
 }
@@ -350,7 +358,8 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
         "run" => {
             if args.len() < 2 {
                 return Err(
-                    "run needs <name|file.scn> [--seed N] [--out file] [--oracle mode] [--stats]"
+                    "run needs <name|file.scn> [--seed N] [--out file] [--oracle mode] [--stats] \
+                     [--fill-threads N] [--parallel-passes] [--pass-threads N]"
                         .into(),
                 );
             }
@@ -359,10 +368,30 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
             let mut out: Option<String> = None;
             let mut mode = fubar::scenario::OracleMode::Sharded;
             let mut stats = false;
+            let mut knobs = fubar::scenario::ParallelKnobs::default();
+            let positive = |flag: &str, v: Option<&String>| -> Result<usize, String> {
+                let n: usize = v
+                    .ok_or_else(|| format!("{flag} needs a thread count"))?
+                    .parse()
+                    .map_err(|e| format!("bad {flag}: {e}"))?;
+                if n == 0 {
+                    return Err(format!("{flag} must be >= 1"));
+                }
+                Ok(n)
+            };
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--stats" => stats = true,
+                    "--parallel-passes" => knobs.parallel_passes = true,
+                    "--fill-threads" => {
+                        i += 1;
+                        knobs.fill_threads = positive("--fill-threads", args.get(i))?;
+                    }
+                    "--pass-threads" => {
+                        i += 1;
+                        knobs.pass_threads = positive("--pass-threads", args.get(i))?;
+                    }
                     "--seed" => {
                         i += 1;
                         seed = args
@@ -405,12 +434,13 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
             }
             let base = base.as_deref();
             let (log, run_stats) = if stats {
-                let (log, s) = fubar::scenario::run_with_stats_oracle_at(&spec, seed, mode, base)
-                    .map_err(|e| e.to_string())?;
+                let (log, s) =
+                    fubar::scenario::run_with_stats_oracle_knobs_at(&spec, seed, mode, base, knobs)
+                        .map_err(|e| e.to_string())?;
                 (log, Some(s))
             } else {
                 (
-                    fubar::scenario::run_oracle_at(&spec, seed, mode, base)
+                    fubar::scenario::run_oracle_knobs_at(&spec, seed, mode, base, knobs)
                         .map_err(|e| e.to_string())?,
                     None,
                 )
