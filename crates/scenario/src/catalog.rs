@@ -8,7 +8,7 @@
 use crate::spec::Scenario;
 
 /// `(name, spec text)` for every bundled scenario.
-pub const CATALOG: [(&str, &str); 11] = [
+pub const CATALOG: [(&str, &str); 13] = [
     (
         "flash_crowd",
         include_str!("../../../scenarios/flash_crowd.scn"),
@@ -50,6 +50,17 @@ pub const CATALOG: [(&str, &str); 11] = [
         "nren_churn",
         include_str!("../../../scenarios/nren_churn.scn"),
     ),
+    // The chaos pair: worst cases found by `fubar-cli scenario search`
+    // over flash_crowd and cascading_failure, committed verbatim. CI
+    // re-finds each from its recorded seed (`scenario search --check`).
+    (
+        "chaos_blackout",
+        include_str!("../../../scenarios/chaos_blackout.scn"),
+    ),
+    (
+        "chaos_partition",
+        include_str!("../../../scenarios/chaos_partition.scn"),
+    ),
 ];
 
 /// The names of all bundled scenarios.
@@ -74,7 +85,7 @@ mod tests {
             let s = load(name).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(s.name, name, "file name and `scenario` directive agree");
         }
-        assert_eq!(names().len(), 11);
+        assert_eq!(names().len(), 13);
         assert!(load("no_such_scenario").is_none());
     }
 

@@ -10,15 +10,39 @@
 use crate::engine::{Engine, EventConsumer, Measure};
 use crate::event::{Event, EventKind};
 use crate::log::ScenarioLog;
-use crate::spec::{Action, Scenario, TopologySpec};
+use crate::spec::{Action, ChaosSpec, Scenario, TopologySpec};
 use crate::stochastic::{ChurnSource, FailureSource};
 use fubar_core::{Allocation, ShardRunStats, Sharding};
 use fubar_graph::LinkId;
 use fubar_model::WorkspaceStats;
 use fubar_sdn::{Estimator, Fabric, FubarController, GroupEntry, MeasurementConfig};
 use fubar_topology::{catalog as topo_catalog, format as topo_format, generators, Delay, Topology};
-use fubar_traffic::{workload, AggregateId, WorkloadConfig};
+use fubar_traffic::{workload, AggregateId, TrafficMatrix, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::path::Path;
+
+/// Runtime state behind the scenario's [`ChaosSpec`]. All of it is
+/// deterministic: the drop coin has its own directive-declared seed,
+/// staleness snapshots are taken at epoch boundaries without touching
+/// any RNG, and blackout checks are pure interval tests — so chaos
+/// leaves the churn/failure/measurement draw sequences untouched and a
+/// chaos run shares its event stream with the equivalent clean run.
+#[derive(Default)]
+struct ChaosState {
+    spec: ChaosSpec,
+    /// Seeded coin for `install drop` (one draw per install, in
+    /// install order).
+    drop_rng: Option<StdRng>,
+    /// Estimator snapshots for `measure stale`: `(taken-at, matrix)`,
+    /// oldest first. The boot snapshot at t=0 backstops early runs.
+    snapshots: Vec<(Delay, TrafficMatrix)>,
+    /// Follow-up events (staged install commits/drops) handed to the
+    /// engine after the current event.
+    followups: Vec<(Delay, EventKind)>,
+    /// Re-optimizations suppressed by blackout windows.
+    skipped: usize,
+}
 
 /// The fabric-driving consumer.
 pub struct SdnConsumer {
@@ -41,6 +65,9 @@ pub struct SdnConsumer {
     /// Per-shard accumulators across every re-optimization (empty when
     /// the optimizer ran flat) — `scenario run --stats`.
     shards: Vec<ShardRunStats>,
+    /// Control-plane fault injection (inert unless the scenario has
+    /// chaos directives).
+    chaos: ChaosState,
 }
 
 impl SdnConsumer {
@@ -62,7 +89,28 @@ impl SdnConsumer {
             surge: vec![1.0; n],
             scratch: WorkspaceStats::default(),
             shards: Vec::new(),
+            chaos: ChaosState::default(),
         }
+    }
+
+    /// Arms the consumer's control-plane fault injection. Must run
+    /// before the first event: the `measure stale` boot snapshot is
+    /// taken here, and the drop coin is seeded from the directive's own
+    /// seed so it never perturbs the run's other draw sequences.
+    pub fn set_chaos(&mut self, spec: ChaosSpec) {
+        self.chaos.drop_rng = spec
+            .install_drop
+            .map(|(_, seed)| StdRng::seed_from_u64(seed));
+        if spec.measure_stale.is_some() {
+            let boot = self.estimator.estimated_matrix(self.fabric.true_tm());
+            self.chaos.snapshots.push((Delay::ZERO, boot));
+        }
+        self.chaos.spec = spec;
+    }
+
+    /// Re-optimizations suppressed by controller blackout windows.
+    pub fn skipped_reoptimizations(&self) -> usize {
+        self.chaos.skipped
     }
 
     /// The fabric, for post-run inspection.
@@ -103,12 +151,46 @@ impl SdnConsumer {
         }
     }
 
-    fn reoptimize(&mut self) -> (usize, bool) {
-        let estimated = self.estimator.estimated_matrix(self.fabric.true_tm());
+    fn reoptimize(&mut self, now: Delay) -> (usize, bool) {
+        let estimated = match self.chaos.spec.measure_stale {
+            // The controller sees the newest snapshot at least `d` old;
+            // the boot snapshot backstops runs before the first one
+            // ages enough. Older snapshots are pruned as they expire.
+            Some(d) => {
+                let idx = (0..self.chaos.snapshots.len())
+                    .rev()
+                    .find(|&i| self.chaos.snapshots[i].0 + d <= now)
+                    .unwrap_or(0);
+                self.chaos.snapshots.drain(..idx);
+                self.chaos.snapshots[0].1.clone()
+            }
+            None => self.estimator.estimated_matrix(self.fabric.true_tm()),
+        };
         let r = self
             .controller
             .reoptimize(&self.fabric, &estimated, self.previous.as_ref());
-        self.fabric.install(r.rules);
+        if self.chaos.spec.install_delay.is_some() || self.chaos.spec.install_drop.is_some() {
+            // Asynchronous install: stage the rules and let a follow-up
+            // event commit (or drop) them after the configured latency.
+            // The previous group keeps serving until then.
+            let dropped = match (self.chaos.spec.install_drop, self.chaos.drop_rng.as_mut()) {
+                (Some((p, _)), Some(rng)) => rng.gen::<f64>() < p,
+                _ => false,
+            };
+            let latency = self.chaos.spec.install_delay.unwrap_or(Delay::ZERO);
+            let ticket = self.fabric.stage(r.rules);
+            let kind = if dropped {
+                EventKind::InstallDrop { ticket }
+            } else {
+                EventKind::InstallCommit { ticket }
+            };
+            self.chaos.followups.push((now + latency, kind));
+        } else {
+            self.fabric.install(r.rules);
+        }
+        // The warm-start seed advances even when the install is in
+        // flight or lost: the controller planned from this allocation,
+        // and the allocation/rules split tolerates the divergence.
         self.previous = Some(r.allocation);
         self.scratch.merge(&r.scratch);
         fubar_core::shard::merge_shard_stats(&mut self.shards, &r.shards);
@@ -205,12 +287,27 @@ impl EventConsumer for SdnConsumer {
                 self.fabric.clear_group(*aggregate);
             }
             EventKind::Reoptimize => {
-                let (commits, warm) = self.reoptimize();
+                if self.chaos.spec.in_blackout(event.time) {
+                    // Controller blackout: the run is suppressed — no
+                    // optimizer call, no RNG draws — and the stale
+                    // incumbent keeps serving. `commits` stays None, so
+                    // the log line is visibly a skip.
+                    self.chaos.skipped += 1;
+                    let report = self.fabric.peek();
+                    return self.measure_from(&report);
+                }
+                let (commits, warm) = self.reoptimize(event.time);
                 let report = self.fabric.peek();
                 let mut m = self.measure_from(&report);
                 m.commits = Some(commits);
                 m.warm = warm;
                 return m;
+            }
+            EventKind::InstallCommit { ticket } => {
+                self.fabric.commit_staged(*ticket);
+            }
+            EventKind::InstallDrop { ticket } => {
+                self.fabric.discard_staged(*ticket);
             }
             EventKind::MeasurementEpoch => {
                 // One measurement serves everything: `run_epoch` reuses
@@ -221,6 +318,13 @@ impl EventConsumer for SdnConsumer {
                 let report = self.fabric.run_epoch();
                 self.estimator
                     .observe(self.fabric.counters(), self.fabric.epoch_duration());
+                if self.chaos.spec.measure_stale.is_some() {
+                    // Snapshot for `measure stale`; `estimated_matrix`
+                    // draws no randomness, so this cannot perturb the
+                    // run's other sequences.
+                    let snap = self.estimator.estimated_matrix(self.fabric.true_tm());
+                    self.chaos.snapshots.push((event.time, snap));
+                }
                 return self.measure_from(&report);
             }
         }
@@ -228,8 +332,8 @@ impl EventConsumer for SdnConsumer {
         self.measure_from(&report)
     }
 
-    fn describe(&self, kind: &EventKind) -> String {
-        match kind {
+    fn describe(&self, event: &Event) -> String {
+        match &event.kind {
             EventKind::FlowArrival { aggregate, count } => {
                 format!("arrive {} +{}", self.pair_name(*aggregate), count)
             }
@@ -251,9 +355,18 @@ impl EventConsumer for SdnConsumer {
             EventKind::AggregateDeparture { aggregate } => {
                 format!("agg-depart {}", self.pair_name(*aggregate))
             }
+            EventKind::Reoptimize if self.chaos.spec.in_blackout(event.time) => {
+                "reoptimize skipped (blackout)".to_string()
+            }
             EventKind::Reoptimize => "reoptimize".to_string(),
+            EventKind::InstallCommit { ticket } => format!("install commit #{ticket}"),
+            EventKind::InstallDrop { ticket } => format!("install dropped #{ticket}"),
             EventKind::MeasurementEpoch => format!("epoch {}", self.fabric.epochs_run()),
         }
+    }
+
+    fn take_followups(&mut self) -> Vec<(Delay, EventKind)> {
+        std::mem::take(&mut self.chaos.followups)
     }
 
     fn aggregate_count(&self) -> usize {
@@ -598,6 +711,39 @@ pub fn build_oracle_knobs_at(
         }
     }
 
+    // Controller blackout wake-ups: if a window swallows any scheduled
+    // or timeline re-optimization, a catch-up run is appended at the
+    // window's end so the controller recovers as soon as it is back —
+    // unless a re-optimization already fires exactly then, or the end
+    // itself sits inside another (overlapping) window.
+    let mut reopt_times: Vec<Delay> = {
+        let mut times = Vec::new();
+        let mut t = scenario.reoptimize.warmup;
+        while t <= scenario.duration {
+            times.push(t);
+            t += scenario.reoptimize.every;
+        }
+        times.extend(
+            timeline
+                .iter()
+                .filter(|(_, k)| matches!(k, EventKind::Reoptimize))
+                .map(|&(at, _)| at),
+        );
+        times
+    };
+    for &(from, until) in &scenario.chaos.blackouts {
+        let suppressed = reopt_times.iter().any(|&t| t >= from && t < until);
+        let already = reopt_times.contains(&until);
+        if suppressed
+            && !already
+            && until <= scenario.duration
+            && !scenario.chaos.in_blackout(until)
+        {
+            timeline.push((until, EventKind::Reoptimize));
+            reopt_times.push(until);
+        }
+    }
+
     let mut fabric = Fabric::new(topo, tm, scenario.epoch);
     fabric.set_incremental(mode.incremental());
     fabric.set_fill_threads(knobs.fill_threads);
@@ -615,6 +761,13 @@ pub fn build_oracle_knobs_at(
     consumer.controller.optimizer.fill_threads = knobs.fill_threads.max(1);
     consumer.controller.optimizer.parallel_passes = knobs.parallel_passes;
     consumer.controller.optimizer.pass_threads = knobs.pass_threads.max(1);
+    // The anytime budget is a move-count deadline — the one optimizer
+    // deadline that is bit-identical at any thread count — mapped
+    // straight onto `OptimizerConfig::max_commits`.
+    if let Some(budget) = scenario.chaos.optimize_budget {
+        consumer.controller.optimizer.max_commits = budget;
+    }
+    consumer.set_chaos(scenario.chaos.clone());
 
     let churn = (scenario.arrivals.is_some() || scenario.departures.is_some()).then(|| {
         ChurnSource::new(
@@ -921,6 +1074,98 @@ mod tests {
         .unwrap()
         .to_text();
         assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    fn blackout_skips_reopts_and_wakes_at_window_end() {
+        // ring_spec's schedule fires at 15, 45, 75; the window swallows
+        // 45 and 75 and a wake catch-up is appended at 80.
+        let spec = ring_spec("controller blackout 40s 80s\n");
+        let log = run(&spec, 3).unwrap();
+        let skipped: Vec<_> = log
+            .records
+            .iter()
+            .filter(|r| r.what == "reoptimize skipped (blackout)")
+            .collect();
+        assert_eq!(skipped.len(), 2, "45s and 75s are inside the window");
+        assert!(
+            skipped.iter().all(|r| r.commits.is_none()),
+            "skips must not report commits"
+        );
+        let executed: Vec<f64> = log
+            .records
+            .iter()
+            .filter(|r| r.commits.is_some())
+            .map(|r| r.time_s)
+            .collect();
+        assert_eq!(executed, vec![15.0, 80.0], "warmup run, then the wake");
+        // Chaos replays byte-identically and bitwise across oracles.
+        assert_eq!(log.to_text(), run(&spec, 3).unwrap().to_text());
+        assert_eq!(log.to_text(), run_with(&spec, 3, false).unwrap().to_text());
+    }
+
+    #[test]
+    fn install_delay_defers_commits_and_drop_discards_them() {
+        let spec = ring_spec("install delay 2s\n");
+        let log = run(&spec, 5).unwrap();
+        let commits: Vec<_> = log
+            .records
+            .iter()
+            .filter(|r| r.what.starts_with("install commit"))
+            .collect();
+        assert_eq!(commits.len(), 3, "every reopt's install lands, 2s later");
+        for (reopt, commit) in log
+            .records
+            .iter()
+            .filter(|r| r.commits.is_some())
+            .zip(&commits)
+        {
+            assert_eq!(commit.time_s, reopt.time_s + 2.0);
+        }
+        assert_eq!(log.to_text(), run_with(&spec, 5, false).unwrap().to_text());
+
+        // p=1: every install is lost; the boot rules serve forever.
+        let spec = ring_spec("install delay 2s\ninstall drop 1 seed 9\n");
+        let log = run(&spec, 5).unwrap();
+        assert!(!log
+            .records
+            .iter()
+            .any(|r| r.what.starts_with("install commit")));
+        assert_eq!(
+            log.records
+                .iter()
+                .filter(|r| r.what.starts_with("install dropped"))
+                .count(),
+            3
+        );
+        assert_eq!(log.to_text(), run_with(&spec, 5, false).unwrap().to_text());
+
+        // p=0 with only the coin configured: commits still fire (at the
+        // same time as the reopt, strictly after it in event order).
+        let spec = ring_spec("install drop 0 seed 9\n");
+        let log = run(&spec, 5).unwrap();
+        assert_eq!(
+            log.records
+                .iter()
+                .filter(|r| r.what.starts_with("install commit"))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn measure_stale_and_budget_run_bitwise_across_oracles() {
+        let spec = ring_spec("measure stale 20s\noptimize budget 3\n");
+        let log = run(&spec, 6).unwrap();
+        for r in log.records.iter().filter(|r| r.commits.is_some()) {
+            assert!(
+                r.commits.unwrap() <= 3,
+                "anytime budget bounds every run: {}",
+                r.to_line()
+            );
+        }
+        assert_eq!(log.to_text(), run(&spec, 6).unwrap().to_text());
+        assert_eq!(log.to_text(), run_with(&spec, 6, false).unwrap().to_text());
     }
 
     #[test]

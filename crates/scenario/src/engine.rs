@@ -49,8 +49,19 @@ pub trait EventConsumer {
     /// Applies one event and reports the state just after it.
     fn on_event(&mut self, event: &Event) -> Measure;
 
-    /// Stable human-readable description of `kind` (node names etc.).
-    fn describe(&self, kind: &EventKind) -> String;
+    /// Stable human-readable description of the event (node names
+    /// etc.). Receives the whole event, not just the kind, so chaos-
+    /// aware consumers can describe the same kind differently by time
+    /// (a re-optimization inside a blackout window logs as skipped).
+    fn describe(&self, event: &Event) -> String;
+
+    /// Events the consumer wants scheduled as a consequence of the one
+    /// just applied (e.g. a staged install committing after its
+    /// latency). Drained by the engine after every `on_event`; the
+    /// default consumer has none.
+    fn take_followups(&mut self) -> Vec<(Delay, EventKind)> {
+        Vec::new()
+    }
 
     /// Number of aggregates in the matrix.
     fn aggregate_count(&self) -> usize;
@@ -267,10 +278,18 @@ impl<C: EventConsumer> Engine<C> {
                 }
             }
 
-            let what = self.consumer.describe(&event.kind);
+            let what = self.consumer.describe(&event);
             let applied_at = std::time::Instant::now();
             let m = self.consumer.on_event(&event);
             stats.record(&event.kind, applied_at.elapsed().as_secs_f64());
+            // Consumer-requested follow-ups (staged install commits and
+            // drops): scheduled here so they get queue sequence numbers
+            // in a deterministic order.
+            for (at, kind) in self.consumer.take_followups() {
+                if at <= self.duration {
+                    self.queue.push(at, kind);
+                }
+            }
             records.push(EventRecord {
                 time_s: event.time.secs(),
                 seq: event.seq,
@@ -340,8 +359,8 @@ mod tests {
             }
         }
 
-        fn describe(&self, kind: &EventKind) -> String {
-            kind.tag().to_string()
+        fn describe(&self, event: &Event) -> String {
+            event.kind.tag().to_string()
         }
 
         fn aggregate_count(&self) -> usize {

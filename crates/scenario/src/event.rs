@@ -78,6 +78,18 @@ pub enum EventKind {
     },
     /// The offline controller re-optimizes and installs fresh rules.
     Reoptimize,
+    /// A staged rule install reaches the fabric after its configured
+    /// latency (`install delay`) and commits.
+    InstallCommit {
+        /// Ticket returned by `Fabric::stage`.
+        ticket: u64,
+    },
+    /// A staged rule install is lost in flight (`install drop`'s seeded
+    /// coin): the previous group stays live.
+    InstallDrop {
+        /// Ticket returned by `Fabric::stage`.
+        ticket: u64,
+    },
     /// A measurement epoch closes: the data plane integrates counters
     /// and the estimator observes them.
     MeasurementEpoch,
@@ -97,6 +109,8 @@ impl EventKind {
             EventKind::AggregateArrival { .. } => "agg-arrive",
             EventKind::AggregateDeparture { .. } => "agg-depart",
             EventKind::Reoptimize => "reoptimize",
+            EventKind::InstallCommit { .. } => "install",
+            EventKind::InstallDrop { .. } => "install-drop",
             EventKind::MeasurementEpoch => "epoch",
         }
     }

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod catalog;
+pub mod chaos;
 pub mod driver;
 pub mod engine;
 pub mod event;
@@ -47,6 +48,7 @@ pub mod spec;
 pub mod stats;
 pub mod stochastic;
 
+pub use chaos::{score_log, search, SearchOutcome};
 pub use driver::{
     build, build_at, build_oracle_at, build_oracle_knobs_at, build_with, load_file_topology, run,
     run_at, run_oracle_at, run_oracle_knobs_at, run_with, run_with_stats, run_with_stats_at,
@@ -57,8 +59,8 @@ pub use engine::{Engine, EventConsumer, Measure};
 pub use event::{Event, EventKind, EventQueue};
 pub use log::{EventRecord, ScenarioLog};
 pub use spec::{
-    Action, ArrivalSpec, DepartureSpec, DiurnalSpec, FailureSpec, ParseError, ReoptimizeSpec,
-    Scenario, TimelineEvent, TopologySpec, WorkloadSpec,
+    Action, ArrivalSpec, ChaosSpec, DepartureSpec, DiurnalSpec, FailureSpec, ParseError,
+    ReoptimizeSpec, Scenario, TimelineEvent, TopologySpec, WorkloadSpec,
 };
 pub use stats::{Percentiles, RunStats};
 pub use stochastic::{diurnal_factor, sample_weibull, ChurnSource, FailureSource};

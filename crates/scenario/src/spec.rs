@@ -23,6 +23,11 @@
 //! failures shape <k> scale <delay> repair-shape <k> repair-scale <delay> [max-down <n>]
 //! diurnal amplitude <a> period <delay>     # sinusoidal demand modulation
 //! large-priority <w>                       # Fig-5 style large-flow weighting
+//! controller blackout <t1> <t2>            # chaos: no re-optimization in [t1,t2)
+//! install delay <d>                        # chaos: commits land this much later
+//! install drop <p> seed <s>                # chaos: seeded coin discards installs
+//! measure stale <d>                        # chaos: optimize a d-old snapshot
+//! optimize budget <moves>                  # chaos: anytime stop after N commits
 //! at <delay> fail <a> <b>                  # timeline: deterministic events
 //! at <delay> repair <a> <b>
 //! at <delay> capacity <a> <b> <bandwidth>
@@ -220,6 +225,54 @@ pub struct DiurnalSpec {
     pub period: Delay,
 }
 
+/// Control-plane fault injection. Everything here is deterministic by
+/// construction — blackout windows are fixed intervals, install drops
+/// draw from their own dedicated seeded coin, staleness selects an
+/// earlier snapshot of the same estimator — so chaos runs replay
+/// byte-identically per seed and stay bitwise equal across oracle
+/// modes and thread counts.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ChaosSpec {
+    /// Controller blackout windows `[start, end)`: re-optimizations
+    /// (scheduled or timeline) inside a window are skipped — the fabric
+    /// keeps churning and the stale incumbent keeps serving — and a
+    /// catch-up run fires at the window end if anything was suppressed.
+    pub blackouts: Vec<(Delay, Delay)>,
+    /// Rule-installation latency: a re-optimization's rules are staged
+    /// and commit this much later; the previous group serves meanwhile.
+    pub install_delay: Option<Delay>,
+    /// `(probability, seed)`: each install flips a dedicated seeded
+    /// coin (one draw per install, in install order) and is discarded
+    /// — previous rules stay live — with this probability.
+    pub install_drop: Option<(f64, u64)>,
+    /// The controller optimizes against the newest estimator snapshot
+    /// at least this old, not the current measurement.
+    pub measure_stale: Option<Delay>,
+    /// Anytime budget: every re-optimization stops after this many
+    /// optimizer commits and returns the best incumbent so far — a
+    /// move-count deadline, not wall-clock, so runs stay bit-identical
+    /// at any thread count.
+    pub optimize_budget: Option<usize>,
+}
+
+impl ChaosSpec {
+    /// True when no chaos directive is present (the default).
+    pub fn is_empty(&self) -> bool {
+        self.blackouts.is_empty()
+            && self.install_delay.is_none()
+            && self.install_drop.is_none()
+            && self.measure_stale.is_none()
+            && self.optimize_budget.is_none()
+    }
+
+    /// True if `t` falls inside a blackout window (`[start, end)`).
+    pub fn in_blackout(&self, t: Delay) -> bool {
+        self.blackouts
+            .iter()
+            .any(|&(from, until)| t >= from && t < until)
+    }
+}
+
 /// A deterministic timeline action (node names resolved at build time).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Action {
@@ -333,6 +386,8 @@ pub struct Scenario {
     pub diurnal: Option<DiurnalSpec>,
     /// Priority weight applied to large aggregates, if any.
     pub large_priority: Option<f64>,
+    /// Control-plane fault injection (empty by default).
+    pub chaos: ChaosSpec,
     /// Deterministic scheduled events, in file order.
     pub timeline: Vec<TimelineEvent>,
 }
@@ -379,6 +434,7 @@ impl Scenario {
                     failures: None,
                     diurnal: None,
                     large_priority: None,
+                    chaos: ChaosSpec::default(),
                     timeline: Vec::new(),
                 });
                 continue;
@@ -547,8 +603,11 @@ impl Scenario {
                     }
                     let shape: f64 = parse_num(lineno, t[2], "shape")?;
                     let repair_shape: f64 = parse_num(lineno, t[6], "repair shape")?;
-                    if shape <= 0.0 || repair_shape <= 0.0 {
-                        return Err(err(lineno, "Weibull shapes must be positive"));
+                    // `NaN <= 0.0` is false, so a plain sign check would
+                    // wave NaN shapes through and break the round trip.
+                    let shape_ok = |k: f64| k.is_finite() && k > 0.0;
+                    if !shape_ok(shape) || !shape_ok(repair_shape) {
+                        return Err(err(lineno, "Weibull shapes must be positive and finite"));
                     }
                     let max_down = match (t.get(9).copied(), t.get(10)) {
                         (None, _) => 1,
@@ -586,6 +645,59 @@ impl Scenario {
                         return Err(err(lineno, "priority weight must be positive"));
                     }
                     s.large_priority = Some(w);
+                }
+                "controller" => {
+                    if t.len() != 4 || t[1] != "blackout" {
+                        return Err(err(lineno, "usage: controller blackout <t1> <t2>"));
+                    }
+                    let from: Delay = parse_num(lineno, t[2], "blackout start")?;
+                    let until: Delay = parse_num(lineno, t[3], "blackout end")?;
+                    if until <= from {
+                        return Err(err(lineno, "blackout end must be after its start"));
+                    }
+                    s.chaos.blackouts.push((from, until));
+                }
+                "install" => match t.get(1).copied() {
+                    Some("delay") if t.len() == 3 => {
+                        let d: Delay = parse_num(lineno, t[2], "install delay")?;
+                        if d <= Delay::ZERO {
+                            return Err(err(lineno, "install delay must be positive"));
+                        }
+                        s.chaos.install_delay = Some(d);
+                    }
+                    Some("drop") if t.len() == 5 && t[3] == "seed" => {
+                        let p: f64 = parse_num(lineno, t[2], "drop probability")?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(err(lineno, "drop probability must be in [0,1]"));
+                        }
+                        s.chaos.install_drop = Some((p, parse_num(lineno, t[4], "drop seed")?));
+                    }
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            "usage: install delay <d> | install drop <p> seed <s>",
+                        ))
+                    }
+                },
+                "measure" => {
+                    if t.len() != 3 || t[1] != "stale" {
+                        return Err(err(lineno, "usage: measure stale <d>"));
+                    }
+                    let d: Delay = parse_num(lineno, t[2], "staleness")?;
+                    if d <= Delay::ZERO {
+                        return Err(err(lineno, "staleness must be positive"));
+                    }
+                    s.chaos.measure_stale = Some(d);
+                }
+                "optimize" => {
+                    if t.len() != 3 || t[1] != "budget" {
+                        return Err(err(lineno, "usage: optimize budget <moves>"));
+                    }
+                    let budget: usize = parse_num(lineno, t[2], "budget")?;
+                    if budget == 0 {
+                        return Err(err(lineno, "budget must allow at least one commit"));
+                    }
+                    s.chaos.optimize_budget = Some(budget);
                 }
                 "at" => {
                     if t.len() < 3 {
@@ -755,6 +867,26 @@ impl fmt::Display for Scenario {
         if let Some(w) = self.large_priority {
             writeln!(f, "large-priority {w}")?;
         }
+        for &(from, until) in &self.chaos.blackouts {
+            writeln!(
+                f,
+                "controller blackout {} {}",
+                fmt_delay(from),
+                fmt_delay(until)
+            )?;
+        }
+        if let Some(d) = self.chaos.install_delay {
+            writeln!(f, "install delay {}", fmt_delay(d))?;
+        }
+        if let Some((p, seed)) = self.chaos.install_drop {
+            writeln!(f, "install drop {p} seed {seed}")?;
+        }
+        if let Some(d) = self.chaos.measure_stale {
+            writeln!(f, "measure stale {}", fmt_delay(d))?;
+        }
+        if let Some(n) = self.chaos.optimize_budget {
+            writeln!(f, "optimize budget {n}")?;
+        }
         for e in &self.timeline {
             write!(f, "at {} ", fmt_delay(e.at))?;
             match &e.action {
@@ -792,6 +924,11 @@ departures prob 0.1
 failures shape 1.5 scale 400s repair-shape 1 repair-scale 60s max-down 2
 diurnal amplitude 0.4 period 100s
 large-priority 4
+controller blackout 60s 90s
+install delay 2s
+install drop 0.25 seed 9
+measure stale 10s
+optimize budget 64
 at 20s fail n0 n1
 at 40s repair n0 n1
 at 50s capacity n2 n3 200kbps
@@ -823,6 +960,14 @@ at 90s reoptimize
         assert_eq!(s.arrivals.as_ref().unwrap().max_flows, 50);
         assert_eq!(s.failures.as_ref().unwrap().max_down, 2);
         assert_eq!(s.large_priority, Some(4.0));
+        assert_eq!(
+            s.chaos.blackouts,
+            vec![(Delay::from_secs(60.0), Delay::from_secs(90.0))]
+        );
+        assert_eq!(s.chaos.install_delay, Some(Delay::from_secs(2.0)));
+        assert_eq!(s.chaos.install_drop, Some((0.25, 9)));
+        assert_eq!(s.chaos.measure_stale, Some(Delay::from_secs(10.0)));
+        assert_eq!(s.chaos.optimize_budget, Some(64));
         assert_eq!(s.timeline.len(), 8);
         assert_eq!(
             s.timeline[3].action,
@@ -938,6 +1083,7 @@ at 90s reoptimize
         assert_eq!(s.seed, 1);
         assert!(s.reoptimize.warm_start);
         assert!(s.arrivals.is_none());
+        assert!(s.chaos.is_empty());
         assert!(s.timeline.is_empty());
         let back = Scenario::parse(&s.to_string()).unwrap();
         assert_eq!(s, back);
@@ -969,12 +1115,76 @@ at 90s reoptimize
     }
 
     #[test]
+    fn chaos_directives_validate() {
+        // Blackout windows must be non-empty.
+        let e = Scenario::parse("scenario a\ncontroller blackout 20s 20s\n").unwrap_err();
+        assert!(e.message.contains("after its start"), "{}", e.message);
+        let e = Scenario::parse("scenario a\ncontroller blackout 30s 10s\n").unwrap_err();
+        assert!(e.message.contains("after its start"), "{}", e.message);
+        // Drop probability is a probability.
+        let e = Scenario::parse("scenario a\ninstall drop 1.5 seed 1\n").unwrap_err();
+        assert!(e.message.contains("[0,1]"), "{}", e.message);
+        let e = Scenario::parse("scenario a\ninstall drop NaN seed 1\n").unwrap_err();
+        assert!(e.message.contains("[0,1]"), "{}", e.message);
+        // Budget zero would forbid any move at all.
+        let e = Scenario::parse("scenario a\noptimize budget 0\n").unwrap_err();
+        assert!(e.message.contains("at least one"), "{}", e.message);
+        // Zero latencies degenerate to the synchronous path; reject.
+        let e = Scenario::parse("scenario a\ninstall delay 0s\n").unwrap_err();
+        assert!(e.message.contains("positive"), "{}", e.message);
+        let e = Scenario::parse("scenario a\nmeasure stale 0s\n").unwrap_err();
+        assert!(e.message.contains("positive"), "{}", e.message);
+    }
+
+    #[test]
+    fn chaos_directives_round_trip() {
+        let text = "scenario c\ntopology ring 4 500kbps 1ms\n\
+                    controller blackout 10s 20s\ncontroller blackout 40s 55s\n\
+                    install delay 3s\ninstall drop 0.5 seed 77\n\
+                    measure stale 15s\noptimize budget 12\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.chaos.blackouts.len(), 2);
+        assert!(s.chaos.in_blackout(Delay::from_secs(41.0)));
+        assert!(
+            !s.chaos.in_blackout(Delay::from_secs(55.0)),
+            "end exclusive"
+        );
+        assert!(
+            s.chaos.in_blackout(Delay::from_secs(10.0)),
+            "start inclusive"
+        );
+        let back = Scenario::parse(&s.to_string()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(s.to_string(), back.to_string());
+    }
+
+    #[test]
+    fn non_finite_weibull_shapes_rejected() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!(
+                "scenario a\nfailures shape {bad} scale 10s repair-shape 1 repair-scale 5s\n"
+            );
+            let e = Scenario::parse(&text).unwrap_err();
+            assert!(e.message.contains("finite"), "{bad}: {}", e.message);
+            let text = format!(
+                "scenario a\nfailures shape 1 scale 10s repair-shape {bad} repair-scale 5s\n"
+            );
+            Scenario::parse(&text).unwrap_err();
+        }
+    }
+
+    #[test]
     fn wrong_arity_reports_usage_not_unknown_directive() {
         for bad in [
             "scenario a\nduration 10s 20s\n",
             "scenario a\nepoch\n",
             "scenario a\nseed 1 2\n",
             "scenario a\nlarge-priority\n",
+            "scenario a\ncontroller blackout 5s\n",
+            "scenario a\ninstall\n",
+            "scenario a\ninstall drop 0.5\n",
+            "scenario a\nmeasure stale\n",
+            "scenario a\noptimize budget\n",
         ] {
             let e = Scenario::parse(bad).unwrap_err();
             assert!(

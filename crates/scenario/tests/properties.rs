@@ -344,3 +344,162 @@ fn flash_crowd_seed_7_is_a_deterministic_200_event_run() {
     assert!(a.records.iter().any(|r| r.what.starts_with("surge")));
     assert!(a.reoptimizations() >= 4);
 }
+
+/// A fixture exercising every `.scn` directive, including the whole
+/// chaos layer — the raw material for the mutation fuzzer below.
+const FUZZ_FIXTURE: &str = "\
+scenario fuzz_fixture
+topology ring 6 600kbps 2ms
+duration 120s
+epoch 10s
+seed 9
+workload flows 2 5 large-prob 0.1
+reoptimize every 30s warmup 15s
+arrivals rate 0.2 max-flows 30
+departures prob 0.1
+failures shape 0.8 scale 90s repair-shape 1.2 repair-scale 30s max-down 2
+diurnal amplitude 0.3 period 60s
+large-priority 2.5
+controller blackout 40s 70s
+install delay 2s
+install drop 0.25 seed 11
+measure stale 10s
+optimize budget 32
+at 20s surge n0 n3 x4
+at 50s fail n1 n2
+at 80s repair n1 n2
+at 90s relax n0 n3
+at 100s reoptimize
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Parser totality on arbitrary bytes: `Scenario::parse` never
+    /// panics — every input either errors or yields a value whose
+    /// canonical `Display` reparses to an equal value.
+    #[test]
+    fn scn_parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(s) = Scenario::parse(&text) {
+            let canon = s.to_string();
+            let back = Scenario::parse(&canon)
+                .map_err(|e| TestCaseError::fail(format!("canonical form must reparse: {e}")))?;
+            prop_assert_eq!(&s, &back, "round trip must be exact");
+            prop_assert_eq!(&canon, &back.to_string(), "Display must be a fixed point");
+        }
+    }
+
+    /// Structured fuzz: corrupt one token of a fully-loaded fixture
+    /// (hostile numbers, wrong units, emoji, stray keywords). The
+    /// parser must reject or the survivor must round-trip — never
+    /// panic, even on overflowing bandwidths or NaN shapes.
+    #[test]
+    fn scn_parser_survives_mutated_fixture_tokens(
+        line_idx in 0usize..64,
+        tok_idx in 0usize..8,
+        junk_idx in 0usize..16,
+        delete_line in any::<bool>(),
+    ) {
+        const JUNK: [&str; 16] = [
+            "-1s", "NaNs", "NaN", "inf", "-inf", "1e308Gbps", "1e400s",
+            "x", "xNaN", "0.0.0", "99999999999999999999999999", "seed",
+            "🦀", "-0.0", "geo", "",
+        ];
+        let mut lines: Vec<String> = FUZZ_FIXTURE.lines().map(str::to_string).collect();
+        let li = line_idx % lines.len();
+        if delete_line {
+            lines.remove(li);
+        } else {
+            let mut toks: Vec<String> =
+                lines[li].split_whitespace().map(str::to_string).collect();
+            let ti = tok_idx % toks.len();
+            toks[ti] = JUNK[junk_idx].to_string();
+            lines[li] = toks.join(" ");
+        }
+        let text = lines.join("\n");
+        if let Ok(s) = Scenario::parse(&text) {
+            let back = Scenario::parse(&s.to_string())
+                .map_err(|e| TestCaseError::fail(format!("canonical form must reparse: {e}")))?;
+            prop_assert_eq!(s, back, "round trip must be exact");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The blackout-recovery property: for any seed and any blackout
+    /// window, the blacked-out run's epoch utility never exceeds the
+    /// uninterrupted run's inside the window (the stale incumbent can
+    /// tie the fresh optimum at best), both runs replay byte-identically,
+    /// and the blackout run is bitwise-equal under the full-recompute
+    /// oracle. Chaos directives draw no extra randomness, so the two
+    /// runs share one event stream and compare epoch-for-epoch.
+    ///
+    /// The timeline is churn-free on purpose: with arrivals between a
+    /// re-optimization and the next epoch, fresh rules are tuned to the
+    /// re-optimization instant rather than the epoch's demand, and tiny
+    /// legitimate reversals appear. Against a static post-surge matrix
+    /// the comparison is exact, so the slack can stay at 1e-9.
+    #[test]
+    fn blackout_never_beats_the_uninterrupted_run(
+        seed in any::<u64>(),
+        w1 in 25u64..55,
+        len in 30u64..50,
+    ) {
+        let w2 = (w1 + len).min(110);
+        let surge_at = w1 + 5; // the flash crowd lands mid-blackout
+        let base_text = format!(
+            "scenario dominance\n\
+             topology ring 6 600kbps 2ms\n\
+             duration 120s\n\
+             epoch 10s\n\
+             workload flows 2 5\n\
+             reoptimize every 20s warmup 10s\n\
+             at {surge_at}s surge n0 n3 x6\n"
+        );
+        let clean_spec = Scenario::parse(&base_text).unwrap();
+        let dark_spec =
+            Scenario::parse(&format!("{base_text}controller blackout {w1}s {w2}s\n")).unwrap();
+
+        let clean = run(&clean_spec, seed).unwrap();
+        let dark = run(&dark_spec, seed).unwrap();
+
+        let epochs = |log: &fubar_scenario::ScenarioLog| {
+            log.records
+                .iter()
+                .filter(|r| r.what.starts_with("epoch"))
+                .map(|r| (r.time_s, r.utility))
+                .collect::<Vec<_>>()
+        };
+        let ce = epochs(&clean);
+        let de = epochs(&dark);
+        prop_assert_eq!(ce.len(), de.len(), "epoch schedules must align");
+        let mut in_window = 0;
+        for (&(ct, cu), &(dt, du)) in ce.iter().zip(&de) {
+            prop_assert_eq!(ct.to_bits(), dt.to_bits(), "epoch times must align");
+            if ct >= w1 as f64 && ct < w2 as f64 {
+                in_window += 1;
+                prop_assert!(
+                    du <= cu + 1e-9,
+                    "blackout run beat the uninterrupted run at t={}: {} > {}",
+                    ct, du, cu
+                );
+            }
+        }
+        prop_assert!(in_window >= 2, "window [{}, {}) must cover epochs", w1, w2);
+
+        prop_assert_eq!(
+            dark.to_text(),
+            run(&dark_spec, seed).unwrap().to_text(),
+            "blackout run must replay byte-identically"
+        );
+        let full = driver::run_oracle_at(&dark_spec, seed, driver::OracleMode::Full, None)
+            .unwrap()
+            .to_text();
+        prop_assert_eq!(dark.to_text(), full, "full oracle must agree bitwise");
+    }
+}

@@ -142,6 +142,12 @@ pub struct ClosedLoopConfig {
     pub drift: Option<DriftConfig>,
     /// Scheduled failures.
     pub failures: Vec<FailureEvent>,
+    /// Controller blackout windows as half-open epoch ranges
+    /// `[start, end)`: re-optimizations due inside a window are
+    /// skipped (recorded via [`LoopRecord::skipped`]) and a catch-up
+    /// run fires at the first epoch after the window if anything was
+    /// suppressed.
+    pub blackouts: Vec<(usize, usize)>,
     /// RNG seed for drift and measurement noise.
     pub seed: u64,
 }
@@ -153,6 +159,7 @@ impl Default for ClosedLoopConfig {
             controller: FubarController::default(),
             drift: None,
             failures: Vec::new(),
+            blackouts: Vec::new(),
             seed: 1,
         }
     }
@@ -170,6 +177,9 @@ pub struct LoopRecord {
     /// Whether the re-optimization warm-started from the previous
     /// allocation.
     pub warm: bool,
+    /// A re-optimization was due this epoch but suppressed by a
+    /// controller blackout window — the stale incumbent kept serving.
+    pub skipped: bool,
     /// Links currently failed.
     pub failed_links: usize,
 }
@@ -269,6 +279,9 @@ impl ClosedLoop {
     /// Runs the loop for `epochs` epochs and returns the per-epoch log.
     pub fn run(&mut self, epochs: usize) -> Vec<LoopRecord> {
         let mut log = Vec::with_capacity(epochs);
+        // A due-but-blacked-out run leaves a debt: the controller
+        // catches up at the first epoch outside every window.
+        let mut catchup_due = false;
         for epoch in 0..epochs {
             self.apply_failures(epoch);
             self.apply_drift();
@@ -277,7 +290,20 @@ impl ClosedLoop {
             self.estimator
                 .observe(self.fabric.counters(), self.fabric.epoch_duration());
 
-            let reoptimized = self.config.controller.should_run(epoch);
+            let blacked_out = self
+                .config
+                .blackouts
+                .iter()
+                .any(|&(from, until)| epoch >= from && epoch < until);
+            let due = self.config.controller.should_run(epoch);
+            let skipped = due && blacked_out;
+            if skipped {
+                catchup_due = true;
+            }
+            let reoptimized = (due || catchup_due) && !blacked_out;
+            if reoptimized {
+                catchup_due = false;
+            }
             let mut commits = None;
             let mut warm = false;
             if reoptimized {
@@ -298,6 +324,7 @@ impl ClosedLoop {
                 reoptimized,
                 commits,
                 warm,
+                skipped,
                 failed_links: self.fabric.failed_links().len(),
             });
         }
@@ -501,6 +528,38 @@ mod tests {
             warm_u >= cold_u - 0.01,
             "warm start must stay within 1% mean utility: {warm_u} vs {cold_u}"
         );
+    }
+
+    #[test]
+    fn blackout_skips_due_runs_and_catches_up_on_wake() {
+        let fabric = small_fabric();
+        let cfg = ClosedLoopConfig {
+            controller: FubarController {
+                reoptimize_every: 2,
+                warmup_epochs: 1,
+                ..Default::default()
+            },
+            // Due epochs are 1, 3, 5, 7, 9; the window swallows 3 and 5.
+            blackouts: vec![(3, 6)],
+            ..Default::default()
+        };
+        let mut looper = ClosedLoop::new(fabric, cfg);
+        let log = looper.run(10);
+        assert!(log[1].reoptimized && !log[1].skipped);
+        for (e, r) in log.iter().enumerate().take(6).skip(3) {
+            assert!(!r.reoptimized, "epoch {e} is inside the blackout");
+        }
+        assert!(log[3].skipped && log[5].skipped, "due runs are recorded");
+        assert!(!log[4].skipped, "epoch 4 was never due");
+        assert!(
+            log[6].reoptimized,
+            "first epoch after the window catches up even though it is off-schedule"
+        );
+        assert!(log[7].reoptimized && log[9].reoptimized, "schedule resumes");
+        // The stale incumbent kept serving: utility never NaNs or dies.
+        for r in &log {
+            assert!(r.epoch.report.network_utility.is_finite());
+        }
     }
 
     #[test]

@@ -134,6 +134,12 @@ pub struct Fabric {
     dirty_list: Vec<u32>,
     dirty_links: Vec<fubar_graph::LinkId>,
     dirty_all: bool,
+    /// Rule sets staged by [`Fabric::stage`] but not yet committed —
+    /// in-flight installs under `install delay` / `install drop` chaos.
+    /// Tickets are handed out monotonically; the queue stays in ticket
+    /// order because staging order is commit order.
+    staged: Vec<(u64, RuleSet)>,
+    next_ticket: u64,
 }
 
 impl Fabric {
@@ -163,6 +169,8 @@ impl Fabric {
             dirty_list: Vec::new(),
             dirty_links: Vec::new(),
             dirty_all: false,
+            staged: Vec::new(),
+            next_ticket: 0,
         }
     }
 
@@ -269,6 +277,53 @@ impl Fabric {
     /// Currently installed rules.
     pub fn rules(&self) -> &RuleSet {
         &self.rules
+    }
+
+    /// Stages a rule set for a later [`Fabric::commit_staged`] — the
+    /// in-flight half of a delayed or droppable install. The previous
+    /// rules keep serving until the commit lands; a
+    /// [`Fabric::discard_staged`] models the install being lost with
+    /// the previous group still live. Returns the ticket identifying
+    /// this install.
+    pub fn stage(&mut self, rules: RuleSet) -> u64 {
+        assert_eq!(
+            rules.len(),
+            self.true_tm.len(),
+            "rules must cover every aggregate"
+        );
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.staged.push((ticket, rules));
+        ticket
+    }
+
+    /// Commits a staged install: the ticket's rules become live. Any
+    /// older tickets still pending are discarded — a newer install
+    /// supersedes them, exactly as a real switch applies the last
+    /// write. Returns false (a no-op) if the ticket is unknown or was
+    /// already superseded.
+    pub fn commit_staged(&mut self, ticket: u64) -> bool {
+        let Some(i) = self.staged.iter().position(|&(t, _)| t == ticket) else {
+            return false;
+        };
+        let (_, rules) = self.staged.swap_remove(i);
+        self.staged.retain(|&(t, _)| t > ticket);
+        self.install(rules);
+        true
+    }
+
+    /// Drops a staged install without applying it (the seeded
+    /// `install drop` coin came up tails): the previously live rules
+    /// keep serving. Returns false if the ticket is unknown.
+    pub fn discard_staged(&mut self, ticket: u64) -> bool {
+        let before = self.staged.len();
+        self.staged.retain(|&(t, _)| t != ticket);
+        self.staged.len() != before
+    }
+
+    /// Number of installs currently in flight.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
     }
 
     /// Replaces one aggregate's installed group in place — a
@@ -727,6 +782,48 @@ mod tests {
             before.report.network_utility,
             after.report.network_utility
         );
+    }
+
+    #[test]
+    fn staged_installs_commit_drop_and_supersede() {
+        let mut f = fixture();
+        let before = f.run_epoch();
+        let result = fubar_core::Optimizer::with_defaults(f.topology(), f.true_tm()).run();
+        let optimized = RuleSet::from_allocation(&result.allocation, f.true_tm());
+
+        // Staging alone changes nothing: the previous group serves.
+        let t0 = f.stage(optimized.clone());
+        assert_eq!(f.staged_len(), 1);
+        let r = f.run_epoch();
+        assert_eq!(
+            r.report.network_utility, before.report.network_utility,
+            "staged rules must not serve traffic before their commit"
+        );
+
+        // A dropped install leaves the previous group live.
+        assert!(f.discard_staged(t0));
+        assert!(!f.discard_staged(t0), "double discard is a no-op");
+        assert_eq!(f.staged_len(), 0);
+        let r = f.run_epoch();
+        assert_eq!(r.report.network_utility, before.report.network_utility);
+
+        // A committed install goes live.
+        let t1 = f.stage(optimized.clone());
+        assert!(f.commit_staged(t1));
+        let r = f.run_epoch();
+        assert!(r.report.network_utility > before.report.network_utility);
+
+        // A newer commit supersedes an older in-flight ticket.
+        let old = f.stage(RuleSet::from_allocation(
+            &fubar_core::Allocation::all_on_shortest_paths(f.topology(), f.true_tm()),
+            f.true_tm(),
+        ));
+        let new = f.stage(optimized);
+        assert!(f.commit_staged(new));
+        assert!(!f.commit_staged(old), "superseded ticket must not apply");
+        assert_eq!(f.staged_len(), 0);
+        let r = f.run_epoch();
+        assert!(r.report.network_utility > before.report.network_utility);
     }
 
     #[test]

@@ -300,10 +300,13 @@ impl std::str::FromStr for Bandwidth {
             .trim()
             .parse()
             .map_err(|e| format!("bad bandwidth number in {s:?}: {e}"))?;
-        if v < 0.0 || !v.is_finite() {
-            return Err(format!("bandwidth must be non-negative: {s:?}"));
+        // Check the *scaled* value: a finite mantissa times 1e9 can
+        // still overflow to infinity, which `from_bps` rejects by panic.
+        let bps = v * mult;
+        if bps < 0.0 || !bps.is_finite() {
+            return Err(format!("bandwidth must be non-negative and finite: {s:?}"));
         }
-        Ok(Bandwidth::from_bps(v * mult))
+        Ok(Bandwidth::from_bps(bps))
     }
 }
 

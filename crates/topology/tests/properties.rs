@@ -104,3 +104,72 @@ proptest! {
         }
     }
 }
+
+/// A fixture exercising every `.topo` directive — geo and plain nodes,
+/// duplex/simplex links, explicit and geo-derived delays — raw material
+/// for the mutation fuzzer below.
+const FUZZ_FIXTURE: &str = "\
+topology fuzz_fixture
+node a 40.7 -74.0
+node b 34.0 -118.2
+node c
+link a b 3000000bps geo
+link b c 800000bps 0.002s
+simplex c a 500000bps 0.004s
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Parser totality on arbitrary bytes: `format::parse` never
+    /// panics — every input either errors or yields a topology whose
+    /// canonical serialization round-trips bitwise.
+    #[test]
+    fn topo_parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(t) = format::parse(&text) {
+            let canon = format::serialize(&t);
+            let back = format::parse(&canon)
+                .map_err(|e| TestCaseError::fail(format!("canonical form must reparse: {e}")))?;
+            prop_assert_eq!(&t, &back, "round trip must be bitwise-exact");
+            prop_assert_eq!(&canon, &format::serialize(&back));
+        }
+    }
+
+    /// Structured fuzz: corrupt one token of a valid file (hostile
+    /// numbers, overflowing bandwidths, wrong units, out-of-range
+    /// coordinates). Reject or round-trip — never panic.
+    #[test]
+    fn topo_parser_survives_mutated_fixture_tokens(
+        line_idx in 0usize..64,
+        tok_idx in 0usize..8,
+        junk_idx in 0usize..16,
+        delete_line in any::<bool>(),
+    ) {
+        const JUNK: [&str; 16] = [
+            "-1s", "NaN", "inf", "-inf", "1e308Gbps", "1e400s", "geo",
+            "0.0.0", "99999999999999999999999999bps", "node", "-91.0",
+            "181.0", "🦀", "-0.0", "a", "",
+        ];
+        let mut lines: Vec<String> = FUZZ_FIXTURE.lines().map(str::to_string).collect();
+        let li = line_idx % lines.len();
+        if delete_line {
+            lines.remove(li);
+        } else {
+            let mut toks: Vec<String> =
+                lines[li].split_whitespace().map(str::to_string).collect();
+            let ti = tok_idx % toks.len();
+            toks[ti] = JUNK[junk_idx].to_string();
+            lines[li] = toks.join(" ");
+        }
+        let text = lines.join("\n");
+        if let Ok(t) = format::parse(&text) {
+            let canon = format::serialize(&t);
+            let back = format::parse(&canon)
+                .map_err(|e| TestCaseError::fail(format!("canonical form must reparse: {e}")))?;
+            prop_assert_eq!(t, back, "round trip must be bitwise-exact");
+        }
+    }
+}

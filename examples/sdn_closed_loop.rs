@@ -57,6 +57,7 @@ fn main() {
                 repair_epoch: Some(14),
                 link: cut,
             }],
+            blackouts: Vec::new(),
             seed: 3,
         },
     );

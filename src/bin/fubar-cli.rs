@@ -64,7 +64,27 @@
 //!     greedy passes over isolated bottleneck components before the
 //!     global loop, on `--pass-threads N` workers: for a fixed flag
 //!     setting the log is byte-identical at any thread count.
+//!
+//! fubar-cli scenario search <name|file.scn> [--seed N] [--candidates K]
+//!                           [--name NAME] [--out file.scn]
+//!                           [--check file.scn] [--smoke]
+//!     Adversarial worst-case search: run K seeded perturbations of the
+//!     base scenario (outage placement, surge timing/magnitude,
+//!     controller blackout windows), score each by utility loss plus
+//!     recovery time, and print the argmax as a committable `.scn`
+//!     (stdout, or --out). Deterministic: same base + --seed +
+//!     --candidates always re-finds the same worst case. --check FILE
+//!     re-runs the search and fails unless the winner equals the
+//!     committed spec in FILE (CI holds the chaos catalog to this).
+//!     --smoke bounds the run (few candidates, capped duration) for
+//!     quick pipeline checks.
 //! ```
+//!
+//! Exit codes are distinct and scriptable: `0` success, `2` usage
+//! errors (bad flags/arity), `65` data errors (parse/validation
+//! failures, failed `--check`), `66` unknown catalog names or missing
+//! input files, `74` I/O failures. Every failure prints a one-line
+//! `error: ...` diagnostic to stderr.
 
 use fubar::core::baselines;
 use fubar::prelude::*;
@@ -75,6 +95,62 @@ use fubar::topology::generators;
 use fubar::traffic::format as tm_format;
 use fubar::traffic::workload;
 use std::process::ExitCode;
+
+/// A classified CLI failure: every variant maps to its own exit code
+/// (sysexits-flavored) so scripts and CI can tell a typo'd flag from a
+/// corrupt spec from a missing file without scraping stderr.
+enum CliError {
+    /// Bad arguments: wrong arity, unknown flag, unparsable number.
+    Usage(String),
+    /// The input was found but is invalid: parse or validation failure.
+    Data(String),
+    /// Unknown catalog name or nonexistent input file.
+    NotFound(String),
+    /// The OS failed us: read/write errors on files that should work.
+    Io(String),
+}
+
+impl CliError {
+    fn usage(m: impl Into<String>) -> Self {
+        CliError::Usage(m.into())
+    }
+    fn data(m: impl Into<String>) -> Self {
+        CliError::Data(m.into())
+    }
+    fn not_found(m: impl Into<String>) -> Self {
+        CliError::NotFound(m.into())
+    }
+    fn io(m: impl Into<String>) -> Self {
+        CliError::Io(m.into())
+    }
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Data(_) => 65,
+            CliError::NotFound(_) => 66,
+            CliError::Io(_) => 74,
+        }
+    }
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Data(m) | CliError::NotFound(m) | CliError::Io(m) => m,
+        }
+    }
+}
+
+type CliResult = Result<(), CliError>;
+
+/// Reads a file, classifying "no such file" apart from real I/O trouble.
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| match e.kind() {
+        std::io::ErrorKind::NotFound => CliError::not_found(format!("{path}: {e}")),
+        _ => CliError::io(format!("{path}: {e}")),
+    })
+}
+
+fn write_file(path: &str, text: &str) -> CliResult {
+    std::fs::write(path, text).map_err(|e| CliError::io(format!("{path}: {e}")))
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -89,43 +165,51 @@ fn usage() -> ExitCode {
          fubar-cli scenario show <name|file.scn>\n  \
          fubar-cli scenario run <name|file.scn> [--seed N] [--out log.txt] \
          [--oracle sharded|flat|full] [--stats] \
-         [--fill-threads N] [--parallel-passes] [--pass-threads N]"
+         [--fill-threads N] [--parallel-passes] [--pass-threads N]\n  \
+         fubar-cli scenario search <name|file.scn> [--seed N] [--candidates K] \
+         [--name NAME] [--out file.scn] [--check file.scn] [--smoke]"
     );
-    ExitCode::FAILURE
+    ExitCode::from(2)
 }
 
-fn load(topo_path: &str, tm_path: &str) -> Result<(Topology, TrafficMatrix), String> {
-    let topo_text = std::fs::read_to_string(topo_path).map_err(|e| format!("{topo_path}: {e}"))?;
-    let topo = topo_format::parse(&topo_text).map_err(|e| format!("{topo_path}: {e}"))?;
-    let tm_text = std::fs::read_to_string(tm_path).map_err(|e| format!("{tm_path}: {e}"))?;
-    let tm = tm_format::parse(&tm_text, &topo).map_err(|e| format!("{tm_path}: {e}"))?;
+fn load(topo_path: &str, tm_path: &str) -> Result<(Topology, TrafficMatrix), CliError> {
+    let topo_text = read_file(topo_path)?;
+    let topo =
+        topo_format::parse(&topo_text).map_err(|e| CliError::data(format!("{topo_path}: {e}")))?;
+    let tm_text = read_file(tm_path)?;
+    let tm =
+        tm_format::parse(&tm_text, &topo).map_err(|e| CliError::data(format!("{tm_path}: {e}")))?;
     Ok((topo, tm))
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> CliResult {
     let [kind, mbps, seed] = args else {
-        return Err("generate needs <he|abilene> <capacity_mbps> <seed>".into());
+        return Err(CliError::usage(
+            "generate needs <he|abilene> <capacity_mbps> <seed>",
+        ));
     };
-    let mbps: f64 = mbps.parse().map_err(|e| format!("bad capacity: {e}"))?;
-    let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+    let mbps: f64 = mbps
+        .parse()
+        .map_err(|e| CliError::usage(format!("bad capacity: {e}")))?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|e| CliError::usage(format!("bad seed: {e}")))?;
     let topo = match kind.as_str() {
         "he" => generators::he_core(Bandwidth::from_mbps(mbps)),
         "abilene" => generators::abilene(Bandwidth::from_mbps(mbps)),
-        other => return Err(format!("unknown topology kind {other:?}")),
+        other => return Err(CliError::usage(format!("unknown topology kind {other:?}"))),
     };
     let tm = workload::generate(&topo, &WorkloadConfig::default(), seed);
     let base = format!("{}-s{seed}", topo.name());
-    std::fs::write(format!("{base}.topo"), topo_format::serialize(&topo))
-        .map_err(|e| e.to_string())?;
-    std::fs::write(format!("{base}.tm"), tm_format::serialize(&tm, &topo))
-        .map_err(|e| e.to_string())?;
+    write_file(&format!("{base}.topo"), &topo_format::serialize(&topo))?;
+    write_file(&format!("{base}.tm"), &tm_format::serialize(&tm, &topo))?;
     println!("wrote {base}.topo and {base}.tm ({} aggregates)", tm.len());
     Ok(())
 }
 
-fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+fn cmd_evaluate(args: &[String]) -> CliResult {
     let [topo_path, tm_path] = args else {
-        return Err("evaluate needs <file.topo> <file.tm>".into());
+        return Err(CliError::usage("evaluate needs <file.topo> <file.tm>"));
     };
     let (topo, tm) = load(topo_path, tm_path)?;
     println!("{}", topo.summary());
@@ -152,9 +236,9 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_optimize(args: &[String]) -> Result<(), String> {
+fn cmd_optimize(args: &[String]) -> CliResult {
     if args.len() < 2 {
-        return Err("optimize needs <file.topo> <file.tm>".into());
+        return Err(CliError::usage("optimize needs <file.topo> <file.tm>"));
     }
     let (topo, tm) = load(&args[0], &args[1])?;
     let mut cfg = OptimizerConfig::default();
@@ -167,11 +251,11 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                 i += 1;
                 trace_path = Some(
                     args.get(i)
-                        .ok_or_else(|| "--trace needs a file".to_string())?
+                        .ok_or_else(|| CliError::usage("--trace needs a file"))?
                         .clone(),
                 );
             }
-            other => return Err(format!("unknown flag {other:?}")),
+            other => return Err(CliError::usage(format!("unknown flag {other:?}"))),
         }
         i += 1;
     }
@@ -190,7 +274,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         last.congested_links
     );
     if let Some(path) = trace_path {
-        std::fs::write(&path, result.trace.to_csv()).map_err(|e| e.to_string())?;
+        write_file(&path, &result.trace.to_csv())?;
         println!("trace written to {path}");
     }
     println!("# computed splits (aggregate, flows, path)");
@@ -215,26 +299,28 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
 }
 
 /// Loads a topology by catalog name or from a `.topo` file.
-fn load_topology(what: &str) -> Result<Topology, String> {
+fn load_topology(what: &str) -> Result<Topology, CliError> {
     if let Some(t) = topo_catalog::load(what) {
         return Ok(t);
     }
     if std::path::Path::new(what).exists() {
-        let text = std::fs::read_to_string(what).map_err(|e| format!("{what}: {e}"))?;
-        return topo_format::parse(&text).map_err(|e| format!("{what}: {e}"));
+        let text = read_file(what)?;
+        return topo_format::parse(&text).map_err(|e| CliError::data(format!("{what}: {e}")));
     }
     if let Some(text) = topo_catalog::find(what) {
-        return topo_format::parse(text).map_err(|e| format!("{what}: {e}"));
+        return topo_format::parse(text).map_err(|e| CliError::data(format!("{what}: {e}")));
     }
-    Err(format!(
+    Err(CliError::not_found(format!(
         "{what:?} is neither a bundled topology ({}) nor a .topo file",
         topo_catalog::names().join(", ")
-    ))
+    )))
 }
 
-fn cmd_topology(args: &[String]) -> Result<(), String> {
+fn cmd_topology(args: &[String]) -> CliResult {
     let Some(sub) = args.first() else {
-        return Err("topology needs a subcommand: list, show, export, or validate".into());
+        return Err(CliError::usage(
+            "topology needs a subcommand: list, show, export, or validate",
+        ));
     };
     match sub.as_str() {
         "list" => {
@@ -246,7 +332,7 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
         }
         "show" => {
             let [what] = &args[1..] else {
-                return Err("show needs <name|file.topo>".into());
+                return Err(CliError::usage("show needs <name|file.topo>"));
             };
             print!("{}", topo_format::serialize(&load_topology(what)?));
             Ok(())
@@ -256,58 +342,64 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
                 [kind, mbps] => (kind, mbps, None),
                 [kind, mbps, out] => (kind, mbps, Some(out.clone())),
                 _ => {
-                    return Err(
+                    return Err(CliError::usage(
                         "export needs <he|abilene|hypergrowth|planetary> <capacity_mbps> \
-                         [out.topo]"
-                            .into(),
-                    )
+                         [out.topo]",
+                    ))
                 }
             };
-            let mbps: f64 = mbps.parse().map_err(|e| format!("bad capacity: {e}"))?;
+            let mbps: f64 = mbps
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad capacity: {e}")))?;
             let cap = Bandwidth::from_mbps(mbps);
             let topo = match kind.as_str() {
                 "he" => generators::he_core(cap),
                 "abilene" => generators::abilene(cap),
                 "hypergrowth" => generators::hypergrowth(8, 8, cap),
                 "planetary" => generators::planetary(16, 16, cap),
-                other => return Err(format!("unknown topology kind {other:?}")),
+                other => return Err(CliError::usage(format!("unknown topology kind {other:?}"))),
             };
             let out = out.unwrap_or_else(|| format!("{}.topo", topo.name()));
-            std::fs::write(&out, topo_format::serialize(&topo)).map_err(|e| e.to_string())?;
+            write_file(&out, &topo_format::serialize(&topo))?;
             println!("wrote {out} ({})", topo.summary());
             Ok(())
         }
         "validate" => {
             if args.len() < 2 {
-                return Err("validate needs at least one <name|file.topo>".into());
+                return Err(CliError::usage(
+                    "validate needs at least one <name|file.topo>",
+                ));
             }
             for what in &args[1..] {
                 let t = load_topology(what)?;
                 if !t.is_connected() {
-                    return Err(format!("{what}: not strongly connected"));
+                    return Err(CliError::data(format!("{what}: not strongly connected")));
                 }
                 // The round-trip invariant, proven on the actual artifact:
                 // parse(serialize(t)) must be bitwise-identical (names,
                 // coordinates, capacities, delays, link structure), and
                 // the canonical serialization must be a fixed point.
                 let text = topo_format::serialize(&t);
-                let back = topo_format::parse(&text)
-                    .map_err(|e| format!("{what}: canonical form failed to reparse: {e}"))?;
+                let back = topo_format::parse(&text).map_err(|e| {
+                    CliError::data(format!("{what}: canonical form failed to reparse: {e}"))
+                })?;
                 if back != t {
-                    return Err(format!(
+                    return Err(CliError::data(format!(
                         "{what}: serialize∘parse round trip is not bitwise-exact"
-                    ));
+                    )));
                 }
                 if topo_format::serialize(&back) != text {
-                    return Err(format!(
+                    return Err(CliError::data(format!(
                         "{what}: canonical serialization is not a fixed point"
-                    ));
+                    )));
                 }
                 println!("ok {what}: {} (round trip bitwise-exact)", t.summary());
             }
             Ok(())
         }
-        other => Err(format!("unknown topology subcommand {other:?}")),
+        other => Err(CliError::usage(format!(
+            "unknown topology subcommand {other:?}"
+        ))),
     }
 }
 
@@ -315,25 +407,241 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
 /// specs, also returns the `.scn` file's directory so `topology file`
 /// paths inside it resolve relative to the spec, not the working
 /// directory.
-fn load_scenario(what: &str) -> Result<(Scenario, Option<std::path::PathBuf>), String> {
+fn load_scenario(what: &str) -> Result<(Scenario, Option<std::path::PathBuf>), CliError> {
     if let Some(s) = catalog::load(what) {
         return Ok((s, None));
     }
     let path = std::path::Path::new(what);
     if path.exists() {
-        let text = std::fs::read_to_string(what).map_err(|e| format!("{what}: {e}"))?;
-        let s = Scenario::parse(&text).map_err(|e| format!("{what}: {e}"))?;
+        let text = read_file(what)?;
+        let s = Scenario::parse(&text).map_err(|e| CliError::data(format!("{what}: {e}")))?;
         return Ok((s, path.parent().map(|p| p.to_path_buf())));
     }
-    Err(format!(
+    Err(CliError::not_found(format!(
         "{what:?} is neither a bundled scenario ({}) nor a spec file",
         catalog::names().join(", ")
-    ))
+    )))
 }
 
-fn cmd_scenario(args: &[String]) -> Result<(), String> {
+fn cmd_scenario_run(args: &[String]) -> CliResult {
+    if args.len() < 2 {
+        return Err(CliError::usage(
+            "run needs <name|file.scn> [--seed N] [--out file] [--oracle mode] [--stats] \
+             [--fill-threads N] [--parallel-passes] [--pass-threads N]",
+        ));
+    }
+    let (spec, base) = load_scenario(&args[1])?;
+    let mut seed = spec.seed;
+    let mut out: Option<String> = None;
+    let mut mode = fubar::scenario::OracleMode::Sharded;
+    let mut stats = false;
+    let mut knobs = fubar::scenario::ParallelKnobs::default();
+    let positive = |flag: &str, v: Option<&String>| -> Result<usize, CliError> {
+        let n: usize = v
+            .ok_or_else(|| CliError::usage(format!("{flag} needs a thread count")))?
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad {flag}: {e}")))?;
+        if n == 0 {
+            return Err(CliError::usage(format!("{flag} must be >= 1")));
+        }
+        Ok(n)
+    };
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => stats = true,
+            "--parallel-passes" => knobs.parallel_passes = true,
+            "--fill-threads" => {
+                i += 1;
+                knobs.fill_threads = positive("--fill-threads", args.get(i))?;
+            }
+            "--pass-threads" => {
+                i += 1;
+                knobs.pass_threads = positive("--pass-threads", args.get(i))?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .ok_or_else(|| CliError::usage("--seed needs a value"))?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("bad seed: {e}")))?;
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--out needs a file"))?
+                        .clone(),
+                );
+            }
+            "--oracle" => {
+                i += 1;
+                mode = match args
+                    .get(i)
+                    .ok_or_else(|| CliError::usage("--oracle needs sharded|flat|full"))?
+                    .as_str()
+                {
+                    // "incremental" predates the sharded loop;
+                    // it keeps selecting the default
+                    // incremental path, which now shards.
+                    "sharded" | "incremental" => fubar::scenario::OracleMode::Sharded,
+                    "flat" => fubar::scenario::OracleMode::Flat,
+                    "full" => fubar::scenario::OracleMode::Full,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "--oracle must be sharded, flat, or full, not {other:?}"
+                        )))
+                    }
+                };
+            }
+            other => return Err(CliError::usage(format!("unknown flag {other:?}"))),
+        }
+        i += 1;
+    }
+    let base = base.as_deref();
+    let (log, run_stats) = if stats {
+        let (log, s) =
+            fubar::scenario::run_with_stats_oracle_knobs_at(&spec, seed, mode, base, knobs)
+                .map_err(|e| CliError::data(e.to_string()))?;
+        (log, Some(s))
+    } else {
+        (
+            fubar::scenario::run_oracle_knobs_at(&spec, seed, mode, base, knobs)
+                .map_err(|e| CliError::data(e.to_string()))?,
+            None,
+        )
+    };
+    match out {
+        Some(path) => {
+            write_file(&path, &log.to_text())?;
+            println!("log written to {path}");
+        }
+        None => print!("{}", log.to_text()),
+    }
+    eprintln!("{}", log.summary());
+    if let Some(s) = run_stats {
+        eprintln!("{}", s.render());
+    }
+    Ok(())
+}
+
+fn cmd_scenario_search(args: &[String]) -> CliResult {
+    if args.len() < 2 {
+        return Err(CliError::usage(
+            "search needs <name|file.scn> [--seed N] [--candidates K] [--name NAME] \
+             [--out file.scn] [--check file.scn] [--smoke]",
+        ));
+    }
+    let (mut spec, base) = load_scenario(&args[1])?;
+    let mut seed: u64 = 1;
+    let mut candidates: usize = 24;
+    let mut name: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut smoke = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .ok_or_else(|| CliError::usage("--seed needs a value"))?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("bad seed: {e}")))?;
+            }
+            "--candidates" => {
+                i += 1;
+                candidates = args
+                    .get(i)
+                    .ok_or_else(|| CliError::usage("--candidates needs a count"))?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("bad --candidates: {e}")))?;
+                if candidates == 0 {
+                    return Err(CliError::usage("--candidates must be >= 1"));
+                }
+            }
+            "--name" => {
+                i += 1;
+                name = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--name needs a value"))?
+                        .clone(),
+                );
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--out needs a file"))?
+                        .clone(),
+                );
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--check needs a file"))?
+                        .clone(),
+                );
+            }
+            other => return Err(CliError::usage(format!("unknown flag {other:?}"))),
+        }
+        i += 1;
+    }
+    if smoke {
+        // Bounded pipeline check: few candidates, short runs. Still
+        // fully deterministic — just cheap enough for every CI push.
+        candidates = candidates.min(3);
+        let cap = fubar::topology::Delay::from_secs(60.0);
+        if spec.duration > cap {
+            spec.duration = cap;
+        }
+    }
+    let name = name.unwrap_or_else(|| format!("{}_worst", spec.name));
+    let outcome = fubar::scenario::search(&spec, &name, seed, candidates, base.as_deref())
+        .map_err(|e| CliError::data(e.to_string()))?;
+    eprintln!(
+        "search: {} candidates over {:?}, winner #{} score {:.4} (base {:.4})",
+        outcome.scores.len(),
+        spec.name,
+        outcome.candidate,
+        outcome.score,
+        outcome.scores[0]
+    );
+    if let Some(path) = &check {
+        let text = read_file(path)?;
+        let committed =
+            Scenario::parse(&text).map_err(|e| CliError::data(format!("{path}: {e}")))?;
+        if committed != outcome.scenario {
+            return Err(CliError::data(format!(
+                "{path}: committed spec does not match the search winner for \
+                 --seed {seed} --candidates {candidates}"
+            )));
+        }
+        println!(
+            "ok {path}: search re-finds the committed worst case (candidate #{}, score {:.4})",
+            outcome.candidate, outcome.score
+        );
+        return Ok(());
+    }
+    match out {
+        Some(path) => {
+            write_file(&path, &outcome.scenario.to_string())?;
+            println!("worst case written to {path}");
+        }
+        None => print!("{}", outcome.scenario),
+    }
+    Ok(())
+}
+
+fn cmd_scenario(args: &[String]) -> CliResult {
     let Some(sub) = args.first() else {
-        return Err("scenario needs a subcommand: list, show, or run".into());
+        return Err(CliError::usage(
+            "scenario needs a subcommand: list, show, run, or search",
+        ));
     };
     match sub.as_str() {
         "list" => {
@@ -350,115 +658,16 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
         }
         "show" => {
             let [what] = &args[1..] else {
-                return Err("show needs <name|file.scn>".into());
+                return Err(CliError::usage("show needs <name|file.scn>"));
             };
             print!("{}", load_scenario(what)?.0);
             Ok(())
         }
-        "run" => {
-            if args.len() < 2 {
-                return Err(
-                    "run needs <name|file.scn> [--seed N] [--out file] [--oracle mode] [--stats] \
-                     [--fill-threads N] [--parallel-passes] [--pass-threads N]"
-                        .into(),
-                );
-            }
-            let (spec, base) = load_scenario(&args[1])?;
-            let mut seed = spec.seed;
-            let mut out: Option<String> = None;
-            let mut mode = fubar::scenario::OracleMode::Sharded;
-            let mut stats = false;
-            let mut knobs = fubar::scenario::ParallelKnobs::default();
-            let positive = |flag: &str, v: Option<&String>| -> Result<usize, String> {
-                let n: usize = v
-                    .ok_or_else(|| format!("{flag} needs a thread count"))?
-                    .parse()
-                    .map_err(|e| format!("bad {flag}: {e}"))?;
-                if n == 0 {
-                    return Err(format!("{flag} must be >= 1"));
-                }
-                Ok(n)
-            };
-            let mut i = 2;
-            while i < args.len() {
-                match args[i].as_str() {
-                    "--stats" => stats = true,
-                    "--parallel-passes" => knobs.parallel_passes = true,
-                    "--fill-threads" => {
-                        i += 1;
-                        knobs.fill_threads = positive("--fill-threads", args.get(i))?;
-                    }
-                    "--pass-threads" => {
-                        i += 1;
-                        knobs.pass_threads = positive("--pass-threads", args.get(i))?;
-                    }
-                    "--seed" => {
-                        i += 1;
-                        seed = args
-                            .get(i)
-                            .ok_or_else(|| "--seed needs a value".to_string())?
-                            .parse()
-                            .map_err(|e| format!("bad seed: {e}"))?;
-                    }
-                    "--out" => {
-                        i += 1;
-                        out = Some(
-                            args.get(i)
-                                .ok_or_else(|| "--out needs a file".to_string())?
-                                .clone(),
-                        );
-                    }
-                    "--oracle" => {
-                        i += 1;
-                        mode = match args
-                            .get(i)
-                            .ok_or_else(|| "--oracle needs sharded|flat|full".to_string())?
-                            .as_str()
-                        {
-                            // "incremental" predates the sharded loop;
-                            // it keeps selecting the default
-                            // incremental path, which now shards.
-                            "sharded" | "incremental" => fubar::scenario::OracleMode::Sharded,
-                            "flat" => fubar::scenario::OracleMode::Flat,
-                            "full" => fubar::scenario::OracleMode::Full,
-                            other => {
-                                return Err(format!(
-                                    "--oracle must be sharded, flat, or full, not {other:?}"
-                                ))
-                            }
-                        };
-                    }
-                    other => return Err(format!("unknown flag {other:?}")),
-                }
-                i += 1;
-            }
-            let base = base.as_deref();
-            let (log, run_stats) = if stats {
-                let (log, s) =
-                    fubar::scenario::run_with_stats_oracle_knobs_at(&spec, seed, mode, base, knobs)
-                        .map_err(|e| e.to_string())?;
-                (log, Some(s))
-            } else {
-                (
-                    fubar::scenario::run_oracle_knobs_at(&spec, seed, mode, base, knobs)
-                        .map_err(|e| e.to_string())?,
-                    None,
-                )
-            };
-            match out {
-                Some(path) => {
-                    std::fs::write(&path, log.to_text()).map_err(|e| e.to_string())?;
-                    println!("log written to {path}");
-                }
-                None => print!("{}", log.to_text()),
-            }
-            eprintln!("{}", log.summary());
-            if let Some(s) = run_stats {
-                eprintln!("{}", s.render());
-            }
-            Ok(())
-        }
-        other => Err(format!("unknown scenario subcommand {other:?}")),
+        "run" => cmd_scenario_run(args),
+        "search" => cmd_scenario_search(args),
+        other => Err(CliError::usage(format!(
+            "unknown scenario subcommand {other:?}"
+        ))),
     }
 }
 
@@ -478,8 +687,8 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -204,3 +204,114 @@ fn partitioning_failure_degrades_gracefully() {
     assert!(during > 0.0, "intra-side traffic still flows");
     assert!(after > during, "repair restores utility");
 }
+
+#[test]
+fn total_partition_carries_zero_utility_aggregates_and_revives() {
+    // Ring of 6: cutting both of n0's duplex links isolates it outright
+    // — every aggregate into or out of n0 has *no* physical path. The
+    // loop must keep re-optimizing through the partition (warm start
+    // rebases across the partitioned view), carry the dead aggregates
+    // at zero utility without a single NaN, and revive them on repair.
+    let topo = generators::ring(6, Bandwidth::from_mbps(1.0), Delay::from_ms(2.0));
+    let tm = workload::generate(
+        &topo,
+        &WorkloadConfig {
+            include_intra_pop: false,
+            flow_count: (2, 4),
+            ..Default::default()
+        },
+        5,
+    );
+    let cut_a = topo
+        .graph()
+        .find_link(topo.node("n5").unwrap(), topo.node("n0").unwrap())
+        .unwrap();
+    let cut_b = topo
+        .graph()
+        .find_link(topo.node("n0").unwrap(), topo.node("n1").unwrap())
+        .unwrap();
+    let fabric = Fabric::new(topo, tm, Delay::from_secs(10.0));
+    let mut sim = ClosedLoop::new(
+        fabric,
+        ClosedLoopConfig {
+            controller: FubarController {
+                reoptimize_every: 1,
+                warmup_epochs: 0,
+                ..Default::default()
+            },
+            failures: vec![
+                FailureEvent {
+                    fail_epoch: 2,
+                    repair_epoch: Some(6),
+                    link: cut_a,
+                },
+                FailureEvent {
+                    fail_epoch: 2,
+                    repair_epoch: Some(6),
+                    link: cut_b,
+                },
+            ],
+            ..Default::default()
+        },
+    );
+    let log = sim.run(9);
+    for (i, r) in log.iter().enumerate() {
+        let u = r.epoch.report.network_utility;
+        assert!(
+            u.is_finite(),
+            "epoch {i}: total partition must never produce NaN/inf utility, got {u}"
+        );
+    }
+    assert_eq!(log[3].failed_links, 4, "both duplex pairs down");
+    let before = log[1].epoch.report.network_utility;
+    let during = log[4].epoch.report.network_utility;
+    let after = log[8].epoch.report.network_utility;
+    assert!(during < before, "isolation must hurt: {during} vs {before}");
+    assert!(during > 0.0, "the surviving arc still carries traffic");
+    assert!(
+        after > during,
+        "repair + reoptimization must revive n0's aggregates"
+    );
+    assert!(
+        after > before * 0.9,
+        "recovery: before {before}, after {after}"
+    );
+}
+
+#[test]
+fn chaos_partition_scenario_survives_total_isolation_of_n5() {
+    // The committed worst case found by `scenario search`: the n5-n6
+    // cut at 68s plus the scripted n4-n5 cut at 70s isolates n5 until
+    // the 120s repair, with the optimizer starved to 4 moves per run.
+    // The derived regression: utilities stay finite through the total
+    // partition, the partition hurts, and repairs revive the node.
+    let mut spec = fubar::scenario::catalog::load("chaos_partition").unwrap();
+    spec.duration = fubar::topology::Delay::from_secs(170.0);
+    let log = fubar::scenario::run(&spec, spec.seed).unwrap();
+    let epochs: Vec<(f64, f64)> = log
+        .records
+        .iter()
+        .filter(|r| r.what.starts_with("epoch"))
+        .map(|r| (r.time_s, r.utility))
+        .collect();
+    for &(t, u) in &epochs {
+        assert!(u.is_finite(), "NaN/inf utility at t={t}");
+    }
+    let min_in = |lo: f64, hi: f64| {
+        epochs
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t < hi)
+            .map(|&(_, u)| u)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let before = min_in(16.0, 60.0);
+    let during = min_in(72.0, 120.0);
+    let after = epochs
+        .iter()
+        .filter(|&&(t, _)| t >= 152.0)
+        .map(|&(_, u)| u)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(during < before, "isolation must hurt: {during} vs {before}");
+    assert!(during > 0.0, "the surviving arc still carries traffic");
+    assert!(after > during, "repairs must revive: {after} vs {during}");
+}

@@ -210,7 +210,7 @@ macro_rules! arbitrary_via_standard {
     )*};
 }
 
-arbitrary_via_standard!(bool, u32, u64, f64);
+arbitrary_via_standard!(bool, u8, u32, u64, f64);
 
 /// Type-erased strategy, the building block of [`Union`].
 pub trait StrategyObj<T> {

@@ -59,6 +59,13 @@ impl Standard for u32 {
     }
 }
 
+impl Standard for u8 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
 /// Ranges samplable via [`Rng::gen_range`].
 pub trait SampleRange {
     /// The sampled value type.
