@@ -4,6 +4,7 @@
 //! of the paper's §3) and the Criterion benchmark suite. The binaries
 //! print self-describing CSV/markdown to stdout so the series can be
 //! diffed against the paper's plots; EXPERIMENTS.md records a snapshot.
+#![forbid(unsafe_code)]
 
 use fubar_core::experiments::CaseReport;
 use fubar_core::RunTrace;

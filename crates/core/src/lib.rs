@@ -44,6 +44,7 @@
 //! let initial = result.trace.initial().unwrap().network_utility;
 //! assert!(result.report.network_utility > initial);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod allocation;
 pub mod analysis;

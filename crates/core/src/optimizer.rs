@@ -753,7 +753,7 @@ impl<'a> Optimizer<'a> {
     /// The flat (unsharded) greedy loop — `--oracle flat` and the
     /// full-recompute oracle both land here.
     pub(crate) fn run_flat(&self, initial: Allocation) -> OptimizeResult {
-        let started = Instant::now();
+        let started = Instant::now(); // lint:allow(wall-clock): timing observability only; never feeds a decision
         debug_assert!(initial.validate(self.tm).is_ok());
         let mut alloc = initial;
         let mut incumbent = self.incumbent_for(&alloc);

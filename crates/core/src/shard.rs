@@ -428,6 +428,7 @@ pub(crate) fn run_sharded(
     initial: Allocation,
     shard_count: usize,
 ) -> OptimizeResult {
+    // lint:allow(wall-clock): timing observability only; never feeds a decision
     let started = Instant::now();
     debug_assert!(initial.validate(opt.tm).is_ok());
     let partition = RegionPartition::new(opt.topology, opt.tm, shard_count);
@@ -470,6 +471,7 @@ pub(crate) fn run_sharded(
         let mut winner: Option<(Candidate, usize)> = None;
         for link in congested {
             let owner = partition.shard_of_link(link);
+            // lint:allow(wall-clock): timing observability only; never feeds a decision
             let t0 = Instant::now();
             let found = step_sharded(
                 opt,
@@ -578,6 +580,7 @@ fn run_pass(
     inc0: &Incumbent,
     started: Instant,
 ) -> PassRecord {
+    // lint:allow(wall-clock): timing observability only; never feeds a decision
     let t0 = Instant::now();
     let mut alloc = alloc0.clone();
     let mut incumbent = inc0.clone();
@@ -686,6 +689,7 @@ pub(crate) fn run_parallel_passes(
     initial: Allocation,
     shard_count: usize,
 ) -> OptimizeResult {
+    // lint:allow(wall-clock): timing observability only; never feeds a decision
     let started = Instant::now();
     debug_assert!(initial.validate(opt.tm).is_ok());
     let partition = RegionPartition::new(opt.topology, opt.tm, shard_count);

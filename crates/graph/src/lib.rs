@@ -41,6 +41,7 @@
 //! let p = g.shortest_path(a, c, &excl).unwrap();
 //! assert_eq!(p.cost(), 5.0);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod bellman_ford;
 mod bitset;

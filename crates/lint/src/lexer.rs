@@ -1,0 +1,591 @@
+//! A small hand-rolled Rust lexer — just enough syntax awareness for a
+//! token-level lint pass.
+//!
+//! The build environment is offline (no `syn`, no `proc-macro2`), so this
+//! module implements the subset of Rust lexing the rule engine needs to
+//! avoid false positives from *text* that merely looks like code:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), which Rust allows and naive scanners get wrong;
+//! * string literals with escapes, byte strings, and **raw strings**
+//!   (`r"…"`, `r#"…"#`, any hash depth, plus `br…` byte variants) —
+//!   a `HashMap` mentioned inside a string must not trip a rule;
+//! * char literals vs lifetimes: `'a'` is a char, `'a` is a lifetime,
+//!   `'\n'` is a char, `'_` is a lifetime — disambiguated by lookahead;
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! The lexer also extracts `// lint:allow(<rule>): <justification>`
+//! suppression directives from line comments, recording for each one
+//! whether the comment stands alone on its line (in which case it
+//! targets the next token-bearing line) or trails code (targeting its
+//! own line).
+
+use std::fmt;
+
+/// What kind of token was lexed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `use`, `fn`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A character literal such as `'a'` or `'\n'`.
+    Char,
+    /// A string literal, including byte strings.
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStr,
+    /// A numeric literal.
+    Number,
+    /// A single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text. For strings this is the *content* (without
+    /// quotes); rules only ever match identifiers and punctuation.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// A parsed `// lint:allow(<rule>): <justification>` directive.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification after the closing `): `, trimmed. `None` when
+    /// missing or empty — which the rule engine reports as an error,
+    /// because an allow without a *why* is just a disabled check.
+    pub justification: Option<String>,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// True when the comment is the first thing on its line (targets
+    /// the next token-bearing line); false when it trails code
+    /// (targets its own line).
+    pub standalone: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `lint:allow` directives found in line comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}({:?})@{}:{}",
+            self.kind, self.text, self.line, self.col
+        )
+    }
+}
+
+/// Lexes one Rust source file. Never fails: unterminated literals are
+/// consumed to end of input (the lint must not panic on odd files —
+/// same totality discipline as the `.scn`/`.topo` parsers).
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+    /// Tokens emitted so far on the current line — tells a comment
+    /// whether it trails code.
+    tokens_on_line: usize,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+            tokens_on_line: 0,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.tokens_on_line = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+        self.tokens_on_line += 1;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(line, col),
+                'r' | 'b' if self.try_prefixed_literal(line, col) => {}
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c.is_alphanumeric() || c == '_' => self.ident(line, col),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let standalone = self.tokens_on_line == 0;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if let Some(allow) = parse_allow(&text, line, standalone) {
+            self.out.allows.push(allow);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest: track depth, consume to the
+        // matching close (or end of input).
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        let (line, col) = (self.line, self.col);
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump(); // the escaped character, whatever it is
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                c => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// `'a'` / `'\n'` are chars; `'a` / `'static` / `'_` are lifetimes.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: the char after the backslash is
+                // always part of the escape (so `'\''` works), then scan
+                // to the closing quote.
+                let mut text = String::from('\\');
+                self.bump();
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokenKind::Char, text, line, col);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                // 'x' — a plain one-character literal.
+                self.bump();
+                self.bump();
+                self.push(TokenKind::Char, c.to_string(), line, col);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                // A lifetime: ident chars, no closing quote.
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, text, line, col);
+            }
+            _ => {
+                // Stray quote; emit as punctuation and move on.
+                self.push(TokenKind::Punct, "'".into(), line, col);
+            }
+        }
+    }
+
+    /// Tries to lex a raw/byte literal at an `r` or `b`. Returns false
+    /// (consuming nothing) when this is just an ordinary identifier.
+    fn try_prefixed_literal(&mut self, line: u32, col: u32) -> bool {
+        let mut ahead = 0usize;
+        let first = self.peek(0);
+        if first == Some('b') {
+            ahead += 1;
+        }
+        let raw = self.peek(ahead) == Some('r');
+        if raw {
+            ahead += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        let quote = self.peek(ahead + hashes);
+        match (first, raw, hashes, quote) {
+            // r"…", r#"…"#, br"…", b"…" variants.
+            (_, true, _, Some('"')) | (Some('b'), false, 0, Some('"')) if hashes == 0 || raw => {
+                for _ in 0..ahead + hashes + 1 {
+                    self.bump();
+                }
+                if raw {
+                    self.raw_string_body(hashes, line, col);
+                } else {
+                    // b"…": same escape rules as a normal string; rewind
+                    // is impossible, so inline the body scan.
+                    let mut text = String::new();
+                    while let Some(c) = self.peek(0) {
+                        match c {
+                            '\\' => {
+                                self.bump();
+                                self.bump();
+                            }
+                            '"' => {
+                                self.bump();
+                                break;
+                            }
+                            c => {
+                                text.push(c);
+                                self.bump();
+                            }
+                        }
+                    }
+                    self.push(TokenKind::Str, text, line, col);
+                }
+                true
+            }
+            // b'x' — byte char.
+            (Some('b'), false, 0, Some('\'')) => {
+                self.bump(); // b
+                self.char_or_lifetime(line, col);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Body of a raw string, after the opening quote: scan for `"`
+    /// followed by exactly `hashes` hash marks.
+    fn raw_string_body(&mut self, hashes: usize, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let mut n = 0usize;
+                while n < hashes && self.peek(1 + n) == Some('#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    for _ in 0..hashes + 1 {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::RawStr, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` and `1.sum()` do not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+}
+
+/// Parses a `lint:allow(<rule>)[: justification]` directive out of a
+/// line comment's text (everything after the leading `//`), if present.
+///
+/// A directive must be the *whole point* of the comment: plain `//`
+/// (doc comments `///` and `//!` are documentation, not directives) and
+/// starting with `lint:allow(` after whitespace. Mentioning the syntax
+/// mid-sentence — as this very crate's docs do — is not a directive.
+fn parse_allow(comment: &str, line: u32, standalone: bool) -> Option<AllowDirective> {
+    let after_slashes = comment.strip_prefix("//").unwrap_or(comment);
+    if after_slashes.starts_with('/') || after_slashes.starts_with('!') {
+        return None;
+    }
+    let body = after_slashes.trim_start();
+    if !body.starts_with("lint:allow(") {
+        return None;
+    }
+    let rest = &body["lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let justification = after
+        .strip_prefix(':')
+        .map(str::trim)
+        .filter(|j| !j.is_empty())
+        .map(str::to_string);
+    Some(AllowDirective {
+        rule,
+        justification,
+        line,
+        standalone,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // A HashMap inside a raw string must not surface as an
+        // identifier, at any hash depth — including a `"#` inside an
+        // `r##` string.
+        let src = r####"let a = r"HashMap"; let b = r#"Instant::now()"#; let c = r##"tricky "# HashSet"##;"####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashSet".to_string()), "{ids:?}");
+        let raws: Vec<_> = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(
+            raws,
+            ["HashMap", "Instant::now()", r##"tricky "# HashSet"##]
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_lex_as_strings() {
+        let src = r##"let a = b"HashMap"; let b = br#"HashSet"#;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashSet".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_are_fully_skipped() {
+        let src = "fn f() { /* outer /* HashMap inner */ still comment */ let x = 1; }";
+        let ids = idents(src);
+        assert_eq!(ids, ["fn", "f", "let", "x"]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_consumes_to_eof() {
+        let src = "let x = 1; /* HashMap never closes";
+        assert_eq!(idents(src), ["let", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let src =
+            "fn f<'a>(x: &'a u32) -> char { let c = 'a'; let n = '\\n'; let _u: &'_ u8 = &0; c }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        let chars: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "_"]);
+        assert_eq!(chars, ["a", "\\n"]);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let toks = lex("fn f(x: &'static str) {}");
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_leak_idents() {
+        let src = r#"let s = "say \"HashMap\" twice"; let t = "multi
+line Instant";"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("let x = 1;\n  foo();");
+        let foo = toks
+            .tokens
+            .iter()
+            .find(|t| t.text == "foo")
+            .expect("foo token");
+        assert_eq!((foo.line, foo.col), (2, 3));
+    }
+
+    #[test]
+    fn allow_directive_with_justification_parses() {
+        let src = "// lint:allow(hash-iteration): lookups only, never iterated\nlet m = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.rule, "hash-iteration");
+        assert_eq!(
+            a.justification.as_deref(),
+            Some("lookups only, never iterated")
+        );
+        assert!(a.standalone);
+        assert_eq!(a.line, 1);
+    }
+
+    #[test]
+    fn trailing_allow_is_not_standalone() {
+        let src = "let m = 1; // lint:allow(wall-clock): timing only";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(!lexed.allows[0].standalone);
+    }
+
+    #[test]
+    fn allow_without_justification_has_none() {
+        let src = "// lint:allow(wall-clock)\nlet m = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows[0].justification, None);
+        let src2 = "// lint:allow(wall-clock):   \nlet m = 1;";
+        assert_eq!(lex(src2).allows[0].justification, None);
+    }
+
+    #[test]
+    fn doc_comments_and_mentions_are_not_directives() {
+        // Doc comments are documentation, not directives.
+        assert!(lex("/// lint:allow(wall-clock): nope\nlet m = 1;")
+            .allows
+            .is_empty());
+        assert!(lex("//! lint:allow(wall-clock): nope\nlet m = 1;")
+            .allows
+            .is_empty());
+        // A mid-sentence mention of the syntax is not a directive either.
+        let src = "// justify with `lint:allow(wall-clock)` when timing-only\nlet m = 1;";
+        assert!(lex(src).allows.is_empty());
+    }
+
+    #[test]
+    fn r_and_b_identifiers_still_lex_as_idents() {
+        // `r` and `b` as plain identifiers (or prefixes of identifiers)
+        // must not be eaten by the raw-string path.
+        assert_eq!(idents("let r = b + rate;"), ["let", "r", "b", "rate"]);
+    }
+}

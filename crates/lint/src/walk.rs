@@ -1,0 +1,79 @@
+//! Deterministic workspace file walking.
+//!
+//! The linter must itself obey the determinism charter: directory
+//! entries come back from the OS in arbitrary order, so every listing
+//! is sorted by path before use — two runs over the same tree visit
+//! files in the same order and produce byte-identical reports.
+
+use crate::LintError;
+use std::path::Path;
+
+/// Directories never descended into: vendored shims (not our API),
+/// build artifacts, VCS metadata, and the lint's own rule fixtures
+/// (which exist to *fire* rules).
+const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
+
+/// Collects every `.rs` file under `root` (excluding `SKIP_DIRS`) as
+/// `(repo-relative path with forward slashes, file contents)`, sorted
+/// by path.
+pub fn walk_rs_files(root: &Path) -> Result<Vec<(String, String)>, LintError> {
+    let mut paths = Vec::new();
+    collect(root, root, &mut paths)?;
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let full = root.join(&rel);
+        let src = std::fs::read_to_string(&full)
+            .map_err(|e| LintError::Io(format!("{}: {e}", full.display())))?;
+        out.push((rel, src));
+    }
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), LintError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| LintError::Io(format!("{}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(format!("{}: {e}", dir.display())))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_is_sorted_and_skips_vendor() {
+        // The crate's own source tree is a convenient non-trivial input.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let files = walk_rs_files(root).expect("walk");
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(rels.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        assert!(rels.iter().all(|r| !r.starts_with("vendor/")));
+        assert!(rels.iter().all(|r| !r.contains("/fixtures/")));
+        assert!(rels.contains(&"crates/lint/src/walk.rs"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-rule fixture conformance: every determinism rule has a `_fires`
+//! fixture proving it fires (diagnostics checked against a golden JSON
+//! file) and a `_clean` fixture proving it stays silent on the
+//! compliant idiom.
+//!
+//! Fixtures live in `tests/fixtures/`, which the workspace walker
+//! skips — they exist to violate the rules, so they must never count
+//! against the repo's own lint gate. They are analyzed here directly,
+//! as [`FileClass::Strict`], exactly as a hot deterministic crate
+//! would be.
+//!
+//! Regenerate goldens after an intentional diagnostic change with:
+//! `UPDATE_GOLDENS=1 cargo test -p fubar-lint --test fixtures`.
+
+use fubar_lint::{analyze_source, findings_json, FileClass, Finding};
+use std::path::PathBuf;
+
+/// `(rule name, fixture file stem)` for every rule in the engine.
+const CASES: [(&str, &str); 7] = [
+    ("hash-iteration", "hash_iteration"),
+    ("wall-clock", "wall_clock"),
+    ("thread-identity", "thread_identity"),
+    ("ambient-rng", "ambient_rng"),
+    ("env-nondeterminism", "env_nondeterminism"),
+    ("float-accumulate-unordered", "float_accumulate_unordered"),
+    ("todo-unwrap-in-lib", "todo_unwrap_in_lib"),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn analyze_fixture(stem: &str) -> Vec<Finding> {
+    let path = fixture_dir().join(format!("{stem}.rs"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let rel = format!("crates/lint/tests/fixtures/{stem}.rs");
+    analyze_source(&rel, &src, FileClass::Strict)
+}
+
+#[test]
+fn every_rule_fires_on_its_fixture_and_matches_its_golden() {
+    for (rule, stem) in CASES {
+        let findings = analyze_fixture(&format!("{stem}_fires"));
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "{stem}_fires.rs should fire {rule}, got: {findings:#?}"
+        );
+        let got = format!("{}\n", findings_json(&findings, 0));
+        let golden = fixture_dir().join(format!("{stem}_fires.json"));
+        if std::env::var_os("UPDATE_GOLDENS").is_some() {
+            std::fs::write(&golden, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|e| panic!("{}: {e} (run with UPDATE_GOLDENS=1)", golden.display()));
+        assert_eq!(got, want, "{stem}_fires.rs diagnostics drifted from golden");
+    }
+}
+
+#[test]
+fn every_rule_stays_silent_on_its_clean_fixture() {
+    for (_, stem) in CASES {
+        let findings = analyze_fixture(&format!("{stem}_clean"));
+        assert!(
+            findings.is_empty(),
+            "{stem}_clean.rs should be clean, got: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn fire_fixtures_never_cross_contaminate_clean_rules() {
+    // A fires-fixture may legitimately trip its own rule several times
+    // (and ambient imports), but the engine must report it at error or
+    // warning severity exactly as the golden records — and the walker
+    // must never see these files at all.
+    let walked = fubar_lint::walk_rs_files(
+        fixture_dir()
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap(),
+    )
+    .expect("walk");
+    assert!(
+        walked.iter().all(|(rel, _)| !rel.contains("/fixtures/")),
+        "workspace walker must skip the fixture directory"
+    );
+}

@@ -1,0 +1,8 @@
+// Fixture: an RNG seeded from the run seed must not fire `ambient-rng`.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn roll(run_seed: u64) -> u32 {
+    let mut rng = StdRng::seed_from_u64(run_seed);
+    rng.gen::<u32>()
+}

@@ -1,0 +1,9 @@
+// Fixture: `ambient-rng` must fire on thread_rng / from_entropy / OsRng.
+use rand::rngs::{OsRng, StdRng};
+use rand::{thread_rng, Rng, SeedableRng};
+
+fn roll() -> u32 {
+    let mut rng = thread_rng();
+    let mut seeded_from_os = StdRng::from_entropy();
+    rng.gen::<u32>() ^ seeded_from_os.gen::<u32>()
+}

@@ -1,0 +1,9 @@
+// Fixture: configuration passed in as data must not fire
+// `env-nondeterminism`.
+struct Config {
+    threads: usize,
+}
+
+fn knob(config: &Config) -> usize {
+    config.threads
+}

@@ -1,0 +1,8 @@
+// Fixture: `env-nondeterminism` must fire on std::env::var in a
+// deterministic crate.
+fn knob() -> usize {
+    std::env::var("FUBAR_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,11 @@
+// Fixture: accumulation over an ordered container must not fire
+// `float-accumulate-unordered`.
+use std::collections::BTreeMap;
+
+fn total(per_link: &BTreeMap<u32, f64>) -> f64 {
+    per_link.values().sum::<f64>()
+}
+
+fn weighted(weights: &[f64]) -> f64 {
+    weights.iter().fold(0.0, |acc, v| acc + v)
+}

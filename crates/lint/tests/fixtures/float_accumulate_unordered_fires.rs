@@ -1,0 +1,15 @@
+// Fixture: `float-accumulate-unordered` must fire on .sum()/.fold()
+// over an iterator derived from a hash container in the same statement.
+// The HashMap mentions themselves are separately justified so this
+// fixture isolates the accumulation rule.
+use std::collections::HashMap;
+
+// lint:allow(hash-iteration): fixture isolates the accumulation rule
+fn total(per_link: &HashMap<u32, f64>) -> f64 {
+    per_link.values().sum::<f64>()
+}
+
+// lint:allow(hash-iteration): fixture isolates the accumulation rule
+fn weighted(per_link: &HashMap<u32, f64>) -> f64 {
+    per_link.values().fold(0.0, |acc, v| acc + v)
+}

@@ -1,0 +1,14 @@
+// Fixture: ordered containers and a justified lookup-only exception
+// must not fire `hash-iteration`.
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+struct Flows {
+    per_link: BTreeMap<u32, f64>,
+    // lint:allow(hash-iteration): id lookups only, never iterated
+    by_name: HashMap<String, u32>,
+}
+
+fn dedup(xs: &[u32]) -> usize {
+    let seen: BTreeSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}

@@ -1,0 +1,11 @@
+// Fixture: `hash-iteration` must fire on HashMap/HashSet outside `use`.
+use std::collections::{HashMap, HashSet};
+
+struct Flows {
+    per_link: HashMap<u32, f64>,
+}
+
+fn dedup(xs: &[u32]) -> usize {
+    let seen: HashSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}

@@ -1,0 +1,5 @@
+// Fixture: work assigned by deterministic index must not fire
+// `thread-identity`.
+fn shard_of(item: usize, shard_count: usize) -> usize {
+    item % shard_count
+}

@@ -1,0 +1,7 @@
+// Fixture: `thread-identity` must fire on thread::current() and ThreadId.
+use std::thread;
+use std::thread::ThreadId;
+
+fn who_am_i() -> ThreadId {
+    thread::current().id()
+}

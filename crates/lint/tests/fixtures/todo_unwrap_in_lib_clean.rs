@@ -1,0 +1,12 @@
+// Fixture: explicit error handling (and the *_or_else combinators)
+// must not trip the unwrap-density report.
+fn parse_pair(s: &str) -> Option<(u32, u32)> {
+    let mut it = s.split(',');
+    let a = it.next()?.parse().ok()?;
+    let b = it.next()?.parse().ok()?;
+    Some((a, b))
+}
+
+fn with_default(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 0)
+}

@@ -1,0 +1,8 @@
+// Fixture: `todo-unwrap-in-lib` must report unwrap()/expect() density
+// in library code (warn-only).
+fn parse_pair(s: &str) -> (u32, u32) {
+    let mut it = s.split(',');
+    let a = it.next().unwrap().parse().expect("left field");
+    let b = it.next().unwrap().parse().expect("right field");
+    (a, b)
+}

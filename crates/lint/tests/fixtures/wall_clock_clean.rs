@@ -1,0 +1,12 @@
+// Fixture: logical time passed in as data, plus a justified
+// observability-only read, must not fire `wall-clock`.
+use std::time::{Duration, Instant};
+
+fn within_budget(elapsed: Duration, budget: Duration) -> bool {
+    elapsed < budget
+}
+
+fn observe() -> Instant {
+    // lint:allow(wall-clock): timing observability only; never feeds a decision
+    Instant::now()
+}

@@ -1,0 +1,11 @@
+// Fixture: `wall-clock` must fire on Instant::now() and SystemTime.
+use std::time::{Instant, SystemTime};
+
+fn elapsed_budget() -> bool {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs() < 1
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,51 @@
+//! Workspace-level conformance: the repo must satisfy its own linter.
+//!
+//! These are the two tests the invariant ledger cites for the lint
+//! subsystem itself — if either fails, either the tree regressed or a
+//! rule/ledger change landed without its corresponding cleanup.
+
+use fubar_lint::{check_ledger, check_workspace, Severity};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lint_is_clean() {
+    let report = check_workspace(&repo_root()).expect("lint pass runs");
+    let errors: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "the workspace must lint clean (warnings allowed):\n{}",
+        errors
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "the walker saw the whole tree");
+}
+
+#[test]
+fn ledger_check_passes_on_this_repo() {
+    let report = check_ledger(&repo_root()).expect("ledger pass runs");
+    assert!(
+        report.findings.is_empty(),
+        "the invariant ledger must verify against the tree and CI:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

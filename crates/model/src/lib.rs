@@ -28,6 +28,7 @@
 //! * [`utility_report`] — fold an outcome into per-aggregate and
 //!   network-wide utilities (paper §3's "total average");
 //!   [`utility_report_from`] is its incremental twin.
+#![forbid(unsafe_code)]
 
 mod engine;
 mod outcome;

@@ -279,6 +279,7 @@ impl<C: EventConsumer> Engine<C> {
             }
 
             let what = self.consumer.describe(&event);
+            // lint:allow(wall-clock): timing observability only; never feeds a decision
             let applied_at = std::time::Instant::now();
             let m = self.consumer.on_event(&event);
             stats.record(&event.kind, applied_at.elapsed().as_secs_f64());

@@ -37,6 +37,7 @@
 //! assert_eq!(a.to_text(), b.to_text());
 //! assert!(a.records.len() > 10);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod chaos;

@@ -35,6 +35,7 @@
 //! let log = sim.run(4);
 //! assert_eq!(log.len(), 4);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod admission;
 pub mod arrivals;

@@ -577,8 +577,8 @@ mod tests {
 
     #[test]
     fn he_core_adjacency_has_no_duplicates() {
-        use std::collections::HashSet;
-        let mut seen = HashSet::new();
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
         for (a, z) in HE_LINKS {
             let key = if a < z { (a, z) } else { (z, a) };
             assert!(seen.insert(key), "duplicate HE link {a}-{z}");
@@ -621,8 +621,8 @@ mod tests {
         // edge — both degenerate extras must be skipped, leaving every
         // adjacency unique.
         let t = hypergrowth(3, 3, cap());
-        use std::collections::HashSet;
-        let mut seen = HashSet::new();
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
         for l in t.links() {
             let link = t.graph().link(l);
             assert!(
@@ -668,10 +668,10 @@ mod tests {
         // The degenerate-extras gating (no chord at 3 POPs, no skip-2
         // under 5 regions, no express under 6) must leave every
         // adjacency unique at every small size.
-        use std::collections::HashSet;
+        use std::collections::BTreeSet;
         for (regions, pops) in [(3, 3), (4, 4), (5, 3), (6, 4), (7, 5)] {
             let t = planetary(regions, pops, cap());
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             for l in t.links() {
                 let link = t.graph().link(l);
                 assert!(

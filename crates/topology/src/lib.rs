@@ -19,6 +19,7 @@
 //! assert_eq!(topo.duplex_count(), 56);
 //! assert!(topo.is_connected());
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod format;

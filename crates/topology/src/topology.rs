@@ -61,6 +61,7 @@ pub struct TopologyBuilder {
     graph: DiGraph,
     node_names: Vec<String>,
     node_geo: Vec<Option<GeoPoint>>,
+    // lint:allow(hash-iteration): name→id lookups only, never iterated
     by_name: HashMap<String, NodeId>,
     capacities: Vec<Bandwidth>,
     reverse: Vec<Option<LinkId>>,
@@ -221,6 +222,7 @@ pub struct Topology {
     graph: DiGraph,
     node_names: Vec<String>,
     node_geo: Vec<Option<GeoPoint>>,
+    // lint:allow(hash-iteration): name→id lookups only, never iterated
     by_name: HashMap<String, NodeId>,
     capacities: Vec<Bandwidth>,
     reverse: Vec<Option<LinkId>>,

@@ -46,6 +46,7 @@ pub struct OperatorRule {
 /// A port/protocol heuristic classifier with operator overrides.
 #[derive(Clone, Debug, Default)]
 pub struct Classifier {
+    // lint:allow(hash-iteration): (proto, port)→class lookups only, never iterated
     overrides: HashMap<(Protocol, u16), TrafficClass>,
 }
 

@@ -13,6 +13,7 @@
 //! let tm = workload::generate(&topo, &WorkloadConfig::default(), 42);
 //! assert_eq!(tm.len(), 961); // the paper's aggregate count
 //! ```
+#![forbid(unsafe_code)]
 
 mod aggregate;
 mod classifier;

@@ -4,7 +4,7 @@ use crate::aggregate::{Aggregate, AggregateId};
 use fubar_graph::NodeId;
 use fubar_topology::Bandwidth;
 use fubar_utility::TrafficClass;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An immutable collection of aggregates, indexed densely by
 /// [`AggregateId`]. At most one aggregate may exist per (ingress, egress,
@@ -13,13 +13,13 @@ use std::collections::HashMap;
 #[derive(Clone, Debug, Default)]
 pub struct TrafficMatrix {
     aggregates: Vec<Aggregate>,
-    by_pair: HashMap<(NodeId, NodeId), Vec<AggregateId>>,
+    by_pair: BTreeMap<(NodeId, NodeId), Vec<AggregateId>>,
 }
 
 impl TrafficMatrix {
     /// Builds a matrix, re-assigning dense ids in iteration order.
     pub fn new(mut aggregates: Vec<Aggregate>) -> Self {
-        let mut by_pair: HashMap<(NodeId, NodeId), Vec<AggregateId>> = HashMap::new();
+        let mut by_pair: BTreeMap<(NodeId, NodeId), Vec<AggregateId>> = BTreeMap::new();
         for (i, a) in aggregates.iter_mut().enumerate() {
             a.id = AggregateId(i as u32);
             by_pair.entry((a.ingress, a.egress)).or_default().push(a.id);

@@ -26,6 +26,7 @@
 //! // 25 of the 50 kb/s it wants, at negligible delay: half-happy.
 //! assert!((u.eval(Bandwidth::from_kbps(25.0), Delay::from_ms(1.0)) - 0.5).abs() < 1e-9);
 //! ```
+#![forbid(unsafe_code)]
 
 mod classes;
 mod curve;

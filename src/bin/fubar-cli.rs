@@ -78,6 +78,14 @@
 //!     committed spec in FILE (CI holds the chaos catalog to this).
 //!     --smoke bounds the run (few candidates, capped duration) for
 //!     quick pipeline checks.
+//!
+//! fubar-cli lint [check|ledger] [--root DIR] [--format text|json] [--out FILE]
+//!     The workspace determinism linter (also shipped standalone as
+//!     `fubar-lint`). `check` (the default) runs the determinism rules
+//!     over every non-vendor source file; `ledger` cross-checks the
+//!     ARCHITECTURE.md invariant ledger against the tree and CI, and
+//!     the scenario/topology catalogs against the replay loop. Exit 0
+//!     when clean (warnings allowed), 65 on any error-severity finding.
 //! ```
 //!
 //! Exit codes are distinct and scriptable: `0` success, `2` usage
@@ -167,7 +175,8 @@ fn usage() -> ExitCode {
          [--oracle sharded|flat|full] [--stats] \
          [--fill-threads N] [--parallel-passes] [--pass-threads N]\n  \
          fubar-cli scenario search <name|file.scn> [--seed N] [--candidates K] \
-         [--name NAME] [--out file.scn] [--check file.scn] [--smoke]"
+         [--name NAME] [--out file.scn] [--check file.scn] [--smoke]\n  \
+         fubar-cli lint [check|ledger] [--root DIR] [--format text|json] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -671,6 +680,74 @@ fn cmd_scenario(args: &[String]) -> CliResult {
     }
 }
 
+fn cmd_lint(args: &[String]) -> CliResult {
+    use fubar::lint::{check_ledger, check_workspace, LintError};
+
+    let mut mode = "check";
+    let mut root = String::from(".");
+    let mut format = "text";
+    let mut out: Option<String> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if i == 0 => mode = "check",
+            "ledger" if i == 0 => mode = "ledger",
+            "--root" => {
+                i += 1;
+                root = args
+                    .get(i)
+                    .ok_or_else(|| CliError::usage("--root needs a directory"))?
+                    .clone();
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => format = "text",
+                    Some("json") => format = "json",
+                    _ => return Err(CliError::usage("--format must be text or json")),
+                }
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--out needs a file"))?
+                        .clone(),
+                );
+            }
+            other => return Err(CliError::usage(format!("unknown lint argument {other:?}"))),
+        }
+        i += 1;
+    }
+
+    let root = std::path::PathBuf::from(root);
+    let report = match mode {
+        "ledger" => check_ledger(&root),
+        _ => check_workspace(&root),
+    }
+    .map_err(|e| match e {
+        LintError::BadRoot(m) => CliError::not_found(m),
+        LintError::Io(m) => CliError::not_found(m),
+    })?;
+
+    let rendered = match format {
+        "json" => report.to_json(),
+        _ => report.render_text(),
+    };
+    match &out {
+        Some(path) => write_file(path, &rendered)?,
+        None => print!("{rendered}"),
+    }
+    if report.errors() > 0 {
+        return Err(CliError::data(format!(
+            "lint {}: {} error-severity finding(s)",
+            report.mode,
+            report.errors()
+        )));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -682,6 +759,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&args[1..]),
         "topology" => cmd_topology(&args[1..]),
         "scenario" => cmd_scenario(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         _ => return usage(),
     };
     match result {

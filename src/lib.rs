@@ -19,6 +19,7 @@
 //! | [`core`] | the FUBAR optimizer, baselines, experiment drivers (§2.4–2.5) |
 //! | [`sdn`] | simulated SDN deployment: fabric, measurement, closed loop |
 //! | [`scenario`] | deterministic discrete-event scenarios: churn, failures, drift |
+//! | [`lint`] | workspace determinism linter + invariant-ledger conformance |
 //!
 //! ## Quickstart
 //!
@@ -37,9 +38,11 @@
 //! let sp = result.trace.initial().unwrap().network_utility;
 //! assert!(result.report.network_utility >= sp);
 //! ```
+#![forbid(unsafe_code)]
 
 pub use fubar_core as core;
 pub use fubar_graph as graph;
+pub use fubar_lint as lint;
 pub use fubar_model as model;
 pub use fubar_scenario as scenario;
 pub use fubar_sdn as sdn;

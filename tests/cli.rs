@@ -126,6 +126,47 @@ fn success_paths_exit_0_and_round_trip() {
 }
 
 #[test]
+fn lint_subcommand_honors_the_exit_code_contract() {
+    // Clean repo: exit 0 on both passes (the workspace integration
+    // tests in crates/lint assert the "clean" part; here we assert the
+    // CLI plumbing and codes).
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = cli(&["lint", "check", "--root", root]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let out = cli(&["lint", "ledger", "--root", root]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    // A directory that is not the workspace: not-found (66).
+    let out = cli(&[
+        "lint",
+        "check",
+        "--root",
+        std::env::temp_dir().to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 66, "{}", stderr(&out));
+    assert_one_line_error(&out);
+    // Bad flags: usage (2).
+    let out = cli(&["lint", "--format", "yaml"]);
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert_one_line_error(&out);
+    // JSON report lands on disk with the schema header.
+    let report = std::env::temp_dir().join("fubar_cli_test_lint_report.json");
+    let out = cli(&[
+        "lint",
+        "ledger",
+        "--root",
+        root,
+        "--format",
+        "json",
+        "--out",
+        report.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"schema\": \"fubar-lint/1\""), "{json}");
+    let _ = std::fs::remove_file(report);
+}
+
+#[test]
 fn search_check_mismatch_exits_65() {
     // A tiny base keeps the search cheap in debug CI; the committed
     // spec under --check is just a different scenario, so the check
